@@ -1,0 +1,86 @@
+//! Micro-benchmarks for the Dijkstra substrate: full single-source search,
+//! early-terminating point-to-point queries, resumable NN streams, and the
+//! multi-source minimum-set-distance search of Lemma 5.9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skysr_data::netgen::{generate_network, NetGenSpec};
+use skysr_graph::dijkstra::{dijkstra, shortest_distance, DijkstraWorkspace};
+use skysr_graph::multi_source::min_set_distance;
+use skysr_graph::{Cost, ResumableDijkstra, RoadNetwork, VertexId};
+use std::hint::black_box;
+
+fn network(n: usize) -> RoadNetwork {
+    let (b, _, _) =
+        generate_network(&NetGenSpec { target_vertices: n, seed: 5, ..Default::default() });
+    b.build()
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra");
+    for n in [1_000usize, 10_000] {
+        let g = network(n);
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        group.bench_with_input(BenchmarkId::new("full_sssp", n), &n, |b, _| {
+            b.iter(|| {
+                dijkstra(&g, &mut ws, VertexId(0));
+                black_box(ws.distance(VertexId((n / 2) as u32)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("point_to_point", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(shortest_distance(&g, &mut ws, VertexId(0), VertexId((n - 1) as u32)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("resumable_first_100", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rd = ResumableDijkstra::new(&g, VertexId(0));
+                for _ in 0..100 {
+                    black_box(rd.next_settled());
+                }
+            })
+        });
+        let sources: Vec<VertexId> = (0..20).map(|i| VertexId(i * 7)).collect();
+        group.bench_with_input(BenchmarkId::new("multi_source_min_dist", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(min_set_distance(
+                    &g,
+                    &mut ws,
+                    &sources,
+                    |v| v.0 as usize > n - 50,
+                    Cost::INFINITY,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_landmarks(c: &mut Criterion) {
+    use skysr_graph::Landmarks;
+    let mut group = c.benchmark_group("alt");
+    for n in [1_000usize, 10_000] {
+        let g = network(n);
+        let lm = Landmarks::build(&g, 8, VertexId(0));
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        let pairs: Vec<(VertexId, VertexId)> =
+            (0..8).map(|i| (VertexId(i * 31 % n as u32), VertexId((n as u32 - 1) - i * 17))).collect();
+        group.bench_with_input(BenchmarkId::new("dijkstra_p2p", n), &n, |b, _| {
+            b.iter(|| {
+                for &(s, t) in &pairs {
+                    black_box(shortest_distance(&g, &mut ws, s, t));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("astar_landmarks_p2p", n), &n, |b, _| {
+            b.iter(|| {
+                for &(s, t) in &pairs {
+                    black_box(lm.astar(&g, s, t).0);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra, bench_landmarks);
+criterion_main!(benches);

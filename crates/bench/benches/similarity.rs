@@ -1,0 +1,58 @@
+//! Micro-benchmarks for the semantic-hierarchy substrate: Wu–Palmer
+//! similarity, dense similarity-table construction, and requirement
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skysr_category::foursquare::foursquare_forest;
+use skysr_category::similarity::SimilarityTable;
+use skysr_category::{CategoryId, Requirement, Similarity, WuPalmer};
+use std::hint::black_box;
+
+fn bench_similarity(c: &mut Criterion) {
+    let forest = foursquare_forest();
+    let cats: Vec<CategoryId> = forest.categories().collect();
+    let sushi = forest.by_name("Sushi Restaurant").unwrap();
+    let bakery = forest.by_name("Bakery").unwrap();
+    let gift = forest.by_name("Gift Shop").unwrap();
+
+    c.bench_function("wu_palmer_pairwise_all", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &a in &cats {
+                for &x in &cats {
+                    acc += WuPalmer.sim(&forest, a, x);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("similarity_table_build", |b| {
+        b.iter(|| black_box(SimilarityTable::build(&forest, &WuPalmer, sushi)))
+    });
+
+    let table = SimilarityTable::build(&forest, &WuPalmer, sushi);
+    c.bench_function("similarity_table_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &cats {
+                acc += table.sim(x);
+            }
+            black_box(acc)
+        })
+    });
+
+    let req = Requirement::any_of([sushi, bakery]).but_not(gift);
+    c.bench_function("requirement_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &cats {
+                acc += req.similarity(&forest, &WuPalmer, &[x]);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

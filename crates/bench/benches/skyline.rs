@@ -1,0 +1,81 @@
+//! Micro-benchmarks for skyline-set maintenance and the route
+//! representation (shared-prefix links vs vector cloning — the design
+//! ablation called out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skysr_core::dominance::SkylineSet;
+use skysr_core::route::{PartialRoute, SkylineRoute};
+use skysr_graph::{Cost, VertexId};
+use std::hint::black_box;
+
+fn bench_skyline_set(c: &mut Criterion) {
+    // A stream of candidate routes with anti-correlated scores plus noise,
+    // resembling what BSSR feeds the set.
+    let candidates: Vec<SkylineRoute> = (0..512)
+        .map(|i| {
+            let x = (i as f64 * 0.618).fract();
+            SkylineRoute {
+                pois: vec![VertexId(i as u32)],
+                length: Cost::new(1000.0 * (1.0 - x) + (i % 7) as f64),
+                semantic: x * 0.9,
+            }
+        })
+        .collect();
+    c.bench_function("skyline_set_insert_512", |b| {
+        b.iter(|| {
+            let mut s = SkylineSet::new();
+            for r in &candidates {
+                s.update(r.clone());
+            }
+            black_box(s.len())
+        })
+    });
+
+    let mut set = SkylineSet::new();
+    for r in &candidates {
+        set.update(r.clone());
+    }
+    c.bench_function("skyline_threshold_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += set.threshold(i as f64 / 100.0).get();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_route_representation(c: &mut Criterion) {
+    // Shared-prefix PartialRoute vs naive Vec cloning for the fan-out
+    // pattern of queue extension (one prefix, many children).
+    c.bench_function("route_extend_shared_prefix", |b| {
+        b.iter(|| {
+            let base = PartialRoute::empty()
+                .extend(VertexId(1), Cost::new(1.0), 1.0)
+                .extend(VertexId(2), Cost::new(1.0), 0.9);
+            let mut total = 0usize;
+            for i in 0..256u32 {
+                let child = base.extend(VertexId(10 + i), Cost::new(2.0), 0.8);
+                total += child.len();
+            }
+            black_box(total)
+        })
+    });
+
+    c.bench_function("route_extend_vec_clone", |b| {
+        b.iter(|| {
+            let base: Vec<VertexId> = vec![VertexId(1), VertexId(2)];
+            let mut total = 0usize;
+            for i in 0..256u32 {
+                let mut child = base.clone();
+                child.push(VertexId(10 + i));
+                total += child.len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_skyline_set, bench_route_representation);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates Figure 3: response time vs |S_q| per dataset and algorithm.
+fn main() {
+    let cfg = skysr_bench::ExpConfig::from_env();
+    let datasets = cfg.datasets();
+    skysr_bench::ExpConfig::print_dataset_table(&datasets);
+    skysr_bench::experiments::fig3(&cfg, &datasets);
+}

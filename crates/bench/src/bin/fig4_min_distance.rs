@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: magnitude of the minimum-distance lower bounds.
+fn main() {
+    let cfg = skysr_bench::ExpConfig::from_env();
+    let datasets = cfg.datasets();
+    skysr_bench::experiments::fig4(&cfg, &datasets);
+    skysr_bench::experiments::ablation_bounds(&cfg, &datasets);
+}

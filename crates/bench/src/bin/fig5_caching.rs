@@ -1,0 +1,6 @@
+//! Regenerates Figure 5: on-the-fly caching effect on Dijkstra executions.
+fn main() {
+    let cfg = skysr_bench::ExpConfig::from_env();
+    let datasets = cfg.datasets();
+    skysr_bench::experiments::fig5(&cfg, &datasets);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: number of skyline sequenced routes per |S_q|.
+fn main() {
+    let cfg = skysr_bench::ExpConfig::from_env();
+    let datasets = cfg.datasets();
+    skysr_bench::experiments::fig6(&cfg, &datasets);
+}

@@ -1,0 +1,19 @@
+//! Runs the full experiment suite (every table and figure) in one go.
+#[global_allocator]
+static ALLOC: skysr_bench::alloc::CountingAlloc = skysr_bench::alloc::CountingAlloc;
+
+fn main() {
+    let cfg = skysr_bench::ExpConfig::from_env();
+    eprintln!("config: {cfg:?}");
+    let datasets = cfg.datasets();
+    skysr_bench::ExpConfig::print_dataset_table(&datasets);
+    skysr_bench::experiments::table1_and_9();
+    skysr_bench::experiments::fig3(&cfg, &datasets);
+    skysr_bench::experiments::table6(&cfg, &datasets);
+    skysr_bench::experiments::table7(&cfg, &datasets);
+    skysr_bench::experiments::table8(&cfg, &datasets);
+    skysr_bench::experiments::fig4(&cfg, &datasets);
+    skysr_bench::experiments::ablation_bounds(&cfg, &datasets);
+    skysr_bench::experiments::fig5(&cfg, &datasets);
+    skysr_bench::experiments::fig6(&cfg, &datasets);
+}

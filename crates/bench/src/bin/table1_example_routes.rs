@@ -1,0 +1,4 @@
+//! Regenerates Tables 1 and 9: the worked example skyline route sets.
+fn main() {
+    skysr_bench::experiments::table1_and_9();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 6: peak heap per algorithm (counting allocator).
+#[global_allocator]
+static ALLOC: skysr_bench::alloc::CountingAlloc = skysr_bench::alloc::CountingAlloc;
+
+fn main() {
+    let cfg = skysr_bench::ExpConfig::from_env();
+    let datasets = cfg.datasets();
+    skysr_bench::experiments::table6(&cfg, &datasets);
+}

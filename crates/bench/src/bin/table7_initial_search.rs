@@ -1,0 +1,6 @@
+//! Regenerates Table 7: the effect of the NNinit initial search.
+fn main() {
+    let cfg = skysr_bench::ExpConfig::from_env();
+    let datasets = cfg.datasets();
+    skysr_bench::experiments::table7(&cfg, &datasets);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 8: proposed vs distance-based route queue.
+fn main() {
+    let cfg = skysr_bench::ExpConfig::from_env();
+    let datasets = cfg.datasets();
+    skysr_bench::experiments::table8(&cfg, &datasets);
+}

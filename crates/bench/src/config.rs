@@ -1,0 +1,112 @@
+//! Environment-driven experiment configuration.
+
+use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
+
+/// Harness configuration (all overridable via environment variables).
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Queries per (dataset, |S_q|) cell — `SKYSR_QUERIES` (default 12;
+    /// the paper uses 100, set `SKYSR_QUERIES=100` to match).
+    pub queries: usize,
+    /// Queries per cell for the exponential baselines —
+    /// `SKYSR_BASELINE_QUERIES` (default 4).
+    pub baseline_queries: usize,
+    /// Largest |S_q| — `SKYSR_SEQ_MAX` (default 5).
+    pub seq_max: usize,
+    /// OSR-combination cap for baselines — `SKYSR_BASELINE_MAX_COMBOS`
+    /// (default 3000). Cells needing more are reported as capped, the
+    /// harness's analogue of the paper's "not finished after a month".
+    pub baseline_max_combos: u64,
+    /// Scale multiplier on the `*Small` presets — `SKYSR_SCALE`
+    /// (default 1.0).
+    pub scale: f64,
+    /// Use the paper's full-size presets — `SKYSR_FULL=1` (default off).
+    pub full: bool,
+    /// Workload seed — `SKYSR_SEED` (default 7).
+    pub seed: u64,
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig::from_env()
+    }
+}
+
+impl ExpConfig {
+    /// Reads the configuration from the environment.
+    pub fn from_env() -> ExpConfig {
+        ExpConfig {
+            queries: env_parse("SKYSR_QUERIES", 12),
+            baseline_queries: env_parse("SKYSR_BASELINE_QUERIES", 4),
+            seq_max: env_parse("SKYSR_SEQ_MAX", 5usize).clamp(2, 7),
+            baseline_max_combos: env_parse("SKYSR_BASELINE_MAX_COMBOS", 3000),
+            scale: env_parse("SKYSR_SCALE", 1.0f64),
+            full: env_parse("SKYSR_FULL", 0u8) == 1,
+            seed: env_parse("SKYSR_SEED", 7),
+        }
+    }
+
+    /// Generates the three experiment datasets (Table 5 analogues).
+    pub fn datasets(&self) -> Vec<Dataset> {
+        let presets = if self.full {
+            [Preset::Tokyo, Preset::Nyc, Preset::Cal]
+        } else {
+            [Preset::TokyoSmall, Preset::NycSmall, Preset::CalSmall]
+        };
+        let specs: Vec<DatasetSpec> = presets
+            .into_iter()
+            .map(|p| {
+                let mut spec = DatasetSpec::preset(p);
+                if !self.full && (self.scale - 1.0).abs() > 1e-9 {
+                    spec = spec.scale(self.scale);
+                }
+                spec
+            })
+            .collect();
+        // The three cities are independent: generate them in parallel.
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| {
+                    scope.spawn(move |_| {
+                        eprintln!("generating {} ...", spec.name);
+                        spec.generate()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("generation panicked")).collect()
+        })
+        .expect("generation threads panicked")
+    }
+
+    /// Prints the Table 5-style header for `datasets`.
+    pub fn print_dataset_table(datasets: &[Dataset]) {
+        let mut t = crate::table::Table::new(vec!["Dataset", "|V|", "|P|", "|E|"]);
+        for d in datasets {
+            let (v, p, e) = d.stats();
+            t.row(vec![d.name.clone(), v.to_string(), p.to_string(), e.to_string()]);
+        }
+        println!("{t}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ExpConfig::from_env();
+        assert!(c.queries >= 1);
+        assert!((2..=7).contains(&c.seq_max));
+    }
+
+    #[test]
+    fn env_parse_falls_back() {
+        assert_eq!(env_parse("SKYSR_DOES_NOT_EXIST", 5u32), 5);
+    }
+}

@@ -1,0 +1,28 @@
+//! Benchmark harness for the SkySR paper reproduction.
+//!
+//! One binary per table/figure of the paper's §7 evaluation:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig3_response_time` | Figure 3 (a–c): response time vs \|S_q\| |
+//! | `table6_memory` | Table 6: peak heap per algorithm |
+//! | `table7_initial_search` | Table 7: effect of the initial search |
+//! | `table8_priority_queue` | Table 8: effect of the queue arrangement |
+//! | `fig4_min_distance` | Figure 4: minimum-distance bound magnitudes |
+//! | `fig5_caching` | Figure 5: modified-Dijkstra executions w/ & w/o cache |
+//! | `fig6_num_skysrs` | Figure 6: number of SkySRs |
+//! | `table1_example_routes` | Tables 1 & 9: example skyline route sets |
+//! | `report` | everything above, in order |
+//!
+//! Experiment scale is configured by environment variables (see
+//! [`config::ExpConfig`]); defaults finish on a laptop in minutes using the
+//! `*Small` presets.
+
+pub mod alloc;
+pub mod config;
+pub mod experiments;
+pub mod fixtures;
+pub mod runner;
+pub mod table;
+
+pub use config::ExpConfig;

@@ -1,0 +1,101 @@
+//! Minimal aligned-text table printer for experiment output.
+
+use std::fmt;
+
+/// A simple left-aligned table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: Vec<&str>) -> Table {
+        Table { header: header.into_iter().map(str::to_owned).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, w) in cells.iter().zip(&widths) {
+                write!(f, " {c:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<1$}|", "", w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a millisecond quantity with adaptive precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 0.1 {
+        format!("{:.4}", ms)
+    } else if ms < 10.0 {
+        format!("{:.2}", ms)
+    } else {
+        format!("{:.1}", ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("| a    | long-header |"), "{s}");
+        assert!(s.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only".into()]);
+        assert!(t.to_string().contains("only"));
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(fmt_ms(0.01234), "0.0123");
+        assert_eq!(fmt_ms(1.234), "1.23");
+        assert_eq!(fmt_ms(123.4), "123.4");
+    }
+}

@@ -1,0 +1,52 @@
+//! Smoke tests for the experiment drivers: every table/figure generator
+//! must run end-to-end on a miniature configuration. Protects the
+//! reproduction harness itself from regressions.
+
+use skysr_bench::{experiments, ExpConfig};
+use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
+
+fn tiny_config() -> ExpConfig {
+    ExpConfig {
+        queries: 2,
+        baseline_queries: 1,
+        seq_max: 2,
+        baseline_max_combos: 10_000,
+        scale: 1.0,
+        full: false,
+        seed: 5,
+    }
+}
+
+fn tiny_datasets() -> Vec<Dataset> {
+    vec![
+        DatasetSpec::preset(Preset::TokyoSmall).scale(0.02).seed(51).generate(),
+        DatasetSpec::preset(Preset::CalSmall).scale(0.05).seed(52).generate(),
+    ]
+}
+
+#[test]
+fn every_experiment_driver_runs() {
+    let cfg = tiny_config();
+    let datasets = tiny_datasets();
+    ExpConfig::print_dataset_table(&datasets);
+    experiments::table1_and_9();
+    experiments::fig3(&cfg, &datasets);
+    experiments::table6(&cfg, &datasets);
+    experiments::table7(&cfg, &datasets);
+    experiments::table8(&cfg, &datasets);
+    experiments::fig4(&cfg, &datasets);
+    experiments::ablation_bounds(&cfg, &datasets);
+    experiments::fig5(&cfg, &datasets);
+    experiments::fig6(&cfg, &datasets);
+}
+
+#[test]
+fn config_datasets_generates_in_parallel() {
+    // Exercises the crossbeam-scoped generation path.
+    let cfg = ExpConfig { scale: 0.02, ..tiny_config() };
+    let datasets = cfg.datasets();
+    assert_eq!(datasets.len(), 3);
+    for d in &datasets {
+        assert!(skysr_graph::connectivity::is_connected(&d.graph), "{}", d.name);
+    }
+}

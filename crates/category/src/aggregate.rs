@@ -1,0 +1,95 @@
+//! Semantic-score aggregation (paper Eq. 2 / Eq. 7).
+//!
+//! A route's semantic score `s(R) = f(h_1, …, h_|R|)` must satisfy two
+//! contracts from Definition 3.5:
+//!
+//! 1. all `h_i = 1` ⇒ `s(R) = 0` (perfect routes have zero semantic cost);
+//! 2. for a *partial* route, `s(R)` is the minimum semantic score any
+//!    completion can achieve (so it is a valid lower bound — Lemma 5.2
+//!    depends on this monotonicity).
+//!
+//! The experiments use the product form of Eq. 7:
+//! `s(R) = 1 − Π sim(c_{p_i}, c_{S[i]})`, which satisfies both because the
+//! running product only shrinks as factors in `(0, 1]` are appended.
+//! Aggregates are expressed incrementally (an accumulator folded one
+//! similarity at a time) because BSSR scores routes as it extends them.
+
+/// Incremental semantic-score aggregation.
+pub trait SemanticAggregate: Clone + std::fmt::Debug {
+    /// Accumulator value of the empty route.
+    fn identity(&self) -> f64;
+    /// Folds the next position's similarity into the accumulator.
+    fn extend(&self, acc: f64, h: f64) -> f64;
+    /// Final semantic score for an accumulator.
+    fn score(&self, acc: f64) -> f64;
+
+    /// Convenience: score of a full similarity vector.
+    fn score_of(&self, sims: &[f64]) -> f64 {
+        self.score(sims.iter().fold(self.identity(), |a, &h| self.extend(a, h)))
+    }
+}
+
+/// Eq. 7: `s(R) = 1 − Π h_i`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProductAggregate;
+
+impl SemanticAggregate for ProductAggregate {
+    #[inline]
+    fn identity(&self) -> f64 {
+        1.0
+    }
+
+    #[inline]
+    fn extend(&self, acc: f64, h: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&h), "similarity out of range: {h}");
+        acc * h
+    }
+
+    #[inline]
+    fn score(&self, acc: f64) -> f64 {
+        1.0 - acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_route_scores_zero() {
+        let p = ProductAggregate;
+        assert_eq!(p.score_of(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(p.score_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn product_form_matches_eq7() {
+        let p = ProductAggregate;
+        let s = p.score_of(&[0.5, 0.8]);
+        assert!((s - (1.0 - 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_is_monotone_in_route_extension() {
+        // Lemma 5.2 prerequisite: appending a similarity cannot decrease
+        // the score.
+        let p = ProductAggregate;
+        let mut acc = p.identity();
+        let mut last = p.score(acc);
+        for h in [1.0, 0.9, 0.5, 1.0, 0.2] {
+            acc = p.extend(acc, h);
+            let s = p.score(acc);
+            assert!(s >= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn score_bounded_in_unit_interval() {
+        let p = ProductAggregate;
+        for sims in [vec![0.0], vec![1.0; 8], vec![0.3, 0.7, 0.9]] {
+            let s = p.score_of(&sims);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

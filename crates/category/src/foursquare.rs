@@ -1,0 +1,229 @@
+//! Built-in Foursquare-style taxonomy.
+//!
+//! The Tokyo/NYC datasets in the paper use the Foursquare category tree
+//! (§7.1, "the number of category trees in Foursquare is 10"). This module
+//! ships a 10-tree forest modelled on the public Foursquare hierarchy —
+//! enough breadth/depth to reproduce the semantic-similarity behaviour the
+//! experiments rely on, including every category the paper's examples name
+//! (cupcake shop, dessert shop, art museum, jazz club, beer garden, sushi
+//! restaurant, sake bar, …).
+
+use crate::tree::{CategoryForest, ForestBuilder};
+
+/// Builds the 10-tree Foursquare-style forest.
+pub fn foursquare_forest() -> CategoryForest {
+    let mut b = ForestBuilder::new();
+
+    // 1. Food
+    let food = b.add_root("Food");
+    let asian = b.add_child(food, "Asian Restaurant");
+    let japanese = b.add_child(asian, "Japanese Restaurant");
+    b.add_child(japanese, "Sushi Restaurant");
+    b.add_child(japanese, "Ramen Restaurant");
+    b.add_child(asian, "Chinese Restaurant");
+    b.add_child(asian, "Thai Restaurant");
+    let italian = b.add_child(food, "Italian Restaurant");
+    b.add_child(italian, "Pizza Place");
+    b.add_child(food, "American Restaurant");
+    b.add_child(food, "Mexican Restaurant");
+    let bakery = b.add_child(food, "Bakery");
+    b.add_child(bakery, "Bagel Shop");
+    let dessert = b.add_child(food, "Dessert Shop");
+    b.add_child(dessert, "Cupcake Shop");
+    b.add_child(dessert, "Ice Cream Shop");
+    b.add_child(dessert, "Frozen Yogurt Shop");
+    let cafe = b.add_child(food, "Cafe");
+    b.add_child(cafe, "Coffee Shop");
+    b.add_child(cafe, "Tea Room");
+
+    // 2. Shop & Service
+    let shop = b.add_root("Shop & Service");
+    b.add_child(shop, "Gift Shop");
+    b.add_child(shop, "Hobby Shop");
+    let clothing = b.add_child(shop, "Clothing Store");
+    b.add_child(clothing, "Men's Store");
+    b.add_child(clothing, "Women's Store");
+    b.add_child(clothing, "Shoe Store");
+    b.add_child(shop, "Bookstore");
+    b.add_child(shop, "Electronics Store");
+    let grocery = b.add_child(shop, "Food & Drink Shop");
+    b.add_child(grocery, "Grocery Store");
+    b.add_child(grocery, "Wine Shop");
+    b.add_child(grocery, "Liquor Store");
+    b.add_child(shop, "Department Store");
+    b.add_child(shop, "Pharmacy");
+    b.add_child(shop, "Flower Shop");
+
+    // 3. Arts & Entertainment
+    let arts = b.add_root("Arts & Entertainment");
+    let museum = b.add_child(arts, "Museum");
+    b.add_child(museum, "Art Museum");
+    b.add_child(museum, "History Museum");
+    b.add_child(museum, "Science Museum");
+    let music = b.add_child(arts, "Music Venue");
+    b.add_child(music, "Jazz Club");
+    b.add_child(music, "Rock Club");
+    b.add_child(arts, "Movie Theater");
+    b.add_child(arts, "Theater");
+    b.add_child(arts, "Art Gallery");
+    b.add_child(arts, "Aquarium");
+    b.add_child(arts, "Zoo");
+    b.add_child(arts, "Casino");
+
+    // 4. Nightlife Spot
+    let night = b.add_root("Nightlife Spot");
+    let bar = b.add_child(night, "Bar");
+    b.add_child(bar, "Beer Garden");
+    b.add_child(bar, "Sake Bar");
+    b.add_child(bar, "Wine Bar");
+    b.add_child(bar, "Cocktail Bar");
+    b.add_child(bar, "Pub");
+    b.add_child(night, "Nightclub");
+    b.add_child(night, "Lounge");
+    b.add_child(night, "Karaoke Box");
+
+    // 5. Outdoors & Recreation
+    let outdoors = b.add_root("Outdoors & Recreation");
+    let park = b.add_child(outdoors, "Park");
+    b.add_child(park, "Dog Run");
+    b.add_child(park, "Playground");
+    b.add_child(outdoors, "Garden");
+    b.add_child(outdoors, "Beach");
+    let gym = b.add_child(outdoors, "Gym / Fitness Center");
+    b.add_child(gym, "Yoga Studio");
+    b.add_child(gym, "Climbing Gym");
+    b.add_child(outdoors, "Scenic Lookout");
+    b.add_child(outdoors, "Stadium");
+
+    // 6. Travel & Transport
+    let travel = b.add_root("Travel & Transport");
+    let station = b.add_child(travel, "Train Station");
+    b.add_child(station, "Metro Station");
+    b.add_child(station, "Platform");
+    b.add_child(travel, "Bus Station");
+    b.add_child(travel, "Airport");
+    let hotel = b.add_child(travel, "Hotel");
+    b.add_child(hotel, "Hostel");
+    b.add_child(hotel, "Resort");
+    b.add_child(travel, "Taxi Stand");
+    b.add_child(travel, "Rental Car Location");
+
+    // 7. College & University
+    let college = b.add_root("College & University");
+    b.add_child(college, "College Academic Building");
+    b.add_child(college, "University");
+    b.add_child(college, "Community College");
+    b.add_child(college, "College Library");
+    b.add_child(college, "College Cafeteria");
+
+    // 8. Professional & Other Places
+    let prof = b.add_root("Professional & Other Places");
+    b.add_child(prof, "Office");
+    let medical = b.add_child(prof, "Medical Center");
+    b.add_child(medical, "Hospital");
+    b.add_child(medical, "Dentist's Office");
+    b.add_child(prof, "Convention Center");
+    b.add_child(prof, "Library");
+    b.add_child(prof, "Post Office");
+    b.add_child(prof, "School");
+    b.add_child(prof, "Government Building");
+
+    // 9. Residence
+    let residence = b.add_root("Residence");
+    b.add_child(residence, "Apartment Building");
+    b.add_child(residence, "Housing Development");
+    b.add_child(residence, "Residential Building");
+
+    // 10. Event
+    let event = b.add_root("Event");
+    b.add_child(event, "Festival");
+    b.add_child(event, "Street Fair");
+    b.add_child(event, "Concert");
+    b.add_child(event, "Market");
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{Similarity, WuPalmer};
+
+    #[test]
+    fn has_ten_trees() {
+        let f = foursquare_forest();
+        assert_eq!(f.num_trees(), 10);
+    }
+
+    #[test]
+    fn paper_example_categories_exist() {
+        let f = foursquare_forest();
+        for name in [
+            "Cupcake Shop",
+            "Dessert Shop",
+            "Art Museum",
+            "Museum",
+            "Jazz Club",
+            "Music Venue",
+            "Beer Garden",
+            "Sushi Restaurant",
+            "Sake Bar",
+            "Bar",
+            "Gift Shop",
+            "Hobby Shop",
+            "Asian Restaurant",
+            "Italian Restaurant",
+        ] {
+            assert!(f.by_name(name).is_some(), "missing category {name}");
+        }
+    }
+
+    #[test]
+    fn table1_semantic_relationships_hold() {
+        // Table 1 depends on: Cupcake Shop ~ Dessert Shop (same tree),
+        // Art Museum ~ Museum (ancestor), Jazz Club ~ Music Venue
+        // (ancestor).
+        let f = foursquare_forest();
+        let wp = WuPalmer;
+        let cup = f.by_name("Cupcake Shop").unwrap();
+        let des = f.by_name("Dessert Shop").unwrap();
+        let artm = f.by_name("Art Museum").unwrap();
+        let mus = f.by_name("Museum").unwrap();
+        let jazz = f.by_name("Jazz Club").unwrap();
+        let mv = f.by_name("Music Venue").unwrap();
+        assert!(wp.sim(&f, cup, des) > 0.0 && wp.sim(&f, cup, des) < 1.0);
+        assert_eq!(f.parent(artm), Some(mus));
+        assert_eq!(f.parent(jazz), Some(mv));
+    }
+
+    #[test]
+    fn table9_relationships_hold() {
+        // §7.5: "Bar includes Beer Garden and Sake bar; Japanese restaurant
+        // includes Sushi restaurant".
+        let f = foursquare_forest();
+        let bar = f.by_name("Bar").unwrap();
+        let beer = f.by_name("Beer Garden").unwrap();
+        let sake = f.by_name("Sake Bar").unwrap();
+        let jp = f.by_name("Japanese Restaurant").unwrap();
+        let sushi = f.by_name("Sushi Restaurant").unwrap();
+        assert!(f.is_ancestor_or_self(bar, beer));
+        assert!(f.is_ancestor_or_self(bar, sake));
+        assert!(f.is_ancestor_or_self(jp, sushi));
+    }
+
+    #[test]
+    fn forest_has_reasonable_size_and_depth() {
+        let f = foursquare_forest();
+        assert!(f.num_categories() > 100);
+        assert!(f.max_depth() >= 4);
+        assert!(f.leaves().count() > 60);
+    }
+
+    #[test]
+    fn cross_tree_similarity_zero() {
+        let f = foursquare_forest();
+        let sushi = f.by_name("Sushi Restaurant").unwrap();
+        let gift = f.by_name("Gift Shop").unwrap();
+        assert_eq!(WuPalmer.sim(&f, sushi, gift), 0.0);
+    }
+}

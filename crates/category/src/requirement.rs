@@ -1,0 +1,218 @@
+//! Complex category requirements (paper §6, "Complex category
+//! requirement").
+//!
+//! A query position may ask for more than one plain category: *"American
+//! restaurant or Mexican restaurant (disjunction), but not Taco Place
+//! (negation)"*; with multi-category PoIs, conjunctions like *"Cafe and
+//! Bakery"* become possible. A [`Requirement`] is evaluated against a PoI's
+//! category set and yields the position similarity `h_i` fed into the
+//! semantic score — so, exactly as §6 observes, the search algorithms need
+//! no changes: a requirement is just a richer similarity oracle.
+
+use crate::similarity::Similarity;
+use crate::tree::{CategoryForest, CategoryId};
+
+/// A category requirement for one position of a sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Requirement {
+    /// A single category (Definition 3.1 behaviour).
+    Category(CategoryId),
+    /// Disjunction: the PoI may satisfy any branch; similarity is the best
+    /// branch.
+    AnyOf(Vec<Requirement>),
+    /// Conjunction: the PoI must satisfy every branch; similarity is the
+    /// worst branch (a PoI missing one branch entirely scores 0).
+    AllOf(Vec<Requirement>),
+    /// Negation: as `base`, but PoIs associated with `not` (or any of its
+    /// descendants) are excluded outright.
+    Exclude {
+        /// The underlying requirement.
+        base: Box<Requirement>,
+        /// Excluded category subtree.
+        not: CategoryId,
+    },
+}
+
+impl Requirement {
+    /// Single-category requirement.
+    pub fn category(c: CategoryId) -> Requirement {
+        Requirement::Category(c)
+    }
+
+    /// Disjunction of plain categories.
+    pub fn any_of(cats: impl IntoIterator<Item = CategoryId>) -> Requirement {
+        Requirement::AnyOf(cats.into_iter().map(Requirement::Category).collect())
+    }
+
+    /// Conjunction of plain categories.
+    pub fn all_of(cats: impl IntoIterator<Item = CategoryId>) -> Requirement {
+        Requirement::AllOf(cats.into_iter().map(Requirement::Category).collect())
+    }
+
+    /// Adds an exclusion to `self`.
+    pub fn but_not(self, not: CategoryId) -> Requirement {
+        Requirement::Exclude { base: Box::new(self), not }
+    }
+
+    /// Similarity of a PoI with category set `poi_cats` to this
+    /// requirement. With multiple PoI categories, §6 allows "the highest or
+    /// the average value"; we use the highest.
+    pub fn similarity<S: Similarity>(
+        &self,
+        forest: &CategoryForest,
+        sim: &S,
+        poi_cats: &[CategoryId],
+    ) -> f64 {
+        match self {
+            Requirement::Category(c) => poi_cats
+                .iter()
+                .map(|&pc| sim.sim(forest, *c, pc))
+                .fold(0.0, f64::max),
+            Requirement::AnyOf(parts) => parts
+                .iter()
+                .map(|p| p.similarity(forest, sim, poi_cats))
+                .fold(0.0, f64::max),
+            Requirement::AllOf(parts) => parts
+                .iter()
+                .map(|p| p.similarity(forest, sim, poi_cats))
+                .fold(1.0, f64::min),
+            Requirement::Exclude { base, not } => {
+                let excluded = poi_cats.iter().any(|&pc| forest.is_ancestor_or_self(*not, pc));
+                if excluded {
+                    0.0
+                } else {
+                    base.similarity(forest, sim, poi_cats)
+                }
+            }
+        }
+    }
+
+    /// Whether a PoI perfectly matches this requirement (similarity 1).
+    pub fn perfect<S: Similarity>(
+        &self,
+        forest: &CategoryForest,
+        sim: &S,
+        poi_cats: &[CategoryId],
+    ) -> bool {
+        self.similarity(forest, sim, poi_cats) >= 1.0
+    }
+
+    /// All plain categories referenced by this requirement (used to derive
+    /// candidate PoI sets).
+    pub fn referenced_categories(&self) -> Vec<CategoryId> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<CategoryId>) {
+        match self {
+            Requirement::Category(c) => out.push(*c),
+            Requirement::AnyOf(parts) | Requirement::AllOf(parts) => {
+                for p in parts {
+                    p.collect(out);
+                }
+            }
+            Requirement::Exclude { base, .. } => base.collect(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::WuPalmer;
+    use crate::tree::ForestBuilder;
+
+    fn forest() -> CategoryForest {
+        let mut b = ForestBuilder::new();
+        let food = b.add_root("Food");
+        let mex = b.add_child(food, "Mexican");
+        b.add_child(mex, "Taco Place");
+        b.add_child(food, "American");
+        b.add_child(food, "Cafe");
+        b.add_child(food, "Bakery");
+        let shop = b.add_root("Shop");
+        b.add_child(shop, "Gift");
+        b.build()
+    }
+
+    #[test]
+    fn single_category_matches_definition() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        let am = f.by_name("American").unwrap();
+        let r = Requirement::category(mex);
+        assert_eq!(r.similarity(&f, &WuPalmer, &[mex]), 1.0);
+        assert!(r.similarity(&f, &WuPalmer, &[am]) > 0.0);
+        let gift = f.by_name("Gift").unwrap();
+        assert_eq!(r.similarity(&f, &WuPalmer, &[gift]), 0.0);
+    }
+
+    #[test]
+    fn disjunction_takes_best_branch() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        let am = f.by_name("American").unwrap();
+        let r = Requirement::any_of([am, mex]);
+        assert_eq!(r.similarity(&f, &WuPalmer, &[mex]), 1.0);
+        assert_eq!(r.similarity(&f, &WuPalmer, &[am]), 1.0);
+        assert!(r.perfect(&f, &WuPalmer, &[mex]));
+    }
+
+    #[test]
+    fn negation_excludes_subtree() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        let am = f.by_name("American").unwrap();
+        let taco = f.by_name("Taco Place").unwrap();
+        // §6's example: "American or Mexican, but not Taco Place".
+        let r = Requirement::any_of([am, mex]).but_not(taco);
+        assert_eq!(r.similarity(&f, &WuPalmer, &[taco]), 0.0);
+        assert_eq!(r.similarity(&f, &WuPalmer, &[mex]), 1.0);
+    }
+
+    #[test]
+    fn conjunction_requires_all() {
+        let f = forest();
+        let cafe = f.by_name("Cafe").unwrap();
+        let bakery = f.by_name("Bakery").unwrap();
+        let r = Requirement::all_of([cafe, bakery]);
+        // A multi-category PoI tagged with both matches perfectly.
+        assert!(r.perfect(&f, &WuPalmer, &[cafe, bakery]));
+        // A cafe-only PoI gets the weaker of (1.0, sim(bakery, cafe)) < 1.
+        let s = r.similarity(&f, &WuPalmer, &[cafe]);
+        assert!(s > 0.0 && s < 1.0);
+        // A shop PoI fails the conjunction entirely.
+        let gift = f.by_name("Gift").unwrap();
+        assert_eq!(r.similarity(&f, &WuPalmer, &[gift]), 0.0);
+    }
+
+    #[test]
+    fn multi_category_poi_takes_highest() {
+        let f = forest();
+        let cafe = f.by_name("Cafe").unwrap();
+        let gift = f.by_name("Gift").unwrap();
+        let r = Requirement::category(cafe);
+        assert_eq!(r.similarity(&f, &WuPalmer, &[gift, cafe]), 1.0);
+    }
+
+    #[test]
+    fn referenced_categories_collects_all() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        let am = f.by_name("American").unwrap();
+        let taco = f.by_name("Taco Place").unwrap();
+        let r = Requirement::any_of([am, mex]).but_not(taco);
+        let refs = r.referenced_categories();
+        assert!(refs.contains(&am) && refs.contains(&mex));
+        assert!(!refs.contains(&taco));
+    }
+
+    #[test]
+    fn empty_poi_category_list_scores_zero() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        assert_eq!(Requirement::category(mex).similarity(&f, &WuPalmer, &[]), 0.0);
+    }
+}

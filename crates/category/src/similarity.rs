@@ -1,0 +1,239 @@
+//! Category similarity measures (Definition 3.3, Eq. 6).
+//!
+//! The paper requires any `sim : C × C → [0, 1]` with three properties:
+//! different trees ⇒ 0; same tree ⇒ (0, 1]; same category ⇒ 1. The default
+//! measure is Wu–Palmer (Eq. 6); a path-length measure is provided as an
+//! alternative (both are cited in Definition 3.3).
+
+use crate::tree::{CategoryForest, CategoryId};
+
+/// A category-to-category similarity in `[0, 1]`.
+pub trait Similarity {
+    /// Similarity of `a` and `b` over `forest`.
+    fn sim(&self, forest: &CategoryForest, a: CategoryId, b: CategoryId) -> f64;
+}
+
+/// Wu–Palmer similarity: `2·d(lca) / (d(a) + d(b))`, 0 across trees
+/// (paper Eq. 6, with root depth 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WuPalmer;
+
+impl Similarity for WuPalmer {
+    fn sim(&self, forest: &CategoryForest, a: CategoryId, b: CategoryId) -> f64 {
+        match forest.lca(a, b) {
+            None => 0.0,
+            Some(m) => {
+                2.0 * forest.depth(m) as f64 / (forest.depth(a) + forest.depth(b)) as f64
+            }
+        }
+    }
+}
+
+/// Path-length similarity: `1 / (1 + hops(a, b))` within a tree, 0 across
+/// trees.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathLength;
+
+impl Similarity for PathLength {
+    fn sim(&self, forest: &CategoryForest, a: CategoryId, b: CategoryId) -> f64 {
+        match forest.lca(a, b) {
+            None => 0.0,
+            Some(m) => {
+                let hops =
+                    (forest.depth(a) - forest.depth(m)) + (forest.depth(b) - forest.depth(m));
+                1.0 / (1.0 + hops as f64)
+            }
+        }
+    }
+}
+
+/// Dense per-query similarity table: `sim(query_cat, c)` for every category
+/// `c`, plus derived quantities the BSSR optimisations need.
+///
+/// Built once per query position; lookups during search are O(1) slice
+/// reads.
+#[derive(Clone, Debug)]
+pub struct SimilarityTable {
+    query_cat: CategoryId,
+    values: Vec<f64>,
+    /// Largest similarity strictly below 1 over the whole tree of the query
+    /// category — the σ\* used for the minimum semantic increment δ
+    /// (Lemma 5.8, footnote 2). `None` if the query tree has a single
+    /// category.
+    best_non_perfect: Option<f64>,
+}
+
+impl SimilarityTable {
+    /// Precomputes the table for one query category.
+    pub fn build<S: Similarity>(
+        forest: &CategoryForest,
+        sim: &S,
+        query_cat: CategoryId,
+    ) -> SimilarityTable {
+        let mut values = vec![0.0f64; forest.num_categories()];
+        let mut best_non_perfect: Option<f64> = None;
+        let qt = forest.tree_of(query_cat);
+        for c in forest.categories() {
+            if forest.tree_of(c) != qt {
+                continue;
+            }
+            let s = sim.sim(forest, query_cat, c);
+            debug_assert!((0.0..=1.0).contains(&s));
+            values[c.index()] = s;
+            if s < 1.0 {
+                best_non_perfect =
+                    Some(best_non_perfect.map_or(s, |b: f64| if s > b { s } else { b }));
+            }
+        }
+        SimilarityTable { query_cat, values, best_non_perfect }
+    }
+
+    /// The query category this table was built for.
+    pub fn query_cat(&self) -> CategoryId {
+        self.query_cat
+    }
+
+    /// Similarity of `c` to the query category.
+    #[inline]
+    pub fn sim(&self, c: CategoryId) -> f64 {
+        self.values[c.index()]
+    }
+
+    /// Whether `c` semantically matches the query category (same tree).
+    #[inline]
+    pub fn matches(&self, c: CategoryId) -> bool {
+        self.values[c.index()] > 0.0
+    }
+
+    /// Whether `c` perfectly matches the query category.
+    #[inline]
+    pub fn perfect(&self, c: CategoryId) -> bool {
+        self.values[c.index()] >= 1.0
+    }
+
+    /// σ\*: best achievable non-perfect similarity at this position.
+    pub fn best_non_perfect(&self) -> Option<f64> {
+        self.best_non_perfect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ForestBuilder;
+
+    fn forest() -> (CategoryForest, CategoryId, CategoryId, CategoryId, CategoryId, CategoryId) {
+        // Food(1) -> Asian(2) -> Sushi(3); Food -> Italian(2); Shop(1) -> Gift(2)
+        let mut b = ForestBuilder::new();
+        let food = b.add_root("Food");
+        let asian = b.add_child(food, "Asian");
+        let sushi = b.add_child(asian, "Sushi");
+        let italian = b.add_child(food, "Italian");
+        let shop = b.add_root("Shop");
+        let gift = b.add_child(shop, "Gift");
+        let f = b.build();
+        let _ = shop;
+        (f, food, asian, sushi, italian, gift)
+    }
+
+    #[test]
+    fn wu_palmer_identity_is_one() {
+        let (f, food, asian, sushi, ..) = forest();
+        let wp = WuPalmer;
+        for c in [food, asian, sushi] {
+            assert_eq!(wp.sim(&f, c, c), 1.0);
+        }
+    }
+
+    #[test]
+    fn wu_palmer_cross_tree_is_zero() {
+        let (f, _, asian, ..) = forest();
+        let gift = f.by_name("Gift").unwrap();
+        assert_eq!(WuPalmer.sim(&f, asian, gift), 0.0);
+        assert_eq!(WuPalmer.sim(&f, gift, asian), 0.0);
+    }
+
+    #[test]
+    fn wu_palmer_known_values() {
+        let (f, food, asian, sushi, italian, _) = forest();
+        let wp = WuPalmer;
+        // lca(Asian, Italian) = Food (depth 1): 2*1/(2+2) = 0.5
+        assert_eq!(wp.sim(&f, asian, italian), 0.5);
+        // lca(Sushi, Italian) = Food: 2*1/(3+2) = 0.4
+        assert_eq!(wp.sim(&f, sushi, italian), 0.4);
+        // lca(Asian, Sushi) = Asian (depth 2): 2*2/(2+3) = 0.8
+        assert_eq!(wp.sim(&f, asian, sushi), 0.8);
+        // lca(Food, Sushi) = Food: 2*1/(1+3) = 0.5
+        assert_eq!(wp.sim(&f, food, sushi), 0.5);
+    }
+
+    #[test]
+    fn wu_palmer_is_symmetric_and_bounded() {
+        let (f, ..) = forest();
+        let wp = WuPalmer;
+        for a in f.categories() {
+            for b in f.categories() {
+                let s = wp.sim(&f, a, b);
+                assert!((0.0..=1.0).contains(&s));
+                assert_eq!(s, wp.sim(&f, b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn same_tree_similarity_is_positive() {
+        // Definition 3.3: semantic match ⇒ sim > 0.
+        let (f, ..) = forest();
+        let wp = WuPalmer;
+        for a in f.categories() {
+            for b in f.categories() {
+                if f.same_tree(a, b) {
+                    assert!(wp.sim(&f, a, b) > 0.0, "{a:?} {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_length_values() {
+        let (f, food, asian, sushi, italian, _) = forest();
+        let pl = PathLength;
+        assert_eq!(pl.sim(&f, sushi, sushi), 1.0);
+        assert_eq!(pl.sim(&f, asian, sushi), 0.5); // one hop
+        assert_eq!(pl.sim(&f, asian, italian), 1.0 / 3.0); // two hops via Food
+        assert_eq!(pl.sim(&f, food, sushi), 1.0 / 3.0);
+        let gift = f.by_name("Gift").unwrap();
+        assert_eq!(pl.sim(&f, sushi, gift), 0.0);
+    }
+
+    #[test]
+    fn similarity_table_matches_direct_computation() {
+        let (f, _, asian, ..) = forest();
+        let t = SimilarityTable::build(&f, &WuPalmer, asian);
+        for c in f.categories() {
+            assert_eq!(t.sim(c), WuPalmer.sim(&f, asian, c));
+            assert_eq!(t.matches(c), f.same_tree(asian, c));
+        }
+        assert!(t.perfect(asian));
+        assert_eq!(t.query_cat(), asian);
+    }
+
+    #[test]
+    fn best_non_perfect_is_second_best() {
+        let (f, _, asian, sushi, italian, _) = forest();
+        let t = SimilarityTable::build(&f, &WuPalmer, asian);
+        // Candidates for σ*: sim(asian, sushi)=0.8, sim(asian, food)=2/3,
+        // sim(asian, italian)=0.5 → max non-perfect = 0.8.
+        assert_eq!(t.best_non_perfect(), Some(0.8));
+        let _ = (sushi, italian);
+    }
+
+    #[test]
+    fn best_non_perfect_none_for_singleton_tree() {
+        let mut b = ForestBuilder::new();
+        let solo = b.add_root("Solo");
+        let f = b.build();
+        let t = SimilarityTable::build(&f, &WuPalmer, solo);
+        assert_eq!(t.best_non_perfect(), None);
+    }
+}

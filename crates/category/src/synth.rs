@@ -1,0 +1,93 @@
+//! Generated category forests.
+//!
+//! The Cal dataset has no hierarchy, so the paper "generates a category
+//! tree of height three where a non-leaf node has three child nodes"
+//! (footnote 5). [`uniform_forest`] reproduces that construction for any
+//! (trees, height, branching) triple.
+
+use crate::tree::{CategoryForest, CategoryId, ForestBuilder};
+
+/// Builds `trees` complete trees of the given `height` (root = level 1) and
+/// `branching` factor. Category names are `"t{tree}/n{index}"`.
+///
+/// # Panics
+/// If `height == 0` or `branching == 0`.
+pub fn uniform_forest(trees: usize, height: u32, branching: usize) -> CategoryForest {
+    assert!(height >= 1, "height must be at least 1");
+    assert!(branching >= 1, "branching must be at least 1");
+    let mut b = ForestBuilder::new();
+    for t in 0..trees {
+        let mut counter = 0usize;
+        let root = b.add_root(&format!("t{t}/n{counter}"));
+        counter += 1;
+        let mut level: Vec<CategoryId> = vec![root];
+        for _ in 1..height {
+            let mut next = Vec::with_capacity(level.len() * branching);
+            for &parent in &level {
+                for _ in 0..branching {
+                    next.push(b.add_child(parent, &format!("t{t}/n{counter}")));
+                    counter += 1;
+                }
+            }
+            level = next;
+        }
+    }
+    b.build()
+}
+
+/// Number of categories in one tree of [`uniform_forest`].
+pub fn tree_size(height: u32, branching: usize) -> usize {
+    (0..height).map(|l| branching.pow(l)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{Similarity, WuPalmer};
+
+    #[test]
+    fn cal_footnote5_shape() {
+        // Height 3, branching 3: 1 + 3 + 9 = 13 nodes per tree.
+        let f = uniform_forest(5, 3, 3);
+        assert_eq!(f.num_trees(), 5);
+        assert_eq!(f.num_categories(), 5 * 13);
+        assert_eq!(tree_size(3, 3), 13);
+        assert_eq!(f.max_depth(), 3);
+    }
+
+    #[test]
+    fn leaves_count() {
+        let f = uniform_forest(2, 3, 3);
+        assert_eq!(f.leaves().count(), 2 * 9);
+    }
+
+    #[test]
+    fn single_level_forest_is_roots_only() {
+        let f = uniform_forest(4, 1, 3);
+        assert_eq!(f.num_categories(), 4);
+        assert_eq!(f.leaves().count(), 4);
+    }
+
+    #[test]
+    fn sibling_similarity_uniform() {
+        let f = uniform_forest(1, 3, 2);
+        let root = f.roots()[0];
+        let kids = f.children(root);
+        // Siblings at depth 2: lca is root → 2*1/(2+2) = 0.5.
+        assert_eq!(WuPalmer.sim(&f, kids[0], kids[1]), 0.5);
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let f = uniform_forest(3, 3, 3);
+        for c in f.categories() {
+            assert_eq!(f.by_name(f.name(c)), Some(c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "height")]
+    fn zero_height_rejected() {
+        uniform_forest(1, 0, 3);
+    }
+}

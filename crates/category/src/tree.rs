@@ -1,0 +1,370 @@
+//! Category forest: a set of rooted trees over PoI categories.
+//!
+//! Matches the paper's §3: every category `c` belongs to exactly one
+//! category tree `t_c`; a PoI associated with `c` is implicitly associated
+//! with every ancestor of `c`. Depth is 1 at the roots so the Wu–Palmer
+//! similarity of a root with itself is well-defined (2·1 / (1+1) = 1).
+
+use std::collections::HashMap;
+
+/// Identifier of a category inside a [`CategoryForest`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CategoryId(pub u32);
+
+impl CategoryId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for CategoryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// An immutable forest of category trees.
+#[derive(Clone, Debug)]
+pub struct CategoryForest {
+    names: Vec<String>,
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    tree: Vec<u32>,
+    children: Vec<Vec<CategoryId>>,
+    roots: Vec<CategoryId>,
+    by_name: HashMap<String, CategoryId>,
+}
+
+impl CategoryForest {
+    /// Number of categories across all trees.
+    pub fn num_categories(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of trees in the forest.
+    pub fn num_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Roots of all trees.
+    pub fn roots(&self) -> &[CategoryId] {
+        &self.roots
+    }
+
+    /// Human-readable category name.
+    pub fn name(&self, c: CategoryId) -> &str {
+        &self.names[c.index()]
+    }
+
+    /// Looks a category up by name.
+    pub fn by_name(&self, name: &str) -> Option<CategoryId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Parent category, or `None` for roots.
+    pub fn parent(&self, c: CategoryId) -> Option<CategoryId> {
+        let p = self.parent[c.index()];
+        (p != NO_PARENT).then_some(CategoryId(p))
+    }
+
+    /// Depth of `c`; roots have depth 1 (paper Eq. 6 convention).
+    pub fn depth(&self, c: CategoryId) -> u32 {
+        self.depth[c.index()]
+    }
+
+    /// Id of the tree containing `c`.
+    pub fn tree_of(&self, c: CategoryId) -> u32 {
+        self.tree[c.index()]
+    }
+
+    /// Whether `a` and `b` live in the same category tree.
+    pub fn same_tree(&self, a: CategoryId, b: CategoryId) -> bool {
+        self.tree[a.index()] == self.tree[b.index()]
+    }
+
+    /// Direct children of `c`.
+    pub fn children(&self, c: CategoryId) -> &[CategoryId] {
+        &self.children[c.index()]
+    }
+
+    /// Whether `c` is a leaf.
+    pub fn is_leaf(&self, c: CategoryId) -> bool {
+        self.children[c.index()].is_empty()
+    }
+
+    /// All category ids.
+    pub fn categories(&self) -> impl Iterator<Item = CategoryId> {
+        (0..self.num_categories() as u32).map(CategoryId)
+    }
+
+    /// All leaf categories.
+    pub fn leaves(&self) -> impl Iterator<Item = CategoryId> + '_ {
+        self.categories().filter(|&c| self.is_leaf(c))
+    }
+
+    /// All categories of the tree rooted at tree id `t`.
+    pub fn tree_members(&self, t: u32) -> impl Iterator<Item = CategoryId> + '_ {
+        self.categories().filter(move |&c| self.tree[c.index()] == t)
+    }
+
+    /// Ancestors of `c` from itself up to (and including) its root — the
+    /// paper's `a(c)`.
+    pub fn ancestors(&self, c: CategoryId) -> impl Iterator<Item = CategoryId> + '_ {
+        let mut cur = Some(c);
+        std::iter::from_fn(move || {
+            let here = cur?;
+            cur = self.parent(here);
+            Some(here)
+        })
+    }
+
+    /// Whether `anc` is an ancestor of `c` (or equal to it).
+    pub fn is_ancestor_or_self(&self, anc: CategoryId, c: CategoryId) -> bool {
+        if !self.same_tree(anc, c) || self.depth(anc) > self.depth(c) {
+            return false;
+        }
+        self.ancestors(c).any(|a| a == anc)
+    }
+
+    /// Deepest common ancestor (LCA) of two categories in the same tree;
+    /// `None` for categories of different trees.
+    pub fn lca(&self, a: CategoryId, b: CategoryId) -> Option<CategoryId> {
+        if !self.same_tree(a, b) {
+            return None;
+        }
+        let (mut x, mut y) = (a, b);
+        while self.depth(x) > self.depth(y) {
+            x = self.parent(x)?;
+        }
+        while self.depth(y) > self.depth(x) {
+            y = self.parent(y)?;
+        }
+        while x != y {
+            x = self.parent(x)?;
+            y = self.parent(y)?;
+        }
+        Some(x)
+    }
+
+    /// Descendants of `c` including itself (preorder).
+    pub fn descendants_or_self(&self, c: CategoryId) -> Vec<CategoryId> {
+        let mut out = vec![c];
+        let mut i = 0;
+        while i < out.len() {
+            let cur = out[i];
+            out.extend_from_slice(self.children(cur));
+            i += 1;
+        }
+        out
+    }
+
+    /// Maximum depth over the forest.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Incremental builder for [`CategoryForest`].
+#[derive(Clone, Debug, Default)]
+pub struct ForestBuilder {
+    names: Vec<String>,
+    parent: Vec<u32>,
+}
+
+impl ForestBuilder {
+    /// New empty builder.
+    pub fn new() -> ForestBuilder {
+        ForestBuilder::default()
+    }
+
+    /// Adds a new tree root.
+    pub fn add_root(&mut self, name: &str) -> CategoryId {
+        self.names.push(name.to_owned());
+        self.parent.push(NO_PARENT);
+        CategoryId((self.names.len() - 1) as u32)
+    }
+
+    /// Adds a child of an existing category.
+    ///
+    /// # Panics
+    /// If `parent` is unknown or not yet added.
+    pub fn add_child(&mut self, parent: CategoryId, name: &str) -> CategoryId {
+        assert!(parent.index() < self.names.len(), "unknown parent {parent:?}");
+        self.names.push(name.to_owned());
+        self.parent.push(parent.0);
+        CategoryId((self.names.len() - 1) as u32)
+    }
+
+    /// Finalises the forest, computing depths, tree ids and child lists.
+    ///
+    /// # Panics
+    /// If duplicate names exist (names must be unique for `by_name`).
+    pub fn build(self) -> CategoryForest {
+        let n = self.names.len();
+        let mut depth = vec![0u32; n];
+        let mut tree = vec![0u32; n];
+        let mut children: Vec<Vec<CategoryId>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        // Parents always precede children (builder invariant), so one pass
+        // suffices.
+        let mut tree_count = 0u32;
+        for i in 0..n {
+            let p = self.parent[i];
+            if p == NO_PARENT {
+                depth[i] = 1;
+                tree[i] = tree_count;
+                tree_count += 1;
+                roots.push(CategoryId(i as u32));
+            } else {
+                let pi = p as usize;
+                assert!(pi < i, "parent must be added before child");
+                depth[i] = depth[pi] + 1;
+                tree[i] = tree[pi];
+                children[pi].push(CategoryId(i as u32));
+            }
+        }
+        let mut by_name = HashMap::with_capacity(n);
+        for (i, name) in self.names.iter().enumerate() {
+            let prev = by_name.insert(name.clone(), CategoryId(i as u32));
+            assert!(prev.is_none(), "duplicate category name {name:?}");
+        }
+        CategoryForest { names: self.names, parent: self.parent, depth, tree, children, roots, by_name }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2's two trees: Food{Asian{Japanese{Sushi}}, Italian, Bakery}
+    /// and Shop&Service{Gift shop, Hobby shop, Clothing{Men's store}}.
+    pub(crate) fn figure2() -> CategoryForest {
+        let mut b = ForestBuilder::new();
+        let food = b.add_root("Food");
+        let asian = b.add_child(food, "Asian");
+        b.add_child(asian, "Japanese");
+        b.add_child(food, "Italian");
+        b.add_child(food, "Bakery");
+        let shop = b.add_root("Shop & Service");
+        b.add_child(shop, "Gift shop");
+        b.add_child(shop, "Hobby shop");
+        let clothing = b.add_child(shop, "Clothing store");
+        b.add_child(clothing, "Men's store");
+        let jp = b.by_name_pending("Japanese");
+        let mut f = b;
+        f.add_child(jp, "Sushi");
+        f.build()
+    }
+
+    impl ForestBuilder {
+        fn by_name_pending(&self, name: &str) -> CategoryId {
+            CategoryId(self.names.iter().position(|n| n == name).unwrap() as u32)
+        }
+    }
+
+    #[test]
+    fn depths_and_trees() {
+        let f = figure2();
+        let food = f.by_name("Food").unwrap();
+        let sushi = f.by_name("Sushi").unwrap();
+        let gift = f.by_name("Gift shop").unwrap();
+        assert_eq!(f.depth(food), 1);
+        assert_eq!(f.depth(sushi), 4);
+        assert_eq!(f.depth(gift), 2);
+        assert!(f.same_tree(food, sushi));
+        assert!(!f.same_tree(food, gift));
+        assert_eq!(f.num_trees(), 2);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let f = figure2();
+        let sushi = f.by_name("Sushi").unwrap();
+        let names: Vec<_> = f.ancestors(sushi).map(|c| f.name(c).to_owned()).collect();
+        assert_eq!(names, vec!["Sushi", "Japanese", "Asian", "Food"]);
+    }
+
+    #[test]
+    fn lca_various() {
+        let f = figure2();
+        let sushi = f.by_name("Sushi").unwrap();
+        let italian = f.by_name("Italian").unwrap();
+        let japanese = f.by_name("Japanese").unwrap();
+        let food = f.by_name("Food").unwrap();
+        let gift = f.by_name("Gift shop").unwrap();
+        assert_eq!(f.lca(sushi, italian), Some(food));
+        assert_eq!(f.lca(sushi, japanese), Some(japanese));
+        assert_eq!(f.lca(sushi, sushi), Some(sushi));
+        assert_eq!(f.lca(sushi, gift), None);
+    }
+
+    #[test]
+    fn leaves_and_is_leaf() {
+        let f = figure2();
+        let sushi = f.by_name("Sushi").unwrap();
+        let japanese = f.by_name("Japanese").unwrap();
+        assert!(f.is_leaf(sushi));
+        assert!(!f.is_leaf(japanese));
+        let leaves: Vec<_> = f.leaves().collect();
+        assert!(leaves.contains(&sushi));
+        assert!(!leaves.contains(&japanese));
+    }
+
+    #[test]
+    fn is_ancestor_or_self() {
+        let f = figure2();
+        let sushi = f.by_name("Sushi").unwrap();
+        let food = f.by_name("Food").unwrap();
+        let gift = f.by_name("Gift shop").unwrap();
+        assert!(f.is_ancestor_or_self(food, sushi));
+        assert!(f.is_ancestor_or_self(sushi, sushi));
+        assert!(!f.is_ancestor_or_self(sushi, food));
+        assert!(!f.is_ancestor_or_self(food, gift));
+    }
+
+    #[test]
+    fn descendants_or_self_covers_subtree() {
+        let f = figure2();
+        let asian = f.by_name("Asian").unwrap();
+        let ds = f.descendants_or_self(asian);
+        let names: Vec<_> = ds.iter().map(|&c| f.name(c)).collect();
+        assert!(names.contains(&"Asian"));
+        assert!(names.contains(&"Japanese"));
+        assert!(names.contains(&"Sushi"));
+        assert!(!names.contains(&"Italian"));
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        let f = figure2();
+        for c in f.categories() {
+            assert_eq!(f.by_name(f.name(c)), Some(c));
+        }
+    }
+
+    #[test]
+    fn tree_members_partition_categories() {
+        let f = figure2();
+        let total: usize = (0..f.num_trees() as u32).map(|t| f.tree_members(t).count()).sum();
+        assert_eq!(total, f.num_categories());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate category name")]
+    fn duplicate_names_rejected() {
+        let mut b = ForestBuilder::new();
+        b.add_root("X");
+        b.add_root("X");
+        b.build();
+    }
+
+    #[test]
+    fn max_depth() {
+        let f = figure2();
+        assert_eq!(f.max_depth(), 4);
+    }
+}

@@ -1,0 +1,239 @@
+//! `skysr-cli` — a command-line SkySR query service.
+//!
+//! The paper's §8 prototype let users pick a start point and a category
+//! sequence and returned skyline routes on a city map. This CLI is the
+//! library-reproduction analogue: generate a city, inspect its categories,
+//! and run SkySR queries (optionally with a destination) against it.
+//!
+//! ```text
+//! skysr-cli generate --preset cal-small --scale 0.2 --seed 7 --out city.txt
+//! skysr-cli info city.txt
+//! skysr-cli categories city.txt --top 15
+//! skysr-cli query city.txt --start 12 --categories "t0/n4,t1/n7" [--destination 99]
+//! skysr-cli demo
+//! ```
+
+use std::process::ExitCode;
+
+use skysr_core::bssr::{Bssr, BssrConfig};
+use skysr_core::variants::destination::DestinationQuery;
+use skysr_core::variants::rated::RatedQuery;
+use skysr_core::variants::unordered::UnorderedQuery;
+use skysr_core::{SkySrQuery, SkylineRoute};
+use skysr_data::codec;
+use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
+use skysr_graph::VertexId;
+
+mod args;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     skysr-cli generate --preset <tokyo|nyc|cal|tokyo-small|nyc-small|cal-small> \
+     [--scale F] [--seed N] --out FILE\n  \
+     skysr-cli info FILE\n  \
+     skysr-cli categories FILE [--top N]\n  \
+     skysr-cli query FILE --start VERTEX --categories \"A,B,C\"\n  \
+     \t[--destination VERTEX] [--mode ordered|unordered|rated]\n  \
+     skysr-cli demo"
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let mut args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate" => {
+            let preset = parse_preset(&args.require("preset")?)?;
+            let mut spec = DatasetSpec::preset(preset);
+            if let Some(s) = args.optional("scale") {
+                spec = spec.scale(s.parse().map_err(|_| "bad --scale".to_string())?);
+            }
+            if let Some(s) = args.optional("seed") {
+                spec = spec.seed(s.parse().map_err(|_| "bad --seed".to_string())?);
+            }
+            let out = args.require("out")?;
+            args.finish()?;
+            eprintln!("generating {} ...", spec.name);
+            let dataset = spec.generate();
+            codec::save_dataset(&dataset, &out).map_err(|e| e.to_string())?;
+            let (v, p, e) = dataset.stats();
+            println!("wrote {out}: |V|={v} |P|={p} |E|={e}");
+            Ok(())
+        }
+        "info" => {
+            let dataset = load(&args.positional()?)?;
+            args.finish()?;
+            let (v, p, e) = dataset.stats();
+            println!("dataset    {}", dataset.name);
+            println!("vertices   {v}");
+            println!("pois       {p}");
+            println!("edges      {e}");
+            println!(
+                "categories {} in {} trees",
+                dataset.forest.num_categories(),
+                dataset.forest.num_trees()
+            );
+            Ok(())
+        }
+        "categories" => {
+            let dataset = load(&args.positional()?)?;
+            let top: usize = args
+                .optional("top")
+                .map(|s| s.parse().map_err(|_| "bad --top".to_string()))
+                .transpose()?
+                .unwrap_or(20);
+            args.finish()?;
+            let mut hist: Vec<_> = dataset
+                .pois
+                .category_histogram()
+                .into_iter()
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            hist.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            for (c, n) in hist.into_iter().take(top) {
+                println!("{n:>7}  {}", dataset.forest.name(c));
+            }
+            Ok(())
+        }
+        "query" => {
+            let dataset = load(&args.positional()?)?;
+            let start: u32 =
+                args.require("start")?.parse().map_err(|_| "bad --start".to_string())?;
+            let cats_arg = args.require("categories")?;
+            let dest = args
+                .optional("destination")
+                .map(|s| s.parse::<u32>().map_err(|_| "bad --destination".to_string()))
+                .transpose()?;
+            let mode = args.optional("mode").unwrap_or_else(|| "ordered".to_owned());
+            args.finish()?;
+            let mut cats = Vec::new();
+            for name in cats_arg.split(',') {
+                let name = name.trim();
+                let c = dataset
+                    .forest
+                    .by_name(name)
+                    .ok_or_else(|| format!("unknown category {name:?}"))?;
+                cats.push(c);
+            }
+            let ctx = dataset.context();
+            match mode.as_str() {
+                "ordered" => {
+                    let query = SkySrQuery::new(VertexId(start), cats);
+                    let routes = match dest {
+                        Some(d) => DestinationQuery::new(query, VertexId(d))
+                            .run(&ctx, BssrConfig::default())
+                            .map_err(|e| e.to_string())?
+                            .routes,
+                        None => Bssr::new(&ctx).run(&query).map_err(|e| e.to_string())?.routes,
+                    };
+                    print_routes(&dataset, &routes);
+                }
+                "unordered" => {
+                    if dest.is_some() {
+                        return Err("--destination is not supported with --mode unordered".into());
+                    }
+                    let q = UnorderedQuery::new(VertexId(start), cats);
+                    let result = q.run(&ctx).map_err(|e| e.to_string())?;
+                    print_routes(&dataset, &result.routes);
+                }
+                "rated" => {
+                    if dest.is_some() {
+                        return Err("--destination is not supported with --mode rated".into());
+                    }
+                    let ratings = dataset.ratings(0);
+                    let q = RatedQuery::new(SkySrQuery::new(VertexId(start), cats));
+                    let result = q.run(&ctx, &ratings).map_err(|e| e.to_string())?;
+                    println!("{} skyline route(s) (length x semantics x rating):", result.routes.len());
+                    for r in &result.routes {
+                        println!(
+                            "  {:>10.1} m  semantic {:.3}  rating-deficit {:.3}  {:?}",
+                            r.length.get(),
+                            r.semantic,
+                            r.rating,
+                            r.pois
+                        );
+                    }
+                }
+                other => return Err(format!("unknown --mode {other:?}")),
+            }
+            Ok(())
+        }
+        "demo" => {
+            args.finish()?;
+            eprintln!("generating a small demo city ...");
+            let dataset = DatasetSpec::preset(Preset::CalSmall).scale(0.2).seed(1).generate();
+            let ctx = dataset.context();
+            let w =
+                skysr_data::workload::WorkloadSpec::new(3).queries(1).seed(2).generate(&dataset);
+            let q = &w.queries[0];
+            println!("query from vertex {} through:", q.start);
+            for spec in &q.sequence {
+                if let skysr_core::PositionSpec::Category(c) = spec {
+                    println!("  - {}", dataset.forest.name(*c));
+                }
+            }
+            let routes = Bssr::new(&ctx).run(q).map_err(|e| e.to_string())?.routes;
+            print_routes(&dataset, &routes);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    codec::load_dataset(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn parse_preset(s: &str) -> Result<Preset, String> {
+    Ok(match s {
+        "tokyo" => Preset::Tokyo,
+        "nyc" => Preset::Nyc,
+        "cal" => Preset::Cal,
+        "tokyo-small" => Preset::TokyoSmall,
+        "nyc-small" => Preset::NycSmall,
+        "cal-small" => Preset::CalSmall,
+        _ => return Err(format!("unknown preset {s:?}")),
+    })
+}
+
+fn print_routes(dataset: &Dataset, routes: &[SkylineRoute]) {
+    if routes.is_empty() {
+        println!("no sequenced route exists for this query");
+        return;
+    }
+    println!("{} skyline route(s):", routes.len());
+    for r in routes {
+        let labels: Vec<String> = r
+            .pois
+            .iter()
+            .map(|&p| {
+                let name = dataset
+                    .pois
+                    .categories_of(p)
+                    .first()
+                    .map(|&c| dataset.forest.name(c))
+                    .unwrap_or("?");
+                format!("{name}@{p}")
+            })
+            .collect();
+        println!(
+            "  {:>10.1} m  semantic {:.3}   {}",
+            r.length.get(),
+            r.semantic,
+            labels.join(" -> ")
+        );
+    }
+}

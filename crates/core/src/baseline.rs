@@ -1,0 +1,294 @@
+//! The paper's competitors: `Dij` and `PNE` — iterated OSR queries that
+//! together enumerate the exact skyline (§2, §7.1).
+//!
+//! The naive solution described in §4 runs one OSR query per
+//! super-category sequence of `S_q` and filters by dominance. To make the
+//! baselines *exact* (the paper reports all algorithms returning identical
+//! routes), we enumerate per position the distinct **similarity levels**
+//! realised by actual PoIs and run one OSR per level combination: the
+//! optimal route of a combination is the best route achieving exactly that
+//! similarity vector, and every sequenced route belongs to some
+//! combination, so the union of the per-combination optima contains the
+//! whole skyline. The enumeration is exponential in |S_q| — exactly the
+//! blow-up that motivates BSSR (Figure 3).
+
+use std::time::Instant;
+
+use skysr_graph::fxhash::FxHashSet;
+use skysr_graph::{Cost, SearchStats, VertexId};
+
+use crate::context::QueryContext;
+use crate::dominance::skyline_of;
+use crate::error::QueryError;
+use crate::osr::OsrSolver;
+use crate::pne::PneSolver;
+use crate::prepared::PreparedQuery;
+use crate::query::SkySrQuery;
+use crate::route::SkylineRoute;
+
+/// Result of a baseline run.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The exact skyline, sorted by ascending length.
+    pub routes: Vec<SkylineRoute>,
+    /// Number of similarity-level combinations enumerated.
+    pub combos: u64,
+    /// Number of OSR invocations performed.
+    pub osr_calls: u64,
+    /// Aggregate search counters.
+    pub search: SearchStats,
+    /// Wall time.
+    pub total_time: std::time::Duration,
+}
+
+/// Per-position similarity levels with their candidate PoI sets.
+struct Levels {
+    /// (similarity, PoIs achieving exactly that similarity), sorted by
+    /// descending similarity.
+    levels: Vec<(f64, FxHashSet<u32>)>,
+}
+
+fn build_levels(ctx: &QueryContext<'_>, pq: &PreparedQuery) -> Vec<Levels> {
+    pq.positions
+        .iter()
+        .map(|pos| {
+            let mut by_sim: Vec<(f64, FxHashSet<u32>)> = Vec::new();
+            for &p in &pos.semantic {
+                let s = pos.sim_of(ctx, p);
+                match by_sim.iter_mut().find(|(v, _)| *v == s) {
+                    Some((_, set)) => {
+                        set.insert(p.0);
+                    }
+                    None => {
+                        let mut set = FxHashSet::default();
+                        set.insert(p.0);
+                        by_sim.push((s, set));
+                    }
+                }
+            }
+            by_sim.sort_by(|a, b| b.0.total_cmp(&a.0));
+            Levels { levels: by_sim }
+        })
+        .collect()
+}
+
+/// Number of level combinations (saturating).
+fn combo_count(levels: &[Levels]) -> u64 {
+    levels.iter().fold(1u64, |acc, l| acc.saturating_mul(l.levels.len() as u64))
+}
+
+/// Number of OSR invocations a baseline run would need for `pq` — the
+/// harness uses this to skip (and report) hopeless configurations instead
+/// of hanging, mirroring the paper's "not finished after a month" bars.
+pub fn level_combo_count(ctx: &QueryContext<'_>, pq: &PreparedQuery) -> u64 {
+    combo_count(&build_levels(ctx, pq))
+}
+
+/// Shared driver: enumerate combinations, call `solve` per combination,
+/// skyline-filter the results.
+fn run_baseline<F>(
+    pq: &PreparedQuery,
+    levels: &[Levels],
+    max_combos: u64,
+    mut solve: F,
+) -> Result<(Vec<SkylineRoute>, u64, u64), QueryError>
+where
+    F: FnMut(&[(usize, &FxHashSet<u32>)]) -> Option<(Vec<VertexId>, Cost)>,
+{
+    let k = pq.len();
+    let total = combo_count(levels);
+    assert!(
+        total <= max_combos,
+        "baseline combination count {total} exceeds limit {max_combos}"
+    );
+    let mut candidates = Vec::new();
+    let mut idx = vec![0usize; k];
+    let mut osr_calls = 0u64;
+    loop {
+        // Current combination.
+        let combo: Vec<(usize, &FxHashSet<u32>)> = idx
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| (j, &levels[i].levels[j].1))
+            .collect();
+        let sim_product: f64 = idx.iter().enumerate().map(|(i, &j)| levels[i].levels[j].0).product();
+        osr_calls += 1;
+        if let Some((pois, length)) = solve(&combo) {
+            candidates.push(SkylineRoute { pois, length, semantic: 1.0 - sim_product });
+        }
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == k {
+                return Ok((skyline_of(candidates), total, osr_calls));
+            }
+            idx[pos] += 1;
+            if idx[pos] < levels[pos].levels.len() {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// `Dij`: iterated OSR with the Dijkstra-based solution.
+pub struct DijBaseline<'g> {
+    ctx: QueryContext<'g>,
+    solver: OsrSolver,
+    /// Safety valve against accidental exponential blow-ups; raise for
+    /// benchmark runs.
+    pub max_combos: u64,
+}
+
+impl<'g> DijBaseline<'g> {
+    /// New baseline engine.
+    pub fn new(ctx: &QueryContext<'g>) -> DijBaseline<'g> {
+        DijBaseline { ctx: *ctx, solver: OsrSolver::new(ctx.graph.num_vertices()), max_combos: 1_000_000 }
+    }
+
+    /// Runs the baseline on `query`.
+    pub fn run(&mut self, query: &SkySrQuery) -> Result<BaselineResult, QueryError> {
+        let pq = PreparedQuery::prepare(&self.ctx, query)?;
+        self.run_prepared(&pq)
+    }
+
+    /// Runs the baseline on a prepared query.
+    pub fn run_prepared(&mut self, pq: &PreparedQuery) -> Result<BaselineResult, QueryError> {
+        let t0 = Instant::now();
+        if pq.unmatchable_position().is_some() {
+            return Ok(BaselineResult {
+                routes: Vec::new(),
+                combos: 0,
+                osr_calls: 0,
+                search: SearchStats::default(),
+                total_time: t0.elapsed(),
+            });
+        }
+        let levels = build_levels(&self.ctx, pq);
+        let graph = self.ctx.graph;
+        let solver = &mut self.solver;
+        let start = pq.start;
+        let (routes, combos, osr_calls) =
+            run_baseline(pq, &levels, self.max_combos, |combo| {
+                let sets: Vec<FxHashSet<u32>> = combo.iter().map(|(_, s)| (*s).clone()).collect();
+                solver.solve(graph, start, &sets).map(|r| (r.pois, r.length))
+            })?;
+        Ok(BaselineResult {
+            routes,
+            combos,
+            osr_calls,
+            search: self.solver.stats(),
+            total_time: t0.elapsed(),
+        })
+    }
+}
+
+/// `PNE`: iterated OSR with progressive neighbour exploration.
+pub struct PneBaseline<'g> {
+    ctx: QueryContext<'g>,
+    /// Safety valve against accidental exponential blow-ups.
+    pub max_combos: u64,
+}
+
+impl<'g> PneBaseline<'g> {
+    /// New baseline engine.
+    pub fn new(ctx: &QueryContext<'g>) -> PneBaseline<'g> {
+        PneBaseline { ctx: *ctx, max_combos: 1_000_000 }
+    }
+
+    /// Runs the baseline on `query`.
+    pub fn run(&mut self, query: &SkySrQuery) -> Result<BaselineResult, QueryError> {
+        let pq = PreparedQuery::prepare(&self.ctx, query)?;
+        self.run_prepared(&pq)
+    }
+
+    /// Runs the baseline on a prepared query.
+    pub fn run_prepared(&mut self, pq: &PreparedQuery) -> Result<BaselineResult, QueryError> {
+        let t0 = Instant::now();
+        if pq.unmatchable_position().is_some() {
+            return Ok(BaselineResult {
+                routes: Vec::new(),
+                combos: 0,
+                osr_calls: 0,
+                search: SearchStats::default(),
+                total_time: t0.elapsed(),
+            });
+        }
+        let levels = build_levels(&self.ctx, pq);
+        // One PNE solver per query: NN streams are shared across all level
+        // combinations (keyed by position and level index).
+        let mut solver = PneSolver::new(self.ctx.graph);
+        let start = pq.start;
+        let (routes, combos, osr_calls) =
+            run_baseline(pq, &levels, self.max_combos, |combo| {
+                let sets: Vec<(u64, &FxHashSet<u32>)> = combo
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, (level, s))| (((pos as u64) << 32) | *level as u64, *s))
+                    .collect();
+                solver.solve(start, &sets).map(|r| (r.pois, r.length))
+            })?;
+        Ok(BaselineResult {
+            routes,
+            combos,
+            osr_calls,
+            search: solver.stats(),
+            total_time: t0.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bssr::Bssr;
+    use crate::paper_example::PaperExample;
+
+    #[test]
+    fn dij_baseline_matches_bssr_on_fixture() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let bssr = Bssr::new(&ctx).run(&ex.query()).unwrap();
+        let dij = DijBaseline::new(&ctx).run(&ex.query()).unwrap();
+        assert_eq!(dij.routes, bssr.routes);
+        // 2 levels (restaurants) × 1 level (A&E) × 2 levels (shops) = 4.
+        assert_eq!(dij.combos, 4);
+        assert_eq!(dij.osr_calls, 4);
+    }
+
+    #[test]
+    fn pne_baseline_matches_bssr_on_fixture() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let bssr = Bssr::new(&ctx).run(&ex.query()).unwrap();
+        let pne = PneBaseline::new(&ctx).run(&ex.query()).unwrap();
+        assert_eq!(pne.routes, bssr.routes);
+        assert_eq!(pne.combos, 4);
+    }
+
+    #[test]
+    fn combo_limit_guards() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let mut dij = DijBaseline::new(&ctx);
+        dij.max_combos = 2;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dij.run(&ex.query()).unwrap();
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn baselines_handle_single_position() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let gift = ex.forest.by_name("Gift Shop").unwrap();
+        let q = SkySrQuery::new(ex.vq, [gift]);
+        let bssr = Bssr::new(&ctx).run(&q).unwrap();
+        let dij = DijBaseline::new(&ctx).run(&q).unwrap();
+        let pne = PneBaseline::new(&ctx).run(&q).unwrap();
+        assert_eq!(dij.routes, bssr.routes);
+        assert_eq!(pne.routes, bssr.routes);
+    }
+}

@@ -1,0 +1,153 @@
+//! On-the-fly caching of modified-Dijkstra results (Optimisation 4,
+//! §5.3.4).
+//!
+//! BSSR frequently re-runs the modified Dijkstra algorithm from the same
+//! PoI vertex for the same position (different queue routes can end at the
+//! same PoI). The match set found — which PoIs semantically match, at what
+//! distance, with what similarity — depends only on `(source, position)`
+//! and the explored radius, *not* on the particular route, so results are
+//! memoised per query and re-derived route checks (distinctness,
+//! thresholds, lower bounds) are applied at reuse time.
+//!
+//! **Radius discipline.** A cached entry is complete only up to the radius
+//! the original search explored. Thresholds are not monotone across
+//! routes (a semantically better route has a *looser* threshold), so a
+//! later request may need a larger radius than any earlier one; such
+//! requests miss the cache and their re-run replaces the entry. The cache
+//! is dropped when the query finishes ("on the fly"), since the search
+//! space rarely overlaps across different inputs.
+
+use skysr_graph::fxhash::FxHashMap;
+use skysr_graph::{Cost, VertexId};
+
+/// A match found by the modified Dijkstra algorithm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CachedMatch {
+    /// The matching PoI vertex.
+    pub vertex: VertexId,
+    /// Distance from the search source.
+    pub dist: Cost,
+    /// Similarity of the PoI to the position.
+    pub sim: f64,
+}
+
+/// One memoised search result.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// Matches in non-decreasing distance order.
+    pub matches: Vec<CachedMatch>,
+    /// The entry is complete for all matches with `dist <` this radius.
+    pub explored_radius: Cost,
+}
+
+/// Per-query memo of modified-Dijkstra results.
+#[derive(Debug, Default)]
+pub struct SearchCache {
+    map: FxHashMap<(u32, u8), CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SearchCache {
+    /// Empty cache.
+    pub fn new() -> SearchCache {
+        SearchCache::default()
+    }
+
+    /// Returns the cached entry for (`source`, `position`) if it covers
+    /// `radius`.
+    pub fn lookup(&mut self, source: VertexId, position: usize, radius: Cost) -> Option<&CacheEntry> {
+        match self.map.get(&(source.0, position as u8)) {
+            Some(e) if e.explored_radius >= radius => {
+                self.hits += 1;
+                Some(e)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores (or upgrades) the entry for (`source`, `position`). Keeps the
+    /// wider of the existing and new entries.
+    pub fn insert(
+        &mut self,
+        source: VertexId,
+        position: usize,
+        matches: Vec<CachedMatch>,
+        explored_radius: Cost,
+    ) {
+        let key = (source.0, position as u8);
+        match self.map.get(&key) {
+            Some(existing) if existing.explored_radius >= explored_radius => {}
+            _ => {
+                self.map.insert(key, CacheEntry { matches, explored_radius });
+            }
+        }
+    }
+
+    /// Number of memoised (source, position) pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: u32, d: f64, s: f64) -> CachedMatch {
+        CachedMatch { vertex: VertexId(v), dist: Cost::new(d), sim: s }
+    }
+
+    #[test]
+    fn hit_requires_covering_radius() {
+        let mut c = SearchCache::new();
+        c.insert(VertexId(3), 1, vec![m(5, 2.0, 1.0)], Cost::new(10.0));
+        assert!(c.lookup(VertexId(3), 1, Cost::new(5.0)).is_some());
+        assert!(c.lookup(VertexId(3), 1, Cost::new(10.0)).is_some());
+        // Larger radius than explored → miss.
+        assert!(c.lookup(VertexId(3), 1, Cost::new(11.0)).is_none());
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn different_position_is_different_key() {
+        let mut c = SearchCache::new();
+        c.insert(VertexId(3), 1, vec![], Cost::INFINITY);
+        assert!(c.lookup(VertexId(3), 2, Cost::new(1.0)).is_none());
+        assert!(c.lookup(VertexId(4), 1, Cost::new(1.0)).is_none());
+    }
+
+    #[test]
+    fn insert_keeps_wider_entry() {
+        let mut c = SearchCache::new();
+        c.insert(VertexId(1), 0, vec![m(5, 2.0, 1.0), m(6, 8.0, 0.5)], Cost::new(10.0));
+        // A narrower re-insert must not clobber the wide entry.
+        c.insert(VertexId(1), 0, vec![m(5, 2.0, 1.0)], Cost::new(3.0));
+        let e = c.lookup(VertexId(1), 0, Cost::new(9.0)).unwrap();
+        assert_eq!(e.matches.len(), 2);
+        // A wider insert upgrades.
+        c.insert(VertexId(1), 0, vec![m(5, 2.0, 1.0), m(6, 8.0, 0.5), m(7, 12.0, 1.0)], Cost::INFINITY);
+        let e = c.lookup(VertexId(1), 0, Cost::new(1e9)).unwrap();
+        assert_eq!(e.matches.len(), 3);
+    }
+
+    #[test]
+    fn infinite_radius_covers_everything() {
+        let mut c = SearchCache::new();
+        c.insert(VertexId(0), 0, vec![], Cost::INFINITY);
+        assert!(c.lookup(VertexId(0), 0, Cost::INFINITY).is_some());
+    }
+}

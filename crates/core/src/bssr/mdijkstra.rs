@@ -1,0 +1,408 @@
+//! The modified Dijkstra algorithm (Algorithm 2) — one expansion step of
+//! BSSR.
+//!
+//! Given a fetched route `R_d` ending at `p_d`, the step searches outwards
+//! from `p_d` for PoIs semantically matching the next position, applying:
+//!
+//! * the **threshold break** (Lemma 5.3): once the settled distance pushes
+//!   `l(R_t)` past `l̄(R_d)`, nothing further can survive — stop;
+//! * the **path-similarity skip** (Lemma 5.5(i)): a match that lies behind
+//!   an equally-or-more similar PoI is dominated — don't generate it;
+//! * the **perfect-match cut** (Lemma 5.5(ii)): graph traversal never
+//!   continues through a perfectly matching PoI.
+//!
+//! The two Lemma 5.5 rules assume that the replacement PoI they argue with
+//! cannot already be part of the route. That holds whenever the position's
+//! category trees are disjoint from every other position's (always true for
+//! the paper's workloads, which draw positions from distinct trees); the
+//! caller passes a per-position `lemma55` flag and the rules are disabled
+//! where they would be unsound, preserving exactness for arbitrary
+//! sequences.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use skysr_graph::{Cost, SearchStats, VersionedArray, VertexId};
+
+use crate::bssr::bounds::MinDistBounds;
+use crate::bssr::cache::{CachedMatch, SearchCache};
+use crate::bssr::queue::RouteQueue;
+use crate::context::QueryContext;
+use crate::dominance::SkylineSet;
+use crate::prepared::PreparedQuery;
+use crate::route::PartialRoute;
+use crate::stats::QueryStats;
+
+/// Reusable scratch buffers for modified-Dijkstra runs.
+pub(crate) struct Scratch {
+    dist: VersionedArray<f64>,
+    psim: VersionedArray<f64>,
+    visited: VersionedArray<bool>,
+    heap: BinaryHeap<Reverse<(Cost, VertexId)>>,
+}
+
+impl Scratch {
+    pub(crate) fn new(n: usize) -> Scratch {
+        Scratch {
+            dist: VersionedArray::new(n),
+            psim: VersionedArray::new(n),
+            visited: VersionedArray::new(n),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.dist.clear();
+        self.psim.clear();
+        self.visited.clear();
+        self.heap.clear();
+    }
+}
+
+/// Immutable per-query configuration shared by all steps.
+pub(crate) struct StepEnv<'a, 'g> {
+    pub ctx: &'a QueryContext<'g>,
+    pub pq: &'a PreparedQuery,
+    pub bounds: &'a MinDistBounds,
+    /// Per-position: whether the Lemma 5.5 rules are sound (tree-disjoint).
+    pub lemma55: &'a [bool],
+    pub use_cache: bool,
+}
+
+/// One `mDijkstra(R_d, c_d, p_d, Q_b, S)` invocation. `is_first` tags the
+/// very first step for Table 7's search-space metric.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mdijkstra_step(
+    env: &StepEnv<'_, '_>,
+    scratch: &mut Scratch,
+    cache: &mut SearchCache,
+    rd: &PartialRoute,
+    source: VertexId,
+    queue: &mut RouteQueue,
+    skyline: &mut SkylineSet,
+    stats: &mut QueryStats,
+    is_first: bool,
+) {
+    let pos = rd.len();
+    debug_assert!(pos < env.pq.len());
+    let base = rd.length();
+    let threshold_rd = skyline.threshold(rd.semantic());
+    let radius = if threshold_rd.is_finite() { threshold_rd - base } else { Cost::INFINITY };
+    if radius <= Cost::ZERO {
+        stats.threshold_prunes += 1;
+        return;
+    }
+
+    if env.use_cache {
+        if let Some(entry) = cache.lookup(source, pos, radius) {
+            stats.cache_hits += 1;
+            // Matches are distance-sorted; everything < radius is complete.
+            let matches: Vec<CachedMatch> =
+                entry.matches.iter().take_while(|m| m.dist < radius).copied().collect();
+            for m in matches {
+                process_candidate(env, rd, m.vertex, m.dist, m.sim, queue, skyline, stats);
+            }
+            return;
+        }
+    }
+
+    stats.mdijkstra_runs += 1;
+    let position = &env.pq.positions[pos];
+    let lemma55 = env.lemma55[pos];
+    let graph = env.ctx.graph;
+    scratch.reset();
+    scratch.dist.set(source.index(), 0.0);
+    scratch.heap.push(Reverse((Cost::ZERO, source)));
+
+    let mut local = SearchStats::default();
+    local.pushed += 1;
+    let mut collected: Vec<CachedMatch> = Vec::new();
+    // The threshold may tighten while we search (completions found by this
+    // very step update S); track the skyline version to refresh lazily.
+    let mut threshold_rd = threshold_rd;
+    let mut sky_version = skyline.version();
+
+    while let Some(Reverse((d, u))) = scratch.heap.pop() {
+        if scratch.visited.get(u.index()).unwrap_or(false) {
+            continue;
+        }
+        if scratch.dist.get(u.index()).is_some_and(|best| best < d.get()) {
+            continue;
+        }
+        scratch.visited.set(u.index(), true);
+        local.settled += 1;
+
+        if sky_version != skyline.version() {
+            sky_version = skyline.version();
+            threshold_rd = skyline.threshold(rd.semantic());
+        }
+        if base + d >= threshold_rd {
+            break; // Lemma 5.3: no surviving extension beyond this radius.
+        }
+
+        let psim = scratch.psim.get(u.index()).unwrap_or(0.0);
+        let usim = position.sim_of(env.ctx, u);
+        if usim > 0.0 && (!lemma55 || usim > psim) {
+            if env.use_cache {
+                collected.push(CachedMatch { vertex: u, dist: d, sim: usim });
+            }
+            process_candidate(env, rd, u, d, usim, queue, skyline, stats);
+        }
+
+        // Lemma 5.5(ii): perfect matches absorb the traversal.
+        if lemma55 && usim >= 1.0 {
+            continue;
+        }
+        let child_psim = if lemma55 { psim.max(usim) } else { 0.0 };
+        for (v, w) in graph.neighbors(u) {
+            local.relaxed += 1;
+            local.weight_sum += w.get();
+            if scratch.visited.get(v.index()).unwrap_or(false) {
+                continue;
+            }
+            let nd = d + w;
+            let slot = scratch.dist.get_or_insert(v.index(), f64::INFINITY);
+            if nd.get() < *slot {
+                *slot = nd.get();
+                scratch.psim.set(v.index(), child_psim);
+                scratch.heap.push(Reverse((nd, v)));
+                local.pushed += 1;
+            }
+        }
+    }
+
+    if is_first {
+        stats.first_mdijkstra_weight_sum = local.weight_sum;
+    }
+    stats.search.merge(&local);
+
+    if env.use_cache {
+        // Completeness radius: everything below the final threshold-derived
+        // radius was settled before the break (settles are distance-ordered).
+        let explored = if scratch.heap.is_empty() && !threshold_rd.is_finite() {
+            Cost::INFINITY
+        } else if threshold_rd.is_finite() {
+            threshold_rd - base
+        } else {
+            Cost::INFINITY
+        };
+        cache.insert(source, pos, collected, explored);
+    }
+}
+
+/// Handles one discovered next-PoI candidate: distinctness, thresholds,
+/// lower bounds, then either completes into `S` or enqueues into `Q_b`.
+#[allow(clippy::too_many_arguments)]
+fn process_candidate(
+    env: &StepEnv<'_, '_>,
+    rd: &PartialRoute,
+    v: VertexId,
+    d: Cost,
+    sim: f64,
+    queue: &mut RouteQueue,
+    skyline: &mut SkylineSet,
+    stats: &mut QueryStats,
+) {
+    let position = &env.pq.positions[rd.len()];
+    if !position.allow_revisit && rd.contains(v) {
+        return; // Definition 3.4(iii): PoIs must be distinct.
+    }
+    let rt = rd.extend(v, d, sim);
+    if rt.length() >= skyline.threshold(rt.semantic()) {
+        stats.threshold_prunes += 1;
+        return;
+    }
+    if rt.len() == env.pq.len() {
+        skyline.update(rt.into_skyline_route());
+    } else {
+        if env.bounds.should_prune(&rt, skyline) {
+            stats.lower_bound_prunes += 1;
+            return;
+        }
+        queue.push(rt);
+        stats.routes_enqueued += 1;
+        stats.queue_peak = stats.queue_peak.max(queue.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bssr::queue::QueuePolicy;
+    use crate::paper_example::PaperExample;
+
+    struct Rig {
+        ex: PaperExample,
+    }
+
+    impl Rig {
+        fn run_step(
+            &self,
+            rd: &PartialRoute,
+            source: VertexId,
+            skyline: &mut SkylineSet,
+            use_cache: bool,
+            cache: &mut SearchCache,
+        ) -> (Vec<PartialRoute>, QueryStats) {
+            let ctx = self.ex.context();
+            let pq = self.ex.prepared(&ctx);
+            let bounds = MinDistBounds::disabled(pq.len());
+            let lemma55 = vec![true; pq.len()];
+            let env = StepEnv { ctx: &ctx, pq: &pq, bounds: &bounds, lemma55: &lemma55, use_cache };
+            let mut scratch = Scratch::new(ctx.graph.num_vertices());
+            let mut queue = RouteQueue::new(QueuePolicy::Proposed);
+            let mut stats = QueryStats::default();
+            mdijkstra_step(
+                &env, &mut scratch, cache, rd, source, &mut queue, skyline, &mut stats, true,
+            );
+            let mut out = Vec::new();
+            while let Some(r) = queue.pop() {
+                out.push(r);
+            }
+            (out, stats)
+        }
+    }
+
+    #[test]
+    fn first_step_finds_all_restaurants_within_threshold() {
+        // With the NNinit threshold of 15 (perfect route ⟨p2,p5,p8⟩), the
+        // first step from vq finds p1, p2, p6, p10, p11 — §5.5 step 1.
+        let rig = Rig { ex: PaperExample::new() };
+        let mut skyline = SkylineSet::new();
+        skyline.update(crate::route::SkylineRoute {
+            pois: vec![],
+            length: Cost::new(15.0),
+            semantic: 0.0,
+        });
+        skyline.update(crate::route::SkylineRoute {
+            pois: vec![],
+            length: Cost::new(12.0),
+            semantic: 0.5,
+        });
+        let mut cache = SearchCache::new();
+        let (routes, stats) =
+            rig.run_step(&PartialRoute::empty(), rig.ex.vq, &mut skyline, false, &mut cache);
+        let mut found: Vec<u32> = routes.iter().map(|r| r.last_poi().unwrap().0).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec![1, 2, 6, 10, 11]);
+        assert_eq!(stats.mdijkstra_runs, 1);
+        assert!(stats.first_mdijkstra_weight_sum > 0.0);
+    }
+
+    #[test]
+    fn threshold_break_limits_search() {
+        // With a tight threshold of 7, only p2 (dist 6) survives.
+        let rig = Rig { ex: PaperExample::new() };
+        let mut skyline = SkylineSet::new();
+        skyline.update(crate::route::SkylineRoute {
+            pois: vec![],
+            length: Cost::new(7.0),
+            semantic: 0.0,
+        });
+        let mut cache = SearchCache::new();
+        let (routes, _) =
+            rig.run_step(&PartialRoute::empty(), rig.ex.vq, &mut skyline, false, &mut cache);
+        let found: Vec<u32> = routes.iter().map(|r| r.last_poi().unwrap().0).collect();
+        assert_eq!(found, vec![2]);
+    }
+
+    #[test]
+    fn completion_updates_skyline() {
+        // From ⟨p10, p12⟩ (length 10) the step finds gift shop p13 at 3 →
+        // inserts the perfect route (13, 0), and it dominates (15, 0).
+        let rig = Rig { ex: PaperExample::new() };
+        let mut skyline = SkylineSet::new();
+        skyline.update(crate::route::SkylineRoute {
+            pois: vec![],
+            length: Cost::new(15.0),
+            semantic: 0.0,
+        });
+        let rd = PartialRoute::empty()
+            .extend(rig.ex.p(10), Cost::new(8.0), 1.0)
+            .extend(rig.ex.p(12), Cost::new(2.0), 1.0);
+        let mut cache = SearchCache::new();
+        let (_, _) = rig.run_step(&rd, rig.ex.p(12), &mut skyline, false, &mut cache);
+        assert!(skyline
+            .routes()
+            .iter()
+            .any(|r| r.length == Cost::new(13.0) && r.semantic == 0.0));
+        assert!(!skyline.routes().iter().any(|r| r.length == Cost::new(15.0)));
+    }
+
+    #[test]
+    fn cache_replays_matches() {
+        let rig = Rig { ex: PaperExample::new() };
+        let mut skyline = SkylineSet::new();
+        skyline.update(crate::route::SkylineRoute {
+            pois: vec![],
+            length: Cost::new(15.0),
+            semantic: 0.0,
+        });
+        let mut cache = SearchCache::new();
+        let (routes1, stats1) =
+            rig.run_step(&PartialRoute::empty(), rig.ex.vq, &mut skyline.clone(), true, &mut cache);
+        assert_eq!(stats1.mdijkstra_runs, 1);
+        assert_eq!(cache.len(), 1);
+        // Second identical request must be served from cache.
+        let (routes2, stats2) =
+            rig.run_step(&PartialRoute::empty(), rig.ex.vq, &mut skyline, true, &mut cache);
+        assert_eq!(stats2.mdijkstra_runs, 0);
+        assert_eq!(stats2.cache_hits, 1);
+        let ids = |rs: &[PartialRoute]| {
+            let mut v: Vec<u32> = rs.iter().map(|r| r.last_poi().unwrap().0).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&routes1), ids(&routes2));
+    }
+
+    #[test]
+    fn perfect_match_blocks_traversal() {
+        // Searching A&E matches from p2: p5 (perfect, dist 4) absorbs the
+        // traversal, so p9/p12 behind it are reached only via other paths;
+        // p9 via p2→vq→p6→p9 = 15.5 ≥ threshold 15 → only p5 found.
+        let rig = Rig { ex: PaperExample::new() };
+        let mut skyline = SkylineSet::new();
+        skyline.update(crate::route::SkylineRoute {
+            pois: vec![],
+            length: Cost::new(15.0),
+            semantic: 0.0,
+        });
+        let rd = PartialRoute::empty().extend(rig.ex.p(2), Cost::new(6.0), 1.0);
+        let mut cache = SearchCache::new();
+        let (routes, _) = rig.run_step(&rd, rig.ex.p(2), &mut skyline, false, &mut cache);
+        let found: Vec<u32> = routes.iter().map(|r| r.last_poi().unwrap().0).collect();
+        assert_eq!(found, vec![5]);
+    }
+
+    #[test]
+    fn duplicate_poi_rejected() {
+        // A route already containing p5 must not extend with p5 again.
+        let rig = Rig { ex: PaperExample::new() };
+        // Query where two positions share the A&E tree: craft rd containing
+        // p5 and search A&E from it with lemma55 disabled.
+        let ctx = rig.ex.context();
+        let arts = rig.ex.forest.by_name("Arts & Entertainment").unwrap();
+        let q = crate::query::SkySrQuery::new(rig.ex.vq, [arts, arts]);
+        let pq = crate::prepared::PreparedQuery::prepare(&ctx, &q).unwrap();
+        let bounds = MinDistBounds::disabled(pq.len());
+        let lemma55 = vec![false; pq.len()];
+        let env = StepEnv { ctx: &ctx, pq: &pq, bounds: &bounds, lemma55: &lemma55, use_cache: false };
+        let mut scratch = Scratch::new(ctx.graph.num_vertices());
+        let mut queue = RouteQueue::new(QueuePolicy::Proposed);
+        let mut skyline = SkylineSet::new();
+        let mut stats = QueryStats::default();
+        let mut cache = SearchCache::new();
+        let rd = PartialRoute::empty().extend(rig.ex.p(5), Cost::new(10.0), 1.0);
+        mdijkstra_step(
+            &env, &mut scratch, &mut cache, &rd, rig.ex.p(5), &mut queue, &mut skyline,
+            &mut stats, false,
+        );
+        // Completions are A&E PoIs other than p5.
+        for r in skyline.routes() {
+            assert_ne!(r.pois[1], rig.ex.p(5));
+            assert_eq!(r.pois[0], rig.ex.p(5));
+        }
+        assert!(!skyline.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! NNinit — the nearest-neighbour initial search (Optimisation 1, §5.3.1,
+//! Algorithm 3).
+//!
+//! Before the branch-and-bound search starts, the upper bound must be
+//! initialised. NNinit greedily chains nearest-neighbour searches: from the
+//! start it finds the closest PoI *perfectly* matching position 1, from
+//! there the closest perfect match for position 2, and so on. On the final
+//! leg every *semantically* matching PoI settled before the perfect one
+//! also completes a sequenced route, so NNinit usually seeds the skyline
+//! set with several routes — one of them with semantic score 0 — at the
+//! cost of |S_q| plain Dijkstra searches.
+
+use std::time::Instant;
+
+use skysr_graph::{dijkstra_with, Cost, DijkstraWorkspace, Settle, VertexId};
+
+use crate::context::QueryContext;
+use crate::dominance::SkylineSet;
+use crate::prepared::PreparedQuery;
+use crate::route::PartialRoute;
+use crate::stats::QueryStats;
+
+/// Outcome of the initial search.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct InitOutcome {
+    /// Number of sequenced routes found (Table 7's "# of routes").
+    pub routes_found: usize,
+    /// Whether a perfectly matching route (semantic 0) was found.
+    pub perfect_found: bool,
+}
+
+/// Runs NNinit, inserting found sequenced routes into `skyline`.
+pub fn nninit(
+    ctx: &QueryContext<'_>,
+    pq: &PreparedQuery,
+    ws: &mut DijkstraWorkspace,
+    skyline: &mut SkylineSet,
+    stats: &mut QueryStats,
+) -> InitOutcome {
+    let t0 = Instant::now();
+    let k = pq.len();
+    let mut route = PartialRoute::empty();
+    let mut source = pq.start;
+    let mut outcome = InitOutcome::default();
+    let mut best_semantic_route: Option<(Cost, f64)> = None;
+    let mut perfect_route_len: Option<Cost> = None;
+
+    for i in 0..k {
+        let position = &pq.positions[i];
+        let last_leg = i + 1 == k;
+        let mut found: Option<(VertexId, Cost)> = None;
+        let search_stats = dijkstra_with(ctx.graph, ws, &[(source, Cost::ZERO)], |u, d| {
+            let in_route = !position.allow_revisit && route.contains(u);
+            if last_leg && !in_route {
+                let sim = position.sim_of(ctx, u);
+                if sim > 0.0 {
+                    let complete = route.extend(u, d, sim);
+                    outcome.routes_found += 1;
+                    let (len, sem) = (complete.length(), complete.semantic());
+                    if sem > 0.0
+                        && best_semantic_route.is_none_or(|(_, bs)| sem > bs)
+                    {
+                        best_semantic_route = Some((len, sem));
+                    }
+                    skyline.update(complete.into_skyline_route());
+                    if sim >= 1.0 {
+                        found = Some((u, d));
+                        return Settle::Stop;
+                    }
+                }
+                return Settle::Continue;
+            }
+            if !in_route && position.is_perfect(ctx, u) {
+                found = Some((u, d));
+                return Settle::Stop;
+            }
+            Settle::Continue
+        });
+        stats.search.merge(&search_stats);
+        match found {
+            Some((u, d)) => {
+                route = route.extend(u, d, 1.0);
+                source = u;
+            }
+            // No reachable perfect match for this position: the greedy
+            // chain cannot continue. Any semantic routes already inserted
+            // (last leg) stay; BSSR remains correct with whatever upper
+            // bound we managed to find.
+            None => break,
+        }
+    }
+
+    if route.len() == k {
+        outcome.perfect_found = true;
+        perfect_route_len = Some(route.length());
+    }
+    stats.init_routes = outcome.routes_found;
+    stats.init_time = t0.elapsed();
+    stats.init_length_ratio = match (best_semantic_route, perfect_route_len) {
+        (Some((len, _)), Some(plen)) if plen.get() > 0.0 => Some(len.get() / plen.get()),
+        _ => None,
+    };
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::PaperExample;
+    use skysr_graph::VertexId;
+
+    fn run_fixture() -> (SkylineSet, QueryStats, InitOutcome) {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let pq = ex.prepared(&ctx);
+        let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
+        let mut skyline = SkylineSet::new();
+        let mut stats = QueryStats::default();
+        let outcome = nninit(&ctx, &pq, &mut ws, &mut skyline, &mut stats);
+        (skyline, stats, outcome)
+    }
+
+    #[test]
+    fn reproduces_example_5_6() {
+        // NNinit must find exactly ⟨p2, p5, p7⟩ (12, 0.5) and
+        // ⟨p2, p5, p8⟩ (15, 0) — the paper's Example 5.6.
+        let (skyline, _, outcome) = run_fixture();
+        assert!(outcome.perfect_found);
+        assert_eq!(outcome.routes_found, 2);
+        let mut routes = skyline.routes().to_vec();
+        routes.sort_by_key(|a| a.length);
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].pois, vec![VertexId(2), VertexId(5), VertexId(7)]);
+        assert_eq!(routes[0].length, Cost::new(12.0));
+        assert_eq!(routes[0].semantic, 0.5);
+        assert_eq!(routes[1].pois, vec![VertexId(2), VertexId(5), VertexId(8)]);
+        assert_eq!(routes[1].length, Cost::new(15.0));
+        assert_eq!(routes[1].semantic, 0.0);
+    }
+
+    #[test]
+    fn stats_recorded() {
+        let (_, stats, _) = run_fixture();
+        assert_eq!(stats.init_routes, 2);
+        // Ratio: 12 / 15 = 0.8 — same regime as Table 7 (0.7–0.9).
+        assert_eq!(stats.init_length_ratio, Some(0.8));
+        assert!(stats.search.settled > 0);
+    }
+
+    #[test]
+    fn single_position_query_collects_semantics() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let gift = ex.forest.by_name("Gift Shop").unwrap();
+        let q = crate::query::SkySrQuery::new(ex.vq, [gift]);
+        let pq = crate::prepared::PreparedQuery::prepare(&ctx, &q).unwrap();
+        let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
+        let mut skyline = SkylineSet::new();
+        let mut stats = QueryStats::default();
+        let outcome = nninit(&ctx, &pq, &mut ws, &mut skyline, &mut stats);
+        assert!(outcome.perfect_found);
+        // The nearest gift shop (p8 at 11) settles before any hobby shop,
+        // so exactly one route is found and it is perfect.
+        assert_eq!(outcome.routes_found, 1);
+        assert!(skyline.routes().iter().any(|r| r.semantic == 0.0));
+    }
+
+    #[test]
+    fn unreachable_perfect_match_degrades_gracefully() {
+        // A forest/table where position 0 has semantic but no perfect
+        // matches: NNinit finds no perfect chain but must not panic.
+        use skysr_category::ForestBuilder;
+        use skysr_graph::GraphBuilder;
+        let mut fb = ForestBuilder::new();
+        let food = fb.add_root("Food");
+        let asian = fb.add_child(food, "Asian");
+        let italian = fb.add_child(food, "Italian");
+        let forest = fb.build();
+        let mut gb = GraphBuilder::new();
+        let v0 = gb.add_vertex();
+        let v1 = gb.add_vertex();
+        gb.add_edge(v0, v1, 1.0);
+        let graph = gb.build();
+        let mut pois = crate::poi::PoiTable::new(2);
+        pois.add_poi(v1, italian); // only a semantic match for "Asian"
+        pois.finalize(&forest);
+        let ctx = QueryContext::new(&graph, &forest, &pois);
+        let q = crate::query::SkySrQuery::new(v0, [asian]);
+        let pq = crate::prepared::PreparedQuery::prepare(&ctx, &q).unwrap();
+        let mut ws = DijkstraWorkspace::new(2);
+        let mut skyline = SkylineSet::new();
+        let mut stats = QueryStats::default();
+        let outcome = nninit(&ctx, &pq, &mut ws, &mut skyline, &mut stats);
+        assert!(!outcome.perfect_found);
+        // The semantic route ⟨v1⟩ was still found on the (only) last leg.
+        assert_eq!(outcome.routes_found, 1);
+        assert_eq!(skyline.len(), 1);
+        assert_eq!(stats.init_length_ratio, None);
+    }
+}

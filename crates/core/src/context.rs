@@ -1,0 +1,84 @@
+//! Query context: everything a search needs borrowed together.
+
+use skysr_category::{CategoryForest, Similarity, WuPalmer};
+use skysr_graph::RoadNetwork;
+
+use crate::poi::PoiTable;
+
+static WU_PALMER: WuPalmer = WuPalmer;
+
+/// Borrowed bundle of graph + category forest + PoI table + similarity
+/// measure. All query algorithms take one of these.
+#[derive(Clone, Copy)]
+pub struct QueryContext<'a> {
+    /// The road network `G = (V ∪ P, E)`.
+    pub graph: &'a RoadNetwork,
+    /// The category forest.
+    pub forest: &'a CategoryForest,
+    /// PoI ↔ category association (must be finalised).
+    pub pois: &'a PoiTable,
+    /// Category similarity measure (Eq. 6 by default).
+    pub similarity: &'a dyn Similarity,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Context with the default Wu–Palmer similarity.
+    pub fn new(
+        graph: &'a RoadNetwork,
+        forest: &'a CategoryForest,
+        pois: &'a PoiTable,
+    ) -> QueryContext<'a> {
+        QueryContext { graph, forest, pois, similarity: &WU_PALMER }
+    }
+
+    /// Context with a custom similarity measure.
+    pub fn with_similarity(
+        graph: &'a RoadNetwork,
+        forest: &'a CategoryForest,
+        pois: &'a PoiTable,
+        similarity: &'a dyn Similarity,
+    ) -> QueryContext<'a> {
+        QueryContext { graph, forest, pois, similarity }
+    }
+}
+
+impl std::fmt::Debug for QueryContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryContext")
+            .field("vertices", &self.graph.num_vertices())
+            .field("edges", &self.graph.num_edges())
+            .field("pois", &self.pois.num_pois())
+            .field("categories", &self.forest.num_categories())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysr_category::{ForestBuilder, PathLength};
+    use skysr_graph::GraphBuilder;
+
+    #[test]
+    fn construction_and_debug() {
+        let g = {
+            let mut b = GraphBuilder::new();
+            let v0 = b.add_vertex();
+            let v1 = b.add_vertex();
+            b.add_edge(v0, v1, 1.0);
+            b.build()
+        };
+        let f = {
+            let mut b = ForestBuilder::new();
+            b.add_root("Food");
+            b.build()
+        };
+        let mut p = PoiTable::new(g.num_vertices());
+        p.finalize(&f);
+        let ctx = QueryContext::new(&g, &f, &p);
+        let s = format!("{ctx:?}");
+        assert!(s.contains("vertices: 2"));
+        let pl = PathLength;
+        let _ctx2 = QueryContext::with_similarity(&g, &f, &p, &pl);
+    }
+}

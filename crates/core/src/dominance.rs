@@ -1,0 +1,251 @@
+//! Minimal skyline sets and the pruning threshold (Definition 4.2,
+//! Definition 5.4).
+//!
+//! A [`SkylineSet`] maintains the *minimal set of sequenced routes* `S`
+//! while BSSR searches: inserting a route removes everything it dominates
+//! and is rejected if some member dominates it or ties its scores
+//! (equivalent routes are excluded so the set stays minimal). Membership is
+//! always small in practice (Figure 6: ≲ 8 routes), so linear scans beat
+//! any fancier structure.
+
+use skysr_graph::Cost;
+
+use crate::route::SkylineRoute;
+
+/// The evolving minimal set `S` of sequenced routes.
+#[derive(Clone, Debug, Default)]
+pub struct SkylineSet {
+    routes: Vec<SkylineRoute>,
+    /// Monotonically increasing counter: bumps whenever the set changes, so
+    /// searches can cheaply detect that cached thresholds are stale.
+    version: u64,
+}
+
+impl SkylineSet {
+    /// Empty set.
+    pub fn new() -> SkylineSet {
+        SkylineSet::default()
+    }
+
+    /// Number of routes currently in `S`.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether `S` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Current members.
+    pub fn routes(&self) -> &[SkylineRoute] {
+        &self.routes
+    }
+
+    /// Change counter (bumps on every successful insert).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Consumes the set, returning members sorted by ascending length.
+    pub fn into_routes(mut self) -> Vec<SkylineRoute> {
+        self.routes.sort_by_key(|a| a.length);
+        self.routes
+    }
+
+    /// Whether a candidate with scores (`length`, `semantic`) is dominated
+    /// by or equivalent to a member (the rejection test of Lemma 5.1).
+    /// Comparisons are epsilon-aware (see [`crate::route::SCORE_EPS`]).
+    pub fn dominated_or_equal(&self, length: Cost, semantic: f64) -> bool {
+        use crate::route::approx_le;
+        self.routes
+            .iter()
+            .any(|r| approx_le(r.length.get(), length.get()) && approx_le(r.semantic, semantic))
+    }
+
+    /// `S.update(R)` from Algorithm 2: inserts `route` unless dominated or
+    /// equivalent; evicts members it dominates. Returns whether the set
+    /// changed.
+    pub fn update(&mut self, route: SkylineRoute) -> bool {
+        use crate::route::approx_le;
+        if self.dominated_or_equal(route.length, route.semantic) {
+            return false;
+        }
+        // The new route is not dominated; evict everything it dominates
+        // (equivalents were handled above — anything with both scores ≥ and
+        // not equal on both is dominated).
+        self.routes.retain(|r| {
+            !(approx_le(route.length.get(), r.length.get())
+                && approx_le(route.semantic, r.semantic))
+        });
+        self.routes.push(route);
+        self.version += 1;
+        true
+    }
+
+    /// The length-score threshold `l̄` of Definition 5.4 for a route with
+    /// semantic score `semantic`:
+    /// `min { l(R') | R' ∈ S, s(R') ≤ semantic }`, or `+∞` if no member
+    /// qualifies. A route is prunable iff its length score reaches the
+    /// threshold.
+    pub fn threshold(&self, semantic: f64) -> Cost {
+        self.routes
+            .iter()
+            .filter(|r| r.semantic <= semantic)
+            .map(|r| r.length)
+            .min()
+            .unwrap_or(Cost::INFINITY)
+    }
+
+    /// `l̄(ϕ)`: the threshold for a perfectly matching route (semantic 0) —
+    /// the search radius used by Algorithm 4's endpoint restriction.
+    pub fn threshold_zero(&self) -> Cost {
+        self.threshold(0.0)
+    }
+
+    /// Invariant check (used by tests and debug assertions): no member
+    /// dominates or ties another.
+    pub fn is_minimal(&self) -> bool {
+        for (i, a) in self.routes.iter().enumerate() {
+            for (j, b) in self.routes.iter().enumerate() {
+                if i != j && (a.dominates(b) || a.equivalent(b)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Computes the skyline of an arbitrary candidate list (used by the
+/// baselines and the oracle). Equivalent duplicates collapse to the first
+/// occurrence.
+pub fn skyline_of(candidates: impl IntoIterator<Item = SkylineRoute>) -> Vec<SkylineRoute> {
+    let mut set = SkylineSet::new();
+    for c in candidates {
+        set.update(c);
+    }
+    set.into_routes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysr_graph::VertexId;
+
+    fn r(l: f64, s: f64) -> SkylineRoute {
+        SkylineRoute { pois: vec![VertexId(0)], length: Cost::new(l), semantic: s }
+    }
+
+    #[test]
+    fn insert_keeps_incomparable_routes() {
+        let mut set = SkylineSet::new();
+        assert!(set.update(r(10.0, 0.0)));
+        assert!(set.update(r(5.0, 0.5)));
+        assert!(set.update(r(2.0, 0.8)));
+        assert_eq!(set.len(), 3);
+        assert!(set.is_minimal());
+    }
+
+    #[test]
+    fn dominated_insert_rejected() {
+        let mut set = SkylineSet::new();
+        set.update(r(5.0, 0.5));
+        assert!(!set.update(r(6.0, 0.5)));
+        assert!(!set.update(r(5.0, 0.6)));
+        assert!(!set.update(r(7.0, 0.7)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn equivalent_insert_rejected() {
+        let mut set = SkylineSet::new();
+        set.update(r(5.0, 0.5));
+        assert!(!set.update(r(5.0, 0.5)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn dominating_insert_evicts() {
+        let mut set = SkylineSet::new();
+        set.update(r(10.0, 0.5));
+        set.update(r(12.0, 0.2));
+        // Dominates the first, not the second.
+        assert!(set.update(r(8.0, 0.5)));
+        assert_eq!(set.len(), 2);
+        assert!(set.is_minimal());
+        assert!(set.routes().iter().any(|x| x.length == Cost::new(8.0)));
+        assert!(set.routes().iter().all(|x| x.length != Cost::new(10.0)));
+    }
+
+    #[test]
+    fn one_insert_can_evict_many() {
+        let mut set = SkylineSet::new();
+        set.update(r(10.0, 0.5));
+        set.update(r(9.0, 0.6));
+        set.update(r(8.0, 0.7));
+        assert!(set.update(r(7.0, 0.4)));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn threshold_matches_definition_5_4() {
+        let mut set = SkylineSet::new();
+        set.update(r(13.0, 0.0));
+        set.update(r(11.0, 0.5));
+        // Route with semantic 0: only the s=0 member qualifies.
+        assert_eq!(set.threshold(0.0), Cost::new(13.0));
+        // Route with semantic 0.5: both qualify → min length 11.
+        assert_eq!(set.threshold(0.5), Cost::new(11.0));
+        // Route with semantic 0.3: only s=0 qualifies.
+        assert_eq!(set.threshold(0.3), Cost::new(13.0));
+        // Threshold is +∞ when nothing qualifies.
+        let empty = SkylineSet::new();
+        assert_eq!(empty.threshold(1.0), Cost::INFINITY);
+        assert_eq!(set.threshold_zero(), Cost::new(13.0));
+    }
+
+    #[test]
+    fn threshold_is_nonincreasing_in_semantic() {
+        let mut set = SkylineSet::new();
+        set.update(r(13.0, 0.0));
+        set.update(r(11.0, 0.4));
+        set.update(r(9.0, 0.7));
+        let mut last = Cost::INFINITY;
+        for s in [0.0, 0.2, 0.4, 0.5, 0.7, 0.9, 1.0] {
+            let t = set.threshold(s);
+            assert!(t <= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn version_bumps_only_on_change() {
+        let mut set = SkylineSet::new();
+        let v0 = set.version();
+        set.update(r(5.0, 0.5));
+        let v1 = set.version();
+        assert!(v1 > v0);
+        set.update(r(6.0, 0.6)); // rejected
+        assert_eq!(set.version(), v1);
+    }
+
+    #[test]
+    fn skyline_of_list() {
+        let out = skyline_of(vec![r(10.0, 0.0), r(12.0, 0.0), r(5.0, 0.5), r(5.0, 0.5)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].length, Cost::new(5.0));
+        assert_eq!(out[1].length, Cost::new(10.0));
+    }
+
+    #[test]
+    fn into_routes_sorted_by_length() {
+        let mut set = SkylineSet::new();
+        set.update(r(10.0, 0.0));
+        set.update(r(2.0, 0.8));
+        set.update(r(5.0, 0.5));
+        let out = set.into_routes();
+        let lens: Vec<f64> = out.iter().map(|x| x.length.get()).collect();
+        assert_eq!(lens, vec![2.0, 5.0, 10.0]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for query validation.
+
+use skysr_category::CategoryId;
+use skysr_graph::VertexId;
+
+/// Reasons a SkySR query can be rejected before any search runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The start vertex is not in the graph.
+    UnknownStart(VertexId),
+    /// The category sequence is empty.
+    EmptySequence,
+    /// A referenced category id is out of range for the forest.
+    UnknownCategory(CategoryId),
+    /// A position has no semantically matching PoI anywhere in the graph,
+    /// so no sequenced route can exist.
+    UnmatchablePosition(usize),
+    /// The destination vertex (destination variant) is not in the graph.
+    UnknownDestination(VertexId),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownStart(v) => write!(f, "start vertex {v:?} is not in the graph"),
+            QueryError::EmptySequence => write!(f, "category sequence is empty"),
+            QueryError::UnknownCategory(c) => write!(f, "category {c:?} is not in the forest"),
+            QueryError::UnmatchablePosition(i) => {
+                write!(f, "position {i} has no semantically matching PoI")
+            }
+            QueryError::UnknownDestination(v) => {
+                write!(f, "destination vertex {v:?} is not in the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(QueryError::EmptySequence.to_string().contains("empty"));
+        assert!(QueryError::UnknownStart(VertexId(3)).to_string().contains("v3"));
+        assert!(QueryError::UnmatchablePosition(2).to_string().contains("position 2"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Exhaustive reference oracle (test-only by design).
+//!
+//! Enumerates *every* sequenced route — each tuple of distinct,
+//! semantically matching PoIs — scores it with exact pairwise shortest-path
+//! distances, and returns the skyline. Exponential in |S_q|, so callers
+//! must keep the instance tiny; every search algorithm in this crate is
+//! property-tested against this oracle.
+
+use skysr_graph::dijkstra::dijkstra;
+use skysr_graph::fxhash::FxHashMap;
+use skysr_graph::{Cost, DijkstraWorkspace, VertexId};
+
+use crate::context::QueryContext;
+use crate::dominance::skyline_of;
+use crate::prepared::PreparedQuery;
+use crate::route::SkylineRoute;
+
+/// Upper bound on enumerated candidate tuples before the oracle refuses
+/// (protects tests from accidental blow-ups).
+pub const DEFAULT_CANDIDATE_LIMIT: u64 = 5_000_000;
+
+/// Computes the exact SkySR answer by brute force.
+///
+/// # Panics
+/// If the number of candidate tuples exceeds `limit` — the oracle is meant
+/// for small test instances only.
+pub fn naive_skysr(ctx: &QueryContext<'_>, pq: &PreparedQuery, limit: u64) -> Vec<SkylineRoute> {
+    skyline_of(naive_all_routes(ctx, pq, limit))
+}
+
+/// Enumerates *every* sequenced route with its exact scores (no skyline
+/// filtering) — shared by the 2-D oracle and the rated-variant oracle.
+///
+/// # Panics
+/// If the number of candidate tuples exceeds `limit`.
+pub fn naive_all_routes(
+    ctx: &QueryContext<'_>,
+    pq: &PreparedQuery,
+    limit: u64,
+) -> Vec<SkylineRoute> {
+    let k = pq.len();
+    if pq.unmatchable_position().is_some() {
+        return Vec::new();
+    }
+    let mut tuples: u64 = 1;
+    for p in &pq.positions {
+        tuples = tuples.saturating_mul(p.semantic.len() as u64);
+    }
+    assert!(tuples <= limit, "oracle instance too large: {tuples} candidate tuples");
+
+    // Distance maps from the start and from every PoI that can appear at a
+    // non-final position.
+    let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
+    let mut dist_from: FxHashMap<u32, Vec<f64>> = FxHashMap::default();
+    let compute_from = |src: VertexId, ws: &mut DijkstraWorkspace| {
+        dijkstra(ctx.graph, ws, src);
+        let d: Vec<f64> = (0..ctx.graph.num_vertices())
+            .map(|i| ws.distance(VertexId(i as u32)).map_or(f64::INFINITY, |c| c.get()))
+            .collect();
+        d
+    };
+    let start_dist = compute_from(pq.start, &mut ws);
+    for pos in pq.positions.iter().take(k - 1) {
+        for &p in &pos.semantic {
+            dist_from.entry(p.0).or_insert_with(|| compute_from(p, &mut ws));
+        }
+    }
+
+    let mut candidates = Vec::new();
+    let mut chosen: Vec<(VertexId, f64)> = Vec::with_capacity(k);
+    enumerate(ctx, pq, &start_dist, &dist_from, 0, 0.0, &mut chosen, &mut candidates);
+    candidates
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    ctx: &QueryContext<'_>,
+    pq: &PreparedQuery,
+    start_dist: &[f64],
+    dist_from: &FxHashMap<u32, Vec<f64>>,
+    pos: usize,
+    length: f64,
+    chosen: &mut Vec<(VertexId, f64)>,
+    out: &mut Vec<SkylineRoute>,
+) {
+    if pos == pq.len() {
+        let pois: Vec<VertexId> = chosen.iter().map(|&(v, _)| v).collect();
+        let sim_product: f64 = chosen.iter().map(|&(_, s)| s).product();
+        out.push(SkylineRoute {
+            pois,
+            length: Cost::new(length),
+            semantic: 1.0 - sim_product,
+        });
+        return;
+    }
+    let position = &pq.positions[pos];
+    for &p in &position.semantic {
+        if !position.allow_revisit && chosen.iter().any(|&(v, _)| v == p) {
+            continue;
+        }
+        let hop = if pos == 0 {
+            start_dist[p.index()]
+        } else {
+            dist_from[&chosen[pos - 1].0 .0][p.index()]
+        };
+        if !hop.is_finite() {
+            continue;
+        }
+        let sim = position.sim_of(ctx, p);
+        debug_assert!(sim > 0.0);
+        chosen.push((p, sim));
+        enumerate(ctx, pq, start_dist, dist_from, pos + 1, length + hop, chosen, out);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::PaperExample;
+
+    #[test]
+    fn oracle_matches_hand_computed_paper_skyline() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let pq = ex.prepared(&ctx);
+        let routes = naive_skysr(&ctx, &pq, DEFAULT_CANDIDATE_LIMIT);
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].length, Cost::new(11.0));
+        assert_eq!(routes[0].semantic, 0.5);
+        assert_eq!(routes[1].length, Cost::new(13.0));
+        assert_eq!(routes[1].semantic, 0.0);
+    }
+
+    #[test]
+    fn oracle_agrees_with_bssr_on_fixture() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let pq = ex.prepared(&ctx);
+        let oracle = naive_skysr(&ctx, &pq, DEFAULT_CANDIDATE_LIMIT);
+        let bssr = crate::bssr::Bssr::new(&ctx).run_prepared(&pq);
+        assert_eq!(oracle, bssr.routes);
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle instance too large")]
+    fn oracle_refuses_large_instances() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let pq = ex.prepared(&ctx);
+        naive_skysr(&ctx, &pq, 2);
+    }
+}

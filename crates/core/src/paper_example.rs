@@ -1,0 +1,196 @@
+//! The running example of Figure 1 / Example 1.1 / §5.5 as a test fixture.
+//!
+//! The paper's figure fixes the qualitative structure (which PoI carries
+//! which category, which routes win) and the trace in §5.5 pins several
+//! concrete numbers: NNinit finds `⟨p2, p5, p8⟩` with length 15 and
+//! `⟨p2, p5, p7⟩` with length 12, and the final skyline is
+//! `{⟨p10, p12, p13⟩, ⟨p6, p9, p8⟩}`. The edge weights below realise all
+//! of those constraints, so golden tests can replay the paper's trace:
+//!
+//! * categories — Asian: p2, p10; Italian: p1, p6, p11;
+//!   A&E: p5, p9, p12; Gift: p8, p13; Hobby: p3, p4, p7;
+//! * query — ⟨Asian restaurant, A&E, Gift shop⟩ from `v_q`;
+//! * NNinit: nearest perfect Asian is p2 (6), then p5 (4); on the last leg
+//!   it finds the Hobby shop p7 (semantic, total 12) before the Gift shop
+//!   p8 (perfect, total 15) — Example 5.6 verbatim;
+//! * final skyline: perfect route ⟨p10, p12, p13⟩ (length 13, semantic 0)
+//!   and ⟨p6, p9, p8⟩ (length 11, semantic 0.5) — Table 4, step 12.
+
+use skysr_category::{CategoryForest, CategoryId, ForestBuilder};
+use skysr_graph::{GraphBuilder, RoadNetwork, VertexId};
+
+use crate::context::QueryContext;
+use crate::poi::PoiTable;
+use crate::prepared::PreparedQuery;
+use crate::query::SkySrQuery;
+
+/// The Figure 1 fixture.
+pub struct PaperExample {
+    /// Road network (vertex 0 is `v_q`, vertices 1–13 are p1–p13).
+    pub graph: RoadNetwork,
+    /// Forest: Food {Asian, Italian}, Shop&Service {Gift, Hobby}, A&E.
+    pub forest: CategoryForest,
+    /// PoI associations.
+    pub pois: PoiTable,
+    /// The start vertex `v_q`.
+    pub vq: VertexId,
+    asian: CategoryId,
+    arts: CategoryId,
+    gift: CategoryId,
+}
+
+impl Default for PaperExample {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PaperExample {
+    /// Builds the fixture.
+    pub fn new() -> PaperExample {
+        let mut fb = ForestBuilder::new();
+        let food = fb.add_root("Food");
+        let asian = fb.add_child(food, "Asian Restaurant");
+        let italian = fb.add_child(food, "Italian Restaurant");
+        let shop = fb.add_root("Shop & Service");
+        let gift = fb.add_child(shop, "Gift Shop");
+        let hobby = fb.add_child(shop, "Hobby Shop");
+        let arts = fb.add_root("Arts & Entertainment");
+        let forest = fb.build();
+
+        let mut gb = GraphBuilder::new();
+        // Vertex 0 = vq; 1..=13 = p1..=p13.
+        for _ in 0..14 {
+            gb.add_vertex();
+        }
+        let v = |i: u32| VertexId(i);
+        let edges: &[(u32, u32, f64)] = &[
+            (0, 2, 6.0),   // vq - p2
+            (0, 10, 8.0),  // vq - p10
+            (0, 1, 7.0),   // vq - p1
+            (0, 6, 7.5),   // vq - p6
+            (0, 11, 9.0),  // vq - p11
+            (2, 5, 4.0),   // p2 - p5
+            (5, 7, 2.0),   // p5 - p7
+            (5, 8, 5.0),   // p5 - p8
+            (10, 12, 2.0), // p10 - p12
+            (12, 13, 3.0), // p12 - p13
+            (1, 9, 3.0),   // p1 - p9
+            (6, 9, 2.0),   // p6 - p9
+            (9, 8, 1.5),   // p9 - p8
+            (11, 5, 10.0), // p11 - p5
+            (9, 3, 9.0),   // p9 - p3
+            (12, 4, 9.0),  // p12 - p4
+        ];
+        for &(a, b, w) in edges {
+            gb.add_edge(v(a), v(b), w);
+        }
+        let graph = gb.build();
+
+        let mut pois = PoiTable::new(graph.num_vertices());
+        for i in [2u32, 10] {
+            pois.add_poi(v(i), asian);
+        }
+        for i in [1u32, 6, 11] {
+            pois.add_poi(v(i), italian);
+        }
+        for i in [5u32, 9, 12] {
+            pois.add_poi(v(i), arts);
+        }
+        for i in [8u32, 13] {
+            pois.add_poi(v(i), gift);
+        }
+        for i in [3u32, 4, 7] {
+            pois.add_poi(v(i), hobby);
+        }
+        pois.finalize(&forest);
+
+        PaperExample { graph, forest, pois, vq: VertexId(0), asian, arts, gift }
+    }
+
+    /// PoI vertex `p_i` (1-based, as in the paper).
+    pub fn p(&self, i: u32) -> VertexId {
+        assert!((1..=13).contains(&i));
+        VertexId(i)
+    }
+
+    /// Query context over the fixture.
+    pub fn context(&self) -> QueryContext<'_> {
+        QueryContext::new(&self.graph, &self.forest, &self.pois)
+    }
+
+    /// The Example 1.1 query: ⟨Asian restaurant, A&E, Gift shop⟩ from vq.
+    pub fn query(&self) -> SkySrQuery {
+        SkySrQuery::new(self.vq, [self.asian, self.arts, self.gift])
+    }
+
+    /// Prepared form of [`PaperExample::query`].
+    pub fn prepared(&self, ctx: &QueryContext<'_>) -> PreparedQuery {
+        PreparedQuery::prepare(ctx, &self.query()).expect("fixture query is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysr_graph::dijkstra::dijkstra;
+    use skysr_graph::{Cost, DijkstraWorkspace};
+
+    #[test]
+    fn fixture_is_connected_and_sized() {
+        let ex = PaperExample::new();
+        assert_eq!(ex.graph.num_vertices(), 14);
+        assert!(skysr_graph::connectivity::is_connected(&ex.graph));
+        assert_eq!(ex.pois.num_pois(), 13);
+    }
+
+    #[test]
+    fn distances_match_trace() {
+        let ex = PaperExample::new();
+        let mut ws = DijkstraWorkspace::new(ex.graph.num_vertices());
+        dijkstra(&ex.graph, &mut ws, ex.vq);
+        // NNinit's first leg: p2 at 6 is the closest perfect Asian.
+        assert_eq!(ws.distance(ex.p(2)), Some(Cost::new(6.0)));
+        assert_eq!(ws.distance(ex.p(10)), Some(Cost::new(8.0)));
+        // Lengths of the two skyline routes.
+        // ⟨p10, p12, p13⟩: 8 + 2 + 3 = 13.
+        // ⟨p6, p9, p8⟩: 7.5 + 2 + 1.5 = 11.
+        assert_eq!(ws.distance(ex.p(6)), Some(Cost::new(7.5)));
+    }
+
+    #[test]
+    fn position_sets_match_figure1() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let pq = ex.prepared(&ctx);
+        // P1 (restaurants) = {p1, p2, p6, p10, p11} — Example 5.10.
+        let p1: Vec<u32> = pq.positions[0].semantic.iter().map(|v| v.0).collect();
+        assert_eq!(p1, vec![1, 2, 6, 10, 11]);
+        // P2 (A&E) = {p5, p9, p12}.
+        let p2: Vec<u32> = pq.positions[1].semantic.iter().map(|v| v.0).collect();
+        assert_eq!(p2, vec![5, 9, 12]);
+        // P3 (shops) = {p3, p4, p7, p8, p13}.
+        let p3: Vec<u32> = pq.positions[2].semantic.iter().map(|v| v.0).collect();
+        assert_eq!(p3, vec![3, 4, 7, 8, 13]);
+        // Perfect sets.
+        let perf1: Vec<u32> = pq.positions[0].perfect.iter().map(|v| v.0).collect();
+        assert_eq!(perf1, vec![2, 10]);
+        let perf3: Vec<u32> = pq.positions[2].perfect.iter().map(|v| v.0).collect();
+        assert_eq!(perf3, vec![8, 13]);
+    }
+
+    #[test]
+    fn similarity_structure() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let pq = ex.prepared(&ctx);
+        // Italian vs Asian: Wu–Palmer siblings under Food → 0.5.
+        assert_eq!(pq.positions[0].sim_of(&ctx, ex.p(6)), 0.5);
+        assert_eq!(pq.positions[0].sim_of(&ctx, ex.p(2)), 1.0);
+        // Hobby vs Gift → 0.5.
+        assert_eq!(pq.positions[2].sim_of(&ctx, ex.p(7)), 0.5);
+        // A&E is a single-node tree: only perfect matches, σ* = None.
+        assert_eq!(pq.positions[1].sigma_star, None);
+        assert_eq!(pq.positions[0].sigma_star, Some(0.5));
+    }
+}

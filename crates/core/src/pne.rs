@@ -1,0 +1,245 @@
+//! Progressive Neighbor Exploration (PNE) — the second OSR algorithm of
+//! Sharifzadeh et al. \[16\], used as the paper's `PNE` competitor.
+//!
+//! PNE builds sequenced routes by repeated incremental nearest-neighbour
+//! queries: the cheapest partial route is popped from a priority queue and
+//! spawns (a) a *child* — the route extended with the first NN of the next
+//! set from its end — and (b) a *sibling* — the same prefix with the next
+//! NN of the same set. The first complete route popped is optimal, since
+//! every enqueued cost is the exact length of a real partial route and
+//! both successors cost at least as much as their parent.
+//!
+//! NN streams (resumable Dijkstra instances) are memoised per
+//! `(source, set)` pair and shared across the whole skyline enumeration,
+//! mirroring how the published PNE amortises its k-NN searches.
+
+use std::collections::BinaryHeap;
+
+use skysr_graph::fxhash::{FxHashMap, FxHashSet};
+use skysr_graph::{Cost, ResumableDijkstra, RoadNetwork, SearchStats, VertexId};
+
+use crate::osr::OsrRoute;
+
+struct NnStream<'g> {
+    search: ResumableDijkstra<'g>,
+    found: Vec<(VertexId, Cost)>,
+    exhausted: bool,
+}
+
+impl<'g> NnStream<'g> {
+    fn new(graph: &'g RoadNetwork, source: VertexId) -> NnStream<'g> {
+        NnStream { search: ResumableDijkstra::new(graph, source), found: Vec::new(), exhausted: false }
+    }
+
+    /// Ensures at least `rank + 1` matches are materialised; returns the
+    /// match at `rank` if it exists.
+    fn nth(&mut self, set: &FxHashSet<u32>, rank: usize) -> Option<(VertexId, Cost)> {
+        while self.found.len() <= rank && !self.exhausted {
+            match self.search.next_matching(|v| set.contains(&v.0)) {
+                Some(hit) => self.found.push(hit),
+                None => self.exhausted = true,
+            }
+        }
+        self.found.get(rank).copied()
+    }
+}
+
+#[derive(Clone)]
+struct Entry {
+    length: Cost,
+    route: Vec<VertexId>,
+    /// NN rank (within its stream) of the route's last PoI.
+    rank: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.length == other.length
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.length.cmp(&self.length) // min-heap by length
+    }
+}
+
+/// PNE-based OSR solver with shared NN streams.
+pub struct PneSolver<'g> {
+    graph: &'g RoadNetwork,
+    /// Streams keyed by (source vertex, caller-chosen set key).
+    streams: FxHashMap<(u32, u64), NnStream<'g>>,
+}
+
+impl<'g> PneSolver<'g> {
+    /// New solver over `graph`.
+    pub fn new(graph: &'g RoadNetwork) -> PneSolver<'g> {
+        PneSolver { graph, streams: FxHashMap::default() }
+    }
+
+    /// Aggregated search statistics over all streams.
+    pub fn stats(&self) -> SearchStats {
+        let mut s = SearchStats::default();
+        for stream in self.streams.values() {
+            s.merge(&stream.search.stats());
+        }
+        s
+    }
+
+    /// Number of live NN streams (memory diagnostic).
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Shortest sequenced route from `start` through one member of each
+    /// `(key, set)` in order. Keys identify sets across `solve` calls so
+    /// streams can be reused; two different sets must use different keys.
+    pub fn solve(
+        &mut self,
+        start: VertexId,
+        sets: &[(u64, &FxHashSet<u32>)],
+    ) -> Option<OsrRoute> {
+        let k = sets.len();
+        assert!(k >= 1, "PNE needs at least one candidate set");
+        if sets.iter().any(|(_, s)| s.is_empty()) {
+            return None;
+        }
+        let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
+        if let Some(first) = self.nth_valid(start, sets[0], 0, &[]) {
+            let (rank, v, d) = first;
+            queue.push(Entry { length: d, route: vec![v], rank });
+        }
+        while let Some(e) = queue.pop() {
+            let stage = e.route.len();
+            if stage == k {
+                return Some(OsrRoute { pois: e.route, length: e.length });
+            }
+            // Sibling: same prefix, next NN of the same set.
+            let prefix_end = if e.route.len() >= 2 {
+                e.route[e.route.len() - 2]
+            } else {
+                start
+            };
+            let last = *e.route.last().expect("routes in the queue are non-empty");
+            let last_stream_dist = self
+                .nth_valid(prefix_end, sets[stage - 1], e.rank, &e.route[..stage - 1])
+                .map(|(_, _, d)| d)
+                .unwrap_or(Cost::ZERO);
+            if let Some((rank, v, d)) =
+                self.nth_valid(prefix_end, sets[stage - 1], e.rank + 1, &e.route[..stage - 1])
+            {
+                let mut route = e.route.clone();
+                *route.last_mut().unwrap() = v;
+                queue.push(Entry { length: e.length - last_stream_dist + d, route, rank });
+            }
+            // Child: extend with the first NN of the next set.
+            if let Some((rank, v, d)) = self.nth_valid(last, sets[stage], 0, &e.route) {
+                let mut route = e.route.clone();
+                route.push(v);
+                queue.push(Entry { length: e.length + d, route, rank });
+            }
+        }
+        None
+    }
+
+    /// `rank`-th NN of `set` from `source`, skipping PoIs already in
+    /// `exclude`. Returns (effective rank, vertex, distance).
+    fn nth_valid(
+        &mut self,
+        source: VertexId,
+        (key, set): (u64, &FxHashSet<u32>),
+        start_rank: usize,
+        exclude: &[VertexId],
+    ) -> Option<(usize, VertexId, Cost)> {
+        let stream = self
+            .streams
+            .entry((source.0, key))
+            .or_insert_with(|| NnStream::new(self.graph, source));
+        let mut rank = start_rank;
+        loop {
+            let (v, d) = stream.nth(set, rank)?;
+            if !exclude.contains(&v) {
+                return Some((rank, v, d));
+            }
+            rank += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osr::OsrSolver;
+    use crate::paper_example::PaperExample;
+
+    fn set(ids: &[u32]) -> FxHashSet<u32> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn agrees_with_osr_on_fixture_perfect_sets() {
+        let ex = PaperExample::new();
+        let asian = set(&[2, 10]);
+        let arts = set(&[5, 9, 12]);
+        let gift = set(&[8, 13]);
+        let mut pne = PneSolver::new(&ex.graph);
+        let got = pne.solve(ex.vq, &[(0, &asian), (1, &arts), (2, &gift)]).unwrap();
+        let mut osr = OsrSolver::new(ex.graph.num_vertices());
+        let want = osr.solve(&ex.graph, ex.vq, &[asian, arts, gift]).unwrap();
+        assert_eq!(got.length, want.length);
+        assert_eq!(got.pois, want.pois);
+    }
+
+    #[test]
+    fn streams_are_reused_across_solves() {
+        let ex = PaperExample::new();
+        let asian = set(&[2, 10]);
+        let arts = set(&[5, 9, 12]);
+        let mut pne = PneSolver::new(&ex.graph);
+        pne.solve(ex.vq, &[(0, &asian), (1, &arts)]).unwrap();
+        let n1 = pne.num_streams();
+        // Same sets again: no new streams.
+        pne.solve(ex.vq, &[(0, &asian), (1, &arts)]).unwrap();
+        assert_eq!(pne.num_streams(), n1);
+    }
+
+    #[test]
+    fn empty_set_is_none() {
+        let ex = PaperExample::new();
+        let empty = FxHashSet::default();
+        let mut pne = PneSolver::new(&ex.graph);
+        assert!(pne.solve(ex.vq, &[(0, &empty)]).is_none());
+    }
+
+    #[test]
+    fn distinctness_respected() {
+        use skysr_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_vertex()).collect();
+        b.add_edge(v[0], v[1], 1.0);
+        b.add_edge(v[1], v[2], 1.0);
+        let g = b.build();
+        let both = set(&[1, 2]);
+        let mut pne = PneSolver::new(&g);
+        let route = pne.solve(v[0], &[(0, &both), (0, &both)]).unwrap();
+        assert_ne!(route.pois[0], route.pois[1]);
+        assert_eq!(route.length, Cost::new(2.0));
+    }
+
+    #[test]
+    fn exhausts_to_none_when_all_candidates_used() {
+        use skysr_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..2).map(|_| b.add_vertex()).collect();
+        b.add_edge(v[0], v[1], 1.0);
+        let g = b.build();
+        let only = set(&[1]);
+        let mut pne = PneSolver::new(&g);
+        assert!(pne.solve(v[0], &[(0, &only), (0, &only)]).is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! PoI ↔ category association (the paper's `P`, `P_c`, `P_t`).
+//!
+//! A [`PoiTable`] records which graph vertices are PoIs and which
+//! category/categories each carries. Section 5 assumes one category per
+//! PoI; §6 lifts that to multiple categories, so the table stores a small
+//! list per vertex and everything downstream takes the max similarity over
+//! the list.
+//!
+//! Per the paper's association rule (§3): a PoI with category `c` is also
+//! associated with every ancestor of `c`, so `P_c` for an internal category
+//! includes all PoIs in `c`'s subtree and `P_t` is every PoI in the tree.
+
+use skysr_category::{CategoryForest, CategoryId};
+use skysr_graph::VertexId;
+
+/// Immutable-after-finalise PoI/category table.
+#[derive(Clone, Debug, Default)]
+pub struct PoiTable {
+    /// Per vertex: its categories (empty for plain road vertices).
+    cats: Vec<Vec<CategoryId>>,
+    /// Per category: PoIs whose *own* category list contains it (no
+    /// ancestor closure).
+    by_exact_category: Vec<Vec<VertexId>>,
+    /// Per tree id: every PoI associated with that tree.
+    by_tree: Vec<Vec<VertexId>>,
+    /// All PoI vertices, ascending.
+    pois: Vec<VertexId>,
+}
+
+impl PoiTable {
+    /// Creates a table for a graph of `num_vertices` vertices; PoIs are
+    /// added with [`PoiTable::add_poi`], then [`PoiTable::finalize`] builds
+    /// the per-category / per-tree indexes.
+    pub fn new(num_vertices: usize) -> PoiTable {
+        PoiTable {
+            cats: vec![Vec::new(); num_vertices],
+            by_exact_category: Vec::new(),
+            by_tree: Vec::new(),
+            pois: Vec::new(),
+        }
+    }
+
+    /// Tags vertex `v` with category `c` (repeatable for multi-category
+    /// PoIs, §6).
+    pub fn add_poi(&mut self, v: VertexId, c: CategoryId) {
+        let list = &mut self.cats[v.index()];
+        if !list.contains(&c) {
+            list.push(c);
+        }
+    }
+
+    /// Builds the category/tree indexes. Must be called (once) before
+    /// queries run.
+    pub fn finalize(&mut self, forest: &CategoryForest) {
+        self.by_exact_category = vec![Vec::new(); forest.num_categories()];
+        self.by_tree = vec![Vec::new(); forest.num_trees()];
+        self.pois.clear();
+        for (i, cats) in self.cats.iter().enumerate() {
+            if cats.is_empty() {
+                continue;
+            }
+            let v = VertexId(i as u32);
+            self.pois.push(v);
+            let mut trees_seen: Vec<u32> = Vec::with_capacity(cats.len());
+            for &c in cats {
+                assert!(
+                    c.index() < forest.num_categories(),
+                    "category {c:?} not in forest"
+                );
+                self.by_exact_category[c.index()].push(v);
+                let t = forest.tree_of(c);
+                if !trees_seen.contains(&t) {
+                    trees_seen.push(t);
+                    self.by_tree[t as usize].push(v);
+                }
+            }
+        }
+    }
+
+    /// Number of PoI vertices (the paper's |P|).
+    pub fn num_pois(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// All PoI vertices in ascending id order.
+    pub fn pois(&self) -> &[VertexId] {
+        &self.pois
+    }
+
+    /// Categories of `v` (empty slice for non-PoIs).
+    #[inline]
+    pub fn categories_of(&self, v: VertexId) -> &[CategoryId] {
+        &self.cats[v.index()]
+    }
+
+    /// Whether `v` is a PoI.
+    #[inline]
+    pub fn is_poi(&self, v: VertexId) -> bool {
+        !self.cats[v.index()].is_empty()
+    }
+
+    /// PoIs whose own category equals `c` (exact, no subtree closure).
+    pub fn pois_with_exact_category(&self, c: CategoryId) -> &[VertexId] {
+        &self.by_exact_category[c.index()]
+    }
+
+    /// The paper's `P_c`: PoIs associated with `c`, i.e. PoIs tagged with
+    /// `c` or any descendant of `c`.
+    pub fn pois_associated_with(&self, forest: &CategoryForest, c: CategoryId) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = Vec::new();
+        for d in forest.descendants_or_self(c) {
+            out.extend_from_slice(self.pois_with_exact_category(d));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The paper's `P_t`: PoIs associated with the tree containing `c`.
+    pub fn pois_in_tree_of(&self, forest: &CategoryForest, c: CategoryId) -> &[VertexId] {
+        &self.by_tree[forest.tree_of(c) as usize]
+    }
+
+    /// Histogram: number of PoIs tagged with each exact category.
+    pub fn category_histogram(&self) -> Vec<(CategoryId, usize)> {
+        self.by_exact_category
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (CategoryId(i as u32), v.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysr_category::ForestBuilder;
+
+    fn forest() -> CategoryForest {
+        let mut b = ForestBuilder::new();
+        let food = b.add_root("Food");
+        let asian = b.add_child(food, "Asian");
+        b.add_child(asian, "Sushi");
+        b.add_child(food, "Italian");
+        let shop = b.add_root("Shop");
+        b.add_child(shop, "Gift");
+        b.build()
+    }
+
+    #[test]
+    fn exact_and_associated_sets() {
+        let f = forest();
+        let sushi = f.by_name("Sushi").unwrap();
+        let asian = f.by_name("Asian").unwrap();
+        let food = f.by_name("Food").unwrap();
+        let mut t = PoiTable::new(10);
+        t.add_poi(VertexId(1), sushi);
+        t.add_poi(VertexId(2), asian);
+        t.add_poi(VertexId(3), f.by_name("Italian").unwrap());
+        t.finalize(&f);
+
+        assert_eq!(t.num_pois(), 3);
+        assert_eq!(t.pois_with_exact_category(sushi), &[VertexId(1)]);
+        assert_eq!(t.pois_with_exact_category(asian), &[VertexId(2)]);
+        // P_Asian includes the sushi PoI (descendant).
+        assert_eq!(t.pois_associated_with(&f, asian), vec![VertexId(1), VertexId(2)]);
+        // P_Food includes everything in the food tree.
+        assert_eq!(
+            t.pois_associated_with(&f, food),
+            vec![VertexId(1), VertexId(2), VertexId(3)]
+        );
+    }
+
+    #[test]
+    fn tree_sets() {
+        let f = forest();
+        let sushi = f.by_name("Sushi").unwrap();
+        let gift = f.by_name("Gift").unwrap();
+        let mut t = PoiTable::new(5);
+        t.add_poi(VertexId(0), sushi);
+        t.add_poi(VertexId(4), gift);
+        t.finalize(&f);
+        assert_eq!(t.pois_in_tree_of(&f, sushi), &[VertexId(0)]);
+        assert_eq!(t.pois_in_tree_of(&f, gift), &[VertexId(4)]);
+    }
+
+    #[test]
+    fn multi_category_poi_appears_in_both_trees() {
+        let f = forest();
+        let sushi = f.by_name("Sushi").unwrap();
+        let gift = f.by_name("Gift").unwrap();
+        let mut t = PoiTable::new(3);
+        t.add_poi(VertexId(1), sushi);
+        t.add_poi(VertexId(1), gift);
+        t.finalize(&f);
+        assert_eq!(t.num_pois(), 1);
+        assert_eq!(t.categories_of(VertexId(1)), &[sushi, gift]);
+        assert_eq!(t.pois_in_tree_of(&f, sushi), &[VertexId(1)]);
+        assert_eq!(t.pois_in_tree_of(&f, gift), &[VertexId(1)]);
+    }
+
+    #[test]
+    fn duplicate_tagging_is_idempotent() {
+        let f = forest();
+        let gift = f.by_name("Gift").unwrap();
+        let mut t = PoiTable::new(2);
+        t.add_poi(VertexId(0), gift);
+        t.add_poi(VertexId(0), gift);
+        t.finalize(&f);
+        assert_eq!(t.categories_of(VertexId(0)).len(), 1);
+        assert_eq!(t.pois_with_exact_category(gift).len(), 1);
+    }
+
+    #[test]
+    fn non_poi_vertices_report_empty() {
+        let f = forest();
+        let mut t = PoiTable::new(2);
+        t.finalize(&f);
+        assert!(!t.is_poi(VertexId(0)));
+        assert!(t.categories_of(VertexId(1)).is_empty());
+        assert_eq!(t.num_pois(), 0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let f = forest();
+        let gift = f.by_name("Gift").unwrap();
+        let mut t = PoiTable::new(4);
+        t.add_poi(VertexId(0), gift);
+        t.add_poi(VertexId(1), gift);
+        t.finalize(&f);
+        let h = t.category_histogram();
+        assert_eq!(h[gift.index()].1, 2);
+    }
+}

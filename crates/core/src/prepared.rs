@@ -1,0 +1,357 @@
+//! Per-query preprocessing: dense similarity tables and candidate PoI sets.
+//!
+//! Before any search runs, each position of the category sequence is
+//! compiled into a [`Position`]: an O(1) similarity oracle for vertices
+//! plus the materialised candidate sets `P_c` (perfect matches) and `P_t`
+//! (semantic matches) that NNinit, the minimum-distance bounds and the OSR
+//! baselines consume. Plain-category positions resolve through a dense
+//! per-category table; complex requirements (§6) precompute a per-vertex
+//! map by scanning the PoI list once.
+
+use skysr_category::similarity::SimilarityTable;
+use skysr_graph::fxhash::FxHashMap;
+use skysr_graph::VertexId;
+
+use crate::context::QueryContext;
+use crate::error::QueryError;
+use crate::query::{PositionSpec, SkySrQuery};
+
+#[derive(Debug)]
+enum PositionKind {
+    /// Dense `sim(query category, c)` per category id.
+    ByCategory(SimilarityTable),
+    /// Per-vertex similarity for complex requirements.
+    PerVertex(FxHashMap<u32, f64>),
+}
+
+/// One compiled position of the sequence.
+#[derive(Debug)]
+pub struct Position {
+    kind: PositionKind,
+    /// PoIs that perfectly match this position (the paper's `P_c`).
+    pub perfect: Vec<VertexId>,
+    /// PoIs that semantically match this position (the paper's `P_t`).
+    pub semantic: Vec<VertexId>,
+    /// σ\*: the best non-perfect similarity reachable at this position
+    /// (drives the minimum semantic increment δ of Lemma 5.8).
+    pub sigma_star: Option<f64>,
+    /// Category trees this position can match (used to decide whether the
+    /// Lemma 5.5 path-similarity pruning is sound for it — see
+    /// `bssr::Bssr`).
+    pub trees: Vec<u32>,
+    /// Whether this position may revisit a vertex already in the route
+    /// (used by the destination variant's pseudo-position; always `false`
+    /// for real PoI positions per Definition 3.4(iii)).
+    pub allow_revisit: bool,
+}
+
+impl Position {
+    /// Similarity of vertex `v` to this position (0 for non-matching
+    /// vertices and non-PoIs).
+    #[inline]
+    pub fn sim_of(&self, ctx: &QueryContext<'_>, v: VertexId) -> f64 {
+        match &self.kind {
+            PositionKind::ByCategory(table) => {
+                let mut best = 0.0f64;
+                for &c in ctx.pois.categories_of(v) {
+                    let s = table.sim(c);
+                    if s > best {
+                        best = s;
+                    }
+                }
+                best
+            }
+            PositionKind::PerVertex(map) => map.get(&v.0).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Whether `v` perfectly matches this position.
+    #[inline]
+    pub fn is_perfect(&self, ctx: &QueryContext<'_>, v: VertexId) -> bool {
+        self.sim_of(ctx, v) >= 1.0
+    }
+
+    /// Builds the destination pseudo-position: exactly one "PoI" (`dest`)
+    /// with similarity 1, revisits allowed.
+    pub fn destination(dest: VertexId) -> Position {
+        let mut map = FxHashMap::default();
+        map.insert(dest.0, 1.0);
+        Position {
+            kind: PositionKind::PerVertex(map),
+            perfect: vec![dest],
+            semantic: vec![dest],
+            sigma_star: None,
+            trees: Vec::new(),
+            allow_revisit: true,
+        }
+    }
+}
+
+/// A fully compiled query, ready for any of the search algorithms.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// Start vertex.
+    pub start: VertexId,
+    /// Compiled positions, in sequence order.
+    pub positions: Vec<Position>,
+}
+
+impl PreparedQuery {
+    /// Compiles `query` against `ctx`, validating ids.
+    pub fn prepare(ctx: &QueryContext<'_>, query: &SkySrQuery) -> Result<PreparedQuery, QueryError> {
+        if query.is_empty() {
+            return Err(QueryError::EmptySequence);
+        }
+        if query.start.index() >= ctx.graph.num_vertices() {
+            return Err(QueryError::UnknownStart(query.start));
+        }
+        let positions = query
+            .sequence
+            .iter()
+            .map(|spec| Self::compile_position(ctx, spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PreparedQuery { start: query.start, positions })
+    }
+
+    fn compile_position(
+        ctx: &QueryContext<'_>,
+        spec: &PositionSpec,
+    ) -> Result<Position, QueryError> {
+        match spec {
+            PositionSpec::Category(c) => {
+                if c.index() >= ctx.forest.num_categories() {
+                    return Err(QueryError::UnknownCategory(*c));
+                }
+                let table = SimilarityTable::build(ctx.forest, &DynSim(ctx.similarity), *c);
+                let mut perfect = Vec::new();
+                let mut semantic = Vec::new();
+                let mut sigma_star: Option<f64> = None;
+                for &p in ctx.pois.pois_in_tree_of(ctx.forest, *c) {
+                    let mut best = 0.0f64;
+                    for &pc in ctx.pois.categories_of(p) {
+                        let s = table.sim(pc);
+                        if s > best {
+                            best = s;
+                        }
+                    }
+                    if best <= 0.0 {
+                        continue;
+                    }
+                    semantic.push(p);
+                    if best >= 1.0 {
+                        perfect.push(p);
+                    } else if sigma_star.is_none_or(|b| best > b) {
+                        sigma_star = Some(best);
+                    }
+                }
+                Ok(Position {
+                    kind: PositionKind::ByCategory(table),
+                    perfect,
+                    semantic,
+                    sigma_star,
+                    trees: vec![ctx.forest.tree_of(*c)],
+                    allow_revisit: false,
+                })
+            }
+            PositionSpec::Requirement(req) => {
+                for c in req.referenced_categories() {
+                    if c.index() >= ctx.forest.num_categories() {
+                        return Err(QueryError::UnknownCategory(c));
+                    }
+                }
+                let mut map = FxHashMap::default();
+                let mut perfect = Vec::new();
+                let mut semantic = Vec::new();
+                let mut sigma_star: Option<f64> = None;
+                for &p in ctx.pois.pois() {
+                    let s = req.similarity(
+                        ctx.forest,
+                        &DynSim(ctx.similarity),
+                        ctx.pois.categories_of(p),
+                    );
+                    if s <= 0.0 {
+                        continue;
+                    }
+                    map.insert(p.0, s);
+                    semantic.push(p);
+                    if s >= 1.0 {
+                        perfect.push(p);
+                    } else if sigma_star.is_none_or(|b| s > b) {
+                        sigma_star = Some(s);
+                    }
+                }
+                let mut trees: Vec<u32> =
+                    req.referenced_categories().iter().map(|&c| ctx.forest.tree_of(c)).collect();
+                trees.sort_unstable();
+                trees.dedup();
+                Ok(Position {
+                    kind: PositionKind::PerVertex(map),
+                    perfect,
+                    semantic,
+                    sigma_star,
+                    trees,
+                    allow_revisit: false,
+                })
+            }
+        }
+    }
+
+    /// |S_q|.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Always false: `prepare` rejects empty sequences.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Index of the first position with no semantically matching PoI, if
+    /// any — such queries have an empty answer and searches short-circuit.
+    pub fn unmatchable_position(&self) -> Option<usize> {
+        self.positions.iter().position(|p| p.semantic.is_empty())
+    }
+}
+
+/// Adapter: `&dyn Similarity` as a `Similarity`.
+struct DynSim<'a>(&'a dyn skysr_category::Similarity);
+
+impl skysr_category::Similarity for DynSim<'_> {
+    fn sim(
+        &self,
+        forest: &skysr_category::CategoryForest,
+        a: skysr_category::CategoryId,
+        b: skysr_category::CategoryId,
+    ) -> f64 {
+        self.0.sim(forest, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poi::PoiTable;
+    use skysr_category::{ForestBuilder, Requirement};
+    use skysr_graph::GraphBuilder;
+
+    struct Fixture {
+        graph: skysr_graph::RoadNetwork,
+        forest: skysr_category::CategoryForest,
+        pois: PoiTable,
+    }
+
+    fn fixture() -> Fixture {
+        // Vertices 0..5; PoIs: 1 = Asian, 2 = Italian, 3 = Gift, 4 = Asian.
+        let mut gb = GraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|_| gb.add_vertex()).collect();
+        for w in vs.windows(2) {
+            gb.add_edge(w[0], w[1], 1.0);
+        }
+        let graph = gb.build();
+        let mut fb = ForestBuilder::new();
+        let food = fb.add_root("Food");
+        let asian = fb.add_child(food, "Asian");
+        let italian = fb.add_child(food, "Italian");
+        let shop = fb.add_root("Shop");
+        let gift = fb.add_child(shop, "Gift");
+        let forest = fb.build();
+        let mut pois = PoiTable::new(graph.num_vertices());
+        pois.add_poi(VertexId(1), asian);
+        pois.add_poi(VertexId(2), italian);
+        pois.add_poi(VertexId(3), gift);
+        pois.add_poi(VertexId(4), asian);
+        pois.finalize(&forest);
+        Fixture { graph, forest, pois }
+    }
+
+    #[test]
+    fn category_position_sets_and_sims() {
+        let fx = fixture();
+        let ctx = QueryContext::new(&fx.graph, &fx.forest, &fx.pois);
+        let asian = fx.forest.by_name("Asian").unwrap();
+        let q = SkySrQuery::new(VertexId(0), [asian]);
+        let pq = PreparedQuery::prepare(&ctx, &q).unwrap();
+        let pos = &pq.positions[0];
+        assert_eq!(pos.perfect, vec![VertexId(1), VertexId(4)]);
+        assert_eq!(pos.semantic, vec![VertexId(1), VertexId(2), VertexId(4)]);
+        assert_eq!(pos.sim_of(&ctx, VertexId(1)), 1.0);
+        assert_eq!(pos.sim_of(&ctx, VertexId(2)), 0.5); // Wu–Palmer siblings
+        assert_eq!(pos.sim_of(&ctx, VertexId(3)), 0.0); // other tree
+        assert_eq!(pos.sim_of(&ctx, VertexId(0)), 0.0); // not a PoI
+        // σ*: best non-perfect similarity with actual PoIs = 0.5 (Italian).
+        assert_eq!(pos.sigma_star, Some(0.5));
+        assert!(pos.is_perfect(&ctx, VertexId(4)));
+        assert!(!pos.allow_revisit);
+    }
+
+    #[test]
+    fn requirement_position() {
+        let fx = fixture();
+        let ctx = QueryContext::new(&fx.graph, &fx.forest, &fx.pois);
+        let asian = fx.forest.by_name("Asian").unwrap();
+        let italian = fx.forest.by_name("Italian").unwrap();
+        let req = Requirement::any_of([asian, italian]);
+        let q = SkySrQuery::with_positions(VertexId(0), [PositionSpec::Requirement(req)]);
+        let pq = PreparedQuery::prepare(&ctx, &q).unwrap();
+        let pos = &pq.positions[0];
+        // Both Asian and Italian PoIs now match perfectly.
+        assert_eq!(pos.perfect, vec![VertexId(1), VertexId(2), VertexId(4)]);
+        assert_eq!(pos.sim_of(&ctx, VertexId(2)), 1.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let fx = fixture();
+        let ctx = QueryContext::new(&fx.graph, &fx.forest, &fx.pois);
+        let asian = fx.forest.by_name("Asian").unwrap();
+        assert_eq!(
+            PreparedQuery::prepare(&ctx, &SkySrQuery::new(VertexId(99), [asian])).unwrap_err(),
+            QueryError::UnknownStart(VertexId(99))
+        );
+        assert_eq!(
+            PreparedQuery::prepare(&ctx, &SkySrQuery::new(VertexId(0), [])).unwrap_err(),
+            QueryError::EmptySequence
+        );
+        assert_eq!(
+            PreparedQuery::prepare(
+                &ctx,
+                &SkySrQuery::new(VertexId(0), [skysr_category::CategoryId(999)])
+            )
+            .unwrap_err(),
+            QueryError::UnknownCategory(skysr_category::CategoryId(999))
+        );
+    }
+
+    #[test]
+    fn unmatchable_position_detected() {
+        let fx = fixture();
+        let ctx = QueryContext::new(&fx.graph, &fx.forest, &fx.pois);
+        let shop_root = fx.forest.by_name("Shop").unwrap();
+        let asian = fx.forest.by_name("Asian").unwrap();
+        // Shop tree has a Gift PoI → matchable; Food tree fine too.
+        let q = SkySrQuery::new(VertexId(0), [asian, shop_root]);
+        let pq = PreparedQuery::prepare(&ctx, &q).unwrap();
+        assert_eq!(pq.unmatchable_position(), None);
+        // A forest category with no PoIs anywhere in its tree:
+        let mut fb = ForestBuilder::new();
+        let lonely = fb.add_root("Lonely");
+        let forest2 = fb.build();
+        let mut pois2 = PoiTable::new(fx.graph.num_vertices());
+        pois2.finalize(&forest2);
+        let ctx2 = QueryContext::new(&fx.graph, &forest2, &pois2);
+        let q2 = SkySrQuery::new(VertexId(0), [lonely]);
+        let pq2 = PreparedQuery::prepare(&ctx2, &q2).unwrap();
+        assert_eq!(pq2.unmatchable_position(), Some(0));
+    }
+
+    #[test]
+    fn destination_pseudo_position() {
+        let fx = fixture();
+        let ctx = QueryContext::new(&fx.graph, &fx.forest, &fx.pois);
+        let pos = Position::destination(VertexId(2));
+        assert_eq!(pos.sim_of(&ctx, VertexId(2)), 1.0);
+        assert_eq!(pos.sim_of(&ctx, VertexId(1)), 0.0);
+        assert!(pos.allow_revisit);
+        assert_eq!(pos.perfect, vec![VertexId(2)]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Query specification: start point + category sequence.
+
+use skysr_category::{CategoryId, Requirement};
+use skysr_graph::VertexId;
+
+/// One position of the category sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PositionSpec {
+    /// A plain category (Definition 3.1) — the fast path used by all
+    /// experiments.
+    Category(CategoryId),
+    /// A complex requirement (§6): conjunction / disjunction / negation.
+    Requirement(Requirement),
+}
+
+impl From<CategoryId> for PositionSpec {
+    fn from(c: CategoryId) -> PositionSpec {
+        PositionSpec::Category(c)
+    }
+}
+
+impl From<Requirement> for PositionSpec {
+    fn from(r: Requirement) -> PositionSpec {
+        PositionSpec::Requirement(r)
+    }
+}
+
+/// A SkySR query: "starting from `start`, visit something matching each
+/// position of `sequence`, in order" (Definition 4.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkySrQuery {
+    /// Start vertex `v_q`.
+    pub start: VertexId,
+    /// Category sequence `S_q`.
+    pub sequence: Vec<PositionSpec>,
+}
+
+impl SkySrQuery {
+    /// Query over plain categories.
+    pub fn new(start: VertexId, categories: impl IntoIterator<Item = CategoryId>) -> SkySrQuery {
+        SkySrQuery {
+            start,
+            sequence: categories.into_iter().map(PositionSpec::Category).collect(),
+        }
+    }
+
+    /// Query over arbitrary position specs.
+    pub fn with_positions(
+        start: VertexId,
+        positions: impl IntoIterator<Item = PositionSpec>,
+    ) -> SkySrQuery {
+        SkySrQuery { start, sequence: positions.into_iter().collect() }
+    }
+
+    /// |S_q|.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Whether the sequence is empty (an invalid query).
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let q = SkySrQuery::new(VertexId(3), [CategoryId(1), CategoryId(2)]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.start, VertexId(3));
+        assert!(!q.is_empty());
+        assert!(matches!(q.sequence[0], PositionSpec::Category(CategoryId(1))));
+    }
+
+    #[test]
+    fn from_impls() {
+        let p: PositionSpec = CategoryId(4).into();
+        assert_eq!(p, PositionSpec::Category(CategoryId(4)));
+        let r: PositionSpec = Requirement::category(CategoryId(4)).into();
+        assert!(matches!(r, PositionSpec::Requirement(_)));
+    }
+}

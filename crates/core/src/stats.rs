@@ -1,0 +1,79 @@
+//! Per-query instrumentation — the raw material for Tables 7–8 and
+//! Figures 4–5.
+
+use std::time::Duration;
+
+use skysr_graph::SearchStats;
+
+/// Counters and timings for one SkySR query execution.
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Number of modified-Dijkstra executions actually run (cache misses).
+    pub mdijkstra_runs: u64,
+    /// Number of modified-Dijkstra invocations answered by the on-the-fly
+    /// cache.
+    pub cache_hits: u64,
+    /// Aggregate graph-search counters (settled / relaxed / weight sum).
+    pub search: SearchStats,
+    /// Weight sum of the *first* modified Dijkstra execution — Table 7's
+    /// "search space" metric.
+    pub first_mdijkstra_weight_sum: f64,
+    /// Number of sequenced routes found by the initial search (Table 7).
+    pub init_routes: usize,
+    /// Wall time of the initial search (Table 7).
+    pub init_time: Duration,
+    /// Table 7's "Ratio": length of the initial route with the largest
+    /// semantic score divided by the length of the initial perfect route.
+    pub init_length_ratio: Option<f64>,
+    /// Per-gap semantic-match minimum distances `ls[i]` (Figure 4).
+    pub ls: Vec<f64>,
+    /// Per-gap perfect-match minimum distances `lp[i]` (Figure 4).
+    pub lp: Vec<f64>,
+    /// Routes pushed into the route priority queue.
+    pub routes_enqueued: u64,
+    /// Maximum size the route queue reached.
+    pub queue_peak: usize,
+    /// Candidate routes discarded by the threshold test (Lemma 5.3).
+    pub threshold_prunes: u64,
+    /// Candidate routes discarded by the minimum-distance lower bounds
+    /// (§5.3.3 / Lemma 5.8).
+    pub lower_bound_prunes: u64,
+    /// Total wall time of the query.
+    pub total_time: Duration,
+}
+
+impl QueryStats {
+    /// Sum of ls over remaining gaps (diagnostic).
+    pub fn ls_total(&self) -> f64 {
+        self.ls.iter().sum()
+    }
+
+    /// Sum of lp over remaining gaps (diagnostic).
+    pub fn lp_total(&self) -> f64 {
+        self.lp.iter().sum()
+    }
+
+    /// Total modified-Dijkstra invocations (runs + cache hits) — Figure 5's
+    /// y-axis counts runs only, the invocation count shows the gap.
+    pub fn mdijkstra_invocations(&self) -> u64 {
+        self.mdijkstra_runs + self.cache_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = QueryStats { ls: vec![1.0, 2.0], lp: vec![3.0], ..Default::default() };
+        assert_eq!(s.ls_total(), 3.0);
+        assert_eq!(s.lp_total(), 3.0);
+    }
+
+    #[test]
+    fn invocation_count() {
+        let s = QueryStats { mdijkstra_runs: 5, cache_hits: 3, ..Default::default() };
+        assert_eq!(s.mdijkstra_invocations(), 8);
+    }
+}

@@ -1,0 +1,20 @@
+//! Variations and extensions of the SkySR query (paper §6).
+//!
+//! * [`destination`] — SkySR with a fixed destination: the route's length
+//!   additionally covers the leg from the last PoI to the destination.
+//! * [`unordered`] — skyline trip planning without category order: visit
+//!   one PoI per category, any order.
+//! * [`rated`] — the §9 multi-attribute extension: a third skyline axis
+//!   scoring PoI ratings.
+//! * [`skyband`] — the k-skyband relaxation: routes dominated by fewer
+//!   than k others (k = 1 ⇔ the SkySR query).
+//!
+//! The other §6 variations need no dedicated module: directed graphs work
+//! by building the [`skysr_graph::GraphBuilder`] with `directed()`, PoIs
+//! with multiple categories are native to [`crate::PoiTable`], and complex
+//! category requirements are [`crate::query::PositionSpec::Requirement`].
+
+pub mod destination;
+pub mod rated;
+pub mod skyband;
+pub mod unordered;

@@ -1,0 +1,429 @@
+//! Multi-attribute SkySR: length × semantics × PoI **ratings** — the
+//! extension the paper sketches in §9 ("the SkySR query … could be
+//! extended to consider many attributes of a PoI (e.g., text, keywords,
+//! and ratings)"), with the rating treatment of the *personalized
+//! sequenced route* work it cites \[4\].
+//!
+//! Each PoI carries a quality rating in `[0, 1]`. A route's **rating
+//! score** is the mean rating *deficit* `(Σ (1 − rating(p_i))) / |S_q|` —
+//! 0 when every stop is top-rated, approaching 1 for all-bottom routes —
+//! so all three scores share the "smaller is better" orientation and the
+//! skyline generalises to 3-way dominance.
+//!
+//! The search is BSSR's branch-and-bound with a 3-D skyline set: a partial
+//! route's scores are lower bounds for any completion (length grows,
+//! semantic product shrinks, rating deficit only accumulates), so the
+//! threshold prune of Lemma 5.3 carries over with
+//! `l̄(s, r) = min { l(R') | s(R') ≤ s, r(R') ≤ r }`. The Lemma 5.5
+//! path-similarity shortcuts do *not* carry over (a lower-similarity PoI
+//! on the path may have a better rating) and stay off; exactness is
+//! property-tested against an exhaustive oracle.
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use skysr_graph::{dijkstra_with, Cost, DijkstraWorkspace, Settle, VertexId};
+
+use crate::context::QueryContext;
+use crate::error::QueryError;
+use crate::prepared::PreparedQuery;
+use crate::query::SkySrQuery;
+use crate::route::{approx_le, PartialRoute};
+use crate::stats::QueryStats;
+
+/// Per-vertex PoI ratings in `[0, 1]` (1 = best). Non-PoI entries are
+/// ignored.
+#[derive(Clone, Debug)]
+pub struct RatingTable {
+    ratings: Vec<f64>,
+}
+
+impl RatingTable {
+    /// Builds a table for `num_vertices` vertices, all rated `default`.
+    pub fn new(num_vertices: usize, default: f64) -> RatingTable {
+        assert!((0.0..=1.0).contains(&default));
+        RatingTable { ratings: vec![default; num_vertices] }
+    }
+
+    /// Sets the rating of vertex `v`.
+    pub fn set(&mut self, v: VertexId, rating: f64) {
+        assert!((0.0..=1.0).contains(&rating), "rating {rating} out of range");
+        self.ratings[v.index()] = rating;
+    }
+
+    /// Rating of vertex `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> f64 {
+        self.ratings[v.index()]
+    }
+}
+
+/// A route scored on all three axes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatedRoute {
+    /// PoIs in visiting order.
+    pub pois: Vec<VertexId>,
+    /// Length score.
+    pub length: Cost,
+    /// Semantic score.
+    pub semantic: f64,
+    /// Rating-deficit score (0 = all stops top-rated).
+    pub rating: f64,
+}
+
+impl RatedRoute {
+    /// 3-way dominance: at least as good everywhere, strictly better
+    /// somewhere (epsilon-aware like the 2-D case).
+    pub fn dominates(&self, other: &RatedRoute) -> bool {
+        let le = approx_le(self.length.get(), other.length.get())
+            && approx_le(self.semantic, other.semantic)
+            && approx_le(self.rating, other.rating);
+        let ge = approx_le(other.length.get(), self.length.get())
+            && approx_le(other.semantic, self.semantic)
+            && approx_le(other.rating, self.rating);
+        le && !ge
+    }
+}
+
+/// Minimal 3-D skyline set.
+#[derive(Clone, Debug, Default)]
+struct RatedSkyline {
+    routes: Vec<RatedRoute>,
+}
+
+impl RatedSkyline {
+    fn dominated_or_equal(&self, l: Cost, s: f64, r: f64) -> bool {
+        self.routes.iter().any(|x| {
+            approx_le(x.length.get(), l.get()) && approx_le(x.semantic, s) && approx_le(x.rating, r)
+        })
+    }
+
+    fn update(&mut self, route: RatedRoute) -> bool {
+        if self.dominated_or_equal(route.length, route.semantic, route.rating) {
+            return false;
+        }
+        self.routes.retain(|x| {
+            !(approx_le(route.length.get(), x.length.get())
+                && approx_le(route.semantic, x.semantic)
+                && approx_le(route.rating, x.rating))
+        });
+        self.routes.push(route);
+        true
+    }
+
+    /// `l̄(s, r)`: Lemma 5.3 threshold generalised to three criteria.
+    fn threshold(&self, s: f64, r: f64) -> Cost {
+        self.routes
+            .iter()
+            .filter(|x| x.semantic <= s && x.rating <= r)
+            .map(|x| x.length)
+            .min()
+            .unwrap_or(Cost::INFINITY)
+    }
+}
+
+/// A SkySR query additionally scored on PoI ratings.
+#[derive(Clone, Debug)]
+pub struct RatedQuery {
+    /// The underlying start + category sequence.
+    pub query: SkySrQuery,
+}
+
+/// Result of a rated query.
+#[derive(Clone, Debug)]
+pub struct RatedResult {
+    /// The 3-D skyline, sorted by ascending length.
+    pub routes: Vec<RatedRoute>,
+    /// Instrumentation.
+    pub stats: QueryStats,
+}
+
+/// A queue entry: partial route + accumulated rating deficit.
+struct Entry {
+    route: PartialRoute,
+    deficit: f64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // §5.3.2's arrangement, extended: size desc, semantic asc,
+        // deficit asc, length asc.
+        self.route
+            .len()
+            .cmp(&other.route.len())
+            .then_with(|| Cost::new(other.route.semantic()).cmp(&Cost::new(self.route.semantic())))
+            .then_with(|| Cost::new(other.deficit).cmp(&Cost::new(self.deficit)))
+            .then_with(|| other.route.length().cmp(&self.route.length()))
+    }
+}
+
+impl RatedQuery {
+    /// Convenience constructor.
+    pub fn new(query: SkySrQuery) -> RatedQuery {
+        RatedQuery { query }
+    }
+
+    /// Runs the three-criteria skyline search.
+    pub fn run(
+        &self,
+        ctx: &QueryContext<'_>,
+        ratings: &RatingTable,
+    ) -> Result<RatedResult, QueryError> {
+        let t0 = Instant::now();
+        let pq = PreparedQuery::prepare(ctx, &self.query)?;
+        let k = pq.len();
+        let mut stats = QueryStats::default();
+        if pq.unmatchable_position().is_some() {
+            return Ok(RatedResult { routes: Vec::new(), stats });
+        }
+        let mut skyline = RatedSkyline::default();
+        let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
+
+        // Initial bound: the greedy perfect chain (NNinit's first thread),
+        // which yields one (length, 0, r) member.
+        self.greedy_init(ctx, &pq, &mut ws, ratings, &mut skyline, &mut stats);
+
+        let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
+        self.expand(
+            ctx, &pq, ratings, &PartialRoute::empty(), 0.0, &mut ws, &mut queue, &mut skyline,
+            &mut stats,
+        );
+        while let Some(Entry { route, deficit }) = queue.pop() {
+            let rating_min = deficit / k as f64;
+            if route.length() >= skyline.threshold(route.semantic(), rating_min) {
+                stats.threshold_prunes += 1;
+                continue;
+            }
+            self.expand(ctx, &pq, ratings, &route, deficit, &mut ws, &mut queue, &mut skyline, &mut stats);
+        }
+
+        let mut routes = skyline.routes;
+        routes.sort_by_key(|r| r.length);
+        stats.total_time = t0.elapsed();
+        Ok(RatedResult { routes, stats })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn greedy_init(
+        &self,
+        ctx: &QueryContext<'_>,
+        pq: &PreparedQuery,
+        ws: &mut DijkstraWorkspace,
+        ratings: &RatingTable,
+        skyline: &mut RatedSkyline,
+        stats: &mut QueryStats,
+    ) {
+        let k = pq.len();
+        let mut route = PartialRoute::empty();
+        let mut deficit = 0.0;
+        let mut source = pq.start;
+        for i in 0..k {
+            let position = &pq.positions[i];
+            let mut hit = None;
+            let s = dijkstra_with(ctx.graph, ws, &[(source, Cost::ZERO)], |u, d| {
+                if !route.contains(u) && position.is_perfect(ctx, u) {
+                    hit = Some((u, d));
+                    Settle::Stop
+                } else {
+                    Settle::Continue
+                }
+            });
+            stats.search.merge(&s);
+            match hit {
+                Some((u, d)) => {
+                    route = route.extend(u, d, 1.0);
+                    deficit += 1.0 - ratings.get(u);
+                    source = u;
+                }
+                None => return,
+            }
+        }
+        skyline.update(RatedRoute {
+            pois: route.pois(),
+            length: route.length(),
+            semantic: 0.0,
+            rating: deficit / k as f64,
+        });
+        stats.init_routes = 1;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &self,
+        ctx: &QueryContext<'_>,
+        pq: &PreparedQuery,
+        ratings: &RatingTable,
+        route: &PartialRoute,
+        deficit: f64,
+        ws: &mut DijkstraWorkspace,
+        queue: &mut BinaryHeap<Entry>,
+        skyline: &mut RatedSkyline,
+        stats: &mut QueryStats,
+    ) {
+        let k = pq.len();
+        let pos = route.len();
+        let position = &pq.positions[pos];
+        let source = route.last_poi().unwrap_or(pq.start);
+        let base = route.length();
+        let rating_min = deficit / k as f64;
+        stats.mdijkstra_runs += 1;
+        let threshold = skyline.threshold(route.semantic(), rating_min);
+        let mut found: Vec<(VertexId, Cost, f64)> = Vec::new();
+        let s = dijkstra_with(ctx.graph, ws, &[(source, Cost::ZERO)], |u, d| {
+            if base + d >= threshold {
+                return Settle::Stop;
+            }
+            let sim = position.sim_of(ctx, u);
+            if sim > 0.0 && !route.contains(u) {
+                found.push((u, d, sim));
+            }
+            Settle::Continue
+        });
+        stats.search.merge(&s);
+        for (u, d, sim) in found {
+            let rt = route.extend(u, d, sim);
+            let new_deficit = deficit + (1.0 - ratings.get(u));
+            let new_rating_min = new_deficit / k as f64;
+            if rt.length() >= skyline.threshold(rt.semantic(), new_rating_min) {
+                stats.threshold_prunes += 1;
+                continue;
+            }
+            if rt.len() == k {
+                skyline.update(RatedRoute {
+                    pois: rt.pois(),
+                    length: rt.length(),
+                    semantic: rt.semantic(),
+                    rating: new_rating_min,
+                });
+            } else {
+                queue.push(Entry { route: rt, deficit: new_deficit });
+                stats.routes_enqueued += 1;
+                stats.queue_peak = stats.queue_peak.max(queue.len());
+            }
+        }
+    }
+}
+
+/// Exhaustive 3-D oracle for testing (same enumeration as
+/// [`crate::naive::naive_skysr`], rating-aware).
+pub fn naive_rated(
+    ctx: &QueryContext<'_>,
+    ratings: &RatingTable,
+    query: &SkySrQuery,
+    limit: u64,
+) -> Result<Vec<RatedRoute>, QueryError> {
+    let pq = PreparedQuery::prepare(ctx, query)?;
+    let base = crate::naive::naive_all_routes(ctx, &pq, limit);
+    let k = pq.len() as f64;
+    let mut skyline = RatedSkyline::default();
+    for r in base {
+        let deficit: f64 = r.pois.iter().map(|&p| 1.0 - ratings.get(p)).sum();
+        skyline.update(RatedRoute {
+            pois: r.pois,
+            length: r.length,
+            semantic: r.semantic,
+            rating: deficit / k,
+        });
+    }
+    let mut routes = skyline.routes;
+    routes.sort_by_key(|r| r.length);
+    Ok(routes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::PaperExample;
+
+    fn ratings_for(ex: &PaperExample) -> RatingTable {
+        let mut t = RatingTable::new(ex.graph.num_vertices(), 0.5);
+        // Make the hobby shop p7 outstanding and the gift shop p8 poor:
+        // rating now differentiates routes the 2-D skyline collapsed.
+        t.set(ex.p(7), 1.0);
+        t.set(ex.p(8), 0.1);
+        t.set(ex.p(13), 0.9);
+        t
+    }
+
+    #[test]
+    fn matches_oracle_on_fixture() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let ratings = ratings_for(&ex);
+        let q = RatedQuery::new(ex.query());
+        let got = q.run(&ctx, &ratings).unwrap();
+        let want = naive_rated(&ctx, &ratings, &ex.query(), 1_000_000).unwrap();
+        assert_eq!(got.routes.len(), want.len(), "{:?}\nvs\n{:?}", got.routes, want);
+        for (g, w) in got.routes.iter().zip(&want) {
+            assert!((g.length.get() - w.length.get()).abs() < 1e-9);
+            assert!((g.semantic - w.semantic).abs() < 1e-12);
+            assert!((g.rating - w.rating).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn third_criterion_grows_the_skyline() {
+        // With ratings, routes dominated in 2-D can survive by quality:
+        // the 3-D skyline is a superset of the 2-D one score-wise.
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let ratings = ratings_for(&ex);
+        let two_d = crate::bssr::Bssr::new(&ctx).run(&ex.query()).unwrap();
+        let three_d = RatedQuery::new(ex.query()).run(&ctx, &ratings).unwrap();
+        assert!(three_d.routes.len() >= two_d.routes.len());
+        // The high-rated hobby-shop route ⟨p2, p5, p7⟩ (dominated in 2-D
+        // by ⟨p6, p9, p8⟩) reappears thanks to p7's perfect rating.
+        assert!(three_d
+            .routes
+            .iter()
+            .any(|r| r.pois == vec![ex.p(2), ex.p(5), ex.p(7)]));
+    }
+
+    #[test]
+    fn uniform_ratings_collapse_to_2d_skyline() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let ratings = RatingTable::new(ex.graph.num_vertices(), 0.7);
+        let two_d = crate::bssr::Bssr::new(&ctx).run(&ex.query()).unwrap();
+        let three_d = RatedQuery::new(ex.query()).run(&ctx, &ratings).unwrap();
+        // Every route has the same rating score → the third axis is inert.
+        assert_eq!(three_d.routes.len(), two_d.routes.len());
+        for (g, w) in three_d.routes.iter().zip(&two_d.routes) {
+            assert_eq!(g.length, w.length);
+            assert_eq!(g.pois, w.pois);
+        }
+    }
+
+    #[test]
+    fn rated_routes_are_pairwise_nondominated() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let ratings = ratings_for(&ex);
+        let result = RatedQuery::new(ex.query()).run(&ctx, &ratings).unwrap();
+        for (i, a) in result.routes.iter().enumerate() {
+            for (j, b) in result.routes.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominates(b), "{a:?} dominates {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_rating_rejected() {
+        let mut t = RatingTable::new(3, 0.5);
+        t.set(VertexId(0), 1.5);
+    }
+}

@@ -1,0 +1,197 @@
+//! City-like synthetic road networks.
+//!
+//! The generator lays out a `rows × cols` grid of intersections over a
+//! geographic extent, jitters each intersection, and selects edges so the
+//! result is (a) guaranteed connected — a serpentine backbone spans every
+//! vertex — and (b) has a target edge density |E|/|V|, matching Table 5's
+//! per-city ratios. Densities above the grid's maximum are reached with
+//! random local shortcut edges (diagonals), mimicking arterial roads.
+//! Edge weights are haversine distances in metres.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use skysr_graph::{GeoPoint, GraphBuilder, VertexId};
+
+/// Parameters for [`generate_network`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetGenSpec {
+    /// Approximate number of intersections (the generator rounds to a
+    /// grid).
+    pub target_vertices: usize,
+    /// Target |E|/|V| ratio (clamped to what a grid+shortcuts can do,
+    /// ≥ the spanning minimum).
+    pub edge_factor: f64,
+    /// Geographic centre of the city.
+    pub center: GeoPoint,
+    /// Extent (degrees) of the bounding box along each axis.
+    pub extent_deg: f64,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for NetGenSpec {
+    fn default() -> Self {
+        NetGenSpec {
+            target_vertices: 10_000,
+            edge_factor: 1.4,
+            center: GeoPoint::new(35.68, 139.77),
+            extent_deg: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates the road network. Returns the builder (so PoIs can still be
+/// embedded) plus the grid dimensions used.
+pub fn generate_network(spec: &NetGenSpec) -> (GraphBuilder, usize, usize) {
+    assert!(spec.target_vertices >= 4, "need at least a 2x2 grid");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let cols = (spec.target_vertices as f64).sqrt().round().max(2.0) as usize;
+    let rows = spec.target_vertices.div_ceil(cols).max(2);
+    let n = rows * cols;
+
+    let mut b = GraphBuilder::new();
+    let spacing_lat = spec.extent_deg / rows as f64;
+    let spacing_lon = spec.extent_deg / cols as f64;
+    let origin_lat = spec.center.lat - spec.extent_deg / 2.0;
+    let origin_lon = spec.center.lon - spec.extent_deg / 2.0;
+    for r in 0..rows {
+        for c in 0..cols {
+            let jlat = (rng.random::<f64>() - 0.5) * 0.6 * spacing_lat;
+            let jlon = (rng.random::<f64>() - 0.5) * 0.6 * spacing_lon;
+            b.add_vertex_at(GeoPoint::new(
+                origin_lat + r as f64 * spacing_lat + jlat,
+                origin_lon + c as f64 * spacing_lon + jlon,
+            ));
+        }
+    }
+    let vid = |r: usize, c: usize| VertexId((r * cols + c) as u32);
+
+    // Serpentine backbone: spans all vertices, guarantees connectivity.
+    let mut backbone: Vec<(VertexId, VertexId)> = Vec::with_capacity(n - 1);
+    for r in 0..rows {
+        for c in 0..cols - 1 {
+            backbone.push((vid(r, c), vid(r, c + 1)));
+        }
+        if r + 1 < rows {
+            // Connect the snake's turn: rightmost on even rows, leftmost on
+            // odd rows.
+            let c = if r % 2 == 0 { cols - 1 } else { 0 };
+            backbone.push((vid(r, c), vid(r + 1, c)));
+        }
+    }
+
+    // Optional grid edges: remaining vertical links.
+    let mut optional: Vec<(VertexId, VertexId)> = Vec::new();
+    for r in 0..rows - 1 {
+        let skip_c = if r % 2 == 0 { cols - 1 } else { 0 };
+        for c in 0..cols {
+            if c != skip_c {
+                optional.push((vid(r, c), vid(r + 1, c)));
+            }
+        }
+    }
+    optional.shuffle(&mut rng);
+
+    let target_edges = (spec.edge_factor * n as f64) as usize;
+    let mut added = 0usize;
+    for &(u, v) in &backbone {
+        b.add_geo_edge(u, v);
+        added += 1;
+    }
+    for &(u, v) in &optional {
+        if added >= target_edges {
+            break;
+        }
+        b.add_geo_edge(u, v);
+        added += 1;
+    }
+    // Shortcuts (diagonals and short leaps) if the grid alone is too
+    // sparse for the target density.
+    while added < target_edges {
+        let r = rng.random_range(0..rows - 1);
+        let c = rng.random_range(0..cols - 1);
+        let (u, v) = if rng.random::<bool>() {
+            (vid(r, c), vid(r + 1, c + 1))
+        } else {
+            (vid(r + 1, c), vid(r, c + 1))
+        };
+        b.add_geo_edge(u, v);
+        added += 1;
+    }
+    (b, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysr_graph::connectivity::is_connected;
+
+    #[test]
+    fn generated_network_is_connected() {
+        let (b, _, _) = generate_network(&NetGenSpec { target_vertices: 500, ..Default::default() });
+        let g = b.build();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn vertex_count_close_to_target() {
+        let (b, rows, cols) = generate_network(&NetGenSpec {
+            target_vertices: 1000,
+            ..Default::default()
+        });
+        assert_eq!(b.num_vertices(), rows * cols);
+        let n = b.num_vertices() as f64;
+        assert!((0.9..1.15).contains(&(n / 1000.0)), "n = {n}");
+    }
+
+    #[test]
+    fn edge_factor_respected_sparse() {
+        let spec = NetGenSpec { target_vertices: 2000, edge_factor: 1.1, ..Default::default() };
+        let (b, _, _) = generate_network(&spec);
+        let ratio = b.num_edges() as f64 / b.num_vertices() as f64;
+        assert!((1.0..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn edge_factor_respected_dense() {
+        let spec = NetGenSpec { target_vertices: 2000, edge_factor: 2.6, ..Default::default() };
+        let (b, _, _) = generate_network(&spec);
+        let ratio = b.num_edges() as f64 / b.num_vertices() as f64;
+        assert!((2.5..2.7).contains(&ratio), "ratio {ratio}");
+        let g = b.build();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = NetGenSpec { target_vertices: 300, seed: 7, ..Default::default() };
+        let (a, _, _) = generate_network(&spec);
+        let (b, _, _) = generate_network(&spec);
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.edges(), b.edges());
+        let (c, _, _) = generate_network(&NetGenSpec { seed: 8, ..spec });
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn weights_are_positive_geo_distances() {
+        let (b, _, _) = generate_network(&NetGenSpec { target_vertices: 100, ..Default::default() });
+        for e in b.edges() {
+            assert!(e.weight > 0.0, "zero-length edge");
+            assert!(e.weight < 100_000.0, "absurd edge length {}", e.weight);
+        }
+    }
+
+    #[test]
+    fn coordinates_within_extent() {
+        let spec = NetGenSpec { target_vertices: 100, extent_deg: 0.2, ..Default::default() };
+        let (b, _, _) = generate_network(&spec);
+        for i in 0..b.num_vertices() {
+            let p = b.coords_of(VertexId(i as u32)).unwrap();
+            assert!((p.lat - spec.center.lat).abs() < 0.2);
+            assert!((p.lon - spec.center.lon).abs() < 0.2);
+        }
+    }
+}

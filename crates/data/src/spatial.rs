@@ -1,0 +1,229 @@
+//! Spatial index for closest-edge queries — the PoI embedding substrate.
+//!
+//! The paper embeds each PoI "on the closest edge in the same way as \[10\]"
+//! (§7.1). Scanning every edge per PoI is O(|P|·|E|); this uniform-grid
+//! index buckets edges by the cells their bounding box touches and answers
+//! closest-edge queries by ring search, which is linear in practice for
+//! city-scale extents.
+
+use skysr_graph::geometry::{project_onto_segment, GeoPoint, Projection};
+use skysr_graph::GraphBuilder;
+
+/// A uniform-grid index over a builder's current edges.
+pub struct EdgeIndex {
+    cells: Vec<Vec<u32>>,
+    nx: usize,
+    ny: usize,
+    min_lat: f64,
+    min_lon: f64,
+    cell_lat: f64,
+    cell_lon: f64,
+}
+
+impl EdgeIndex {
+    /// Indexes all edges of `builder` (which must have coordinates on
+    /// every vertex). `cells_per_axis` trades memory for probe speed.
+    pub fn build(builder: &GraphBuilder, cells_per_axis: usize) -> EdgeIndex {
+        assert!(cells_per_axis >= 1);
+        let (mut min_lat, mut max_lat) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_lon, mut max_lon) = (f64::INFINITY, f64::NEG_INFINITY);
+        let coords: Vec<GeoPoint> = (0..builder.num_vertices())
+            .map(|i| {
+                builder
+                    .coords_of(skysr_graph::VertexId(i as u32))
+                    .expect("EdgeIndex requires coordinates on every vertex")
+            })
+            .collect();
+        for p in &coords {
+            min_lat = min_lat.min(p.lat);
+            max_lat = max_lat.max(p.lat);
+            min_lon = min_lon.min(p.lon);
+            max_lon = max_lon.max(p.lon);
+        }
+        let nx = cells_per_axis;
+        let ny = cells_per_axis;
+        let cell_lat = ((max_lat - min_lat) / ny as f64).max(1e-9);
+        let cell_lon = ((max_lon - min_lon) / nx as f64).max(1e-9);
+        let mut idx = EdgeIndex {
+            cells: vec![Vec::new(); nx * ny],
+            nx,
+            ny,
+            min_lat,
+            min_lon,
+            cell_lat,
+            cell_lon,
+        };
+        for (e, edge) in builder.edges().iter().enumerate() {
+            let a = coords[edge.from.index()];
+            let b = coords[edge.to.index()];
+            let (r0, c0) = idx.cell_of(a);
+            let (r1, c1) = idx.cell_of(b);
+            for r in r0.min(r1)..=r0.max(r1) {
+                for c in c0.min(c1)..=c0.max(c1) {
+                    idx.cells[r * nx + c].push(e as u32);
+                }
+            }
+        }
+        idx
+    }
+
+    fn cell_of(&self, p: GeoPoint) -> (usize, usize) {
+        let r = (((p.lat - self.min_lat) / self.cell_lat) as usize).min(self.ny - 1);
+        let c = (((p.lon - self.min_lon) / self.cell_lon) as usize).min(self.nx - 1);
+        (r, c)
+    }
+
+    /// Closest edge to `p` (by projected distance) among the indexed
+    /// edges, with its projection. Searches outward ring by ring until a
+    /// hit is found and one extra ring confirms it.
+    pub fn closest_edge(&self, builder: &GraphBuilder, p: GeoPoint) -> Option<(usize, Projection)> {
+        let (r0, c0) = self.cell_of(p);
+        let max_ring = self.nx.max(self.ny);
+        let mut best: Option<(usize, Projection)> = None;
+        let mut confirm_rings = 0;
+        for ring in 0..=max_ring {
+            let mut any_cell = false;
+            for (r, c) in ring_cells(r0, c0, ring, self.ny, self.nx) {
+                any_cell = true;
+                for &e in &self.cells[r * self.nx + c] {
+                    let edge = builder.edges()[e as usize];
+                    let a = builder.coords_of(edge.from).unwrap();
+                    let b = builder.coords_of(edge.to).unwrap();
+                    let proj = project_onto_segment(p, a, b);
+                    if best.is_none_or(|(_, bp)| proj.dist2 < bp.dist2) {
+                        best = Some((e as usize, proj));
+                    }
+                }
+            }
+            if best.is_some() {
+                // One extra ring guards against a closer edge whose cell is
+                // adjacent (projection distance vs. cell distance skew).
+                confirm_rings += 1;
+                if confirm_rings >= 2 {
+                    break;
+                }
+            }
+            if !any_cell && ring > 0 {
+                break;
+            }
+        }
+        best
+    }
+}
+
+fn ring_cells(
+    r0: usize,
+    c0: usize,
+    ring: usize,
+    rows: usize,
+    cols: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let r_lo = r0 as isize - ring as isize;
+    let r_hi = r0 as isize + ring as isize;
+    let c_lo = c0 as isize - ring as isize;
+    let c_hi = c0 as isize + ring as isize;
+    (r_lo..=r_hi)
+        .flat_map(move |r| (c_lo..=c_hi).map(move |c| (r, c)))
+        .filter(move |&(r, c)| {
+            (r == r_lo || r == r_hi || c == c_lo || c == c_hi)
+                && r >= 0
+                && c >= 0
+                && (r as usize) < rows
+                && (c as usize) < cols
+        })
+        .map(|(r, c)| (r as usize, c as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysr_graph::VertexId;
+
+    fn two_street_builder() -> GraphBuilder {
+        let mut b = GraphBuilder::new();
+        // Horizontal street at lat 0, vertical at lon 1.
+        let a = b.add_vertex_at(GeoPoint::new(0.0, 0.0));
+        let c = b.add_vertex_at(GeoPoint::new(0.0, 1.0));
+        let d = b.add_vertex_at(GeoPoint::new(1.0, 1.0));
+        b.add_geo_edge(a, c); // edge 0
+        b.add_geo_edge(c, d); // edge 1
+        b
+    }
+
+    #[test]
+    fn finds_closest_of_two_edges() {
+        let b = two_street_builder();
+        let idx = EdgeIndex::build(&b, 8);
+        // Near the horizontal street's midpoint.
+        let (e, proj) = idx.closest_edge(&b, GeoPoint::new(0.05, 0.5)).unwrap();
+        assert_eq!(e, 0);
+        assert!((proj.t - 0.5).abs() < 0.01);
+        // Near the vertical street.
+        let (e, _) = idx.closest_edge(&b, GeoPoint::new(0.7, 1.05)).unwrap();
+        assert_eq!(e, 1);
+    }
+
+    #[test]
+    fn matches_exhaustive_scan() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let (b, _, _) = crate::netgen::generate_network(&crate::netgen::NetGenSpec {
+            target_vertices: 400,
+            ..Default::default()
+        });
+        let idx = EdgeIndex::build(&b, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = GeoPoint::new(
+                35.68 + (rng.random::<f64>() - 0.5) * 0.2,
+                139.77 + (rng.random::<f64>() - 0.5) * 0.2,
+            );
+            let (_, got) = idx.closest_edge(&b, p).unwrap();
+            // Exhaustive reference.
+            let best = b
+                .edges()
+                .iter()
+                .map(|e| {
+                    let a = b.coords_of(e.from).unwrap();
+                    let c = b.coords_of(e.to).unwrap();
+                    project_onto_segment(p, a, c).dist2
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                got.dist2 <= best * 1.0001 + 1e-18,
+                "index missed a closer edge: {} vs {}",
+                got.dist2,
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn empty_builder_returns_none() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex_at(GeoPoint::new(0.0, 0.0));
+        let idx = EdgeIndex::build(&b, 4);
+        assert!(idx.closest_edge(&b, GeoPoint::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn ring_cells_cover_square() {
+        let cells: Vec<_> = ring_cells(2, 2, 1, 5, 5).collect();
+        assert_eq!(cells.len(), 8);
+        let inner: Vec<_> = ring_cells(2, 2, 0, 5, 5).collect();
+        assert_eq!(inner, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn split_point_from_projection() {
+        // End-to-end: project, then split the edge there.
+        let mut b = two_street_builder();
+        let idx = EdgeIndex::build(&b, 8);
+        let (e, proj) = idx.closest_edge(&b, GeoPoint::new(0.02, 0.25)).unwrap();
+        let before = b.num_vertices();
+        let mid = b.split_edge(e, proj.t);
+        assert_eq!(b.num_vertices(), before + 1);
+        let at = b.coords_of(mid).unwrap();
+        assert!((at.lon - 0.25).abs() < 0.01);
+        let _ = VertexId(0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Query workload generation (§7.1).
+//!
+//! "For each dataset, we generate 100 searches … The start points are
+//! selected randomly from vertices in the maps. The categories of
+//! sequences are selected randomly from the leaf nodes in the category
+//! trees with the constraint that they have different category trees.
+//! Since the number of PoI vertices associated with each category is
+//! significantly biased, we select only categories that have a large
+//! number of PoI vertices."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use skysr_category::CategoryId;
+use skysr_core::SkySrQuery;
+use skysr_graph::VertexId;
+
+use crate::dataset::Dataset;
+
+/// Workload parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// |S_q| — the category sequence length.
+    pub seq_len: usize,
+    /// Number of queries (the paper uses 100).
+    pub num_queries: usize,
+    /// How many of the most popular leaf categories are eligible.
+    pub popular_leaves: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Spec with the paper's defaults (100 queries, top-30 leaves).
+    pub fn new(seq_len: usize) -> WorkloadSpec {
+        WorkloadSpec { seq_len, num_queries: 100, popular_leaves: 30, seed: 7 }
+    }
+
+    /// Overrides the query count.
+    pub fn queries(mut self, n: usize) -> WorkloadSpec {
+        self.num_queries = n;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn seed(mut self, seed: u64) -> WorkloadSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the workload for `dataset`.
+    ///
+    /// # Panics
+    /// If the dataset's populated leaf categories span fewer than
+    /// `seq_len` distinct trees.
+    pub fn generate(&self, dataset: &Dataset) -> Workload {
+        assert!(self.seq_len >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x776f_726b); // "work"
+        // Popular leaf categories: rank by PoI count, keep the top ones.
+        let mut hist: Vec<(CategoryId, usize)> = dataset
+            .pois
+            .category_histogram()
+            .into_iter()
+            .filter(|&(c, n)| n > 0 && dataset.forest.is_leaf(c))
+            .collect();
+        hist.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hist.truncate(self.popular_leaves.max(self.seq_len));
+        let popular: Vec<CategoryId> = hist.into_iter().map(|(c, _)| c).collect();
+        let distinct_trees: std::collections::HashSet<u32> =
+            popular.iter().map(|&c| dataset.forest.tree_of(c)).collect();
+        assert!(
+            distinct_trees.len() >= self.seq_len,
+            "dataset has {} populated trees, need {}",
+            distinct_trees.len(),
+            self.seq_len
+        );
+
+        let n = dataset.graph.num_vertices() as u32;
+        let queries = (0..self.num_queries)
+            .map(|_| {
+                let start = VertexId(rng.random_range(0..n));
+                let mut pool = popular.clone();
+                pool.shuffle(&mut rng);
+                let mut cats = Vec::with_capacity(self.seq_len);
+                let mut trees = Vec::with_capacity(self.seq_len);
+                for c in pool {
+                    let t = dataset.forest.tree_of(c);
+                    if !trees.contains(&t) {
+                        trees.push(t);
+                        cats.push(c);
+                        if cats.len() == self.seq_len {
+                            break;
+                        }
+                    }
+                }
+                debug_assert_eq!(cats.len(), self.seq_len);
+                SkySrQuery::new(start, cats)
+            })
+            .collect();
+        Workload { queries, spec: self.clone() }
+    }
+}
+
+/// A generated batch of queries.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The queries.
+    pub queries: Vec<SkySrQuery>,
+    /// Parameters used.
+    pub spec: WorkloadSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetSpec, Preset};
+
+    fn tiny() -> Dataset {
+        DatasetSpec::preset(Preset::CalSmall).scale(0.1).seed(2).generate()
+    }
+
+    #[test]
+    fn generates_requested_count_and_length() {
+        let d = tiny();
+        let w = WorkloadSpec::new(3).queries(17).generate(&d);
+        assert_eq!(w.queries.len(), 17);
+        for q in &w.queries {
+            assert_eq!(q.len(), 3);
+            assert!(q.start.index() < d.graph.num_vertices());
+        }
+    }
+
+    #[test]
+    fn categories_are_popular_leaves_from_distinct_trees() {
+        let d = tiny();
+        let w = WorkloadSpec::new(3).queries(25).seed(5).generate(&d);
+        for q in &w.queries {
+            let mut trees = Vec::new();
+            for spec in &q.sequence {
+                let skysr_core::PositionSpec::Category(c) = spec else {
+                    panic!("workloads use plain categories")
+                };
+                assert!(d.forest.is_leaf(*c));
+                assert!(!d.pois.pois_with_exact_category(*c).is_empty());
+                let t = d.forest.tree_of(*c);
+                assert!(!trees.contains(&t), "duplicate tree in {q:?}");
+                trees.push(t);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = tiny();
+        let a = WorkloadSpec::new(2).queries(5).seed(9).generate(&d);
+        let b = WorkloadSpec::new(2).queries(5).seed(9).generate(&d);
+        assert_eq!(a.queries, b.queries);
+        let c = WorkloadSpec::new(2).queries(5).seed(10).generate(&d);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn workload_queries_are_runnable() {
+        let d = tiny();
+        let ctx = d.context();
+        let w = WorkloadSpec::new(2).queries(3).generate(&d);
+        let mut bssr = skysr_core::bssr::Bssr::new(&ctx);
+        for q in &w.queries {
+            let result = bssr.run(q).unwrap();
+            // Popular categories ⇒ a perfect route always exists.
+            assert!(result.routes.iter().any(|r| r.semantic == 0.0), "query {q:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "populated trees")]
+    fn too_long_sequence_panics() {
+        let d = tiny();
+        // Cal forest has 7 trees.
+        WorkloadSpec::new(12).generate(&d);
+    }
+}

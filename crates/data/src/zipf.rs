@@ -1,0 +1,110 @@
+//! Zipf-distributed sampling for skewed category popularity.
+//!
+//! §7.1: "the number of PoI vertices associated with each category is
+//! significantly biased". Category assignment draws leaf ranks from a
+//! Zipf(s) distribution via inverse-CDF lookup over the precomputed
+//! harmonic weights.
+
+use rand::RngExt;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probabilities, cdf[i] = P(rank ≤ i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "invalid exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never: construction requires
+    /// n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: RngExt>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_most_popular() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[0] > counts[49] * 5);
+    }
+
+    #[test]
+    fn all_ranks_in_range() {
+        let z = Zipf::new(5, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform_ish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

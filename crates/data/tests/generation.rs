@@ -1,0 +1,113 @@
+//! Property-based tests for the dataset substrate: the generators must
+//! deliver the structural guarantees the algorithms rely on, for arbitrary
+//! parameter combinations.
+
+use proptest::prelude::*;
+use skysr_data::dataset::{DatasetSpec, ForestKind, Preset};
+use skysr_data::netgen::{generate_network, NetGenSpec};
+use skysr_data::zipf::Zipf;
+use skysr_graph::connectivity::is_connected;
+use skysr_graph::GeoPoint;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn networks_are_always_connected(
+        vertices in 16usize..600,
+        edge_factor in 1.0f64..2.4,
+        seed in 0u64..1000,
+    ) {
+        let (b, _, _) = generate_network(&NetGenSpec {
+            target_vertices: vertices,
+            edge_factor,
+            center: GeoPoint::new(35.0, 139.0),
+            extent_deg: 0.3,
+            seed,
+        });
+        let g = b.build();
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.num_edges() >= g.num_vertices() - 1);
+        // Density lands near the request (within rounding and the spanning
+        // minimum).
+        let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
+        prop_assert!(ratio >= 0.95 && ratio <= edge_factor + 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn datasets_embed_every_poi(seed in 0u64..50) {
+        let spec = DatasetSpec {
+            name: "prop".into(),
+            vertices: 120,
+            pois: 60,
+            edge_factor: 1.3,
+            forest: ForestKind::Uniform { trees: 3, height: 3, branching: 2 },
+            poi_clusters: 2,
+            cluster_fraction: 0.5,
+            zipf_exponent: 1.0,
+            center: GeoPoint::new(35.0, 139.0),
+            extent_deg: 0.2,
+            seed,
+        };
+        let d = spec.generate();
+        prop_assert!(is_connected(&d.graph));
+        prop_assert_eq!(d.pois.num_pois(), 60);
+        for &p in &d.poi_vertices {
+            prop_assert!(!d.pois.categories_of(p).is_empty());
+            prop_assert!(d.graph.degree(p) >= 2);
+            // Only leaf categories are assigned.
+            for &c in d.pois.categories_of(p) {
+                prop_assert!(d.forest.is_leaf(c));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalised(n in 1usize..200, s in 0.0f64..2.5) {
+        let z = Zipf::new(n, s);
+        prop_assert_eq!(z.len(), n);
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}
+
+#[test]
+fn ratings_are_deterministic_and_in_range() {
+    let d = DatasetSpec::preset(Preset::CalSmall).scale(0.05).seed(3).generate();
+    let a = d.ratings(9);
+    let b = d.ratings(9);
+    for &p in &d.poi_vertices {
+        let r = a.get(p);
+        assert!((0.0..=1.0).contains(&r));
+        assert_eq!(r, b.get(p));
+    }
+    let c = d.ratings(10);
+    assert!(d.poi_vertices.iter().any(|&p| a.get(p) != c.get(p)));
+}
+
+#[test]
+fn rated_queries_run_on_generated_data() {
+    use skysr_core::variants::rated::RatedQuery;
+    let d = DatasetSpec::preset(Preset::CalSmall).scale(0.05).seed(4).generate();
+    let ctx = d.context();
+    let ratings = d.ratings(1);
+    let w = skysr_data::workload::WorkloadSpec::new(2).queries(2).seed(2).generate(&d);
+    for q in &w.queries {
+        let r2 = skysr_core::bssr::Bssr::new(&ctx).run(q).unwrap();
+        let r3 = RatedQuery::new(q.clone()).run(&ctx, &ratings).unwrap();
+        // 3-D skylines contain at least as many trade-offs.
+        assert!(r3.routes.len() >= r2.routes.len());
+        // Every 2-D skyline score pair appears among the 3-D routes'
+        // (length, semantic) projections or is dominated there.
+        for r in &r2.routes {
+            assert!(
+                r3.routes.iter().any(|x| (x.length.get() - r.length.get()).abs() < 1e-6
+                    && (x.semantic - r.semantic).abs() < 1e-9),
+                "2-D member missing from 3-D skyline: {r:?}"
+            );
+        }
+    }
+}

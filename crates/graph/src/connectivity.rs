@@ -1,0 +1,130 @@
+//! Connectivity utilities.
+//!
+//! The paper assumes a *connected* graph (§3). The dataset generators use
+//! these helpers to verify (and, if necessary, repair) connectivity of the
+//! synthetic road networks before PoIs are embedded.
+
+use crate::csr::RoadNetwork;
+use crate::VertexId;
+
+/// Connected-component labelling (treats arcs as traversable in the stored
+/// direction; for undirected graphs this is full connectivity).
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component id per vertex.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: u32,
+}
+
+impl Components {
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count as usize];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Id of the largest component.
+    pub fn largest(&self) -> u32 {
+        self.sizes()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+}
+
+/// Labels connected components with an iterative BFS.
+pub fn components(graph: &RoadNetwork) -> Components {
+    let n = graph.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = count;
+        queue.push_back(VertexId(start as u32));
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in graph.neighbors(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count }
+}
+
+/// Whether the graph is connected (single component; empty graphs count as
+/// connected).
+pub fn is_connected(graph: &RoadNetwork) -> bool {
+    graph.num_vertices() == 0 || components(graph).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn single_component_detected() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex()).collect();
+        for w in v.windows(2) {
+            b.add_edge(w[0], w[1], 1.0);
+        }
+        let g = b.build();
+        assert!(is_connected(&g));
+        assert_eq!(components(&g).count, 1);
+    }
+
+    #[test]
+    fn two_components_detected() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|_| b.add_vertex()).collect();
+        b.add_edge(v[0], v[1], 1.0);
+        b.add_edge(v[2], v[3], 1.0);
+        let g = b.build();
+        let c = components(&g);
+        assert_eq!(c.count, 2);
+        assert!(!is_connected(&g));
+        assert_eq!(c.sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    fn largest_component_identified() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..5).map(|_| b.add_vertex()).collect();
+        b.add_edge(v[0], v[1], 1.0);
+        b.add_edge(v[1], v[2], 1.0);
+        b.add_edge(v[3], v[4], 1.0);
+        let g = b.build();
+        let c = components(&g);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.sizes()[c.largest() as usize], 3);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = GraphBuilder::new().build();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_are_own_components() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex();
+        b.add_vertex();
+        b.add_vertex();
+        let g = b.build();
+        assert_eq!(components(&g).count, 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Immutable CSR (compressed sparse row) road network.
+//!
+//! The paper's graph `G = (V ∪ P, E)` is stored as one vertex id space with
+//! a packed adjacency array: `offsets[v] .. offsets[v + 1]` indexes into
+//! parallel `targets` / `weights` arrays. Undirected graphs store both arc
+//! directions so traversal never branches on directedness.
+
+use crate::geometry::GeoPoint;
+use crate::weight::Cost;
+use crate::{builder::InputEdge, VertexId};
+
+/// An immutable weighted road network.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+    weights: Vec<f64>,
+    coords: Vec<Option<GeoPoint>>,
+    directed: bool,
+    num_input_edges: usize,
+}
+
+impl RoadNetwork {
+    /// Packs input edges into CSR form. Undirected graphs get both arcs.
+    pub(crate) fn from_edges(
+        coords: Vec<Option<GeoPoint>>,
+        edges: &[InputEdge],
+        directed: bool,
+    ) -> RoadNetwork {
+        let n = coords.len();
+        let arcs = if directed { edges.len() } else { edges.len() * 2 };
+        let mut degree = vec![0u32; n + 1];
+        for e in edges {
+            degree[e.from.index() + 1] += 1;
+            if !directed {
+                degree[e.to.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            degree[i + 1] += degree[i];
+        }
+        let offsets = degree.clone();
+        let mut cursor = degree;
+        let mut targets = vec![VertexId(0); arcs];
+        let mut weights = vec![0.0f64; arcs];
+        let mut place = |cursor: &mut Vec<u32>, from: VertexId, to: VertexId, w: f64| {
+            let slot = cursor[from.index()] as usize;
+            targets[slot] = to;
+            weights[slot] = w;
+            cursor[from.index()] += 1;
+        };
+        for e in edges {
+            place(&mut cursor, e.from, e.to, e.weight);
+            if !directed {
+                place(&mut cursor, e.to, e.from, e.weight);
+            }
+        }
+        RoadNetwork {
+            offsets,
+            targets,
+            weights,
+            coords,
+            directed,
+            num_input_edges: edges.len(),
+        }
+    }
+
+    /// Number of vertices (|V| + |P| in the paper's terms).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of *input* edges (each undirected edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_input_edges
+    }
+
+    /// Number of stored arcs (2·|E| for undirected graphs).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether this network is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-neighbours of `v` with arc costs.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Cost)> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&t, &w)| (t, Cost::new(w)))
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Coordinates of `v`, if present.
+    #[inline]
+    pub fn coords_of(&self, v: VertexId) -> Option<GeoPoint> {
+        self.coords.get(v.index()).copied().flatten()
+    }
+
+    /// All vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Sum of all arc weights; a rough "size" of the road network used by
+    /// search-space instrumentation.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Approximate heap footprint in bytes (CSR arrays + coordinates).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<f64>()
+            + self.coords.len() * std::mem::size_of::<Option<GeoPoint>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn line(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..n).map(|_| b.add_vertex()).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn csr_degrees_and_counts() {
+        let g = line(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.degree(VertexId(0)), 1);
+        assert_eq!(g.degree(VertexId(2)), 2);
+    }
+
+    #[test]
+    fn neighbors_yield_costs() {
+        let g = line(3);
+        let n: Vec<_> = g.neighbors(VertexId(1)).collect();
+        assert_eq!(n.len(), 2);
+        for (_, c) in n {
+            assert_eq!(c, Cost::new(1.0));
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_neighbors() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex();
+        let g = b.build();
+        assert_eq!(g.neighbors(VertexId(0)).count(), 0);
+        assert_eq!(g.degree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex();
+        let v1 = b.add_vertex();
+        b.add_edge(v0, v1, 1.0);
+        b.add_edge(v0, v1, 3.0);
+        let g = b.build();
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn total_weight_counts_arcs() {
+        let g = line(3); // two edges of weight 1 stored in both directions
+        assert_eq!(g.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn self_loop_supported() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_vertex();
+        b.add_edge(v, v, 5.0);
+        let g = b.build();
+        // Undirected self loop stores two arcs.
+        assert_eq!(g.degree(v), 2);
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        assert!(line(10).heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Single-source Dijkstra with reusable workspace and a settle callback.
+//!
+//! One driver serves plain shortest-path queries, radius-bounded searches,
+//! and "stop at first hit" nearest-neighbour probes: the callback decides,
+//! per settled vertex, whether to continue, skip expanding that vertex's
+//! neighbours (Lemma 5.5(ii)), or stop the search.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::csr::RoadNetwork;
+use crate::stats::SearchStats;
+use crate::versioned::VersionedArray;
+use crate::weight::Cost;
+use crate::VertexId;
+
+/// Decision returned by the settle callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Settle {
+    /// Keep searching; expand this vertex's neighbours.
+    Continue,
+    /// Keep searching but do not expand this vertex's neighbours.
+    SkipNeighbors,
+    /// Terminate the whole search.
+    Stop,
+}
+
+/// Reusable scratch state for Dijkstra runs over one graph size.
+///
+/// Holding distances in a [`VersionedArray`] makes the per-run reset O(1)
+/// instead of O(|V|), which matters because BSSR runs the modified Dijkstra
+/// algorithm hundreds of times per query.
+#[derive(Clone, Debug)]
+pub struct DijkstraWorkspace {
+    dist: VersionedArray<f64>,
+    parent: VersionedArray<u32>,
+    visited: VersionedArray<bool>,
+    heap: BinaryHeap<Reverse<(Cost, VertexId)>>,
+}
+
+impl DijkstraWorkspace {
+    /// Workspace for graphs with up to `n` vertices.
+    pub fn new(n: usize) -> DijkstraWorkspace {
+        DijkstraWorkspace {
+            dist: VersionedArray::new(n),
+            parent: VersionedArray::new(n),
+            visited: VersionedArray::new(n),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Ensures capacity for `n` vertices.
+    pub fn ensure(&mut self, n: usize) {
+        self.dist.resize(n);
+        self.parent.resize(n);
+        self.visited.resize(n);
+    }
+
+    fn reset(&mut self) {
+        self.dist.clear();
+        self.parent.clear();
+        self.visited.clear();
+        self.heap.clear();
+    }
+
+    /// Final distance of `v` from the last run's sources (if settled or
+    /// queued; queued entries hold their best tentative distance).
+    pub fn distance(&self, v: VertexId) -> Option<Cost> {
+        self.dist.get(v.index()).map(Cost::new)
+    }
+
+    /// Whether `v` was settled in the last run.
+    pub fn settled(&self, v: VertexId) -> bool {
+        self.visited.get(v.index()).unwrap_or(false)
+    }
+
+    /// Predecessor of `v` on its shortest path, if any.
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        self.parent.get(v.index()).map(VertexId)
+    }
+
+    /// Reconstructs the vertex path from a source to `v` (inclusive) using
+    /// the last run's parent pointers. Returns `None` if `v` was not
+    /// reached.
+    pub fn path_to(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        self.dist.get(v.index())?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs Dijkstra from `sources` (each with an initial offset cost), calling
+/// `on_settle(vertex, dist)` for every settled vertex in non-decreasing
+/// distance order.
+///
+/// The workspace retains distances and parents afterwards for path
+/// reconstruction. Returns search statistics.
+pub fn dijkstra_with<F>(
+    graph: &RoadNetwork,
+    ws: &mut DijkstraWorkspace,
+    sources: &[(VertexId, Cost)],
+    mut on_settle: F,
+) -> SearchStats
+where
+    F: FnMut(VertexId, Cost) -> Settle,
+{
+    ws.ensure(graph.num_vertices());
+    ws.reset();
+    let mut stats = SearchStats::default();
+    for &(s, c) in sources {
+        let slot = ws.dist.get_or_insert(s.index(), f64::INFINITY);
+        if c.get() < *slot {
+            *slot = c.get();
+            ws.heap.push(Reverse((c, s)));
+            stats.pushed += 1;
+        }
+    }
+    while let Some(Reverse((d, u))) = ws.heap.pop() {
+        if ws.visited.get(u.index()).unwrap_or(false) {
+            continue;
+        }
+        // Stale heap entry: a shorter distance was settled already.
+        if ws.dist.get(u.index()).is_some_and(|best| best < d.get()) {
+            continue;
+        }
+        ws.visited.set(u.index(), true);
+        stats.settled += 1;
+        match on_settle(u, d) {
+            Settle::Stop => break,
+            Settle::SkipNeighbors => continue,
+            Settle::Continue => {}
+        }
+        for (v, w) in graph.neighbors(u) {
+            stats.relaxed += 1;
+            stats.weight_sum += w.get();
+            if ws.visited.get(v.index()).unwrap_or(false) {
+                continue;
+            }
+            let nd = d + w;
+            let slot = ws.dist.get_or_insert(v.index(), f64::INFINITY);
+            if nd.get() < *slot {
+                *slot = nd.get();
+                ws.parent.set(v.index(), u.0);
+                ws.heap.push(Reverse((nd, v)));
+                stats.pushed += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Convenience: full single-source search; afterwards query the workspace
+/// for distances/paths.
+pub fn dijkstra(graph: &RoadNetwork, ws: &mut DijkstraWorkspace, source: VertexId) -> SearchStats {
+    dijkstra_with(graph, ws, &[(source, Cost::ZERO)], |_, _| Settle::Continue)
+}
+
+/// Convenience: shortest-path distance between two vertices, terminating as
+/// soon as the target settles.
+pub fn shortest_distance(
+    graph: &RoadNetwork,
+    ws: &mut DijkstraWorkspace,
+    source: VertexId,
+    target: VertexId,
+) -> Option<Cost> {
+    let mut found = None;
+    dijkstra_with(graph, ws, &[(source, Cost::ZERO)], |v, d| {
+        if v == target {
+            found = Some(d);
+            Settle::Stop
+        } else {
+            Settle::Continue
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// 0 -1- 1 -1- 2
+    ///  \----5----/
+    fn diamond() -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_vertex()).collect();
+        b.add_edge(v[0], v[1], 1.0);
+        b.add_edge(v[1], v[2], 1.0);
+        b.add_edge(v[0], v[2], 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn shortest_path_prefers_two_hop() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        let d = shortest_distance(&g, &mut ws, VertexId(0), VertexId(2)).unwrap();
+        assert_eq!(d, Cost::new(2.0));
+    }
+
+    #[test]
+    fn full_search_settles_all_reachable() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        let stats = dijkstra(&g, &mut ws, VertexId(0));
+        assert_eq!(stats.settled, 3);
+        assert_eq!(ws.distance(VertexId(0)), Some(Cost::ZERO));
+        assert_eq!(ws.distance(VertexId(1)), Some(Cost::new(1.0)));
+        assert_eq!(ws.distance(VertexId(2)), Some(Cost::new(2.0)));
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        dijkstra(&g, &mut ws, VertexId(0));
+        assert_eq!(ws.path_to(VertexId(2)).unwrap(), vec![VertexId(0), VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn unreachable_vertex_has_no_distance() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex();
+        let _v1 = b.add_vertex();
+        let _ = v0;
+        let g = b.build();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        dijkstra(&g, &mut ws, VertexId(0));
+        assert_eq!(ws.distance(VertexId(1)), None);
+        assert_eq!(ws.path_to(VertexId(1)), None);
+        assert!(shortest_distance(&g, &mut ws, VertexId(0), VertexId(1)).is_none());
+    }
+
+    #[test]
+    fn skip_neighbors_blocks_expansion() {
+        // 0 -1- 1 -1- 2: skipping 1's neighbours makes 2 unreachable.
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_vertex()).collect();
+        b.add_edge(v[0], v[1], 1.0);
+        b.add_edge(v[1], v[2], 1.0);
+        let g = b.build();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        let mut settled = vec![];
+        dijkstra_with(&g, &mut ws, &[(VertexId(0), Cost::ZERO)], |v, _| {
+            settled.push(v);
+            if v == VertexId(1) {
+                Settle::SkipNeighbors
+            } else {
+                Settle::Continue
+            }
+        });
+        assert_eq!(settled, vec![VertexId(0), VertexId(1)]);
+    }
+
+    #[test]
+    fn stop_terminates_early() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        let mut count = 0;
+        dijkstra_with(&g, &mut ws, &[(VertexId(0), Cost::ZERO)], |_, _| {
+            count += 1;
+            Settle::Stop
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn source_offsets_act_like_virtual_super_source() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        // Source 2 starts 0.5 "ahead": vertex 1 is reached at min(1.0, 0.5+1.0).
+        dijkstra_with(
+            &g,
+            &mut ws,
+            &[(VertexId(0), Cost::ZERO), (VertexId(2), Cost::new(0.5))],
+            |_, _| Settle::Continue,
+        );
+        assert_eq!(ws.distance(VertexId(1)), Some(Cost::new(1.0)));
+        assert_eq!(ws.distance(VertexId(2)), Some(Cost::new(0.5)));
+    }
+
+    #[test]
+    fn settle_order_is_nondecreasing() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        let mut last = Cost::ZERO;
+        dijkstra_with(&g, &mut ws, &[(VertexId(0), Cost::ZERO)], |_, d| {
+            assert!(d >= last);
+            last = d;
+            Settle::Continue
+        });
+    }
+
+    #[test]
+    fn workspace_reuse_resets_state() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        dijkstra(&g, &mut ws, VertexId(0));
+        dijkstra(&g, &mut ws, VertexId(2));
+        assert_eq!(ws.distance(VertexId(0)), Some(Cost::new(2.0)));
+        assert_eq!(ws.distance(VertexId(2)), Some(Cost::ZERO));
+    }
+
+    #[test]
+    fn zero_weight_edges_are_fine() {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_vertex()).collect();
+        b.add_edge(v[0], v[1], 0.0);
+        b.add_edge(v[1], v[2], 0.0);
+        let g = b.build();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        dijkstra(&g, &mut ws, VertexId(0));
+        assert_eq!(ws.distance(VertexId(2)), Some(Cost::ZERO));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let g = diamond();
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        let stats = dijkstra(&g, &mut ws, VertexId(0));
+        assert_eq!(stats.settled, 3);
+        assert!(stats.relaxed >= 4);
+        assert!(stats.weight_sum > 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! A small FxHash-style hasher for integer keys.
+//!
+//! The modified-Dijkstra cache, resumable searches and PoI indexes key maps
+//! by `u32`/`u64`; SipHash (std's default) is measurably slow there. This is
+//! the well-known Firefox/rustc multiply-rotate hash, implemented locally so
+//! the workspace stays within its approved dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher (FxHash).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m[&i], i * 2);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_usually_hash_differently() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let h = |x: u64| b.hash_one(x);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(h(i));
+        }
+        // FxHash is not cryptographic but must not collapse small integers.
+        assert!(seen.len() > 9_990);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_padding() {
+        // Writing 4 bytes must not panic and must be deterministic.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

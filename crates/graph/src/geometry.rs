@@ -1,0 +1,153 @@
+//! Geographic primitives: haversine distances and point-to-segment
+//! projection.
+//!
+//! The paper uses "distances based on longitude and latitude as edge
+//! weights" (§7.1) and embeds each PoI "on the closest edge". Both
+//! operations live here so the dataset generator and the graph builder share
+//! one definition of distance.
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS84-style coordinate (degrees).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, asserting the coordinates are finite.
+    pub fn new(lat: f64, lon: f64) -> GeoPoint {
+        assert!(lat.is_finite() && lon.is_finite(), "coordinates must be finite");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in metres (haversine formula).
+    pub fn haversine_m(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Linear interpolation between two points (good enough at city scale,
+    /// where the datasets live).
+    pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.lat + (other.lat - self.lat) * t,
+            lon: self.lon + (other.lon - self.lon) * t,
+        }
+    }
+}
+
+/// Result of projecting a point onto a segment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Projection {
+    /// Parameter along the segment in `[0, 1]` (0 = segment start).
+    pub t: f64,
+    /// Squared planar distance (in degree-space, scaled by cos(lat)) from
+    /// the point to the projection; only meaningful for *comparisons*.
+    pub dist2: f64,
+}
+
+/// Projects `p` onto the segment `a -> b` using an equirectangular local
+/// approximation (fine at the sub-city scale of PoI embedding).
+///
+/// Returns the clamped parameter and a comparable squared distance, so the
+/// caller can pick the *closest* edge for a PoI (as in the paper's reference \[10\], the embedding
+/// the paper follows).
+pub fn project_onto_segment(p: GeoPoint, a: GeoPoint, b: GeoPoint) -> Projection {
+    // Local planar frame centred at `a`, x = lon·cos(lat), y = lat.
+    let k = a.lat.to_radians().cos();
+    let (px, py) = ((p.lon - a.lon) * k, p.lat - a.lat);
+    let (bx, by) = ((b.lon - a.lon) * k, b.lat - a.lat);
+    let len2 = bx * bx + by * by;
+    let t = if len2 <= f64::EPSILON {
+        0.0
+    } else {
+        ((px * bx + py * by) / len2).clamp(0.0, 1.0)
+    };
+    let (dx, dy) = (px - t * bx, py - t * by);
+    Projection { t, dist2: dx * dx + dy * dy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = GeoPoint::new(35.68, 139.76);
+        assert_eq!(p.haversine_m(&p), 0.0);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Tokyo Station to Shinjuku Station is roughly 6.2 km.
+        let tokyo = GeoPoint::new(35.681236, 139.767125);
+        let shinjuku = GeoPoint::new(35.690921, 139.700258);
+        let d = tokyo.haversine_m(&shinjuku);
+        assert!((5_500.0..7_000.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = GeoPoint::new(40.7128, -74.0060);
+        let b = GeoPoint::new(40.7306, -73.9352);
+        assert!((a.haversine_m(&b) - b.haversine_m(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality() {
+        let a = GeoPoint::new(40.0, -74.0);
+        let b = GeoPoint::new(40.1, -74.1);
+        let c = GeoPoint::new(40.2, -73.9);
+        assert!(a.haversine_m(&c) <= a.haversine_m(&b) + b.haversine_m(&c) + 1e-9);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(1.0, 2.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.lat - 0.5).abs() < 1e-12 && (mid.lon - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_clamps_to_segment() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 1.0);
+        // A point "before" the segment start projects to t = 0.
+        let before = project_onto_segment(GeoPoint::new(0.0, -1.0), a, b);
+        assert_eq!(before.t, 0.0);
+        // A point "past" the end projects to t = 1.
+        let past = project_onto_segment(GeoPoint::new(0.0, 2.0), a, b);
+        assert_eq!(past.t, 1.0);
+        // A point above the middle projects to t = 0.5.
+        let mid = project_onto_segment(GeoPoint::new(0.5, 0.5), a, b);
+        assert!((mid.t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_distance_orders_edges() {
+        let p = GeoPoint::new(0.1, 0.5);
+        let near = project_onto_segment(p, GeoPoint::new(0.0, 0.0), GeoPoint::new(0.0, 1.0));
+        let far = project_onto_segment(p, GeoPoint::new(1.0, 0.0), GeoPoint::new(1.0, 1.0));
+        assert!(near.dist2 < far.dist2);
+    }
+
+    #[test]
+    fn degenerate_segment_projects_to_start() {
+        let a = GeoPoint::new(0.3, 0.3);
+        let pr = project_onto_segment(GeoPoint::new(0.4, 0.4), a, a);
+        assert_eq!(pr.t, 0.0);
+        assert!(pr.dist2 > 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Landmark (ALT) distance oracle — the preprocessing direction the paper
+//! leaves as future work (§9: "we have not used any preprocessing
+//! techniques such as indexing; we plan to propose a suitable
+//! preprocessing method").
+//!
+//! A small set of landmarks is chosen by farthest-point sampling; each
+//! stores its distance to every vertex. The triangle inequality then gives
+//! an admissible, consistent lower bound
+//! `h(u, t) = max_ℓ |d(ℓ, u) − d(ℓ, t)|`, usable both as a goal-directed
+//! A\* potential for point-to-point queries (the destination variant's
+//! final legs) and as a cheap feasibility filter ("can this PoI possibly
+//! be within the threshold radius?").
+//!
+//! Restricted to undirected graphs (one distance array per landmark
+//! suffices); `build` asserts this.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::csr::RoadNetwork;
+use crate::dijkstra::{dijkstra, DijkstraWorkspace};
+use crate::stats::SearchStats;
+use crate::versioned::VersionedArray;
+use crate::weight::Cost;
+use crate::VertexId;
+
+/// A landmark-based lower-bound oracle.
+pub struct Landmarks {
+    landmarks: Vec<VertexId>,
+    /// `dist[l][v]` = shortest distance from landmark `l` to `v`
+    /// (`f64::INFINITY` when unreachable).
+    dist: Vec<Vec<f64>>,
+}
+
+impl Landmarks {
+    /// Builds `count` landmarks by farthest-point sampling, seeded at
+    /// `seed_vertex`. Costs one full Dijkstra per landmark.
+    ///
+    /// # Panics
+    /// If the graph is directed or has no vertices, or `count == 0`.
+    pub fn build(graph: &RoadNetwork, count: usize, seed_vertex: VertexId) -> Landmarks {
+        assert!(!graph.is_directed(), "ALT oracle requires an undirected graph");
+        assert!(graph.num_vertices() > 0, "empty graph");
+        assert!(count >= 1, "need at least one landmark");
+        let mut ws = DijkstraWorkspace::new(graph.num_vertices());
+        let mut landmarks = Vec::with_capacity(count);
+        let mut dist: Vec<Vec<f64>> = Vec::with_capacity(count);
+        // min over chosen landmarks of d(l, v) — drives farthest sampling.
+        let mut closest = vec![f64::INFINITY; graph.num_vertices()];
+        let mut next = seed_vertex;
+        for _ in 0..count {
+            landmarks.push(next);
+            dijkstra(graph, &mut ws, next);
+            let row: Vec<f64> = (0..graph.num_vertices())
+                .map(|i| ws.distance(VertexId(i as u32)).map_or(f64::INFINITY, |c| c.get()))
+                .collect();
+            for (c, &d) in closest.iter_mut().zip(&row) {
+                if d < *c {
+                    *c = d;
+                }
+            }
+            dist.push(row);
+            // Farthest reachable vertex from the chosen set becomes the
+            // next landmark.
+            let far = closest
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_finite())
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| VertexId(i as u32));
+            match far {
+                Some(v) if !landmarks.contains(&v) => next = v,
+                _ => break, // graph smaller than requested landmark count
+            }
+        }
+        Landmarks { landmarks, dist }
+    }
+
+    /// The chosen landmark vertices.
+    pub fn landmarks(&self) -> &[VertexId] {
+        &self.landmarks
+    }
+
+    /// Triangle-inequality lower bound on `d(u, v)`.
+    pub fn lower_bound(&self, u: VertexId, v: VertexId) -> Cost {
+        let mut best = 0.0f64;
+        for row in &self.dist {
+            let (du, dv) = (row[u.index()], row[v.index()]);
+            if du.is_finite() && dv.is_finite() {
+                let b = (du - dv).abs();
+                if b > best {
+                    best = b;
+                }
+            }
+        }
+        Cost::new(best)
+    }
+
+    /// Goal-directed point-to-point shortest path (A\* with the landmark
+    /// potential). Returns the exact distance, or `None` if unreachable.
+    pub fn astar(
+        &self,
+        graph: &RoadNetwork,
+        source: VertexId,
+        target: VertexId,
+    ) -> (Option<Cost>, SearchStats) {
+        let n = graph.num_vertices();
+        let mut g_score: VersionedArray<f64> = VersionedArray::new(n);
+        let mut closed: VersionedArray<bool> = VersionedArray::new(n);
+        let mut heap: BinaryHeap<Reverse<(Cost, VertexId)>> = BinaryHeap::new();
+        let mut stats = SearchStats::default();
+        g_score.set(source.index(), 0.0);
+        heap.push(Reverse((self.lower_bound(source, target), source)));
+        stats.pushed += 1;
+        while let Some(Reverse((_, u))) = heap.pop() {
+            if closed.get(u.index()).unwrap_or(false) {
+                continue;
+            }
+            closed.set(u.index(), true);
+            stats.settled += 1;
+            let gu = g_score.get(u.index()).expect("queued vertices have g-scores");
+            if u == target {
+                return (Some(Cost::new(gu)), stats);
+            }
+            for (v, w) in graph.neighbors(u) {
+                stats.relaxed += 1;
+                stats.weight_sum += w.get();
+                if closed.get(v.index()).unwrap_or(false) {
+                    continue;
+                }
+                let ng = gu + w.get();
+                let slot = g_score.get_or_insert(v.index(), f64::INFINITY);
+                if ng < *slot {
+                    *slot = ng;
+                    let f = Cost::new(ng) + self.lower_bound(v, target);
+                    heap.push(Reverse((f, v)));
+                    stats.pushed += 1;
+                }
+            }
+        }
+        (None, stats)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.dist.iter().map(|r| r.len() * std::mem::size_of::<f64>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::dijkstra::shortest_distance;
+
+    fn grid(n: usize) -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<VertexId> = (0..n * n).map(|_| b.add_vertex()).collect();
+        for r in 0..n {
+            for c in 0..n {
+                let i = r * n + c;
+                if c + 1 < n {
+                    b.add_edge(vs[i], vs[i + 1], 1.0 + ((i * 7) % 3) as f64);
+                }
+                if r + 1 < n {
+                    b.add_edge(vs[i], vs[i + n], 1.0 + ((i * 13) % 5) as f64);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn lower_bound_is_admissible() {
+        let g = grid(6);
+        let lm = Landmarks::build(&g, 4, VertexId(0));
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        for u in [0u32, 5, 17, 35] {
+            for v in [0u32, 3, 20, 30] {
+                let exact =
+                    shortest_distance(&g, &mut ws, VertexId(u), VertexId(v)).unwrap();
+                let lb = lm.lower_bound(VertexId(u), VertexId(v));
+                assert!(lb <= exact + Cost::new(1e-9), "lb {lb:?} > exact {exact:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_exact_for_landmark_pairs() {
+        let g = grid(5);
+        let lm = Landmarks::build(&g, 3, VertexId(0));
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        // For u = landmark, the bound |d(l,l) - d(l,v)| = d(l,v) is exact.
+        let l = lm.landmarks()[0];
+        for v in g.vertices() {
+            let exact = shortest_distance(&g, &mut ws, l, v).unwrap();
+            assert_eq!(lm.lower_bound(l, v), exact);
+        }
+    }
+
+    #[test]
+    fn astar_matches_dijkstra() {
+        let g = grid(7);
+        let lm = Landmarks::build(&g, 5, VertexId(0));
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        for (s, t) in [(0u32, 48u32), (3, 44), (21, 27), (10, 10)] {
+            let exact = shortest_distance(&g, &mut ws, VertexId(s), VertexId(t))
+                .or(Some(Cost::ZERO).filter(|_| s == t));
+            let (got, _) = lm.astar(&g, VertexId(s), VertexId(t));
+            assert_eq!(got, exact, "{s} -> {t}");
+        }
+    }
+
+    #[test]
+    fn astar_settles_fewer_vertices_than_dijkstra() {
+        let g = grid(12);
+        let lm = Landmarks::build(&g, 6, VertexId(0));
+        // Corner-to-adjacent query: goal direction should pay off.
+        let (d, astar_stats) = lm.astar(&g, VertexId(0), VertexId(13));
+        assert!(d.is_some());
+        let mut ws = DijkstraWorkspace::new(g.num_vertices());
+        let mut settled = 0u64;
+        crate::dijkstra::dijkstra_with(
+            &g,
+            &mut ws,
+            &[(VertexId(0), Cost::ZERO)],
+            |v, _| {
+                settled += 1;
+                if v == VertexId(13) {
+                    crate::dijkstra::Settle::Stop
+                } else {
+                    crate::dijkstra::Settle::Continue
+                }
+            },
+        );
+        assert!(
+            astar_stats.settled <= settled,
+            "A* settled {} vs Dijkstra {}",
+            astar_stats.settled,
+            settled
+        );
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex();
+        let v1 = b.add_vertex();
+        let _v2 = b.add_vertex(); // isolated
+        b.add_edge(v0, v1, 1.0);
+        let g = b.build();
+        let lm = Landmarks::build(&g, 2, v0);
+        let (d, _) = lm.astar(&g, v0, VertexId(2));
+        assert_eq!(d, None);
+        assert_eq!(lm.lower_bound(v0, VertexId(2)), Cost::ZERO);
+    }
+
+    #[test]
+    fn landmarks_are_distinct_and_spread() {
+        let g = grid(8);
+        let lm = Landmarks::build(&g, 4, VertexId(0));
+        let mut ls = lm.landmarks().to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        assert_eq!(ls.len(), 4, "landmarks must be distinct");
+        assert!(lm.heap_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn directed_graph_rejected() {
+        let mut b = GraphBuilder::directed();
+        let v0 = b.add_vertex();
+        let v1 = b.add_vertex();
+        b.add_edge(v0, v1, 1.0);
+        let g = b.build();
+        Landmarks::build(&g, 1, v0);
+    }
+}

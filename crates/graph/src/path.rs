@@ -1,0 +1,75 @@
+//! Path helpers: validation and cost computation over explicit vertex
+//! sequences.
+
+use crate::csr::RoadNetwork;
+use crate::weight::Cost;
+use crate::VertexId;
+
+/// Cost of walking `path` edge by edge, taking the cheapest parallel arc at
+/// each hop. Returns `None` if some hop has no connecting arc.
+pub fn path_cost(graph: &RoadNetwork, path: &[VertexId]) -> Option<Cost> {
+    let mut total = Cost::ZERO;
+    for hop in path.windows(2) {
+        let w = graph
+            .neighbors(hop[0])
+            .filter(|(v, _)| *v == hop[1])
+            .map(|(_, w)| w)
+            .min()?;
+        total += w;
+    }
+    Some(total)
+}
+
+/// Whether `path` is a connected walk in `graph`.
+pub fn is_walk(graph: &RoadNetwork, path: &[VertexId]) -> bool {
+    path.windows(2).all(|hop| graph.neighbors(hop[0]).any(|(v, _)| v == hop[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn line3() -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_vertex()).collect();
+        b.add_edge(v[0], v[1], 1.5);
+        b.add_edge(v[1], v[2], 2.5);
+        b.build()
+    }
+
+    #[test]
+    fn cost_of_valid_walk() {
+        let g = line3();
+        let p = [VertexId(0), VertexId(1), VertexId(2)];
+        assert_eq!(path_cost(&g, &p), Some(Cost::new(4.0)));
+        assert!(is_walk(&g, &p));
+    }
+
+    #[test]
+    fn broken_walk_rejected() {
+        let g = line3();
+        let p = [VertexId(0), VertexId(2)];
+        assert_eq!(path_cost(&g, &p), None);
+        assert!(!is_walk(&g, &p));
+    }
+
+    #[test]
+    fn singleton_and_empty_paths_cost_zero() {
+        let g = line3();
+        assert_eq!(path_cost(&g, &[VertexId(1)]), Some(Cost::ZERO));
+        assert_eq!(path_cost(&g, &[]), Some(Cost::ZERO));
+        assert!(is_walk(&g, &[]));
+    }
+
+    #[test]
+    fn parallel_edges_take_cheapest() {
+        let mut b = GraphBuilder::new();
+        let v0 = b.add_vertex();
+        let v1 = b.add_vertex();
+        b.add_edge(v0, v1, 9.0);
+        b.add_edge(v0, v1, 2.0);
+        let g = b.build();
+        assert_eq!(path_cost(&g, &[v0, v1]), Some(Cost::new(2.0)));
+    }
+}

@@ -1,0 +1,56 @@
+//! Instrumentation counters shared by all graph searches.
+//!
+//! The paper's ablation experiments (Tables 7–8, Figures 4–5) are phrased in
+//! terms of search-space size: vertices visited, edges relaxed, and the
+//! "weight sum" of the traversed region. Every search in this workspace
+//! fills a [`SearchStats`] so those tables can be regenerated faithfully.
+
+/// Counters describing one (or an aggregate of) graph searches.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SearchStats {
+    /// Vertices settled (popped with final distance).
+    pub settled: u64,
+    /// Edges relaxed (neighbour scans).
+    pub relaxed: u64,
+    /// Heap pushes performed.
+    pub pushed: u64,
+    /// Sum of weights of relaxed edges — the paper's "weight sum" proxy for
+    /// the traversed search space.
+    pub weight_sum: f64,
+}
+
+impl SearchStats {
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.settled += other.settled;
+        self.relaxed += other.relaxed;
+        self.pushed += other.pushed;
+        self.weight_sum += other.weight_sum;
+    }
+}
+
+impl std::ops::Add for SearchStats {
+    type Output = SearchStats;
+    fn add(mut self, rhs: SearchStats) -> SearchStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let a = SearchStats { settled: 1, relaxed: 2, pushed: 3, weight_sum: 4.0 };
+        let b = SearchStats { settled: 10, relaxed: 20, pushed: 30, weight_sum: 40.0 };
+        let c = a + b;
+        assert_eq!(c, SearchStats { settled: 11, relaxed: 22, pushed: 33, weight_sum: 44.0 });
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(SearchStats::default().settled, 0);
+    }
+}

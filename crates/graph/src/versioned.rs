@@ -1,0 +1,139 @@
+//! Versioned scratch arrays for O(1) resets between searches.
+//!
+//! BSSR executes the modified Dijkstra algorithm many times per query
+//! (Algorithm 1, line 9). Reinitialising a `Vec<f64>` of |V| + |P| entries
+//! each time would dominate the run time on city-scale graphs, so distance /
+//! label arrays are stamped with an epoch: bumping the epoch invalidates
+//! every slot at once.
+
+/// A fixed-size array whose entries are logically cleared in O(1).
+#[derive(Clone, Debug)]
+pub struct VersionedArray<T> {
+    values: Vec<T>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl<T: Copy + Default> VersionedArray<T> {
+    /// Creates an array of `n` unset slots.
+    pub fn new(n: usize) -> VersionedArray<T> {
+        VersionedArray { values: vec![T::default(); n], stamps: vec![0; n], epoch: 1 }
+    }
+
+    /// Capacity (number of slots).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the array has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Clears all slots in O(1) (amortised; a wrap-around forces a real
+    /// clear once every 2³²−1 epochs).
+    pub fn clear(&mut self) {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamps.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Grows to at least `n` slots (keeps current epoch semantics).
+    pub fn resize(&mut self, n: usize) {
+        if n > self.values.len() {
+            self.values.resize(n, T::default());
+            self.stamps.resize(n, 0);
+        }
+    }
+
+    /// Value at `i`, if set this epoch.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<T> {
+        if self.stamps[i] == self.epoch {
+            Some(self.values[i])
+        } else {
+            None
+        }
+    }
+
+    /// Sets slot `i` for the current epoch.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.values[i] = v;
+        self.stamps[i] = self.epoch;
+    }
+
+    /// Whether slot `i` is set this epoch.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.stamps[i] == self.epoch
+    }
+
+    /// Mutable access to slot `i`, inserting `default` if unset.
+    #[inline]
+    pub fn get_or_insert(&mut self, i: usize, default: T) -> &mut T {
+        if self.stamps[i] != self.epoch {
+            self.values[i] = default;
+            self.stamps[i] = self.epoch;
+        }
+        &mut self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut a: VersionedArray<f64> = VersionedArray::new(4);
+        assert_eq!(a.get(0), None);
+        a.set(0, 1.5);
+        assert_eq!(a.get(0), Some(1.5));
+        assert!(a.contains(0));
+        assert!(!a.contains(1));
+    }
+
+    #[test]
+    fn clear_invalidates_everything() {
+        let mut a: VersionedArray<u32> = VersionedArray::new(3);
+        a.set(1, 7);
+        a.clear();
+        assert_eq!(a.get(1), None);
+        a.set(1, 9);
+        assert_eq!(a.get(1), Some(9));
+    }
+
+    #[test]
+    fn get_or_insert_initialises_once() {
+        let mut a: VersionedArray<u32> = VersionedArray::new(2);
+        *a.get_or_insert(0, 10) += 1;
+        *a.get_or_insert(0, 10) += 1;
+        assert_eq!(a.get(0), Some(12));
+    }
+
+    #[test]
+    fn resize_preserves_existing_entries() {
+        let mut a: VersionedArray<u32> = VersionedArray::new(2);
+        a.set(1, 3);
+        a.resize(10);
+        assert_eq!(a.get(1), Some(3));
+        assert_eq!(a.get(9), None);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn many_epochs_stay_consistent() {
+        let mut a: VersionedArray<u8> = VersionedArray::new(1);
+        for i in 0..1000u32 {
+            a.clear();
+            assert_eq!(a.get(0), None);
+            a.set(0, (i % 256) as u8);
+            assert_eq!(a.get(0), Some((i % 256) as u8));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Totally ordered, NaN-free route cost.
+//!
+//! Edge weights in the paper are geographic distances (`w(u_i, u_j) ≥ 0`),
+//! so `f64` is the natural representation — but `f64` is not `Ord`, which
+//! makes it unusable as a `BinaryHeap` key. [`Cost`] is a thin newtype that
+//! bans NaN at construction and therefore can expose a total order safely.
+
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A non-NaN `f64` cost with a total order.
+///
+/// `Cost` values may be `+∞` (used as "unreachable"/"no threshold"), but
+/// never NaN: every constructor checks. Arithmetic is saturating in the
+/// sense that `∞ + x = ∞`; subtracting `∞ − ∞` is the caller's bug and is
+/// caught by the NaN check in debug builds.
+#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Cost(f64);
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost(0.0);
+    /// Unreachable / unbounded threshold.
+    pub const INFINITY: Cost = Cost(f64::INFINITY);
+
+    /// Wraps a raw `f64`, panicking on NaN.
+    #[inline]
+    pub fn new(v: f64) -> Cost {
+        assert!(!v.is_nan(), "Cost must not be NaN");
+        Cost(v)
+    }
+
+    /// Raw value accessor.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// `true` iff this cost is finite (i.e. reachable).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Minimum of two costs.
+    #[inline]
+    pub fn min(self, other: Cost) -> Cost {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two costs.
+    #[inline]
+    pub fn max(self, other: Cost) -> Cost {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Cost {}
+
+impl PartialOrd for Cost {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN is banned at construction, so total_cmp and the IEEE partial
+        // order agree and this is a proper total order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Cost {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // -0.0 and 0.0 compare equal; normalise so Hash agrees with Eq.
+        let v = if self.0 == 0.0 { 0.0f64 } else { self.0 };
+        v.to_bits().hash(state);
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    #[inline]
+    fn add(self, rhs: Cost) -> Cost {
+        Cost::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cost {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    #[inline]
+    fn sub(self, rhs: Cost) -> Cost {
+        Cost::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Cost {
+    type Output = Cost;
+    #[inline]
+    fn mul(self, rhs: f64) -> Cost {
+        Cost::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Cost {
+    type Output = Cost;
+    #[inline]
+    fn div(self, rhs: f64) -> Cost {
+        Cost::new(self.0 / rhs)
+    }
+}
+
+impl std::iter::Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl Default for Cost {
+    fn default() -> Self {
+        Cost::ZERO
+    }
+}
+
+impl std::fmt::Debug for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<f64> for Cost {
+    #[inline]
+    fn from(v: f64) -> Cost {
+        Cost::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        assert!(Cost::new(1.0) < Cost::new(2.0));
+        assert!(Cost::ZERO < Cost::INFINITY);
+        assert!(Cost::new(5.0) < Cost::INFINITY);
+        assert_eq!(Cost::new(3.0).max(Cost::new(4.0)), Cost::new(4.0));
+        assert_eq!(Cost::new(3.0).min(Cost::new(4.0)), Cost::new(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = Cost::new(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cost::new(1.5);
+        let b = Cost::new(2.5);
+        assert_eq!(a + b, Cost::new(4.0));
+        assert_eq!(b - a, Cost::new(1.0));
+        assert_eq!(a * 2.0, Cost::new(3.0));
+        assert_eq!(b / 2.0, Cost::new(1.25));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cost::new(4.0));
+    }
+
+    #[test]
+    fn infinity_propagates_through_add() {
+        assert_eq!(Cost::INFINITY + Cost::new(1.0), Cost::INFINITY);
+        assert!(!Cost::INFINITY.is_finite());
+        assert!(Cost::new(0.0).is_finite());
+    }
+
+    #[test]
+    fn sum_of_costs() {
+        let total: Cost = [1.0, 2.0, 3.0].into_iter().map(Cost::new).sum();
+        assert_eq!(total, Cost::new(6.0));
+        let empty: Cost = std::iter::empty::<Cost>().sum();
+        assert_eq!(empty, Cost::ZERO);
+    }
+
+    #[test]
+    fn zero_and_negative_zero_hash_identically() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |c: Cost| {
+            let mut s = DefaultHasher::new();
+            c.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(Cost::new(0.0), Cost::new(-0.0));
+        assert_eq!(h(Cost::new(0.0)), h(Cost::new(-0.0)));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the graph substrate: Dijkstra family
+//! invariants on arbitrary random graphs.
+
+use proptest::prelude::*;
+use skysr_graph::dijkstra::{dijkstra, shortest_distance, DijkstraWorkspace};
+use skysr_graph::multi_source::min_set_distance;
+use skysr_graph::path::path_cost;
+use skysr_graph::{Cost, GraphBuilder, ResumableDijkstra, RoadNetwork, VertexId};
+
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    n: usize,
+    path_weights: Vec<f64>,
+    extra: Vec<(usize, usize, f64)>,
+}
+
+fn arb_graph() -> impl Strategy<Value = RandomGraph> {
+    (3usize..14).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec(0.1f64..20.0, n - 1),
+            prop::collection::vec((0..n, 0..n, 0.1f64..20.0), 0..16),
+        )
+            .prop_map(|(n, path_weights, extra)| RandomGraph { n, path_weights, extra })
+    })
+}
+
+fn build(g: &RandomGraph) -> RoadNetwork {
+    let mut b = GraphBuilder::new();
+    let vs: Vec<VertexId> = (0..g.n).map(|_| b.add_vertex()).collect();
+    for (i, &w) in g.path_weights.iter().enumerate() {
+        b.add_edge(vs[i], vs[i + 1], w);
+    }
+    for &(a, c, w) in &g.extra {
+        b.add_edge(vs[a], vs[c], w);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dijkstra_satisfies_triangle_inequality_on_edges(g in arb_graph()) {
+        // For every edge (u, v, w): d(s, v) ≤ d(s, u) + w.
+        let net = build(&g);
+        let mut ws = DijkstraWorkspace::new(net.num_vertices());
+        dijkstra(&net, &mut ws, VertexId(0));
+        for u in net.vertices() {
+            let du = ws.distance(u).expect("connected by construction");
+            for (v, w) in net.neighbors(u) {
+                let dv = ws.distance(v).unwrap();
+                prop_assert!(dv <= du + w + Cost::new(1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_parent_path_realises_distance(g in arb_graph()) {
+        let net = build(&g);
+        let mut ws = DijkstraWorkspace::new(net.num_vertices());
+        dijkstra(&net, &mut ws, VertexId(0));
+        for v in net.vertices() {
+            let path = ws.path_to(v).expect("reachable");
+            prop_assert_eq!(path.first().copied(), Some(VertexId(0)));
+            prop_assert_eq!(path.last().copied(), Some(v));
+            let cost = path_cost(&net, &path).expect("path uses real edges");
+            let d = ws.distance(v).unwrap();
+            prop_assert!((cost.get() - d.get()).abs() <= 1e-9 * (1.0 + d.get()));
+        }
+    }
+
+    #[test]
+    fn point_to_point_matches_full_search(g in arb_graph()) {
+        let net = build(&g);
+        let mut ws = DijkstraWorkspace::new(net.num_vertices());
+        let target = VertexId((g.n - 1) as u32);
+        let early = shortest_distance(&net, &mut ws, VertexId(0), target);
+        dijkstra(&net, &mut ws, VertexId(0));
+        prop_assert_eq!(early, ws.distance(target));
+    }
+
+    #[test]
+    fn resumable_settles_same_distances(g in arb_graph()) {
+        let net = build(&g);
+        let mut ws = DijkstraWorkspace::new(net.num_vertices());
+        dijkstra(&net, &mut ws, VertexId(0));
+        let mut rd = ResumableDijkstra::new(&net, VertexId(0));
+        let mut settled = 0usize;
+        let mut last = Cost::ZERO;
+        while let Some((v, d)) = rd.next_settled() {
+            prop_assert!(d >= last, "settle order must be non-decreasing");
+            last = d;
+            prop_assert_eq!(Some(d), ws.distance(v));
+            settled += 1;
+        }
+        prop_assert_eq!(settled, net.num_vertices());
+    }
+
+    #[test]
+    fn multi_source_equals_min_over_sources(g in arb_graph()) {
+        let net = build(&g);
+        let mut ws = DijkstraWorkspace::new(net.num_vertices());
+        let sources = [VertexId(0), VertexId((g.n / 2) as u32)];
+        let dest = VertexId((g.n - 1) as u32);
+        let got = min_set_distance(&net, &mut ws, &sources, |v| v == dest, Cost::INFINITY)
+            .hit
+            .map(|(_, d)| d);
+        let mut expect: Option<Cost> = None;
+        for s in sources {
+            dijkstra(&net, &mut ws, s);
+            if let Some(d) = ws.distance(dest) {
+                expect = Some(expect.map_or(d, |e| e.min(d)));
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn distances_are_symmetric_on_undirected_graphs(g in arb_graph()) {
+        let net = build(&g);
+        let mut ws = DijkstraWorkspace::new(net.num_vertices());
+        let a = VertexId(0);
+        let b = VertexId((g.n - 1) as u32);
+        let ab = shortest_distance(&net, &mut ws, a, b).unwrap();
+        let ba = shortest_distance(&net, &mut ws, b, a).unwrap();
+        prop_assert!((ab.get() - ba.get()).abs() <= 1e-9 * (1.0 + ab.get()));
+    }
+}

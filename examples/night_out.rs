@@ -1,0 +1,72 @@
+//! The paper's §7.5 / Table 9 use case: a Tokyo night out — beer garden,
+//! sushi restaurant, sake bar — ending at the hotel (the §6 "SkySR with
+//! destination" variant).
+//!
+//! The only beer garden is across town, so the perfect route is 7.5 km;
+//! swapping it for the pub around the corner (same "Bar" subtree in the
+//! Foursquare hierarchy) cuts the trip to 1.3 km at a small semantic cost.
+//!
+//! ```text
+//! cargo run --release --example night_out
+//! ```
+
+use skysr::category::foursquare::foursquare_forest;
+use skysr::core::bssr::BssrConfig;
+use skysr::core::variants::destination::DestinationQuery;
+use skysr::core::{PoiTable, QueryContext, SkySrQuery};
+use skysr::graph::GraphBuilder;
+
+fn main() {
+    let forest = foursquare_forest();
+    let cat = |n: &str| forest.by_name(n).expect("category exists");
+
+    let mut g = GraphBuilder::new();
+    let start = g.add_vertex();
+    let beer_garden = g.add_vertex();
+    let pub_ = g.add_vertex();
+    let sushi_near = g.add_vertex();
+    let sushi_far = g.add_vertex();
+    let sake_near = g.add_vertex();
+    let sake_far = g.add_vertex();
+    let hotel = g.add_vertex();
+    g.add_edge(start, beer_garden, 3300.0);
+    g.add_edge(start, pub_, 250.0);
+    g.add_edge(pub_, sushi_near, 400.0);
+    g.add_edge(sushi_near, sake_near, 345.0);
+    g.add_edge(sake_near, hotel, 300.0);
+    g.add_edge(beer_garden, sushi_far, 2000.0);
+    g.add_edge(sushi_far, sake_far, 1500.0);
+    g.add_edge(sake_far, hotel, 651.0);
+    g.add_edge(hotel, start, 500.0);
+    let graph = g.build();
+
+    let mut pois = PoiTable::new(graph.num_vertices());
+    pois.add_poi(beer_garden, cat("Beer Garden"));
+    pois.add_poi(pub_, cat("Pub"));
+    pois.add_poi(sushi_near, cat("Sushi Restaurant"));
+    pois.add_poi(sushi_far, cat("Sushi Restaurant"));
+    pois.add_poi(sake_near, cat("Sake Bar"));
+    pois.add_poi(sake_far, cat("Sake Bar"));
+    pois.finalize(&forest);
+
+    let ctx = QueryContext::new(&graph, &forest, &pois);
+    let query =
+        SkySrQuery::new(start, [cat("Beer Garden"), cat("Sushi Restaurant"), cat("Sake Bar")]);
+    let trip = DestinationQuery::new(query, hotel);
+    let result = trip.run(&ctx, BssrConfig::default()).expect("valid query");
+
+    println!("Table 9 — night out ending at the hotel:\n");
+    for r in result.routes.iter().rev() {
+        let stops: Vec<&str> =
+            r.pois.iter().map(|&p| forest.name(pois.categories_of(p)[0])).collect();
+        println!(
+            "  {:>7.0} m  semantic {:.3}   {} -> (hotel)",
+            r.length.get(),
+            r.semantic,
+            stops.join(" -> ")
+        );
+    }
+    // The best route depends on the user and the weather (§7.5): the
+    // skyline presents both so the user decides.
+    assert!(result.routes.len() >= 2);
+}

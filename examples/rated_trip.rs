@@ -1,0 +1,51 @@
+//! The §9 multi-attribute extension: skyline routes over **three**
+//! criteria — length, semantic similarity, and PoI ratings.
+//!
+//! Replays the Figure 1 running example with ratings attached: the hobby
+//! shop that the plain 2-D skyline discards (dominated on length and
+//! semantics) re-enters the answer because it is the best-rated shop in
+//! town.
+//!
+//! ```text
+//! cargo run --release --example rated_trip
+//! ```
+
+use skysr::core::bssr::Bssr;
+use skysr::core::paper_example::PaperExample;
+use skysr::prelude::*;
+
+fn main() {
+    let ex = PaperExample::new();
+    let ctx = ex.context();
+
+    // Plain 2-D skyline (the paper's SkySR query).
+    let two_d = Bssr::new(&ctx).run(&ex.query()).expect("valid query");
+    println!("2-D skyline (length × semantics): {} routes", two_d.routes.len());
+    for r in &two_d.routes {
+        println!("  {:>6.1}  s={:.2}  {:?}", r.length.get(), r.semantic, r.pois);
+    }
+
+    // Attach ratings: the hobby shop p7 is outstanding, the gift shop p8
+    // mediocre.
+    let mut ratings = RatingTable::new(ex.graph.num_vertices(), 0.5);
+    ratings.set(ex.p(7), 1.0);
+    ratings.set(ex.p(8), 0.1);
+    ratings.set(ex.p(13), 0.9);
+
+    let three_d = RatedQuery::new(ex.query()).run(&ctx, &ratings).expect("valid query");
+    println!("\n3-D skyline (length × semantics × rating): {} routes", three_d.routes.len());
+    for r in &three_d.routes {
+        println!(
+            "  {:>6.1}  s={:.2}  rating-deficit={:.2}  {:?}",
+            r.length.get(),
+            r.semantic,
+            r.rating,
+            r.pois
+        );
+    }
+
+    // The premium hobby-shop route survives only in the 3-D skyline.
+    let premium = three_d.routes.iter().any(|r| r.pois.contains(&ex.p(7)));
+    assert!(premium, "the top-rated stop should appear in the 3-D skyline");
+    assert!(three_d.routes.len() >= two_d.routes.len());
+}

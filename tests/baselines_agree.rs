@@ -1,0 +1,73 @@
+//! Cross-algorithm agreement on generated datasets: the `Dij` and `PNE`
+//! baselines (iterated OSR over similarity-level combinations) must return
+//! the same skyline as BSSR, query for query — the paper's "all algorithms
+//! output the same routes".
+
+use skysr::core::baseline::{DijBaseline, PneBaseline};
+use skysr::core::bssr::Bssr;
+use skysr::core::SkylineRoute;
+use skysr::prelude::*;
+
+fn assert_same_scores(a: &[SkylineRoute], b: &[SkylineRoute], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: {a:?} vs {b:?}");
+    for (x, y) in a.iter().zip(b) {
+        assert!(
+            (x.length.get() - y.length.get()).abs() <= 1e-6 * (1.0 + y.length.get().abs()),
+            "{label}: {x:?} vs {y:?}"
+        );
+        assert!((x.semantic - y.semantic).abs() <= 1e-9, "{label}: {x:?} vs {y:?}");
+    }
+}
+
+fn check_dataset(dataset: &Dataset, seq_len: usize, queries: usize, seed: u64) {
+    let ctx = dataset.context();
+    let workload = WorkloadSpec::new(seq_len).queries(queries).seed(seed).generate(dataset);
+    let mut bssr = Bssr::new(&ctx);
+    let mut dij = DijBaseline::new(&ctx);
+    for (i, q) in workload.queries.iter().enumerate() {
+        let b = bssr.run(q).unwrap();
+        let d = dij.run(q).unwrap();
+        assert_same_scores(&b.routes, &d.routes, &format!("{} dij q{i}", dataset.name));
+        let mut pne = PneBaseline::new(&ctx);
+        let p = pne.run(q).unwrap();
+        assert_same_scores(&b.routes, &p.routes, &format!("{} pne q{i}", dataset.name));
+    }
+}
+
+#[test]
+fn cal_like_dataset_seq2() {
+    let d = DatasetSpec::preset(Preset::CalSmall).scale(0.06).seed(31).generate();
+    check_dataset(&d, 2, 6, 1);
+}
+
+#[test]
+fn cal_like_dataset_seq3() {
+    let d = DatasetSpec::preset(Preset::CalSmall).scale(0.06).seed(32).generate();
+    check_dataset(&d, 3, 4, 2);
+}
+
+#[test]
+fn foursquare_dataset_seq2() {
+    let d = DatasetSpec::preset(Preset::TokyoSmall).scale(0.05).seed(33).generate();
+    check_dataset(&d, 2, 5, 3);
+}
+
+#[test]
+fn foursquare_dataset_seq3() {
+    let d = DatasetSpec::preset(Preset::NycSmall).scale(0.03).seed(34).generate();
+    check_dataset(&d, 3, 3, 4);
+}
+
+#[test]
+fn baselines_report_combination_counts() {
+    let d = DatasetSpec::preset(Preset::CalSmall).scale(0.06).seed(35).generate();
+    let ctx = d.context();
+    let w = WorkloadSpec::new(2).queries(1).seed(5).generate(&d);
+    let mut dij = DijBaseline::new(&ctx);
+    let r = dij.run(&w.queries[0]).unwrap();
+    // Every position has at least the perfect level, and the Cal forest
+    // guarantees at least two levels somewhere.
+    assert!(r.combos >= 2, "{:?}", r.combos);
+    assert_eq!(r.osr_calls, r.combos);
+    assert!(r.total_time.as_nanos() > 0);
+}
