@@ -31,10 +31,7 @@ fn bench_bssr(c: &mut Criterion) {
                 "distance_queue",
                 BssrConfig { queue_policy: QueuePolicy::DistanceBased, ..BssrConfig::default() },
             ),
-            (
-                "no_bounds",
-                BssrConfig { lower_bound: LowerBoundMode::Off, ..BssrConfig::default() },
-            ),
+            ("no_bounds", BssrConfig { lower_bound: LowerBoundMode::Off, ..BssrConfig::default() }),
         ];
         for (name, cfg) in configs {
             group.bench_with_input(BenchmarkId::new(name, k), &k, |b, _| {

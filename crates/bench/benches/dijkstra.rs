@@ -62,8 +62,9 @@ fn bench_landmarks(c: &mut Criterion) {
         let g = network(n);
         let lm = Landmarks::build(&g, 8, VertexId(0));
         let mut ws = DijkstraWorkspace::new(g.num_vertices());
-        let pairs: Vec<(VertexId, VertexId)> =
-            (0..8).map(|i| (VertexId(i * 31 % n as u32), VertexId((n as u32 - 1) - i * 17))).collect();
+        let pairs: Vec<(VertexId, VertexId)> = (0..8)
+            .map(|i| (VertexId(i * 31 % n as u32), VertexId((n as u32 - 1) - i * 17)))
+            .collect();
         group.bench_with_input(BenchmarkId::new("dijkstra_p2p", n), &n, |b, _| {
             b.iter(|| {
                 for &(s, t) in &pairs {

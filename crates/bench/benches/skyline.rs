@@ -51,9 +51,11 @@ fn bench_route_representation(c: &mut Criterion) {
     // pattern of queue extension (one prefix, many children).
     c.bench_function("route_extend_shared_prefix", |b| {
         b.iter(|| {
-            let base = PartialRoute::empty()
-                .extend(VertexId(1), Cost::new(1.0), 1.0)
-                .extend(VertexId(2), Cost::new(1.0), 0.9);
+            let base = PartialRoute::empty().extend(VertexId(1), Cost::new(1.0), 1.0).extend(
+                VertexId(2),
+                Cost::new(1.0),
+                0.9,
+            );
             let mut total = 0usize;
             for i in 0..256u32 {
                 let child = base.extend(VertexId(10 + i), Cost::new(2.0), 0.8);

@@ -8,6 +8,10 @@
 //! working sets are heap-resident graph copies and priority queues), minus
 //! the OS noise.
 
+// The explicit `unsafe {}` blocks inside the unsafe trait methods are the
+// edition-2024 style; opt into it so they stay meaningful on 2021.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -36,9 +40,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             if new_size >= layout.size() {
-                let cur =
-                    CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
-                        - layout.size();
+                let cur = CURRENT.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                    - layout.size();
                 PEAK.fetch_max(cur, Ordering::Relaxed);
             } else {
                 CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);

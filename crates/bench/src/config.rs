@@ -68,11 +68,11 @@ impl ExpConfig {
             })
             .collect();
         // The three cities are independent: generate them in parallel.
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = specs
                 .iter()
                 .map(|spec| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         eprintln!("generating {} ...", spec.name);
                         spec.generate()
                     })
@@ -80,7 +80,6 @@ impl ExpConfig {
                 .collect();
             handles.into_iter().map(|h| h.join().expect("generation panicked")).collect()
         })
-        .expect("generation threads panicked")
     }
 
     /// Prints the Table 5-style header for `datasets`.

@@ -48,7 +48,10 @@ pub fn fig3(cfg: &ExpConfig, datasets: &[Dataset]) {
                 baseline_cell(&dij),
             ]);
         }
-        println!("## {} ({} queries; {} for baselines, combo cap {})", d.name, cfg.queries, cfg.baseline_queries, cfg.baseline_max_combos);
+        println!(
+            "## {} ({} queries; {} for baselines, combo cap {})",
+            d.name, cfg.queries, cfg.baseline_queries, cfg.baseline_max_combos
+        );
         println!("{t}");
     }
 }
@@ -107,9 +110,12 @@ pub fn table7(cfg: &ExpConfig, datasets: &[Dataset]) {
                 wo_sum += no_init.run(q).unwrap().stats.first_mdijkstra_weight_sum;
             }
             let ratio_mean = {
-                let rs: Vec<f64> =
-                    with.stats.iter().filter_map(|s| s.init_length_ratio).collect();
-                if rs.is_empty() { f64::NAN } else { rs.iter().sum::<f64>() / rs.len() as f64 }
+                let rs: Vec<f64> = with.stats.iter().filter_map(|s| s.init_length_ratio).collect();
+                if rs.is_empty() {
+                    f64::NAN
+                } else {
+                    rs.iter().sum::<f64>() / rs.len() as f64
+                }
             };
             t.row(vec![
                 k.to_string(),
@@ -134,9 +140,8 @@ pub fn table8(cfg: &ExpConfig, datasets: &[Dataset]) {
         for k in 2..=cfg.seq_max {
             let qs = workload(cfg, d, k, cfg.queries);
             let mut visited = [0.0f64; 2];
-            for (i, policy) in [QueuePolicy::Proposed, QueuePolicy::DistanceBased]
-                .into_iter()
-                .enumerate()
+            for (i, policy) in
+                [QueuePolicy::Proposed, QueuePolicy::DistanceBased].into_iter().enumerate()
             {
                 let mut engine = Bssr::with_config(
                     &ctx,
@@ -148,11 +153,7 @@ pub fn table8(cfg: &ExpConfig, datasets: &[Dataset]) {
                 }
                 visited[i] = sum as f64 / qs.len() as f64;
             }
-            t.row(vec![
-                k.to_string(),
-                format!("{:.0}", visited[0]),
-                format!("{:.0}", visited[1]),
-            ]);
+            t.row(vec![k.to_string(), format!("{:.0}", visited[0]), format!("{:.0}", visited[1])]);
         }
         println!("## {}", d.name);
         println!("{t}");
@@ -162,7 +163,10 @@ pub fn table8(cfg: &ExpConfig, datasets: &[Dataset]) {
 /// Figure 4: ratios of the possible minimum distances to the initial
 /// perfect route length (|S_q| = max).
 pub fn fig4(cfg: &ExpConfig, datasets: &[Dataset]) {
-    println!("# Figure 4 — minimum-distance bounds relative to the initial route (|Sq| = {})\n", cfg.seq_max);
+    println!(
+        "# Figure 4 — minimum-distance bounds relative to the initial route (|Sq| = {})\n",
+        cfg.seq_max
+    );
     let mut t = Table::new(vec!["Dataset", "semantic-match ls", "perfect-match lp"]);
     for d in datasets {
         let ctx = d.context();
@@ -203,10 +207,8 @@ pub fn fig5(cfg: &ExpConfig, datasets: &[Dataset]) {
         for k in 2..=cfg.seq_max {
             let qs = workload(cfg, d, k, cfg.queries);
             let mut with = Bssr::new(&ctx);
-            let mut without = Bssr::with_config(
-                &ctx,
-                BssrConfig { use_cache: false, ..BssrConfig::default() },
-            );
+            let mut without =
+                Bssr::with_config(&ctx, BssrConfig { use_cache: false, ..BssrConfig::default() });
             let (mut runs_w, mut hits, mut runs_wo) = (0u64, 0u64, 0u64);
             for q in &qs {
                 let s = with.run(q).unwrap().stats;
@@ -303,10 +305,8 @@ pub fn ablation_bounds(cfg: &ExpConfig, datasets: &[Dataset]) {
         let qs = workload(cfg, d, cfg.seq_max, cfg.queries);
         let mut cells = vec![d.name.clone()];
         for mode in [LowerBoundMode::Off, LowerBoundMode::Semantic, LowerBoundMode::Full] {
-            let mut engine = Bssr::with_config(
-                &ctx,
-                BssrConfig { lower_bound: mode, ..BssrConfig::default() },
-            );
+            let mut engine =
+                Bssr::with_config(&ctx, BssrConfig { lower_bound: mode, ..BssrConfig::default() });
             let mut enq = 0u64;
             for q in &qs {
                 enq += engine.run(q).unwrap().stats.routes_enqueued;

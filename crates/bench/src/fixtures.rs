@@ -28,11 +28,7 @@ pub struct Scenario {
 impl Scenario {
     /// Name of the category of PoI vertex `v` (first category).
     pub fn poi_label(&self, v: VertexId) -> &str {
-        self.pois
-            .categories_of(v)
-            .first()
-            .map(|&c| self.forest.name(c))
-            .unwrap_or("?")
+        self.pois.categories_of(v).first().map(|&c| self.forest.name(c)).unwrap_or("?")
     }
 }
 
@@ -57,6 +53,7 @@ pub fn table1_fixture() -> Scenario {
     let museum = g.add_vertex(); // 4
     let jazz = g.add_vertex(); // 5
     let music_venue = g.add_vertex(); // 6
+
     // Engineered distances (metres); see module docs.
     g.add_edge(vq, cupcake, 1500.0);
     g.add_edge(cupcake, art_museum, 781.0);

@@ -81,11 +81,8 @@ pub fn run_batch(
     let mut combos_total = 0u64;
     match algo {
         Algo::Bssr | Algo::BssrNoOpt => {
-            let cfg = if algo == Algo::Bssr {
-                BssrConfig::default()
-            } else {
-                BssrConfig::unoptimized()
-            };
+            let cfg =
+                if algo == Algo::Bssr { BssrConfig::default() } else { BssrConfig::unoptimized() };
             let mut engine = Bssr::with_config(ctx, cfg);
             for q in queries {
                 let t0 = Instant::now();

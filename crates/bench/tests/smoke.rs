@@ -42,7 +42,7 @@ fn every_experiment_driver_runs() {
 
 #[test]
 fn config_datasets_generates_in_parallel() {
-    // Exercises the crossbeam-scoped generation path.
+    // Exercises the scoped-thread parallel generation path.
     let cfg = ExpConfig { scale: 0.02, ..tiny_config() };
     let datasets = cfg.datasets();
     assert_eq!(datasets.len(), 3);

@@ -64,18 +64,15 @@ impl Requirement {
         poi_cats: &[CategoryId],
     ) -> f64 {
         match self {
-            Requirement::Category(c) => poi_cats
-                .iter()
-                .map(|&pc| sim.sim(forest, *c, pc))
-                .fold(0.0, f64::max),
-            Requirement::AnyOf(parts) => parts
-                .iter()
-                .map(|p| p.similarity(forest, sim, poi_cats))
-                .fold(0.0, f64::max),
-            Requirement::AllOf(parts) => parts
-                .iter()
-                .map(|p| p.similarity(forest, sim, poi_cats))
-                .fold(1.0, f64::min),
+            Requirement::Category(c) => {
+                poi_cats.iter().map(|&pc| sim.sim(forest, *c, pc)).fold(0.0, f64::max)
+            }
+            Requirement::AnyOf(parts) => {
+                parts.iter().map(|p| p.similarity(forest, sim, poi_cats)).fold(0.0, f64::max)
+            }
+            Requirement::AllOf(parts) => {
+                parts.iter().map(|p| p.similarity(forest, sim, poi_cats)).fold(1.0, f64::min)
+            }
             Requirement::Exclude { base, not } => {
                 let excluded = poi_cats.iter().any(|&pc| forest.is_ancestor_or_self(*not, pc));
                 if excluded {

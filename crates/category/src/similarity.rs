@@ -8,7 +8,12 @@
 use crate::tree::{CategoryForest, CategoryId};
 
 /// A category-to-category similarity in `[0, 1]`.
-pub trait Similarity {
+///
+/// `Send + Sync` are supertraits so similarity measures (and the query
+/// contexts holding `&dyn Similarity` / `Arc<dyn Similarity>`) can be
+/// shared across the worker threads of `skysr-service`. Measures are pure
+/// functions of the forest, so implementations are naturally thread-safe.
+pub trait Similarity: Send + Sync {
     /// Similarity of `a` and `b` over `forest`.
     fn sim(&self, forest: &CategoryForest, a: CategoryId, b: CategoryId) -> f64;
 }
@@ -22,9 +27,7 @@ impl Similarity for WuPalmer {
     fn sim(&self, forest: &CategoryForest, a: CategoryId, b: CategoryId) -> f64 {
         match forest.lca(a, b) {
             None => 0.0,
-            Some(m) => {
-                2.0 * forest.depth(m) as f64 / (forest.depth(a) + forest.depth(b)) as f64
-            }
+            Some(m) => 2.0 * forest.depth(m) as f64 / (forest.depth(a) + forest.depth(b)) as f64,
         }
     }
 }

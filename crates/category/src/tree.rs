@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 /// Identifier of a category inside a [`CategoryForest`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CategoryId(pub u32);
 
 impl CategoryId {
@@ -232,7 +232,15 @@ impl ForestBuilder {
             let prev = by_name.insert(name.clone(), CategoryId(i as u32));
             assert!(prev.is_none(), "duplicate category name {name:?}");
         }
-        CategoryForest { names: self.names, parent: self.parent, depth, tree, children, roots, by_name }
+        CategoryForest {
+            names: self.names,
+            parent: self.parent,
+            depth,
+            tree,
+            children,
+            roots,
+            by_name,
+        }
     }
 }
 

@@ -18,11 +18,8 @@ struct RandomForest {
 fn arb_forest() -> impl Strategy<Value = RandomForest> {
     prop::collection::vec(prop::option::of(0usize..64), 1..24).prop_map(|raw| {
         // Clamp each parent to an existing earlier index.
-        let parents = raw
-            .iter()
-            .enumerate()
-            .map(|(i, p)| p.filter(|_| i > 0).map(|p| p % i))
-            .collect();
+        let parents =
+            raw.iter().enumerate().map(|(i, p)| p.filter(|_| i > 0).map(|p| p % i)).collect();
         RandomForest { parents }
     })
 }

@@ -40,6 +40,12 @@ impl Args {
         self.positional.clone().ok_or_else(|| "missing dataset file argument".to_owned())
     }
 
+    /// The positional argument if one was given (commands where it is
+    /// optional, e.g. `replay` generating a city when no file is named).
+    pub fn positional_opt(&self) -> Option<String> {
+        self.positional.clone()
+    }
+
     /// Takes a required flag.
     pub fn require(&mut self, name: &str) -> Result<String, String> {
         self.flags.remove(name).ok_or_else(|| format!("missing --{name}"))
@@ -100,5 +106,14 @@ mod tests {
     #[test]
     fn missing_command_rejected() {
         assert!(Args::parse(vec![]).is_err());
+    }
+
+    #[test]
+    fn optional_positional() {
+        let a = Args::parse(sv(&["replay", "--workers", "4"])).unwrap();
+        assert_eq!(a.positional_opt(), None);
+        assert!(a.positional().is_err());
+        let b = Args::parse(sv(&["replay", "city.txt"])).unwrap();
+        assert_eq!(b.positional_opt().as_deref(), Some("city.txt"));
     }
 }

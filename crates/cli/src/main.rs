@@ -10,8 +10,14 @@
 //! skysr-cli info city.txt
 //! skysr-cli categories city.txt --top 15
 //! skysr-cli query city.txt --start 12 --categories "t0/n4,t1/n7" [--destination 99]
+//! skysr-cli replay [city.txt] --queries 1000 --workers 4 [--verify true]
 //! skysr-cli demo
 //! ```
+//!
+//! `replay` drives the concurrent `skysr-service` engine: it streams a
+//! Zipf-skewed workload (repeating popular queries, as real traffic does)
+//! through a worker pool with a cross-query result cache and prints
+//! throughput, latency percentiles and cache statistics.
 
 use std::process::ExitCode;
 
@@ -23,10 +29,19 @@ use skysr_core::{SkySrQuery, SkylineRoute};
 use skysr_data::codec;
 use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 use skysr_graph::VertexId;
+use skysr_service::replay::{replay, ReplaySpec};
 
 mod args;
 
 use args::Args;
+
+/// Parses an optional typed flag with a default.
+fn parse_flag<T: std::str::FromStr>(args: &mut Args, name: &str, default: T) -> Result<T, String> {
+    match args.optional(name) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad --{name}")),
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +64,9 @@ fn usage() -> &'static str {
      skysr-cli categories FILE [--top N]\n  \
      skysr-cli query FILE --start VERTEX --categories \"A,B,C\"\n  \
      \t[--destination VERTEX] [--mode ordered|unordered|rated]\n  \
+     skysr-cli replay [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
+     \t[--distinct N] [--workers N] [--seq-len K] [--zipf S] [--cache N]\n  \
+     \t[--queue N] [--verify true|false]\n  \
      skysr-cli demo"
 }
 
@@ -96,12 +114,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 .transpose()?
                 .unwrap_or(20);
             args.finish()?;
-            let mut hist: Vec<_> = dataset
-                .pois
-                .category_histogram()
-                .into_iter()
-                .filter(|&(_, n)| n > 0)
-                .collect();
+            let mut hist: Vec<_> =
+                dataset.pois.category_histogram().into_iter().filter(|&(_, n)| n > 0).collect();
             hist.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
             for (c, n) in hist.into_iter().take(top) {
                 println!("{n:>7}  {}", dataset.forest.name(c));
@@ -133,10 +147,12 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 "ordered" => {
                     let query = SkySrQuery::new(VertexId(start), cats);
                     let routes = match dest {
-                        Some(d) => DestinationQuery::new(query, VertexId(d))
-                            .run(&ctx, BssrConfig::default())
-                            .map_err(|e| e.to_string())?
-                            .routes,
+                        Some(d) => {
+                            DestinationQuery::new(query, VertexId(d))
+                                .run(&ctx, BssrConfig::default())
+                                .map_err(|e| e.to_string())?
+                                .routes
+                        }
                         None => Bssr::new(&ctx).run(&query).map_err(|e| e.to_string())?.routes,
                     };
                     print_routes(&dataset, &routes);
@@ -156,7 +172,10 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                     let ratings = dataset.ratings(0);
                     let q = RatedQuery::new(SkySrQuery::new(VertexId(start), cats));
                     let result = q.run(&ctx, &ratings).map_err(|e| e.to_string())?;
-                    println!("{} skyline route(s) (length x semantics x rating):", result.routes.len());
+                    println!(
+                        "{} skyline route(s) (length x semantics x rating):",
+                        result.routes.len()
+                    );
                     for r in &result.routes {
                         println!(
                             "  {:>10.1} m  semantic {:.3}  rating-deficit {:.3}  {:?}",
@@ -168,6 +187,72 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                     }
                 }
                 other => return Err(format!("unknown --mode {other:?}")),
+            }
+            Ok(())
+        }
+        "replay" => {
+            let file = args.positional_opt();
+            let preset_arg = args.optional("preset");
+            let scale_arg = args.optional("scale");
+            if file.is_some() && (preset_arg.is_some() || scale_arg.is_some()) {
+                return Err(
+                    "--preset/--scale describe the generated city and conflict with a dataset \
+                     FILE argument"
+                        .into(),
+                );
+            }
+            let preset = parse_preset(preset_arg.as_deref().unwrap_or("cal-small"))?;
+            let scale: Option<f64> =
+                scale_arg.map(|s| s.parse().map_err(|_| "bad --scale".to_string())).transpose()?;
+            let seed: u64 = parse_flag(&mut args, "seed", 7)?;
+            let mut spec = ReplaySpec {
+                total: parse_flag(&mut args, "queries", 1000)?,
+                distinct: parse_flag(&mut args, "distinct", 100)?,
+                seq_len: parse_flag(&mut args, "seq-len", 3)?,
+                zipf_exponent: parse_flag(&mut args, "zipf", 1.0)?,
+                workers: parse_flag(&mut args, "workers", 4)?,
+                cache_capacity: parse_flag(&mut args, "cache", 1024)?,
+                queue_capacity: parse_flag(&mut args, "queue", 256)?,
+                seed,
+                ..ReplaySpec::default()
+            };
+            spec.verify = parse_flag(&mut args, "verify", false)?;
+            args.finish()?;
+            // Reject what the replay driver would otherwise panic on,
+            // before paying for dataset generation.
+            if spec.total == 0 || spec.distinct == 0 || spec.seq_len == 0 {
+                return Err("--queries, --distinct and --seq-len must be at least 1".into());
+            }
+            if !spec.zipf_exponent.is_finite() || spec.zipf_exponent < 0.0 {
+                return Err("--zipf must be a non-negative finite number".into());
+            }
+            let dataset = match file {
+                Some(f) => load(&f)?,
+                None => {
+                    let mut dspec = DatasetSpec::preset(preset).seed(seed);
+                    if let Some(s) = scale {
+                        dspec = dspec.scale(s);
+                    }
+                    eprintln!("generating {} ...", dspec.name);
+                    dspec.generate()
+                }
+            };
+            let populated = dataset.populated_trees();
+            if spec.seq_len > populated {
+                return Err(format!(
+                    "--seq-len {} exceeds the dataset's {populated} populated category trees \
+                     (workload positions must come from distinct trees)",
+                    spec.seq_len,
+                ));
+            }
+            eprintln!(
+                "replaying {} requests ({} distinct) on {} workers ...",
+                spec.total, spec.distinct, spec.workers
+            );
+            let report = replay(dataset, &spec);
+            println!("{report}");
+            if report.verify_mismatches.is_some_and(|m| m > 0) {
+                return Err("verification failed: concurrent and sequential skylines differ".into());
             }
             Ok(())
         }

@@ -97,21 +97,16 @@ where
 {
     let k = pq.len();
     let total = combo_count(levels);
-    assert!(
-        total <= max_combos,
-        "baseline combination count {total} exceeds limit {max_combos}"
-    );
+    assert!(total <= max_combos, "baseline combination count {total} exceeds limit {max_combos}");
     let mut candidates = Vec::new();
     let mut idx = vec![0usize; k];
     let mut osr_calls = 0u64;
     loop {
         // Current combination.
-        let combo: Vec<(usize, &FxHashSet<u32>)> = idx
-            .iter()
-            .enumerate()
-            .map(|(i, &j)| (j, &levels[i].levels[j].1))
-            .collect();
-        let sim_product: f64 = idx.iter().enumerate().map(|(i, &j)| levels[i].levels[j].0).product();
+        let combo: Vec<(usize, &FxHashSet<u32>)> =
+            idx.iter().enumerate().map(|(i, &j)| (j, &levels[i].levels[j].1)).collect();
+        let sim_product: f64 =
+            idx.iter().enumerate().map(|(i, &j)| levels[i].levels[j].0).product();
         osr_calls += 1;
         if let Some((pois, length)) = solve(&combo) {
             candidates.push(SkylineRoute { pois, length, semantic: 1.0 - sim_product });
@@ -144,7 +139,11 @@ pub struct DijBaseline<'g> {
 impl<'g> DijBaseline<'g> {
     /// New baseline engine.
     pub fn new(ctx: &QueryContext<'g>) -> DijBaseline<'g> {
-        DijBaseline { ctx: *ctx, solver: OsrSolver::new(ctx.graph.num_vertices()), max_combos: 1_000_000 }
+        DijBaseline {
+            ctx: *ctx,
+            solver: OsrSolver::new(ctx.graph.num_vertices()),
+            max_combos: 1_000_000,
+        }
     }
 
     /// Runs the baseline on `query`.
@@ -169,11 +168,10 @@ impl<'g> DijBaseline<'g> {
         let graph = self.ctx.graph;
         let solver = &mut self.solver;
         let start = pq.start;
-        let (routes, combos, osr_calls) =
-            run_baseline(pq, &levels, self.max_combos, |combo| {
-                let sets: Vec<FxHashSet<u32>> = combo.iter().map(|(_, s)| (*s).clone()).collect();
-                solver.solve(graph, start, &sets).map(|r| (r.pois, r.length))
-            })?;
+        let (routes, combos, osr_calls) = run_baseline(pq, &levels, self.max_combos, |combo| {
+            let sets: Vec<FxHashSet<u32>> = combo.iter().map(|(_, s)| (*s).clone()).collect();
+            solver.solve(graph, start, &sets).map(|r| (r.pois, r.length))
+        })?;
         Ok(BaselineResult {
             routes,
             combos,
@@ -220,15 +218,14 @@ impl<'g> PneBaseline<'g> {
         // combinations (keyed by position and level index).
         let mut solver = PneSolver::new(self.ctx.graph);
         let start = pq.start;
-        let (routes, combos, osr_calls) =
-            run_baseline(pq, &levels, self.max_combos, |combo| {
-                let sets: Vec<(u64, &FxHashSet<u32>)> = combo
-                    .iter()
-                    .enumerate()
-                    .map(|(pos, (level, s))| (((pos as u64) << 32) | *level as u64, *s))
-                    .collect();
-                solver.solve(start, &sets).map(|r| (r.pois, r.length))
-            })?;
+        let (routes, combos, osr_calls) = run_baseline(pq, &levels, self.max_combos, |combo| {
+            let sets: Vec<(u64, &FxHashSet<u32>)> = combo
+                .iter()
+                .enumerate()
+                .map(|(pos, (level, s))| (((pos as u64) << 32) | *level as u64, *s))
+                .collect();
+            solver.solve(start, &sets).map(|r| (r.pois, r.length))
+        })?;
         Ok(BaselineResult {
             routes,
             combos,

@@ -33,7 +33,7 @@ use crate::route::PartialRoute;
 use crate::stats::QueryStats;
 
 /// Which lower-bound machinery is active (Optimisation 3 ablation).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum LowerBoundMode {
     /// No minimum-distance bounds.
     Off,
@@ -124,10 +124,12 @@ impl MinDistBounds {
                     .filter(|&&p| contains(&in_ball, p))
                     .map(|p| p.0)
                     .collect();
-                let r = min_set_distance(ctx.graph, ws, &sources, |v| sem_dest.contains(&v.0), radius);
+                let r =
+                    min_set_distance(ctx.graph, ws, &sources, |v| sem_dest.contains(&v.0), radius);
                 stats.search.merge(&r.stats);
                 ls[g] = r.hit.map_or(f64::INFINITY, |(_, d)| d.get());
-                let r = min_set_distance(ctx.graph, ws, &sources, |v| per_dest.contains(&v.0), radius);
+                let r =
+                    min_set_distance(ctx.graph, ws, &sources, |v| per_dest.contains(&v.0), radius);
                 stats.search.merge(&r.stats);
                 lp[g] = r.hit.map_or(f64::INFINITY, |(_, d)| d.get());
             }
@@ -249,7 +251,14 @@ mod tests {
         let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
         let mut stats = QueryStats::default();
         // Best perfect route in the fixture is 13 (p10, p12, p13).
-        let b = MinDistBounds::compute(&ctx, &pq, Cost::new(13.0), LowerBoundMode::Full, &mut ws, &mut stats);
+        let b = MinDistBounds::compute(
+            &ctx,
+            &pq,
+            Cost::new(13.0),
+            LowerBoundMode::Full,
+            &mut ws,
+            &mut stats,
+        );
         // Gap 1 (restaurant→A&E): closest semantic pair is p10–p12 at 2.0.
         assert_eq!(b.ls_gaps()[0], 2.0);
         // Gap 2 (A&E→shop): p9–p8 at 1.5.
@@ -272,7 +281,14 @@ mod tests {
         let pq = ex.prepared(&ctx);
         let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
         let mut stats = QueryStats::default();
-        let b = MinDistBounds::compute(&ctx, &pq, Cost::new(13.0), LowerBoundMode::Semantic, &mut ws, &mut stats);
+        let b = MinDistBounds::compute(
+            &ctx,
+            &pq,
+            Cost::new(13.0),
+            LowerBoundMode::Semantic,
+            &mut ws,
+            &mut stats,
+        );
         let sky = skyline(&[(13.0, 0.0)]);
         // A size-1 route of length 12 needs ≥ 2.0 + 1.5 more: 15.5 ≥ 13 →
         // prune even though 12 < 13.
@@ -290,7 +306,14 @@ mod tests {
         let pq = ex.prepared(&ctx);
         let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
         let mut stats = QueryStats::default();
-        let b = MinDistBounds::compute(&ctx, &pq, Cost::new(13.0), LowerBoundMode::Full, &mut ws, &mut stats);
+        let b = MinDistBounds::compute(
+            &ctx,
+            &pq,
+            Cost::new(13.0),
+            LowerBoundMode::Full,
+            &mut ws,
+            &mut stats,
+        );
         // Skyline has a perfect route (13, 0) and a semantic route (11, 0.5).
         let sky = skyline(&[(13.0, 0.0), (11.0, 0.5)]);
         // Perfect-so-far route of size 1, length 11.2: semantic bound gives

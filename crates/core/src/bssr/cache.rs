@@ -56,7 +56,12 @@ impl SearchCache {
 
     /// Returns the cached entry for (`source`, `position`) if it covers
     /// `radius`.
-    pub fn lookup(&mut self, source: VertexId, position: usize, radius: Cost) -> Option<&CacheEntry> {
+    pub fn lookup(
+        &mut self,
+        source: VertexId,
+        position: usize,
+        radius: Cost,
+    ) -> Option<&CacheEntry> {
         match self.map.get(&(source.0, position as u8)) {
             Some(e) if e.explored_radius >= radius => {
                 self.hits += 1;
@@ -139,7 +144,12 @@ mod tests {
         let e = c.lookup(VertexId(1), 0, Cost::new(9.0)).unwrap();
         assert_eq!(e.matches.len(), 2);
         // A wider insert upgrades.
-        c.insert(VertexId(1), 0, vec![m(5, 2.0, 1.0), m(6, 8.0, 0.5), m(7, 12.0, 1.0)], Cost::INFINITY);
+        c.insert(
+            VertexId(1),
+            0,
+            vec![m(5, 2.0, 1.0), m(6, 8.0, 0.5), m(7, 12.0, 1.0)],
+            Cost::INFINITY,
+        );
         let e = c.lookup(VertexId(1), 0, Cost::new(1e9)).unwrap();
         assert_eq!(e.matches.len(), 3);
     }

@@ -253,7 +253,15 @@ mod tests {
             let mut queue = RouteQueue::new(QueuePolicy::Proposed);
             let mut stats = QueryStats::default();
             mdijkstra_step(
-                &env, &mut scratch, cache, rd, source, &mut queue, skyline, &mut stats, true,
+                &env,
+                &mut scratch,
+                cache,
+                rd,
+                source,
+                &mut queue,
+                skyline,
+                &mut stats,
+                true,
             );
             let mut out = Vec::new();
             while let Some(r) = queue.pop() {
@@ -317,15 +325,14 @@ mod tests {
             length: Cost::new(15.0),
             semantic: 0.0,
         });
-        let rd = PartialRoute::empty()
-            .extend(rig.ex.p(10), Cost::new(8.0), 1.0)
-            .extend(rig.ex.p(12), Cost::new(2.0), 1.0);
+        let rd = PartialRoute::empty().extend(rig.ex.p(10), Cost::new(8.0), 1.0).extend(
+            rig.ex.p(12),
+            Cost::new(2.0),
+            1.0,
+        );
         let mut cache = SearchCache::new();
         let (_, _) = rig.run_step(&rd, rig.ex.p(12), &mut skyline, false, &mut cache);
-        assert!(skyline
-            .routes()
-            .iter()
-            .any(|r| r.length == Cost::new(13.0) && r.semantic == 0.0));
+        assert!(skyline.routes().iter().any(|r| r.length == Cost::new(13.0) && r.semantic == 0.0));
         assert!(!skyline.routes().iter().any(|r| r.length == Cost::new(15.0)));
     }
 
@@ -387,7 +394,8 @@ mod tests {
         let pq = crate::prepared::PreparedQuery::prepare(&ctx, &q).unwrap();
         let bounds = MinDistBounds::disabled(pq.len());
         let lemma55 = vec![false; pq.len()];
-        let env = StepEnv { ctx: &ctx, pq: &pq, bounds: &bounds, lemma55: &lemma55, use_cache: false };
+        let env =
+            StepEnv { ctx: &ctx, pq: &pq, bounds: &bounds, lemma55: &lemma55, use_cache: false };
         let mut scratch = Scratch::new(ctx.graph.num_vertices());
         let mut queue = RouteQueue::new(QueuePolicy::Proposed);
         let mut skyline = SkylineSet::new();
@@ -395,8 +403,15 @@ mod tests {
         let mut cache = SearchCache::new();
         let rd = PartialRoute::empty().extend(rig.ex.p(5), Cost::new(10.0), 1.0);
         mdijkstra_step(
-            &env, &mut scratch, &mut cache, &rd, rig.ex.p(5), &mut queue, &mut skyline,
-            &mut stats, false,
+            &env,
+            &mut scratch,
+            &mut cache,
+            &rd,
+            rig.ex.p(5),
+            &mut queue,
+            &mut skyline,
+            &mut stats,
+            false,
         );
         // Completions are A&E PoIs other than p5.
         for r in skyline.routes() {

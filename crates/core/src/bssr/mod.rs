@@ -43,7 +43,10 @@ use crate::route::{PartialRoute, SkylineRoute};
 use crate::stats::QueryStats;
 
 /// Which optimisations are active.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash` because the configuration is part of `skysr-service`'s result
+/// cache key: runs under different configurations must not share entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BssrConfig {
     /// Optimisation 1: NNinit initial search (§5.3.1).
     pub use_init_search: bool,
@@ -158,11 +161,7 @@ impl<'g> Bssr<'g> {
         let mut lemma55 = vec![true; k];
         for (i, flag) in lemma55.iter_mut().enumerate() {
             for j in 0..k {
-                if i != j
-                    && pq.positions[i]
-                        .trees
-                        .iter()
-                        .any(|t| pq.positions[j].trees.contains(t))
+                if i != j && pq.positions[i].trees.iter().any(|t| pq.positions[j].trees.contains(t))
                 {
                     *flag = false;
                 }
@@ -355,10 +354,7 @@ mod tests {
         let arts = ex.forest.by_name("Arts & Entertainment").unwrap();
         let mut bssr = Bssr::new(&ctx);
         let result = bssr.run(&SkySrQuery::new(ex.p(2), [asian, arts])).unwrap();
-        assert!(result
-            .routes
-            .iter()
-            .any(|r| r.pois[0] == ex.p(2) && r.length == Cost::new(4.0)));
+        assert!(result.routes.iter().any(|r| r.pois[0] == ex.p(2) && r.length == Cost::new(4.0)));
     }
 
     #[test]

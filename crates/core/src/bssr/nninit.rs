@@ -57,9 +57,7 @@ pub fn nninit(
                     let complete = route.extend(u, d, sim);
                     outcome.routes_found += 1;
                     let (len, sem) = (complete.length(), complete.semantic());
-                    if sem > 0.0
-                        && best_semantic_route.is_none_or(|(_, bs)| sem > bs)
-                    {
+                    if sem > 0.0 && best_semantic_route.is_none_or(|(_, bs)| sem > bs) {
                         best_semantic_route = Some((len, sem));
                     }
                     skyline.update(complete.into_skyline_route());

@@ -13,7 +13,7 @@ use skysr_graph::Cost;
 use crate::route::PartialRoute;
 
 /// Which ordering `Q_b` uses.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum QueuePolicy {
     /// §5.3.2: (|R| desc, s(R) asc, l(R) asc).
     #[default]
@@ -42,7 +42,8 @@ impl Ord for ProposedEntry {
             .len()
             .cmp(&other.0.len()) // larger size first
             .then_with(|| {
-                Cost::new(other.0.semantic()).cmp(&Cost::new(self.0.semantic())) // smaller semantic first
+                Cost::new(other.0.semantic()).cmp(&Cost::new(self.0.semantic()))
+                // smaller semantic first
             })
             .then_with(|| other.0.length().cmp(&self.0.length())) // smaller length first
     }

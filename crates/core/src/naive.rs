@@ -86,11 +86,7 @@ fn enumerate(
     if pos == pq.len() {
         let pois: Vec<VertexId> = chosen.iter().map(|&(v, _)| v).collect();
         let sim_product: f64 = chosen.iter().map(|&(_, s)| s).product();
-        out.push(SkylineRoute {
-            pois,
-            length: Cost::new(length),
-            semantic: 1.0 - sim_product,
-        });
+        out.push(SkylineRoute { pois, length: Cost::new(length), semantic: 1.0 - sim_product });
         return;
     }
     let position = &pq.positions[pos];

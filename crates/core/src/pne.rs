@@ -28,7 +28,11 @@ struct NnStream<'g> {
 
 impl<'g> NnStream<'g> {
     fn new(graph: &'g RoadNetwork, source: VertexId) -> NnStream<'g> {
-        NnStream { search: ResumableDijkstra::new(graph, source), found: Vec::new(), exhausted: false }
+        NnStream {
+            search: ResumableDijkstra::new(graph, source),
+            found: Vec::new(),
+            exhausted: false,
+        }
     }
 
     /// Ensures at least `rank + 1` matches are materialised; returns the
@@ -99,11 +103,7 @@ impl<'g> PneSolver<'g> {
     /// Shortest sequenced route from `start` through one member of each
     /// `(key, set)` in order. Keys identify sets across `solve` calls so
     /// streams can be reused; two different sets must use different keys.
-    pub fn solve(
-        &mut self,
-        start: VertexId,
-        sets: &[(u64, &FxHashSet<u32>)],
-    ) -> Option<OsrRoute> {
+    pub fn solve(&mut self, start: VertexId, sets: &[(u64, &FxHashSet<u32>)]) -> Option<OsrRoute> {
         let k = sets.len();
         assert!(k >= 1, "PNE needs at least one candidate set");
         if sets.iter().any(|(_, s)| s.is_empty()) {
@@ -120,11 +120,7 @@ impl<'g> PneSolver<'g> {
                 return Some(OsrRoute { pois: e.route, length: e.length });
             }
             // Sibling: same prefix, next NN of the same set.
-            let prefix_end = if e.route.len() >= 2 {
-                e.route[e.route.len() - 2]
-            } else {
-                start
-            };
+            let prefix_end = if e.route.len() >= 2 { e.route[e.route.len() - 2] } else { start };
             let last = *e.route.last().expect("routes in the queue are non-empty");
             let last_stream_dist = self
                 .nth_valid(prefix_end, sets[stage - 1], e.rank, &e.route[..stage - 1])

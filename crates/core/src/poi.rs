@@ -63,10 +63,7 @@ impl PoiTable {
             self.pois.push(v);
             let mut trees_seen: Vec<u32> = Vec::with_capacity(cats.len());
             for &c in cats {
-                assert!(
-                    c.index() < forest.num_categories(),
-                    "category {c:?} not in forest"
-                );
+                assert!(c.index() < forest.num_categories(), "category {c:?} not in forest");
                 self.by_exact_category[c.index()].push(v);
                 let t = forest.tree_of(c);
                 if !trees_seen.contains(&t) {
@@ -165,10 +162,7 @@ mod tests {
         // P_Asian includes the sushi PoI (descendant).
         assert_eq!(t.pois_associated_with(&f, asian), vec![VertexId(1), VertexId(2)]);
         // P_Food includes everything in the food tree.
-        assert_eq!(
-            t.pois_associated_with(&f, food),
-            vec![VertexId(1), VertexId(2), VertexId(3)]
-        );
+        assert_eq!(t.pois_associated_with(&f, food), vec![VertexId(1), VertexId(2), VertexId(3)]);
     }
 
     #[test]

@@ -98,7 +98,10 @@ pub struct PreparedQuery {
 
 impl PreparedQuery {
     /// Compiles `query` against `ctx`, validating ids.
-    pub fn prepare(ctx: &QueryContext<'_>, query: &SkySrQuery) -> Result<PreparedQuery, QueryError> {
+    pub fn prepare(
+        ctx: &QueryContext<'_>,
+        query: &SkySrQuery,
+    ) -> Result<PreparedQuery, QueryError> {
         if query.is_empty() {
             return Err(QueryError::EmptySequence);
         }
@@ -278,6 +281,7 @@ mod tests {
         assert_eq!(pos.sim_of(&ctx, VertexId(2)), 0.5); // Wu–Palmer siblings
         assert_eq!(pos.sim_of(&ctx, VertexId(3)), 0.0); // other tree
         assert_eq!(pos.sim_of(&ctx, VertexId(0)), 0.0); // not a PoI
+
         // σ*: best non-perfect similarity with actual PoIs = 0.5 (Italian).
         assert_eq!(pos.sigma_star, Some(0.5));
         assert!(pos.is_perfect(&ctx, VertexId(4)));

@@ -38,10 +38,7 @@ pub struct SkySrQuery {
 impl SkySrQuery {
     /// Query over plain categories.
     pub fn new(start: VertexId, categories: impl IntoIterator<Item = CategoryId>) -> SkySrQuery {
-        SkySrQuery {
-            start,
-            sequence: categories.into_iter().map(PositionSpec::Category).collect(),
-        }
+        SkySrQuery { start, sequence: categories.into_iter().map(PositionSpec::Category).collect() }
     }
 
     /// Query over arbitrary position specs.

@@ -192,9 +192,11 @@ mod tests {
 
     #[test]
     fn extension_accumulates_scores() {
-        let r = PartialRoute::empty()
-            .extend(VertexId(3), Cost::new(2.0), 1.0)
-            .extend(VertexId(5), Cost::new(3.0), 0.5);
+        let r = PartialRoute::empty().extend(VertexId(3), Cost::new(2.0), 1.0).extend(
+            VertexId(5),
+            Cost::new(3.0),
+            0.5,
+        );
         assert_eq!(r.len(), 2);
         assert_eq!(r.length(), Cost::new(5.0));
         assert_eq!(r.semantic(), 0.5);
@@ -215,9 +217,11 @@ mod tests {
 
     #[test]
     fn contains_checks_whole_route() {
-        let r = PartialRoute::empty()
-            .extend(VertexId(1), Cost::ZERO, 1.0)
-            .extend(VertexId(2), Cost::ZERO, 1.0);
+        let r = PartialRoute::empty().extend(VertexId(1), Cost::ZERO, 1.0).extend(
+            VertexId(2),
+            Cost::ZERO,
+            1.0,
+        );
         assert!(r.contains(VertexId(1)));
         assert!(r.contains(VertexId(2)));
         assert!(!r.contains(VertexId(3)));

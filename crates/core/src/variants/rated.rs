@@ -196,7 +196,14 @@ impl RatedQuery {
 
         let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
         self.expand(
-            ctx, &pq, ratings, &PartialRoute::empty(), 0.0, &mut ws, &mut queue, &mut skyline,
+            ctx,
+            &pq,
+            ratings,
+            &PartialRoute::empty(),
+            0.0,
+            &mut ws,
+            &mut queue,
+            &mut skyline,
             &mut stats,
         );
         while let Some(Entry { route, deficit }) = queue.pop() {
@@ -205,7 +212,17 @@ impl RatedQuery {
                 stats.threshold_prunes += 1;
                 continue;
             }
-            self.expand(ctx, &pq, ratings, &route, deficit, &mut ws, &mut queue, &mut skyline, &mut stats);
+            self.expand(
+                ctx,
+                &pq,
+                ratings,
+                &route,
+                deficit,
+                &mut ws,
+                &mut queue,
+                &mut skyline,
+                &mut stats,
+            );
         }
 
         let mut routes = skyline.routes;
@@ -384,10 +401,7 @@ mod tests {
         assert!(three_d.routes.len() >= two_d.routes.len());
         // The high-rated hobby-shop route ⟨p2, p5, p7⟩ (dominated in 2-D
         // by ⟨p6, p9, p8⟩) reappears thanks to p7's perfect rating.
-        assert!(three_d
-            .routes
-            .iter()
-            .any(|r| r.pois == vec![ex.p(2), ex.p(5), ex.p(7)]));
+        assert!(three_d.routes.iter().any(|r| r.pois == vec![ex.p(2), ex.p(5), ex.p(7)]));
     }
 
     #[test]

@@ -52,12 +52,8 @@ impl SkybandPool {
     /// `l̄_k(s)`: the k-th smallest member length among members with
     /// semantic ≤ `semantic`; `+∞` if fewer than `k` qualify.
     fn threshold_k(&self, semantic: f64, k: usize) -> Cost {
-        let mut lens: Vec<Cost> = self
-            .routes
-            .iter()
-            .filter(|r| r.semantic <= semantic)
-            .map(|r| r.length)
-            .collect();
+        let mut lens: Vec<Cost> =
+            self.routes.iter().filter(|r| r.semantic <= semantic).map(|r| r.length).collect();
         if lens.len() < k {
             return Cost::INFINITY;
         }
@@ -156,7 +152,16 @@ impl SkybandQuery {
         let mut pool = SkybandPool::default();
         let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
         let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
-        self.expand(ctx, &pq, &PartialRoute::empty(), seq_len, &mut ws, &mut queue, &mut pool, &mut stats);
+        self.expand(
+            ctx,
+            &pq,
+            &PartialRoute::empty(),
+            seq_len,
+            &mut ws,
+            &mut queue,
+            &mut pool,
+            &mut stats,
+        );
         while let Some(Entry(route)) = queue.pop() {
             if route.length() >= pool.threshold_k(route.semantic(), self.k) {
                 stats.threshold_prunes += 1;
@@ -228,8 +233,7 @@ pub fn naive_skyband(
     let all = crate::naive::naive_all_routes(ctx, &pq, limit);
     let mut out: Vec<SkylineRoute> = Vec::new();
     for r in &all {
-        if all.iter().filter(|o| o.dominates(r)).count() < k
-            && !out.iter().any(|o| o.equivalent(r))
+        if all.iter().filter(|o| o.dominates(r)).count() < k && !out.iter().any(|o| o.equivalent(r))
         {
             out.push(r.clone());
         }

@@ -74,7 +74,10 @@ impl Ord for MaskedRoute {
 
 impl UnorderedQuery {
     /// Convenience constructor.
-    pub fn new(start: VertexId, categories: impl IntoIterator<Item = CategoryId>) -> UnorderedQuery {
+    pub fn new(
+        start: VertexId,
+        categories: impl IntoIterator<Item = CategoryId>,
+    ) -> UnorderedQuery {
         UnorderedQuery { start, categories: categories.into_iter().collect() }
     }
 
@@ -84,7 +87,8 @@ impl UnorderedQuery {
         let t0 = Instant::now();
         // Reuse the ordered compiler for per-category tables; the "order"
         // of positions is irrelevant here.
-        let pq = PreparedQuery::prepare(ctx, &SkySrQuery::new(self.start, self.categories.clone()))?;
+        let pq =
+            PreparedQuery::prepare(ctx, &SkySrQuery::new(self.start, self.categories.clone()))?;
         let k = pq.len();
         let full: u16 = if k == 16 { u16::MAX } else { (1u16 << k) - 1 };
         let mut stats = QueryStats::default();
@@ -102,13 +106,33 @@ impl UnorderedQuery {
 
         // Main branch-and-bound loop.
         let mut queue: BinaryHeap<MaskedRoute> = BinaryHeap::new();
-        self.expand(ctx, &pq, &PartialRoute::empty(), 0, full, &mut ws, &mut queue, &mut skyline, &mut stats);
+        self.expand(
+            ctx,
+            &pq,
+            &PartialRoute::empty(),
+            0,
+            full,
+            &mut ws,
+            &mut queue,
+            &mut skyline,
+            &mut stats,
+        );
         while let Some(MaskedRoute { route, mask }) = queue.pop() {
             if route.length() >= skyline.threshold(route.semantic()) {
                 stats.threshold_prunes += 1;
                 continue;
             }
-            self.expand(ctx, &pq, &route, mask, full, &mut ws, &mut queue, &mut skyline, &mut stats);
+            self.expand(
+                ctx,
+                &pq,
+                &route,
+                mask,
+                full,
+                &mut ws,
+                &mut queue,
+                &mut skyline,
+                &mut stats,
+            );
         }
         stats.total_time = t0.elapsed();
         Ok(UnorderedResult { routes: skyline.into_routes(), stats })
@@ -304,9 +328,7 @@ mod tests {
         let gift = ex.forest.by_name("Gift Shop").unwrap();
         let q = UnorderedQuery::new(ex.vq, [gift]);
         let got = q.run(&ctx).unwrap();
-        let ordered = crate::bssr::Bssr::new(&ctx)
-            .run(&SkySrQuery::new(ex.vq, [gift]))
-            .unwrap();
+        let ordered = crate::bssr::Bssr::new(&ctx).run(&SkySrQuery::new(ex.vq, [gift])).unwrap();
         assert_eq!(got.routes, ordered.routes);
     }
 }

@@ -112,10 +112,8 @@ pub fn read_dataset<R: Read>(r: R) -> Result<Dataset, CodecError> {
         return Err(parse_err("bad magic line"));
     }
     let name_line = next()?;
-    let name = name_line
-        .strip_prefix("name\t")
-        .ok_or_else(|| parse_err("expected name line"))?
-        .to_owned();
+    let name =
+        name_line.strip_prefix("name\t").ok_or_else(|| parse_err("expected name line"))?.to_owned();
 
     // Forest.
     let forest_line = next()?;
@@ -150,18 +148,13 @@ pub fn read_dataset<R: Read>(r: R) -> Result<Dataset, CodecError> {
 
     // Graph.
     let graph_line = next()?;
-    let rest = graph_line
-        .strip_prefix("graph\t")
-        .ok_or_else(|| parse_err("expected graph line"))?;
+    let rest =
+        graph_line.strip_prefix("graph\t").ok_or_else(|| parse_err("expected graph line"))?;
     let mut parts = rest.split('\t');
-    let nv: usize = parts
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad vertex count"))?;
-    let ne: usize = parts
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad edge count"))?;
+    let nv: usize =
+        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad vertex count"))?;
+    let ne: usize =
+        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad edge count"))?;
     let mut gb = GraphBuilder::new();
     for _ in 0..nv {
         let line = next()?;
@@ -170,14 +163,10 @@ pub fn read_dataset<R: Read>(r: R) -> Result<Dataset, CodecError> {
             gb.add_vertex();
         } else {
             let mut p = rest.split('\t');
-            let lat: f64 = p
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| parse_err("bad latitude"))?;
-            let lon: f64 = p
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| parse_err("bad longitude"))?;
+            let lat: f64 =
+                p.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad latitude"))?;
+            let lon: f64 =
+                p.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad longitude"))?;
             gb.add_vertex_at(GeoPoint::new(lat, lon));
         }
     }

@@ -10,7 +10,9 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
-use skysr_category::{foursquare::foursquare_forest, synth::uniform_forest, CategoryForest, CategoryId};
+use skysr_category::{
+    foursquare::foursquare_forest, synth::uniform_forest, CategoryForest, CategoryId,
+};
 use skysr_core::{PoiTable, QueryContext};
 use skysr_graph::{GeoPoint, RoadNetwork, VertexId};
 
@@ -191,7 +193,10 @@ impl DatasetSpec {
         for _ in 0..self.pois {
             let p = if !centers.is_empty() && rng.random::<f64>() < self.cluster_fraction {
                 let c = centers[rng.random_range(0..centers.len())];
-                GeoPoint::new(c.lat + gaussian(&mut rng) * sigma, c.lon + gaussian(&mut rng) * sigma)
+                GeoPoint::new(
+                    c.lat + gaussian(&mut rng) * sigma,
+                    c.lon + gaussian(&mut rng) * sigma,
+                )
             } else {
                 GeoPoint::new(
                     self.center.lat + (rng.random::<f64>() - 0.5) * self.extent_deg,
@@ -225,7 +230,11 @@ impl DatasetSpec {
             let mut consumed = 0.0f64;
             for &(_, t) in &by_edge[i..j] {
                 let span = 1.0 - consumed;
-                let rel = if span <= f64::EPSILON { 0.0 } else { ((t - consumed) / span).clamp(0.0, 1.0) };
+                let rel = if span <= f64::EPSILON {
+                    0.0
+                } else {
+                    ((t - consumed) / span).clamp(0.0, 1.0)
+                };
                 let mid = builder.split_edge(remaining, rel);
                 poi_vertices.push(mid);
                 // split_edge keeps [0, rel] under the old index and appends
@@ -247,7 +256,14 @@ impl DatasetSpec {
         }
         pois.finalize(&forest);
 
-        Dataset { name: self.name.clone(), graph, forest, pois, poi_vertices, spec: Some(self.clone()) }
+        Dataset {
+            name: self.name.clone(),
+            graph,
+            forest,
+            pois,
+            poi_vertices,
+            spec: Some(self.clone()),
+        }
     }
 }
 
@@ -293,6 +309,20 @@ impl Dataset {
             table.set(p, r);
         }
         table
+    }
+
+    /// Number of category trees with at least one PoI on a leaf — the
+    /// ceiling on a workload's sequence length, since §7.1 draws each
+    /// position from a distinct tree (see [`crate::workload::WorkloadSpec`]).
+    pub fn populated_trees(&self) -> usize {
+        let trees: std::collections::HashSet<u32> = self
+            .pois
+            .category_histogram()
+            .into_iter()
+            .filter(|&(c, n)| n > 0 && self.forest.is_leaf(c))
+            .map(|(c, _)| self.forest.tree_of(c))
+            .collect();
+        trees.len()
     }
 
     /// Table 5-style statistics: (|V| road vertices, |P| PoIs, |E| edges).
@@ -360,6 +390,18 @@ mod tests {
         let b = DatasetSpec::preset(Preset::CalSmall).scale(0.05).seed(3).generate();
         assert_eq!(a.stats(), b.stats());
         assert_eq!(a.poi_vertices, b.poi_vertices);
+    }
+
+    #[test]
+    fn populated_trees_counts_only_trees_with_pois() {
+        let d = tiny();
+        let n = d.populated_trees();
+        assert!(n >= 2, "workloads need at least two populated trees, got {n}");
+        assert!(n <= d.forest.num_trees());
+        // Consistency with the workload generator's own constraint: a
+        // sequence of exactly `n` positions must be generatable.
+        let w = crate::workload::WorkloadSpec::new(n).queries(1).generate(&d);
+        assert_eq!(w.queries[0].len(), n);
     }
 
     #[test]

@@ -130,17 +130,16 @@ mod tests {
 
     #[test]
     fn generated_network_is_connected() {
-        let (b, _, _) = generate_network(&NetGenSpec { target_vertices: 500, ..Default::default() });
+        let (b, _, _) =
+            generate_network(&NetGenSpec { target_vertices: 500, ..Default::default() });
         let g = b.build();
         assert!(is_connected(&g));
     }
 
     #[test]
     fn vertex_count_close_to_target() {
-        let (b, rows, cols) = generate_network(&NetGenSpec {
-            target_vertices: 1000,
-            ..Default::default()
-        });
+        let (b, rows, cols) =
+            generate_network(&NetGenSpec { target_vertices: 1000, ..Default::default() });
         assert_eq!(b.num_vertices(), rows * cols);
         let n = b.num_vertices() as f64;
         assert!((0.9..1.15).contains(&(n / 1000.0)), "n = {n}");
@@ -177,7 +176,8 @@ mod tests {
 
     #[test]
     fn weights_are_positive_geo_distances() {
-        let (b, _, _) = generate_network(&NetGenSpec { target_vertices: 100, ..Default::default() });
+        let (b, _, _) =
+            generate_network(&NetGenSpec { target_vertices: 100, ..Default::default() });
         for e in b.edges() {
             assert!(e.weight > 0.0, "zero-length edge");
             assert!(e.weight < 100_000.0, "absurd edge length {}", e.weight);

@@ -56,6 +56,7 @@ impl WorkloadSpec {
     pub fn generate(&self, dataset: &Dataset) -> Workload {
         assert!(self.seq_len >= 1);
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x776f_726b); // "work"
+
         // Popular leaf categories: rank by PoI count, keep the top ones.
         let mut hist: Vec<(CategoryId, usize)> = dataset
             .pois

@@ -173,16 +173,10 @@ mod tests {
         let mid = b.split_edge(1, 0.25); // edge v1 -> v2, weight 2.0
         assert_eq!(mid, VertexId(3));
         let g = b.build();
-        let w_left: f64 = g
-            .neighbors(VertexId(1))
-            .find(|(v, _)| *v == mid)
-            .map(|(_, w)| w.get())
-            .unwrap();
-        let w_right: f64 = g
-            .neighbors(VertexId(2))
-            .find(|(v, _)| *v == mid)
-            .map(|(_, w)| w.get())
-            .unwrap();
+        let w_left: f64 =
+            g.neighbors(VertexId(1)).find(|(v, _)| *v == mid).map(|(_, w)| w.get()).unwrap();
+        let w_right: f64 =
+            g.neighbors(VertexId(2)).find(|(v, _)| *v == mid).map(|(_, w)| w.get()).unwrap();
         assert!((w_left - 0.5).abs() < 1e-12);
         assert!((w_right - 1.5).abs() < 1e-12);
     }

@@ -29,12 +29,7 @@ impl Components {
 
     /// Id of the largest component.
     pub fn largest(&self) -> u32 {
-        self.sizes()
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &s)| s)
-            .map(|(i, _)| i as u32)
-            .unwrap_or(0)
+        self.sizes().iter().enumerate().max_by_key(|(_, &s)| s).map(|(i, _)| i as u32).unwrap_or(0)
     }
 }
 

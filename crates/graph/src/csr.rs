@@ -55,14 +55,7 @@ impl RoadNetwork {
                 place(&mut cursor, e.to, e.from, e.weight);
             }
         }
-        RoadNetwork {
-            offsets,
-            targets,
-            weights,
-            coords,
-            directed,
-            num_input_edges: edges.len(),
-        }
+        RoadNetwork { offsets, targets, weights, coords, directed, num_input_edges: edges.len() }
     }
 
     /// Number of vertices (|V| + |P| in the paper's terms).
@@ -94,10 +87,7 @@ impl RoadNetwork {
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Cost)> + '_ {
         let lo = self.offsets[v.index()] as usize;
         let hi = self.offsets[v.index() + 1] as usize;
-        self.targets[lo..hi]
-            .iter()
-            .zip(&self.weights[lo..hi])
-            .map(|(&t, &w)| (t, Cost::new(w)))
+        self.targets[lo..hi].iter().zip(&self.weights[lo..hi]).map(|(&t, &w)| (t, Cost::new(w)))
     }
 
     /// Out-degree of `v`.

@@ -10,7 +10,7 @@
 pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
 
 /// A WGS84-style coordinate (degrees).
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GeoPoint {
     /// Latitude in degrees.
     pub lat: f64,
@@ -67,11 +67,7 @@ pub fn project_onto_segment(p: GeoPoint, a: GeoPoint, b: GeoPoint) -> Projection
     let (px, py) = ((p.lon - a.lon) * k, p.lat - a.lat);
     let (bx, by) = ((b.lon - a.lon) * k, b.lat - a.lat);
     let len2 = bx * bx + by * by;
-    let t = if len2 <= f64::EPSILON {
-        0.0
-    } else {
-        ((px * bx + py * by) / len2).clamp(0.0, 1.0)
-    };
+    let t = if len2 <= f64::EPSILON { 0.0 } else { ((px * bx + py * by) / len2).clamp(0.0, 1.0) };
     let (dx, dy) = (px - t * bx, py - t * by);
     Projection { t, dist2: dx * dx + dy * dy }
 }

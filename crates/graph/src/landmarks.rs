@@ -177,8 +177,7 @@ mod tests {
         let mut ws = DijkstraWorkspace::new(g.num_vertices());
         for u in [0u32, 5, 17, 35] {
             for v in [0u32, 3, 20, 30] {
-                let exact =
-                    shortest_distance(&g, &mut ws, VertexId(u), VertexId(v)).unwrap();
+                let exact = shortest_distance(&g, &mut ws, VertexId(u), VertexId(v)).unwrap();
                 let lb = lm.lower_bound(VertexId(u), VertexId(v));
                 assert!(lb <= exact + Cost::new(1e-9), "lb {lb:?} > exact {exact:?}");
             }
@@ -220,19 +219,14 @@ mod tests {
         assert!(d.is_some());
         let mut ws = DijkstraWorkspace::new(g.num_vertices());
         let mut settled = 0u64;
-        crate::dijkstra::dijkstra_with(
-            &g,
-            &mut ws,
-            &[(VertexId(0), Cost::ZERO)],
-            |v, _| {
-                settled += 1;
-                if v == VertexId(13) {
-                    crate::dijkstra::Settle::Stop
-                } else {
-                    crate::dijkstra::Settle::Continue
-                }
-            },
-        );
+        crate::dijkstra::dijkstra_with(&g, &mut ws, &[(VertexId(0), Cost::ZERO)], |v, _| {
+            settled += 1;
+            if v == VertexId(13) {
+                crate::dijkstra::Settle::Stop
+            } else {
+                crate::dijkstra::Settle::Continue
+            }
+        });
         assert!(
             astar_stats.settled <= settled,
             "A* settled {} vs Dijkstra {}",

@@ -46,7 +46,7 @@ pub use weight::Cost;
 /// Both plain road vertices and PoI vertices (the paper's `V` and `P`) share
 /// one id space; the PoI/category association lives in `skysr-core`'s
 /// `PoiTable`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VertexId(pub u32);
 
 impl VertexId {

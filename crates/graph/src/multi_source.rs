@@ -97,13 +97,7 @@ mod tests {
     fn radius_bound_prevents_hit() {
         let g = path5();
         let mut ws = DijkstraWorkspace::new(g.num_vertices());
-        let r = min_set_distance(
-            &g,
-            &mut ws,
-            &[VertexId(0)],
-            |v| v == VertexId(4),
-            Cost::new(2.0),
-        );
+        let r = min_set_distance(&g, &mut ws, &[VertexId(0)], |v| v == VertexId(4), Cost::new(2.0));
         assert!(r.hit.is_none());
     }
 

@@ -10,11 +10,7 @@ use crate::VertexId;
 pub fn path_cost(graph: &RoadNetwork, path: &[VertexId]) -> Option<Cost> {
     let mut total = Cost::ZERO;
     for hop in path.windows(2) {
-        let w = graph
-            .neighbors(hop[0])
-            .filter(|(v, _)| *v == hop[1])
-            .map(|(_, w)| w)
-            .min()?;
+        let w = graph.neighbors(hop[0]).filter(|(v, _)| *v == hop[1]).map(|(_, w)| w).min()?;
         total += w;
     }
     Some(total)

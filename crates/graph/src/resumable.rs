@@ -33,7 +33,13 @@ impl<'g> ResumableDijkstra<'g> {
         heap.push(Reverse((Cost::ZERO, source)));
         let mut dist = FxHashMap::default();
         dist.insert(source.0, 0.0);
-        ResumableDijkstra { graph, dist, settled: FxHashMap::default(), heap, stats: SearchStats::default() }
+        ResumableDijkstra {
+            graph,
+            dist,
+            settled: FxHashMap::default(),
+            heap,
+            stats: SearchStats::default(),
+        }
     }
 
     /// Settles and returns the next-closest unsettled vertex, or `None`

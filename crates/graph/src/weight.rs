@@ -14,8 +14,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// never NaN: every constructor checks. Arithmetic is saturating in the
 /// sense that `∞ + x = ∞`; subtracting `∞ − ∞` is the caller's bug and is
 /// caught by the NaN check in debug builds.
-#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct Cost(f64);
 
 impl Cost {

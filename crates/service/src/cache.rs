@@ -1,0 +1,323 @@
+//! Cross-query LRU result cache.
+//!
+//! Keys are *canonicalized* queries: start vertex, plain category
+//! sequence, and the engine configuration the result was computed under.
+//! Queries using complex [`Requirement`](skysr_category::Requirement)
+//! positions are not canonicalized (no cheap structural key exists for
+//! them yet) and simply bypass the cache.
+//!
+//! Values are `Arc<[SkylineRoute]>`, so a hit shares the stored skyline
+//! with every waiter instead of cloning route vectors under the lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use skysr_category::CategoryId;
+use skysr_core::bssr::BssrConfig;
+use skysr_core::query::PositionSpec;
+use skysr_core::query::SkySrQuery;
+use skysr_core::route::SkylineRoute;
+use skysr_graph::VertexId;
+
+/// Canonical cache key for a SkySR query under one engine configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    start: VertexId,
+    categories: Box<[CategoryId]>,
+    config: BssrConfig,
+}
+
+impl QueryKey {
+    /// Canonicalizes `query`; `None` if any position is a complex
+    /// requirement (such queries bypass the cache).
+    pub fn canonicalize(query: &SkySrQuery, config: BssrConfig) -> Option<QueryKey> {
+        let mut categories = Vec::with_capacity(query.sequence.len());
+        for spec in &query.sequence {
+            match spec {
+                PositionSpec::Category(c) => categories.push(*c),
+                PositionSpec::Requirement(_) => return None,
+            }
+        }
+        Some(QueryKey { start: query.start, categories: categories.into_boxed_slice(), config })
+    }
+}
+
+/// Plain LRU map: `HashMap` for lookup plus an index-linked list for
+/// recency order. Both operations are O(1); no allocation after the node
+/// slab reaches capacity.
+struct Lru<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    /// Most recently used, or `NIL`.
+    head: usize,
+    /// Least recently used, or `NIL`.
+    tail: usize,
+    free: Vec<usize>,
+    capacity: usize,
+}
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl<K: Clone + Eq + std::hash::Hash, V: Clone> Lru<K, V> {
+    fn new(capacity: usize) -> Lru<K, V> {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Lru {
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.nodes[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Looks `key` up, marking it most recently used on a hit.
+    fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(self.nodes[i].value.clone())
+    }
+
+    /// Inserts (or refreshes) `key`; returns `true` when an older entry
+    /// was evicted to make room.
+    fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            self.map.remove(&self.nodes[lru].key);
+            self.free.push(lru);
+            evicted = true;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node { key: key.clone(), value, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.nodes.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Counter values of a [`ResultCache`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including uncacheable queries).
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub len: u64,
+}
+
+impl CacheCounters {
+    /// Hits over total lookups, `0.0` when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe LRU cache from canonicalized queries to shared skylines.
+pub struct ResultCache {
+    inner: Mutex<Lru<QueryKey, Arc<[SkylineRoute]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Lru::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks a canonicalized query up, counting the hit or miss. Pass
+    /// `None` (an uncacheable query) to count a miss without locking.
+    pub fn get(&self, key: Option<&QueryKey>) -> Option<Arc<[SkylineRoute]>> {
+        let result = key.and_then(|k| self.inner.lock().expect("cache poisoned").get(k));
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Stores a computed skyline.
+    pub fn insert(&self, key: QueryKey, routes: Arc<[SkylineRoute]>) {
+        if self.inner.lock().expect("cache poisoned").insert(key, routes) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.inner.lock().expect("cache poisoned").len() as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache").field("counters", &self.counters()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysr_category::Requirement;
+    use skysr_core::bssr::QueuePolicy;
+    use skysr_graph::Cost;
+
+    fn routes(n: u32) -> Arc<[SkylineRoute]> {
+        vec![SkylineRoute { pois: vec![VertexId(n)], length: Cost::new(n as f64), semantic: 0.0 }]
+            .into()
+    }
+
+    fn key(start: u32) -> QueryKey {
+        let q = SkySrQuery::new(VertexId(start), [CategoryId(0), CategoryId(1)]);
+        QueryKey::canonicalize(&q, BssrConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn requirement_queries_are_uncacheable() {
+        let q = SkySrQuery::with_positions(
+            VertexId(0),
+            [PositionSpec::Requirement(Requirement::category(CategoryId(0)))],
+        );
+        assert!(QueryKey::canonicalize(&q, BssrConfig::default()).is_none());
+    }
+
+    #[test]
+    fn config_distinguishes_keys() {
+        let q = SkySrQuery::new(VertexId(0), [CategoryId(0)]);
+        let a = QueryKey::canonicalize(&q, BssrConfig::default()).unwrap();
+        let b = QueryKey::canonicalize(
+            &q,
+            BssrConfig { queue_policy: QueuePolicy::DistanceBased, ..BssrConfig::default() },
+        )
+        .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get(Some(&key(1))).is_none());
+        cache.insert(key(1), routes(1));
+        let hit = cache.get(Some(&key(1))).expect("hit");
+        assert_eq!(hit[0].pois, vec![VertexId(1)]);
+        assert!(cache.get(None).is_none(), "uncacheable counts as a miss");
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.evictions, c.len), (1, 2, 0, 1));
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1), routes(1));
+        cache.insert(key(2), routes(2));
+        // Touch 1, making 2 the eviction victim.
+        assert!(cache.get(Some(&key(1))).is_some());
+        cache.insert(key(3), routes(3));
+        assert!(cache.get(Some(&key(2))).is_none(), "2 was evicted");
+        assert!(cache.get(Some(&key(1))).is_some());
+        assert!(cache.get(Some(&key(3))).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let cache = ResultCache::new(2);
+        cache.insert(key(1), routes(1));
+        cache.insert(key(2), routes(2));
+        cache.insert(key(1), routes(10));
+        assert_eq!(cache.counters().evictions, 0);
+        assert_eq!(cache.get(Some(&key(1))).unwrap()[0].length, Cost::new(10.0));
+        // 2 is now the LRU entry.
+        cache.insert(key(3), routes(3));
+        assert!(cache.get(Some(&key(2))).is_none());
+    }
+
+    #[test]
+    fn slab_reuse_after_many_evictions() {
+        let cache = ResultCache::new(3);
+        for i in 0..100 {
+            cache.insert(key(i), routes(i));
+        }
+        let c = cache.counters();
+        assert_eq!(c.len, 3);
+        assert_eq!(c.evictions, 97);
+        for i in 97..100 {
+            assert!(cache.get(Some(&key(i))).is_some(), "newest entries survive");
+        }
+    }
+}

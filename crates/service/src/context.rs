@@ -1,0 +1,132 @@
+//! The owned, shareable counterpart of `skysr_core::QueryContext`.
+
+use std::sync::Arc;
+
+use skysr_category::{CategoryForest, Similarity, WuPalmer};
+use skysr_core::{PoiTable, QueryContext};
+use skysr_data::dataset::Dataset;
+use skysr_graph::RoadNetwork;
+
+/// Owned bundle of graph + category forest + PoI table + similarity
+/// measure.
+///
+/// The borrowed [`QueryContext`] ties a query to the stack frame owning
+/// the data; a `ServiceContext` instead *owns* the data, so one
+/// `Arc<ServiceContext>` can be moved into any number of worker threads.
+/// Workers derive a borrowed `QueryContext` via [`Self::query_context`]
+/// and run the existing engines on it unchanged.
+pub struct ServiceContext {
+    graph: RoadNetwork,
+    forest: CategoryForest,
+    pois: PoiTable,
+    similarity: Arc<dyn Similarity>,
+}
+
+// Shared immutably across worker threads; everything inside is either
+// plain owned data or an `Arc<dyn Similarity>` whose trait requires
+// `Send + Sync`. Keep that a compile-time fact:
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServiceContext>();
+};
+
+impl ServiceContext {
+    /// Context with the default Wu–Palmer similarity.
+    pub fn new(graph: RoadNetwork, forest: CategoryForest, pois: PoiTable) -> ServiceContext {
+        ServiceContext::with_similarity(graph, forest, pois, Arc::new(WuPalmer))
+    }
+
+    /// Context with a custom similarity measure.
+    pub fn with_similarity(
+        graph: RoadNetwork,
+        forest: CategoryForest,
+        pois: PoiTable,
+        similarity: Arc<dyn Similarity>,
+    ) -> ServiceContext {
+        ServiceContext { graph, forest, pois, similarity }
+    }
+
+    /// Takes ownership of a generated (or loaded) dataset's graph, forest
+    /// and PoI table.
+    pub fn from_dataset(dataset: Dataset) -> ServiceContext {
+        ServiceContext::new(dataset.graph, dataset.forest, dataset.pois)
+    }
+
+    /// A borrowed [`QueryContext`] over this context, usable with every
+    /// algorithm in `skysr-core`.
+    pub fn query_context(&self) -> QueryContext<'_> {
+        QueryContext::with_similarity(&self.graph, &self.forest, &self.pois, &*self.similarity)
+    }
+
+    /// The road network.
+    pub fn graph(&self) -> &RoadNetwork {
+        &self.graph
+    }
+
+    /// The category forest.
+    pub fn forest(&self) -> &CategoryForest {
+        &self.forest
+    }
+
+    /// The PoI table.
+    pub fn pois(&self) -> &PoiTable {
+        &self.pois
+    }
+}
+
+impl std::fmt::Debug for ServiceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceContext")
+            .field("vertices", &self.graph.num_vertices())
+            .field("edges", &self.graph.num_edges())
+            .field("pois", &self.pois.num_pois())
+            .field("categories", &self.forest.num_categories())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysr_core::bssr::Bssr;
+    use skysr_core::paper_example::PaperExample;
+
+    fn paper_service_context() -> ServiceContext {
+        let ex = PaperExample::new();
+        ServiceContext::new(ex.graph.clone(), ex.forest.clone(), ex.pois.clone())
+    }
+
+    #[test]
+    fn query_context_matches_borrowed_results() {
+        let ex = PaperExample::new();
+        let owned = paper_service_context();
+        let from_owned = Bssr::new(&owned.query_context()).run(&ex.query()).unwrap();
+        let from_borrowed = Bssr::new(&ex.context()).run(&ex.query()).unwrap();
+        assert_eq!(from_owned.routes, from_borrowed.routes);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let ex = PaperExample::new();
+        let ctx = std::sync::Arc::new(paper_service_context());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let ctx = std::sync::Arc::clone(&ctx);
+                let query = ex.query();
+                std::thread::spawn(move || {
+                    Bssr::new(&ctx.query_context()).run(&query).unwrap().routes
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn debug_shows_sizes() {
+        let s = format!("{:?}", paper_service_context());
+        assert!(s.contains("vertices"), "{s}");
+    }
+}

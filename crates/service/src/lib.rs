@@ -1,0 +1,62 @@
+//! `skysr-service` — a concurrent in-process SkySR query engine.
+//!
+//! The algorithm crates answer one query on one thread against a borrowed
+//! [`QueryContext`](skysr_core::QueryContext). This crate adds the serving
+//! layer the ROADMAP's scaling work builds on: SkySR's inputs (road
+//! network, category forest, PoI table, similarity measure) are immutable
+//! after construction, so a single owned [`ServiceContext`] can be shared
+//! by `Arc` across any number of worker threads, each running the
+//! unchanged [`Bssr`](skysr_core::bssr::Bssr) engine with its own reusable
+//! scratch state.
+//!
+//! Components:
+//!
+//! * [`context::ServiceContext`] — the owned, `Arc`-shared counterpart of
+//!   the borrowed `QueryContext`;
+//! * [`pool`] — a std-only worker pool fed by a bounded submission queue;
+//!   when the queue is full, [`QueryService::submit`] blocks (backpressure)
+//!   instead of letting work pile up unboundedly;
+//! * [`cache`] — a cross-query LRU result cache keyed by the canonicalized
+//!   query (start vertex + category sequence + engine configuration), with
+//!   hit/miss/eviction counters;
+//! * [`metrics`] — aggregate counters and recorded per-query latencies,
+//!   snapshotted into throughput / percentile reports;
+//! * [`replay`] — a workload-replay driver: a Zipf-skewed stream over a
+//!   pool of distinct generated queries, executed across N workers and
+//!   summarised in a [`replay::ReplayReport`]. The CLI's `replay`
+//!   subcommand is a thin wrapper around it.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use skysr_data::dataset::{DatasetSpec, Preset};
+//! use skysr_data::workload::WorkloadSpec;
+//! use skysr_service::{QueryService, ServiceConfig, ServiceContext};
+//! use std::sync::Arc;
+//!
+//! let dataset = DatasetSpec::preset(Preset::CalSmall).scale(0.05).seed(7).generate();
+//! let workload = WorkloadSpec::new(2).queries(8).seed(11).generate(&dataset);
+//!
+//! let ctx = Arc::new(ServiceContext::from_dataset(dataset));
+//! let service = QueryService::new(ctx, ServiceConfig { workers: 4, ..Default::default() });
+//!
+//! for outcome in service.run_batch(workload.queries.iter().cloned()) {
+//!     let response = outcome.expect("generated queries are valid");
+//!     assert!(!response.routes.is_empty());
+//! }
+//! let m = service.metrics();
+//! assert_eq!(m.completed, 8);
+//! ```
+
+pub mod cache;
+pub mod context;
+pub mod metrics;
+pub mod pool;
+pub mod replay;
+mod service;
+
+pub use cache::{QueryKey, ResultCache};
+pub use context::ServiceContext;
+pub use metrics::MetricsSnapshot;
+pub use replay::{ReplayReport, ReplaySpec};
+pub use service::{QueryResponse, QueryService, ServiceConfig, Ticket};

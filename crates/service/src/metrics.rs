@@ -1,0 +1,258 @@
+//! Aggregate service metrics: counters, recorded latencies, snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::cache::CacheCounters;
+
+/// At most this many (latency, skyline-size) samples are retained;
+/// beyond it, reservoir sampling keeps a uniform subset so percentiles
+/// stay statistically faithful while memory stays bounded on long-lived
+/// services.
+const SAMPLE_CAP: usize = 65_536;
+
+#[derive(Debug, Default)]
+struct SampleSet {
+    /// (latency in nanoseconds, skyline size) per sampled query.
+    samples: Vec<(u64, u32)>,
+    /// Total samples offered (≥ `samples.len()`).
+    seen: u64,
+    /// SplitMix64 state for reservoir replacement choices.
+    rng: u64,
+}
+
+impl SampleSet {
+    /// Algorithm R: uniform reservoir over everything offered so far.
+    fn offer(&mut self, sample: (u64, u32)) {
+        self.seen += 1;
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(sample);
+            return;
+        }
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let j = (z ^ (z >> 31)) % self.seen;
+        if let Some(slot) = self.samples.get_mut(j as usize) {
+            *slot = sample;
+        }
+    }
+}
+
+/// Shared recorder the workers write into.
+///
+/// Counters are atomics; per-query latencies and skyline sizes go into a
+/// mutex-guarded, size-capped reservoir (one push per query — negligible
+/// next to a BSSR search) so snapshots can compute percentiles without
+/// unbounded growth.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    executed: AtomicU64,
+    samples: Mutex<SampleSet>,
+}
+
+impl MetricsRecorder {
+    /// Records one successfully answered query. `latency` is
+    /// submission-to-completion (queueing included); `served_from_cache`
+    /// tells whether a search actually ran.
+    pub fn record(&self, latency: Duration, skyline_size: usize, served_from_cache: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if !served_from_cache {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+        }
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.samples
+            .lock()
+            .expect("metrics poisoned")
+            .offer((ns, skyline_size.min(u32::MAX as usize) as u32));
+    }
+
+    /// Records a query rejected by validation.
+    pub fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot over everything recorded so far. `wall` is the wall-clock
+    /// window the caller observed (used for throughput); `cache` the
+    /// cache's counters at the same instant.
+    pub fn snapshot(&self, wall: Duration, cache: CacheCounters) -> MetricsSnapshot {
+        let mut samples = self.samples.lock().expect("metrics poisoned").samples.clone();
+        samples.sort_unstable_by_key(|&(ns, _)| ns);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let executed = self.executed.load(Ordering::Relaxed);
+        let latencies: Vec<u64> = samples.iter().map(|&(ns, _)| ns).collect();
+        let sizes: Vec<u32> = samples.iter().map(|&(_, s)| s).collect();
+        let mean_ns = if latencies.is_empty() {
+            0
+        } else {
+            latencies.iter().sum::<u64>() / latencies.len() as u64
+        };
+        MetricsSnapshot {
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            executed,
+            wall,
+            throughput_qps: if wall.as_secs_f64() > 0.0 {
+                completed as f64 / wall.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency_mean: Duration::from_nanos(mean_ns),
+            latency_p50: percentile(&latencies, 50.0),
+            latency_p90: percentile(&latencies, 90.0),
+            latency_p99: percentile(&latencies, 99.0),
+            latency_max: Duration::from_nanos(latencies.last().copied().unwrap_or(0)),
+            mean_skyline_size: if sizes.is_empty() {
+                0.0
+            } else {
+                sizes.iter().map(|&s| s as f64).sum::<f64>() / sizes.len() as f64
+            },
+            max_skyline_size: sizes.iter().copied().max().unwrap_or(0) as usize,
+            cache,
+        }
+    }
+}
+
+/// Nearest-rank percentile over latencies already sorted ascending.
+fn percentile(sorted_ns: &[u64], p: f64) -> Duration {
+    if sorted_ns.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0 * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    Duration::from_nanos(sorted_ns[rank - 1])
+}
+
+/// Aggregate view of a service's activity over an observation window.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Queries answered successfully (cache hits included).
+    pub completed: u64,
+    /// Queries rejected by validation.
+    pub failed: u64,
+    /// Queries that ran an actual BSSR search (completed − cache hits).
+    pub executed: u64,
+    /// Observation window.
+    pub wall: Duration,
+    /// Completed queries per second of the window.
+    pub throughput_qps: f64,
+    /// Mean submission-to-completion latency.
+    pub latency_mean: Duration,
+    /// Median latency.
+    pub latency_p50: Duration,
+    /// 90th-percentile latency.
+    pub latency_p90: Duration,
+    /// 99th-percentile latency.
+    pub latency_p99: Duration,
+    /// Worst observed latency.
+    pub latency_max: Duration,
+    /// Mean number of skyline routes per answer.
+    pub mean_skyline_size: f64,
+    /// Largest skyline returned.
+    pub max_skyline_size: usize,
+    /// Result-cache counters at snapshot time.
+    pub cache: CacheCounters,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn ms(d: Duration) -> f64 {
+            d.as_secs_f64() * 1e3
+        }
+        writeln!(f, "queries     {} completed, {} failed", self.completed, self.failed)?;
+        writeln!(
+            f,
+            "executed    {} searches ({} served from cache)",
+            self.executed,
+            self.completed - self.executed.min(self.completed)
+        )?;
+        writeln!(
+            f,
+            "throughput  {:.1} queries/s over {:.2} s",
+            self.throughput_qps,
+            self.wall.as_secs_f64()
+        )?;
+        writeln!(
+            f,
+            "latency     mean {:.3} ms  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+            ms(self.latency_mean),
+            ms(self.latency_p50),
+            ms(self.latency_p90),
+            ms(self.latency_p99),
+            ms(self.latency_max)
+        )?;
+        writeln!(
+            f,
+            "cache       {:.1}% hit rate ({} hits / {} misses, {} evictions, {} resident)",
+            self.cache.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.len
+        )?;
+        write!(
+            f,
+            "skylines    {:.2} routes/answer mean, {} max",
+            self.mean_skyline_size, self.max_skyline_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&ns, 50.0), Duration::from_nanos(50));
+        assert_eq!(percentile(&ns, 99.0), Duration::from_nanos(99));
+        assert_eq!(percentile(&ns, 100.0), Duration::from_nanos(100));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        assert_eq!(percentile(&[7], 1.0), Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn reservoir_bounds_memory_and_stays_representative() {
+        let rec = MetricsRecorder::default();
+        // Far beyond the cap, all with the same latency: the reservoir must
+        // stay capped and every retained sample must be a real observation.
+        for _ in 0..(SAMPLE_CAP as u64 + 10_000) {
+            rec.record(Duration::from_micros(5), 1, false);
+        }
+        let inner = rec.samples.lock().unwrap();
+        assert_eq!(inner.samples.len(), SAMPLE_CAP);
+        assert_eq!(inner.seen, SAMPLE_CAP as u64 + 10_000);
+        assert!(inner.samples.iter().all(|&(ns, s)| ns == 5_000 && s == 1));
+        drop(inner);
+        let snap = rec.snapshot(Duration::from_secs(1), CacheCounters::default());
+        assert_eq!(snap.completed, SAMPLE_CAP as u64 + 10_000);
+        assert_eq!(snap.latency_p50, Duration::from_micros(5));
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters_and_sizes() {
+        let rec = MetricsRecorder::default();
+        rec.record(Duration::from_micros(100), 2, false);
+        rec.record(Duration::from_micros(300), 4, true);
+        rec.record(Duration::from_micros(200), 3, false);
+        rec.record_failure();
+        let snap = rec.snapshot(Duration::from_secs(2), CacheCounters::default());
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.executed, 2);
+        assert_eq!(snap.failed, 1);
+        assert!((snap.throughput_qps - 1.5).abs() < 1e-12);
+        assert_eq!(snap.latency_p50, Duration::from_micros(200));
+        assert_eq!(snap.latency_max, Duration::from_micros(300));
+        assert!((snap.mean_skyline_size - 3.0).abs() < 1e-12);
+        assert_eq!(snap.max_skyline_size, 4);
+        // The report renders without panicking and mentions the headline
+        // numbers.
+        let text = snap.to_string();
+        assert!(text.contains("3 completed"), "{text}");
+        assert!(text.contains("queries/s"), "{text}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Workload replay: a Zipf-skewed query stream over a pool of distinct
+//! generated queries, executed through a [`QueryService`].
+//!
+//! Real query traffic repeats itself — popular start areas and category
+//! sequences recur, which is exactly what a cross-query result cache
+//! exploits. The replay driver models that with the same skew machinery
+//! the dataset generator uses (`skysr_data::zipf`): a pool of `distinct`
+//! queries is generated per §7.1 ([`WorkloadSpec`]), then `total` requests
+//! are drawn from the pool with Zipf(`zipf_exponent`) popularity, shuffled
+//! into an arrival order, and pushed through the service.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use skysr_core::bssr::{Bssr, BssrConfig};
+use skysr_core::query::SkySrQuery;
+use skysr_core::route::SkylineRoute;
+use skysr_data::dataset::Dataset;
+use skysr_data::workload::WorkloadSpec;
+use skysr_data::zipf::Zipf;
+
+use crate::context::ServiceContext;
+use crate::metrics::MetricsSnapshot;
+use crate::service::{QueryService, ServiceConfig};
+
+/// Parameters of one replay run.
+#[derive(Clone, Debug)]
+pub struct ReplaySpec {
+    /// Total requests replayed.
+    pub total: usize,
+    /// Distinct queries in the pool the stream draws from.
+    pub distinct: usize,
+    /// Category-sequence length of generated queries.
+    pub seq_len: usize,
+    /// Zipf exponent of query popularity (0 = uniform, 1 = classic skew).
+    pub zipf_exponent: f64,
+    /// RNG seed for pool generation and stream sampling.
+    pub seed: u64,
+    /// Worker threads (0 = one per CPU).
+    pub workers: usize,
+    /// Result-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Submission-queue capacity.
+    pub queue_capacity: usize,
+    /// Engine configuration.
+    pub engine: BssrConfig,
+    /// Also run every request sequentially on one thread and compare
+    /// skylines route-by-route.
+    pub verify: bool,
+}
+
+impl Default for ReplaySpec {
+    fn default() -> ReplaySpec {
+        ReplaySpec {
+            total: 1000,
+            distinct: 100,
+            seq_len: 3,
+            zipf_exponent: 1.0,
+            seed: 7,
+            workers: 4,
+            cache_capacity: 1024,
+            queue_capacity: 256,
+            engine: BssrConfig::default(),
+            verify: false,
+        }
+    }
+}
+
+/// Outcome of a replay run.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Requests replayed.
+    pub total: usize,
+    /// Distinct queries in the pool.
+    pub distinct: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the concurrent replay.
+    pub wall: Duration,
+    /// Service metrics over the replay window.
+    pub metrics: MetricsSnapshot,
+    /// `Some(mismatches)` when verification ran: the number of requests
+    /// whose concurrent skyline differed from the sequential one.
+    pub verify_mismatches: Option<usize>,
+}
+
+impl std::fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "replayed    {} requests ({} distinct) on {} workers in {:.2} s",
+            self.total,
+            self.distinct,
+            self.workers,
+            self.wall.as_secs_f64()
+        )?;
+        write!(f, "{}", self.metrics)?;
+        if let Some(m) = self.verify_mismatches {
+            write!(f, "\nverify      ")?;
+            if m == 0 {
+                write!(f, "OK — concurrent skylines identical to sequential execution")?;
+            } else {
+                write!(f, "FAILED — {m} mismatching request(s)")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the request stream: `spec.total` indexes into a pool of
+/// `spec.distinct` queries, Zipf-popular and shuffled into arrival order.
+fn request_stream(spec: &ReplaySpec) -> Vec<usize> {
+    let zipf = Zipf::new(spec.distinct, spec.zipf_exponent);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7e_706c_6179); // "replay"
+    let mut stream: Vec<usize> = (0..spec.total).map(|_| zipf.sample(&mut rng)).collect();
+    stream.shuffle(&mut rng);
+    stream
+}
+
+/// Replays `spec` against `dataset` and reports service metrics.
+///
+/// The dataset is consumed: its graph, forest and PoI table become the
+/// shared [`ServiceContext`]. When `spec.verify` is set, every request is
+/// also answered by a sequential [`Bssr`] run and the skylines compared
+/// exactly.
+///
+/// # Panics
+/// If `spec.total` or `spec.distinct` is zero, or the dataset cannot
+/// populate a workload of `spec.seq_len` (see [`WorkloadSpec::generate`]).
+pub fn replay(dataset: Dataset, spec: &ReplaySpec) -> ReplayReport {
+    assert!(spec.total > 0 && spec.distinct > 0, "replay needs a non-empty stream");
+    let pool = WorkloadSpec::new(spec.seq_len)
+        .queries(spec.distinct)
+        .seed(spec.seed)
+        .generate(&dataset)
+        .queries;
+    let stream = request_stream(spec);
+
+    let ctx = Arc::new(ServiceContext::from_dataset(dataset));
+    let service = QueryService::new(
+        Arc::clone(&ctx),
+        ServiceConfig {
+            workers: spec.workers,
+            queue_capacity: spec.queue_capacity,
+            cache_capacity: spec.cache_capacity,
+            engine: spec.engine,
+        },
+    );
+    let workers = service.config().workers;
+
+    let t0 = Instant::now();
+    let outcomes = service.run_batch(stream.iter().map(|&i| pool[i].clone()));
+    let wall = t0.elapsed();
+    let metrics = service.metrics();
+    drop(service);
+
+    let verify_mismatches = spec.verify.then(|| {
+        let sequential = sequential_skylines(&ctx, &pool, spec.engine);
+        stream
+            .iter()
+            .zip(&outcomes)
+            .filter(|&(&i, outcome)| match outcome {
+                Ok(response) => response.routes.as_ref() != sequential[i].as_slice(),
+                Err(_) => true,
+            })
+            .count()
+    });
+
+    ReplayReport {
+        total: spec.total,
+        distinct: spec.distinct,
+        workers,
+        wall,
+        metrics,
+        verify_mismatches,
+    }
+}
+
+/// One-threaded reference answers for every pool query.
+fn sequential_skylines(
+    ctx: &ServiceContext,
+    pool: &[SkySrQuery],
+    engine: BssrConfig,
+) -> Vec<Vec<SkylineRoute>> {
+    let qctx = ctx.query_context();
+    let mut bssr = Bssr::with_config(&qctx, engine);
+    pool.iter().map(|q| bssr.run(q).expect("generated queries are valid").routes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_skewed_and_deterministic() {
+        let spec = ReplaySpec { total: 2_000, distinct: 50, ..ReplaySpec::default() };
+        let a = request_stream(&spec);
+        let b = request_stream(&spec);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 50));
+        // Zipf(1) over 50 ranks: rank 0 draws ~22% of all requests.
+        let zeros = a.iter().filter(|&&i| i == 0).count();
+        assert!(zeros > a.len() / 10, "rank 0 appeared only {zeros} times");
+        let spec2 = ReplaySpec { seed: 8, ..spec };
+        assert_ne!(request_stream(&spec2), a);
+    }
+
+    #[test]
+    fn uniform_exponent_spreads_requests() {
+        let spec =
+            ReplaySpec { total: 5_000, distinct: 10, zipf_exponent: 0.0, ..ReplaySpec::default() };
+        let stream = request_stream(&spec);
+        for rank in 0..10 {
+            let n = stream.iter().filter(|&&i| i == rank).count();
+            assert!((250..=750).contains(&n), "rank {rank}: {n}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The query service: shared context + worker pool + cache + metrics.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use skysr_core::bssr::{Bssr, BssrConfig};
+use skysr_core::error::QueryError;
+use skysr_core::query::SkySrQuery;
+use skysr_core::route::SkylineRoute;
+
+use crate::cache::{QueryKey, ResultCache};
+use crate::context::ServiceContext;
+use crate::metrics::{MetricsRecorder, MetricsSnapshot};
+use crate::pool::BoundedQueue;
+
+/// Sizing and engine configuration of a [`QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads. `0` means "one per available CPU".
+    pub workers: usize,
+    /// Bounded submission-queue capacity; full ⇒ `submit` blocks.
+    pub queue_capacity: usize,
+    /// Result-cache entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Engine configuration every worker runs with.
+    pub engine: BssrConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            engine: BssrConfig::default(),
+        }
+    }
+}
+
+/// A successfully answered query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The skyline routes, shared with the cache (and other waiters).
+    pub routes: Arc<[SkylineRoute]>,
+    /// Whether the answer came from the result cache.
+    pub cache_hit: bool,
+    /// Submission-to-completion latency (queueing included).
+    pub latency: Duration,
+}
+
+/// Waitable handle for one submitted query.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<QueryResponse, QueryError>>,
+}
+
+impl Ticket {
+    /// Blocks until the worker finishes this query.
+    pub fn wait(self) -> Result<QueryResponse, QueryError> {
+        self.rx.recv().expect("worker dropped a job without responding")
+    }
+}
+
+struct Job {
+    query: SkySrQuery,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<QueryResponse, QueryError>>,
+}
+
+/// A multi-threaded in-process SkySR query engine.
+///
+/// Construction spawns the worker pool; each worker owns a [`Bssr`] engine
+/// (reusing its Dijkstra workspace and scratch state across queries) over
+/// the shared [`ServiceContext`]. Dropping the service closes the
+/// submission queue, drains in-flight work and joins every worker.
+pub struct QueryService {
+    ctx: Arc<ServiceContext>,
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<ResultCache>,
+    metrics: Arc<MetricsRecorder>,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// Spawns a service over `ctx` with `config`.
+    pub fn new(ctx: Arc<ServiceContext>, config: ServiceConfig) -> QueryService {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            config.workers
+        };
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+        // Capacity 0 disables caching: keep a 1-entry cache object for
+        // uniform counters but never consult it.
+        let caching = config.cache_capacity > 0;
+        let cache = Arc::new(ResultCache::new(config.cache_capacity.max(1)));
+        let metrics = Arc::new(MetricsRecorder::default());
+
+        let handles = (0..workers)
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let engine_cfg = config.engine;
+                std::thread::Builder::new()
+                    .name(format!("skysr-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx, &queue, &cache, &metrics, engine_cfg, caching))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+
+        QueryService {
+            ctx,
+            queue,
+            cache,
+            metrics,
+            workers: handles,
+            started: Instant::now(),
+            config,
+        }
+    }
+
+    /// Service with the default configuration.
+    pub fn with_defaults(ctx: Arc<ServiceContext>) -> QueryService {
+        QueryService::new(ctx, ServiceConfig::default())
+    }
+
+    /// Enqueues one query. Blocks while the submission queue is full
+    /// (backpressure).
+    ///
+    /// # Panics
+    /// If called after the service started shutting down (impossible
+    /// through the public API, which consumes the service on shutdown).
+    pub fn submit(&self, query: SkySrQuery) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let job = Job { query, submitted: Instant::now(), reply: tx };
+        if self.queue.push(job).is_err() {
+            unreachable!("submission queue closed while the service was alive");
+        }
+        Ticket { rx }
+    }
+
+    /// Submits every query and waits for all answers, preserving order.
+    ///
+    /// A batch larger than the queue capacity cannot deadlock the caller:
+    /// the bounded queue holds only unstarted work and each ticket buffers
+    /// its answer, so an oversized batch merely throttles submission to
+    /// the workers' pace.
+    pub fn run_batch(
+        &self,
+        queries: impl IntoIterator<Item = SkySrQuery>,
+    ) -> Vec<Result<QueryResponse, QueryError>> {
+        let tickets: Vec<Ticket> = queries.into_iter().map(|q| self.submit(q)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// The shared context.
+    pub fn context(&self) -> &Arc<ServiceContext> {
+        &self.ctx
+    }
+
+    /// The configuration the service was built with (with `workers`
+    /// resolved to the actual pool size).
+    pub fn config(&self) -> ServiceConfig {
+        ServiceConfig { workers: self.workers.len(), ..self.config.clone() }
+    }
+
+    /// Metrics snapshot over the service's lifetime so far.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.started.elapsed(), self.cache.counters())
+    }
+
+    /// Closes the queue, drains in-flight work and joins the workers.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_in_place();
+        self.metrics()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            // Propagate worker panics loudly — except while already
+            // unwinding, where a second panic would abort the process and
+            // destroy the original diagnostic.
+            if handle.join().is_err() && !std::thread::panicking() {
+                panic!("worker panicked");
+            }
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(
+    ctx: &ServiceContext,
+    queue: &BoundedQueue<Job>,
+    cache: &ResultCache,
+    metrics: &MetricsRecorder,
+    engine_cfg: BssrConfig,
+    caching: bool,
+) {
+    let qctx = ctx.query_context();
+    let mut engine = Bssr::with_config(&qctx, engine_cfg);
+    while let Some(job) = queue.pop() {
+        let key = if caching { QueryKey::canonicalize(&job.query, engine_cfg) } else { None };
+        if let Some(routes) = cache.get(key.as_ref()) {
+            let latency = job.submitted.elapsed();
+            metrics.record(latency, routes.len(), true);
+            let _ = job.reply.send(Ok(QueryResponse { routes, cache_hit: true, latency }));
+            continue;
+        }
+        match engine.run(&job.query) {
+            Ok(result) => {
+                let routes: Arc<[SkylineRoute]> = result.routes.into();
+                if let Some(key) = key {
+                    cache.insert(key, Arc::clone(&routes));
+                }
+                let latency = job.submitted.elapsed();
+                metrics.record(latency, routes.len(), false);
+                let _ = job.reply.send(Ok(QueryResponse { routes, cache_hit: false, latency }));
+            }
+            Err(e) => {
+                metrics.record_failure();
+                let _ = job.reply.send(Err(e));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skysr_core::paper_example::PaperExample;
+    use skysr_graph::VertexId;
+
+    fn service(workers: usize, cache: usize) -> (PaperExample, QueryService) {
+        let ex = PaperExample::new();
+        let ctx =
+            Arc::new(ServiceContext::new(ex.graph.clone(), ex.forest.clone(), ex.pois.clone()));
+        let cfg = ServiceConfig { workers, cache_capacity: cache, ..ServiceConfig::default() };
+        (ex, QueryService::new(ctx, cfg))
+    }
+
+    #[test]
+    fn answers_match_the_paper_example() {
+        let (ex, service) = service(2, 16);
+        let response = service.submit(ex.query()).wait().unwrap();
+        assert_eq!(response.routes.len(), 2);
+        assert!(!response.cache_hit);
+        assert_eq!(response.routes[0].pois, vec![VertexId(6), VertexId(9), VertexId(8)]);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache_with_identical_results() {
+        let (ex, service) = service(1, 16);
+        let cold = service.submit(ex.query()).wait().unwrap();
+        let warm = service.submit(ex.query()).wait().unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(cold.routes, warm.routes);
+        let m = service.metrics();
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.executed, 1);
+        assert_eq!(m.cache.hits, 1);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_caching() {
+        let (ex, service) = service(1, 0);
+        service.submit(ex.query()).wait().unwrap();
+        let again = service.submit(ex.query()).wait().unwrap();
+        assert!(!again.cache_hit);
+        assert_eq!(service.metrics().executed, 2);
+    }
+
+    #[test]
+    fn invalid_queries_report_errors_not_hangs() {
+        let (_ex, service) = service(2, 16);
+        let bad = SkySrQuery::new(VertexId(9_999), [skysr_category::CategoryId(0)]);
+        let err = service.submit(bad).wait().unwrap_err();
+        assert_eq!(err, QueryError::UnknownStart(VertexId(9_999)));
+        assert_eq!(service.metrics().failed, 1);
+    }
+
+    #[test]
+    fn batches_larger_than_the_queue_complete() {
+        let (ex, _) = service(1, 0);
+        let ctx =
+            Arc::new(ServiceContext::new(ex.graph.clone(), ex.forest.clone(), ex.pois.clone()));
+        let svc = QueryService::new(
+            ctx,
+            ServiceConfig { workers: 2, queue_capacity: 2, ..ServiceConfig::default() },
+        );
+        let outcomes = svc.run_batch((0..64).map(|_| ex.query()));
+        assert_eq!(outcomes.len(), 64);
+        for o in outcomes {
+            assert_eq!(o.unwrap().routes.len(), 2);
+        }
+        assert_eq!(svc.shutdown().completed, 64);
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end correctness of the concurrent service on generated cities:
+//! concurrency and caching must never change an answer.
+
+use std::sync::Arc;
+
+use skysr_core::bssr::{Bssr, BssrConfig};
+use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
+use skysr_data::workload::WorkloadSpec;
+use skysr_service::replay::{replay, ReplaySpec};
+use skysr_service::{QueryService, ServiceConfig, ServiceContext};
+
+fn city() -> Dataset {
+    DatasetSpec::preset(Preset::CalSmall).scale(0.08).seed(21).generate()
+}
+
+#[test]
+fn concurrent_replay_matches_sequential_execution() {
+    // The ISSUE's acceptance bar: a skewed replay across ≥ 4 workers whose
+    // every answer is identical to a sequential `Bssr::run`, with a
+    // nonzero cache hit-rate.
+    let spec = ReplaySpec {
+        total: 400,
+        distinct: 60,
+        workers: 4,
+        seq_len: 2,
+        verify: true,
+        ..ReplaySpec::default()
+    };
+    let report = replay(city(), &spec);
+    assert_eq!(report.verify_mismatches, Some(0));
+    assert_eq!(report.metrics.completed, 400);
+    assert_eq!(report.workers, 4);
+    assert!(report.metrics.cache.hits > 0, "skewed stream must hit the cache");
+    assert!(report.metrics.executed < report.metrics.completed, "cache hits must save searches");
+    assert!(report.metrics.throughput_qps > 0.0);
+    assert!(report.metrics.latency_p50 <= report.metrics.latency_p99);
+}
+
+#[test]
+fn caching_disabled_still_matches_sequential() {
+    let spec = ReplaySpec {
+        total: 120,
+        distinct: 40,
+        workers: 4,
+        seq_len: 2,
+        cache_capacity: 0,
+        verify: true,
+        ..ReplaySpec::default()
+    };
+    let report = replay(city(), &spec);
+    assert_eq!(report.verify_mismatches, Some(0));
+    assert_eq!(report.metrics.executed, 120, "every request runs a search");
+    assert_eq!(report.metrics.cache.hits, 0);
+}
+
+#[test]
+fn cache_hits_equal_cold_runs_on_generated_queries() {
+    let dataset = city();
+    let workload = WorkloadSpec::new(2).queries(12).seed(3).generate(&dataset);
+    let ctx = Arc::new(ServiceContext::from_dataset(dataset));
+
+    // Reference: the plain sequential engine on the borrowed context.
+    let qctx = ctx.query_context();
+    let mut engine = Bssr::with_config(&qctx, BssrConfig::default());
+    let reference: Vec<_> =
+        workload.queries.iter().map(|q| engine.run(q).unwrap().routes).collect();
+
+    let service = QueryService::new(
+        Arc::clone(&ctx),
+        ServiceConfig { workers: 4, ..ServiceConfig::default() },
+    );
+    let cold = service.run_batch(workload.queries.iter().cloned());
+    let warm = service.run_batch(workload.queries.iter().cloned());
+    for ((cold, warm), want) in cold.iter().zip(&warm).zip(&reference) {
+        let cold = cold.as_ref().unwrap();
+        let warm = warm.as_ref().unwrap();
+        assert!(warm.cache_hit, "second pass must be served from cache");
+        assert_eq!(cold.routes.as_ref(), want.as_slice());
+        assert_eq!(warm.routes, cold.routes);
+    }
+    let m = service.shutdown();
+    assert_eq!(m.completed, 24);
+    assert_eq!(m.cache.hits, 12);
+}
+
+#[test]
+fn eviction_pressure_keeps_answers_correct() {
+    let dataset = city();
+    let workload = WorkloadSpec::new(2).queries(20).seed(5).generate(&dataset);
+    let ctx = Arc::new(ServiceContext::from_dataset(dataset));
+    // A 4-entry cache under 20 distinct queries, twice: heavy eviction.
+    let service = QueryService::new(
+        Arc::clone(&ctx),
+        ServiceConfig { workers: 4, cache_capacity: 4, ..ServiceConfig::default() },
+    );
+    let first = service.run_batch(workload.queries.iter().cloned());
+    let second = service.run_batch(workload.queries.iter().cloned());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.as_ref().unwrap().routes, b.as_ref().unwrap().routes);
+    }
+    let m = service.metrics();
+    assert!(m.cache.evictions > 0, "capacity 4 must evict under 20 queries");
+    assert_eq!(m.cache.len, 4);
+}

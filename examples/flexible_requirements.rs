@@ -32,11 +32,8 @@ fn main() {
     let result = Bssr::new(&ctx).run(&q).expect("valid query");
     println!("complex requirement — {} skyline route(s):", result.routes.len());
     for r in &result.routes {
-        let stops: Vec<&str> = r
-            .pois
-            .iter()
-            .map(|&p| dataset.forest.name(dataset.pois.categories_of(p)[0]))
-            .collect();
+        let stops: Vec<&str> =
+            r.pois.iter().map(|&p| dataset.forest.name(dataset.pois.categories_of(p)[0])).collect();
         println!("  {:>9.1} m  s={:.3}  {}", r.length.get(), r.semantic, stops.join(" -> "));
         // The negation holds: no pizza place is ever used.
         assert!(stops.iter().all(|s| *s != "Pizza Place"));
@@ -45,9 +42,7 @@ fn main() {
     // --- Unordered trip planning (§6 "Skyline trip planning query"):
     // same categories, any visiting order. ---
     let cats = [cat("Coffee Shop"), cat("Bookstore")];
-    let ordered = Bssr::new(&ctx)
-        .run(&SkySrQuery::new(start, cats))
-        .expect("valid query");
+    let ordered = Bssr::new(&ctx).run(&SkySrQuery::new(start, cats)).expect("valid query");
     let unordered = UnorderedQuery::new(start, cats).run(&ctx).expect("valid query");
     let best = |routes: &[skysr::core::SkylineRoute]| {
         routes
@@ -56,8 +51,14 @@ fn main() {
             .map(|r| r.length.get())
             .fold(f64::INFINITY, f64::min)
     };
-    println!("\nordered   <Coffee Shop, Bookstore>: best perfect route {:>9.1} m", best(&ordered.routes));
-    println!("unordered {{Coffee Shop, Bookstore}}: best perfect route {:>9.1} m", best(&unordered.routes));
+    println!(
+        "\nordered   <Coffee Shop, Bookstore>: best perfect route {:>9.1} m",
+        best(&ordered.routes)
+    );
+    println!(
+        "unordered {{Coffee Shop, Bookstore}}: best perfect route {:>9.1} m",
+        best(&unordered.routes)
+    );
     // Dropping the order constraint can only help.
     assert!(best(&unordered.routes) <= best(&ordered.routes) + 1e-6);
 }

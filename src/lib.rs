@@ -38,12 +38,13 @@ pub use skysr_category as category;
 pub use skysr_core as core;
 pub use skysr_data as data;
 pub use skysr_graph as graph;
+pub use skysr_service as service;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use skysr_category::{
-        CategoryForest, CategoryId, ForestBuilder, PathLength, ProductAggregate,
-        SemanticAggregate, Similarity, WuPalmer,
+        CategoryForest, CategoryId, ForestBuilder, PathLength, ProductAggregate, SemanticAggregate,
+        Similarity, WuPalmer,
     };
     pub use skysr_core::{
         baseline::{DijBaseline, PneBaseline},
@@ -62,4 +63,8 @@ pub mod prelude {
         workload::{Workload, WorkloadSpec},
     };
     pub use skysr_graph::{Cost, Landmarks, RoadNetwork, VertexId};
+    pub use skysr_service::{
+        replay::{replay, ReplayReport, ReplaySpec},
+        MetricsSnapshot, QueryResponse, QueryService, ServiceConfig, ServiceContext,
+    };
 }

@@ -89,10 +89,7 @@ fn optimisations_reduce_search_effort_at_scale() {
         settled_plain += b.search.settled;
         cache_hits += a.cache_hits;
     }
-    assert!(
-        settled_opt < settled_plain,
-        "optimised {settled_opt} vs plain {settled_plain}"
-    );
+    assert!(settled_opt < settled_plain, "optimised {settled_opt} vs plain {settled_plain}");
     assert!(cache_hits > 0, "on-the-fly cache never hit at |Sq| = 4");
 }
 
@@ -126,10 +123,7 @@ fn number_of_skysrs_grows_with_sequence_length() {
         let total: usize = w.queries.iter().map(|q| engine.run(q).unwrap().routes.len()).sum();
         means.push(total as f64 / w.queries.len() as f64);
     }
-    assert!(
-        means[1] >= means[0],
-        "expected |Sq|=4 to yield at least as many SkySRs: {means:?}"
-    );
+    assert!(means[1] >= means[0], "expected |Sq|=4 to yield at least as many SkySRs: {means:?}");
 }
 
 #[test]
@@ -138,10 +132,7 @@ fn unmatchable_category_yields_empty_result_everywhere() {
     // baselines.
     let d = tiny(Preset::TokyoSmall, 0.03, 41);
     let ctx = d.context();
-    let unpopulated = d
-        .forest
-        .leaves()
-        .find(|&c| d.pois.pois_with_exact_category(c).is_empty());
+    let unpopulated = d.forest.leaves().find(|&c| d.pois.pois_with_exact_category(c).is_empty());
     let Some(c) = unpopulated else {
         return; // every leaf populated at this scale — nothing to test
     };

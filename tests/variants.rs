@@ -170,9 +170,8 @@ fn destination_variant_on_generated_dataset() {
     let w = WorkloadSpec::new(2).queries(3).seed(6).generate(&d);
     for q in &w.queries {
         let plain = Bssr::new(&ctx).run(q).unwrap();
-        let dest = DestinationQuery::new(q.clone(), q.start)
-            .run(&ctx, BssrConfig::default())
-            .unwrap();
+        let dest =
+            DestinationQuery::new(q.clone(), q.start).run(&ctx, BssrConfig::default()).unwrap();
         // Round trips are at least as long as one-way trips.
         let best_plain = plain.routes.iter().map(|r| r.length).min().unwrap();
         let best_dest = dest.routes.iter().map(|r| r.length).min().unwrap();

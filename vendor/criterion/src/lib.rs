@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A small fixed-budget timing harness exposing the API surface the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. No statistics, plots or baselines — each
+//! benchmark is timed for a short adaptive run and its mean iteration time
+//! printed, which is enough to compare configurations by eye.
+//!
+//! The measurement budget is `CRITERION_BUDGET_MS` per benchmark
+//! (default 300).
+
+use std::time::{Duration, Instant};
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly within the measurement budget, recording the
+    /// mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and single-call estimate.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let budget = budget();
+        let batch = (budget.as_nanos() / 10 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            iters += batch;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Identifier for one parameterised benchmark instance.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{parameter}", name.into()) }
+    }
+}
+
+fn report(label: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{label:<50} (no iterations)");
+        return;
+    }
+    let per = b.total.as_nanos() as f64 / b.iters as f64;
+    let (value, unit) = if per >= 1e9 {
+        (per / 1e9, "s")
+    } else if per >= 1e6 {
+        (per / 1e6, "ms")
+    } else if per >= 1e3 {
+        (per / 1e3, "µs")
+    } else {
+        (per, "ns")
+    };
+    println!("{label:<50} {value:>10.2} {unit}/iter  ({} iters)", b.iters);
+}
+
+/// Top-level benchmark driver, passed to every target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_owned() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterised benchmark of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &b);
+        self
+    }
+
+    /// Runs one named benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        let mut calls = 0u64;
+        b.iter(|| {
+            calls += 1;
+        });
+        assert!(calls > 0);
+        assert_eq!(calls, b.iters + 1, "warm-up call plus measured iterations");
+        assert!(b.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        let id = BenchmarkId::new("search", 42);
+        assert_eq!(id.name, "search/42");
+    }
+}
