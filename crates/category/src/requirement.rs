@@ -13,7 +13,11 @@ use crate::similarity::Similarity;
 use crate::tree::{CategoryForest, CategoryId};
 
 /// A category requirement for one position of a sequence.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Ord` and `Hash` exist so requirements can participate in canonical
+/// cache keys (see [`Requirement::canonical`]); the ordering itself is
+/// arbitrary but deterministic.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Requirement {
     /// A single category (Definition 3.1 behaviour).
     Category(CategoryId),
@@ -92,6 +96,84 @@ impl Requirement {
         poi_cats: &[CategoryId],
     ) -> bool {
         self.similarity(forest, sim, poi_cats) >= 1.0
+    }
+
+    /// The structural canonical form of this requirement.
+    ///
+    /// Two requirements that are syntactically different but compute the
+    /// same similarity function reduce to the same canonical form whenever
+    /// the difference is one of:
+    ///
+    /// * **branch order** — `max` / `min` are commutative, so `AnyOf` /
+    ///   `AllOf` branches are sorted;
+    /// * **duplicate branches** — `max(x, x) = min(x, x) = x`, so branches
+    ///   are deduplicated after canonicalization;
+    /// * **nesting of the same connective** — `max(max(a, b), c) =
+    ///   max(a, b, c)`, so `AnyOf` inside `AnyOf` (and `AllOf` inside
+    ///   `AllOf`) is flattened;
+    /// * **single-branch wrappers** — `AnyOf([x])` and `AllOf([x])` both
+    ///   score exactly `x` (similarities are ≤ 1), so they collapse to `x`;
+    /// * **exclusion order** — a chain of `Exclude` wrappers zeroes the
+    ///   score when *any* listed subtree matches, so the chain is rebuilt
+    ///   with its excluded categories sorted and deduplicated.
+    ///
+    /// The transformation is *similarity-preserving* (the canonical form
+    /// scores every PoI category set identically — `max`/`min` over the
+    /// same multiset of values, so even bitwise) and *idempotent*, which is
+    /// what makes it usable as a cache key: `skysr-service` keys its result
+    /// cache by canonical form, so structurally related spellings of one
+    /// requirement share a single cache entry.
+    pub fn canonical(&self) -> Requirement {
+        match self {
+            Requirement::Category(c) => Requirement::Category(*c),
+            Requirement::AnyOf(parts) => {
+                Requirement::canonical_connective(parts, true, Requirement::AnyOf)
+            }
+            Requirement::AllOf(parts) => {
+                Requirement::canonical_connective(parts, false, Requirement::AllOf)
+            }
+            Requirement::Exclude { base, not } => {
+                // Collapse the whole exclusion chain, canonicalize the
+                // innermost base, then rebuild with the excluded subtrees
+                // sorted (innermost = smallest id).
+                let mut nots = vec![*not];
+                let mut inner = base.canonical();
+                while let Requirement::Exclude { base, not } = inner {
+                    nots.push(not);
+                    inner = *base;
+                }
+                nots.sort_unstable();
+                nots.dedup();
+                for n in nots {
+                    inner = Requirement::Exclude { base: Box::new(inner), not: n };
+                }
+                inner
+            }
+        }
+    }
+
+    /// Shared canonicalization of `AnyOf` / `AllOf`: flatten same-kind
+    /// children, sort, dedup, unwrap singletons.
+    fn canonical_connective(
+        parts: &[Requirement],
+        any: bool,
+        rebuild: fn(Vec<Requirement>) -> Requirement,
+    ) -> Requirement {
+        let mut flat = Vec::with_capacity(parts.len());
+        for part in parts {
+            match part.canonical() {
+                Requirement::AnyOf(inner) if any => flat.extend(inner),
+                Requirement::AllOf(inner) if !any => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        if flat.len() == 1 {
+            flat.pop().expect("length checked")
+        } else {
+            rebuild(flat)
+        }
     }
 
     /// All plain categories referenced by this requirement (used to derive
@@ -211,5 +293,90 @@ mod tests {
         let f = forest();
         let mex = f.by_name("Mexican").unwrap();
         assert_eq!(Requirement::category(mex).similarity(&f, &WuPalmer, &[]), 0.0);
+    }
+
+    #[test]
+    fn canonical_sorts_and_dedups_branches() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        let am = f.by_name("American").unwrap();
+        let a = Requirement::any_of([am, mex, am]);
+        let b = Requirement::any_of([mex, am]);
+        assert_ne!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+        let c = Requirement::all_of([mex, am, mex]);
+        let d = Requirement::all_of([am, mex]);
+        assert_eq!(c.canonical(), d.canonical());
+        // AnyOf and AllOf over the same branches stay distinct.
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn canonical_flattens_same_connective_nesting() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        let am = f.by_name("American").unwrap();
+        let cafe = f.by_name("Cafe").unwrap();
+        let nested = Requirement::AnyOf(vec![
+            Requirement::AnyOf(vec![Requirement::Category(cafe), Requirement::Category(mex)]),
+            Requirement::Category(am),
+        ]);
+        assert_eq!(nested.canonical(), Requirement::any_of([am, mex, cafe]).canonical());
+        // Mixed connectives do not flatten.
+        let mixed =
+            Requirement::AnyOf(vec![Requirement::all_of([cafe, mex]), Requirement::Category(am)]);
+        let canon = mixed.canonical();
+        assert!(matches!(&canon, Requirement::AnyOf(parts) if parts.len() == 2));
+    }
+
+    #[test]
+    fn canonical_unwraps_singletons() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        assert_eq!(Requirement::any_of([mex]).canonical(), Requirement::Category(mex));
+        assert_eq!(Requirement::all_of([mex]).canonical(), Requirement::Category(mex));
+        // A requirement spelled as a wrapped single category shares the
+        // canonical form of the plain category — the cache-key win.
+        let wrapped =
+            Requirement::AnyOf(vec![Requirement::AllOf(vec![Requirement::Category(mex)])]);
+        assert_eq!(wrapped.canonical(), Requirement::Category(mex));
+    }
+
+    #[test]
+    fn canonical_normalizes_exclusion_chains() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        let taco = f.by_name("Taco Place").unwrap();
+        let gift = f.by_name("Gift").unwrap();
+        let a = Requirement::category(mex).but_not(taco).but_not(gift);
+        let b = Requirement::category(mex).but_not(gift).but_not(taco);
+        let c = Requirement::category(mex).but_not(taco).but_not(gift).but_not(taco);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn canonical_is_idempotent_and_similarity_preserving() {
+        let f = forest();
+        let mex = f.by_name("Mexican").unwrap();
+        let am = f.by_name("American").unwrap();
+        let taco = f.by_name("Taco Place").unwrap();
+        let cafe = f.by_name("Cafe").unwrap();
+        let req = Requirement::AnyOf(vec![
+            Requirement::any_of([am, mex]).but_not(taco),
+            Requirement::all_of([cafe, cafe]),
+            Requirement::AnyOf(vec![]),
+        ]);
+        let canon = req.canonical();
+        assert_eq!(canon.canonical(), canon);
+        for poi_cats in
+            [vec![mex], vec![taco], vec![cafe], vec![am, cafe], vec![taco, cafe], vec![]]
+        {
+            assert_eq!(
+                req.similarity(&f, &WuPalmer, &poi_cats),
+                canon.similarity(&f, &WuPalmer, &poi_cats),
+                "{poi_cats:?}"
+            );
+        }
     }
 }

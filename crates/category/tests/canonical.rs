@@ -1,0 +1,129 @@
+//! Property-based tests for requirement canonicalization: on arbitrary
+//! requirement trees, `canonical()` must be idempotent, insensitive to
+//! branch order / duplication / same-connective nesting, and must preserve
+//! the similarity function exactly.
+
+use proptest::prelude::*;
+use skysr_category::{CategoryForest, CategoryId, ForestBuilder, Requirement, WuPalmer};
+
+/// Fixed two-tree forest all generated requirements draw categories from.
+fn forest() -> CategoryForest {
+    let mut b = ForestBuilder::new();
+    let food = b.add_root("Food");
+    let asian = b.add_child(food, "Asian");
+    b.add_child(asian, "Sushi");
+    b.add_child(food, "Italian");
+    let shop = b.add_root("Shop");
+    let clothing = b.add_child(shop, "Clothing");
+    b.add_child(clothing, "Shoes");
+    b.add_child(shop, "Gift");
+    b.build()
+}
+
+const NUM_CATS: u32 = 8;
+
+/// Decodes a flat token stream into a requirement tree. Every structural
+/// decision consumes one token, so distinct streams explore distinct
+/// shapes; `depth` bounds recursion.
+fn decode(tokens: &mut std::slice::Iter<'_, u32>, depth: usize) -> Requirement {
+    let t = *tokens.next().unwrap_or(&0);
+    if depth == 0 {
+        return Requirement::Category(CategoryId(t % NUM_CATS));
+    }
+    match t % 8 {
+        0..=2 => Requirement::Category(CategoryId(t % NUM_CATS)),
+        3 | 4 => {
+            let n = (t / 8) % 3 + 1;
+            Requirement::AnyOf((0..n).map(|_| decode(tokens, depth - 1)).collect())
+        }
+        5 | 6 => {
+            let n = (t / 8) % 3 + 1;
+            Requirement::AllOf((0..n).map(|_| decode(tokens, depth - 1)).collect())
+        }
+        _ => Requirement::Exclude {
+            base: Box::new(decode(tokens, depth - 1)),
+            not: CategoryId((t / 8) % NUM_CATS),
+        },
+    }
+}
+
+fn requirement_from(tokens: &[u32]) -> Requirement {
+    decode(&mut tokens.iter(), 3)
+}
+
+/// A similarity-preserving scramble: recursively reverses branch order,
+/// duplicates the first branch of every connective, and re-nests exclusion
+/// chains in reversed order. Canonicalization must erase all of it.
+fn scramble(r: &Requirement) -> Requirement {
+    match r {
+        Requirement::Category(c) => Requirement::Category(*c),
+        Requirement::AnyOf(parts) => {
+            let mut out: Vec<Requirement> = parts.iter().rev().map(scramble).collect();
+            if let Some(first) = out.first().cloned() {
+                out.push(first);
+            }
+            Requirement::AnyOf(out)
+        }
+        Requirement::AllOf(parts) => {
+            let mut out: Vec<Requirement> = parts.iter().rev().map(scramble).collect();
+            if let Some(first) = out.first().cloned() {
+                out.push(first);
+            }
+            Requirement::AllOf(out)
+        }
+        Requirement::Exclude { .. } => {
+            let mut nots = Vec::new();
+            let mut cur = r;
+            while let Requirement::Exclude { base, not } = cur {
+                nots.push(*not);
+                cur = base;
+            }
+            let mut out = scramble(cur);
+            // Rebuild the chain with the exclusions in the reverse of the
+            // original application order (plus a duplicate).
+            nots.push(nots[0]);
+            for n in nots {
+                out = Requirement::Exclude { base: Box::new(out), not: n };
+            }
+            out
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn canonicalization_is_idempotent(tokens in prop::collection::vec(0u32..4096, 1..40)) {
+        let r = requirement_from(&tokens);
+        let canon = r.canonical();
+        prop_assert_eq!(canon.canonical(), canon);
+    }
+
+    #[test]
+    fn canonicalization_is_order_and_duplication_insensitive(
+        tokens in prop::collection::vec(0u32..4096, 1..40),
+    ) {
+        let r = requirement_from(&tokens);
+        let scrambled = scramble(&r);
+        prop_assert_eq!(scrambled.canonical(), r.canonical());
+    }
+
+    #[test]
+    fn canonicalization_preserves_similarity(
+        tokens in prop::collection::vec(0u32..4096, 1..40),
+        poi_cats in prop::collection::vec(0u32..NUM_CATS, 0..4),
+    ) {
+        let f = forest();
+        let cats: Vec<CategoryId> = poi_cats.into_iter().map(CategoryId).collect();
+        let r = requirement_from(&tokens);
+        let canon = r.canonical();
+        let scrambled = scramble(&r);
+        // max/min over the same value multiset: bitwise-identical scores.
+        let want = r.similarity(&f, &WuPalmer, &cats);
+        prop_assert_eq!(canon.similarity(&f, &WuPalmer, &cats), want);
+        prop_assert_eq!(scrambled.similarity(&f, &WuPalmer, &cats), want);
+        // The canonical form also matches/excludes the same PoIs perfectly.
+        prop_assert_eq!(canon.perfect(&f, &WuPalmer, &cats), r.perfect(&f, &WuPalmer, &cats));
+    }
+}

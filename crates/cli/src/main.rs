@@ -10,14 +10,26 @@
 //! skysr-cli info city.txt
 //! skysr-cli categories city.txt --top 15
 //! skysr-cli query city.txt --start 12 --categories "t0/n4,t1/n7" [--destination 99]
-//! skysr-cli replay [city.txt] --queries 1000 --workers 4 [--verify true]
+//! skysr-cli replay [city.txt] --queries 1000 --workers 4 [--pattern duplicate] [--verify true]
+//! skysr-cli bench --out BENCH_pr.json [--require-speedup 2.0]
 //! skysr-cli demo
 //! ```
 //!
 //! `replay` drives the concurrent `skysr-service` engine: it streams a
-//! Zipf-skewed workload (repeating popular queries, as real traffic does)
-//! through a worker pool with a cross-query result cache and prints
-//! throughput, latency percentiles and cache statistics.
+//! skewed workload (`--pattern zipf` Zipf-popular arrivals, `duplicate`
+//! bursts of identical in-flight requests, `prefix` chains extended one
+//! position at a time) through a worker pool with a cross-query result
+//! cache, request coalescing and semantic prefix reuse, and prints
+//! throughput, latency percentiles, cache and reuse statistics.
+//! `--verify true` re-answers every request sequentially and fails unless
+//! the concurrent skylines are score-equivalent.
+//!
+//! `bench` replays duplicate-heavy and prefix-heavy workloads twice each —
+//! once with the reuse layer off (PR 1's exact-match cache baseline), once
+//! on — and writes the JSON metrics artifact CI uploads as `BENCH_pr.json`
+//! (throughput, p50/p99, hit/coalesce/warm-start rates, verified
+//! correctness, speedups). `--require-speedup X` fails the run unless the
+//! duplicate-workload speedup reaches `X`.
 
 use std::process::ExitCode;
 
@@ -29,7 +41,8 @@ use skysr_core::{SkySrQuery, SkylineRoute};
 use skysr_data::codec;
 use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 use skysr_graph::VertexId;
-use skysr_service::replay::{replay, ReplaySpec};
+use skysr_service::bench::{bench, BenchSpec};
+use skysr_service::replay::{replay, ReplaySpec, StreamPattern};
 
 mod args;
 
@@ -66,7 +79,11 @@ fn usage() -> &'static str {
      \t[--destination VERTEX] [--mode ordered|unordered|rated]\n  \
      skysr-cli replay [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
      \t[--distinct N] [--workers N] [--seq-len K] [--zipf S] [--cache N]\n  \
-     \t[--queue N] [--verify true|false]\n  \
+     \t[--queue N] [--pattern zipf|duplicate|prefix] [--burst N]\n  \
+     \t[--coalesce true|false] [--prefix-reuse true|false] [--verify true|false]\n  \
+     skysr-cli bench [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
+     \t[--distinct N] [--workers N] [--seq-len K] [--burst N] [--out FILE.json]\n  \
+     \t[--require-speedup X]\n  \
      skysr-cli demo"
 }
 
@@ -191,20 +208,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "replay" => {
-            let file = args.positional_opt();
-            let preset_arg = args.optional("preset");
-            let scale_arg = args.optional("scale");
-            if file.is_some() && (preset_arg.is_some() || scale_arg.is_some()) {
-                return Err(
-                    "--preset/--scale describe the generated city and conflict with a dataset \
-                     FILE argument"
-                        .into(),
-                );
-            }
-            let preset = parse_preset(preset_arg.as_deref().unwrap_or("cal-small"))?;
-            let scale: Option<f64> =
-                scale_arg.map(|s| s.parse().map_err(|_| "bad --scale".to_string())).transpose()?;
-            let seed: u64 = parse_flag(&mut args, "seed", 7)?;
+            let city = dataset_args(&mut args)?;
             let mut spec = ReplaySpec {
                 total: parse_flag(&mut args, "queries", 1000)?,
                 distinct: parse_flag(&mut args, "distinct", 100)?,
@@ -213,8 +217,17 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 workers: parse_flag(&mut args, "workers", 4)?,
                 cache_capacity: parse_flag(&mut args, "cache", 1024)?,
                 queue_capacity: parse_flag(&mut args, "queue", 256)?,
-                seed,
+                burst: parse_flag(&mut args, "burst", 16)?,
+                coalesce: parse_flag(&mut args, "coalesce", true)?,
+                prefix_reuse: parse_flag(&mut args, "prefix-reuse", true)?,
+                seed: city.seed,
                 ..ReplaySpec::default()
+            };
+            spec.pattern = match args.optional("pattern").as_deref() {
+                None | Some("zipf") => StreamPattern::Zipf,
+                Some("duplicate") => StreamPattern::DuplicateBursts,
+                Some("prefix") => StreamPattern::PrefixChains,
+                Some(other) => return Err(format!("unknown --pattern {other:?}")),
             };
             spec.verify = parse_flag(&mut args, "verify", false)?;
             args.finish()?;
@@ -226,33 +239,62 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             if !spec.zipf_exponent.is_finite() || spec.zipf_exponent < 0.0 {
                 return Err("--zipf must be a non-negative finite number".into());
             }
-            let dataset = match file {
-                Some(f) => load(&f)?,
-                None => {
-                    let mut dspec = DatasetSpec::preset(preset).seed(seed);
-                    if let Some(s) = scale {
-                        dspec = dspec.scale(s);
-                    }
-                    eprintln!("generating {} ...", dspec.name);
-                    dspec.generate()
-                }
-            };
-            let populated = dataset.populated_trees();
-            if spec.seq_len > populated {
-                return Err(format!(
-                    "--seq-len {} exceeds the dataset's {populated} populated category trees \
-                     (workload positions must come from distinct trees)",
-                    spec.seq_len,
-                ));
-            }
+            let dataset = load_or_generate(&city)?;
+            check_seq_len(&dataset, spec.seq_len)?;
             eprintln!(
-                "replaying {} requests ({} distinct) on {} workers ...",
-                spec.total, spec.distinct, spec.workers
+                "replaying {} requests ({} distinct, {} stream) on {} workers ...",
+                spec.total, spec.distinct, spec.pattern, spec.workers
             );
             let report = replay(dataset, &spec);
             println!("{report}");
             if report.verify_mismatches.is_some_and(|m| m > 0) {
                 return Err("verification failed: concurrent and sequential skylines differ".into());
+            }
+            Ok(())
+        }
+        "bench" => {
+            let city = dataset_args(&mut args)?;
+            let spec = BenchSpec {
+                total: parse_flag(&mut args, "queries", 144)?,
+                distinct: parse_flag(&mut args, "distinct", 8)?,
+                seq_len: parse_flag(&mut args, "seq-len", 3)?,
+                workers: parse_flag(&mut args, "workers", 8)?,
+                burst: parse_flag(&mut args, "burst", 24)?,
+                seed: city.seed,
+                ..BenchSpec::default()
+            };
+            let out = args.optional("out");
+            let require_speedup: Option<f64> = args
+                .optional("require-speedup")
+                .map(|s| s.parse().map_err(|_| "bad --require-speedup".to_string()))
+                .transpose()?;
+            args.finish()?;
+            if spec.total == 0 || spec.distinct == 0 || spec.seq_len == 0 {
+                return Err("--queries, --distinct and --seq-len must be at least 1".into());
+            }
+            let dataset = load_or_generate(&city)?;
+            check_seq_len(&dataset, spec.seq_len)?;
+            eprintln!(
+                "benchmarking reuse vs. exact-match baseline ({} requests, {} workers) ...",
+                spec.total, spec.workers
+            );
+            let report = bench(dataset, &spec);
+            println!("{report}");
+            if let Some(path) = out {
+                std::fs::write(&path, report.to_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            if report.verify_mismatches() > 0 {
+                return Err("verification failed: reuse answers differ from sequential".into());
+            }
+            if let Some(min) = require_speedup {
+                if report.speedup_duplicate < min {
+                    return Err(format!(
+                        "duplicate-workload speedup {:.2}x is below the required {min:.2}x",
+                        report.speedup_duplicate
+                    ));
+                }
             }
             Ok(())
         }
@@ -280,6 +322,58 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 
 fn load(path: &str) -> Result<Dataset, String> {
     codec::load_dataset(path).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+/// Shared dataset selection of the workload commands (`replay`, `bench`):
+/// either an explicit FILE, or a generation recipe.
+struct CityArgs {
+    file: Option<String>,
+    preset: Preset,
+    scale: Option<f64>,
+    seed: u64,
+}
+
+fn dataset_args(args: &mut Args) -> Result<CityArgs, String> {
+    let file = args.positional_opt();
+    let preset_arg = args.optional("preset");
+    let scale_arg = args.optional("scale");
+    if file.is_some() && (preset_arg.is_some() || scale_arg.is_some()) {
+        return Err(
+            "--preset/--scale describe the generated city and conflict with a dataset FILE \
+             argument"
+                .into(),
+        );
+    }
+    let preset = parse_preset(preset_arg.as_deref().unwrap_or("cal-small"))?;
+    let scale: Option<f64> =
+        scale_arg.map(|s| s.parse().map_err(|_| "bad --scale".to_string())).transpose()?;
+    let seed: u64 = parse_flag(args, "seed", 7)?;
+    Ok(CityArgs { file, preset, scale, seed })
+}
+
+fn load_or_generate(city: &CityArgs) -> Result<Dataset, String> {
+    match &city.file {
+        Some(f) => load(f),
+        None => {
+            let mut dspec = DatasetSpec::preset(city.preset).seed(city.seed);
+            if let Some(s) = city.scale {
+                dspec = dspec.scale(s);
+            }
+            eprintln!("generating {} ...", dspec.name);
+            Ok(dspec.generate())
+        }
+    }
+}
+
+fn check_seq_len(dataset: &Dataset, seq_len: usize) -> Result<(), String> {
+    let populated = dataset.populated_trees();
+    if seq_len > populated {
+        return Err(format!(
+            "--seq-len {seq_len} exceeds the dataset's {populated} populated category trees \
+             (workload positions must come from distinct trees)"
+        ));
+    }
+    Ok(())
 }
 
 fn parse_preset(s: &str) -> Result<Preset, String> {

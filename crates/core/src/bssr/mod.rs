@@ -23,6 +23,7 @@ pub mod cache;
 mod mdijkstra;
 pub mod nninit;
 pub mod queue;
+pub mod warm;
 
 use std::time::Instant;
 
@@ -123,9 +124,31 @@ impl<'g> Bssr<'g> {
         Ok(self.run_prepared(&pq))
     }
 
+    /// Validates and runs `query` warm-started from a cached skyline of its
+    /// (k−1)-position prefix (semantic cache reuse; see [`warm`]).
+    ///
+    /// The result is score-equivalent to a cold [`Bssr::run`] — the seeds
+    /// only tighten the pruning thresholds, exactly as NNinit does. Routes
+    /// in `prefix` that do not fit the query are ignored, so passing a
+    /// skyline from an unrelated query degrades to a cold run.
+    pub fn run_with_seeds(
+        &mut self,
+        query: &SkySrQuery,
+        prefix: &[SkylineRoute],
+    ) -> Result<BssrResult, QueryError> {
+        let pq = PreparedQuery::prepare(&self.ctx, query)?;
+        Ok(self.run_prepared_warm(&pq, prefix))
+    }
+
     /// Runs a pre-compiled query (lets callers reuse the preparation across
     /// engines, e.g. when comparing configurations).
     pub fn run_prepared(&mut self, pq: &PreparedQuery) -> BssrResult {
+        self.run_prepared_warm(pq, &[])
+    }
+
+    /// [`Bssr::run_prepared`] with warm-start seeds from a prefix skyline
+    /// (empty slice = cold run).
+    pub fn run_prepared_warm(&mut self, pq: &PreparedQuery, prefix: &[SkylineRoute]) -> BssrResult {
         let t0 = Instant::now();
         let mut stats = QueryStats::default();
         let k = pq.len();
@@ -141,6 +164,13 @@ impl<'g> Bssr<'g> {
 
         if self.cfg.use_init_search {
             nninit::nninit(&ctx, pq, &mut self.ws, &mut skyline, &mut stats);
+        }
+
+        // Warm start: seed completions of a cached prefix skyline *before*
+        // the minimum-distance bounds are computed, so the tightened
+        // threshold also shrinks the bound-computation search radius.
+        if !prefix.is_empty() {
+            warm::seed_prefix_routes(&ctx, pq, prefix, &mut self.ws, &mut skyline, &mut stats);
         }
 
         let bounds = if self.cfg.lower_bound == LowerBoundMode::Off {
@@ -355,6 +385,63 @@ mod tests {
         let mut bssr = Bssr::new(&ctx);
         let result = bssr.run(&SkySrQuery::new(ex.p(2), [asian, arts])).unwrap();
         assert!(result.routes.iter().any(|r| r.pois[0] == ex.p(2) && r.length == Cost::new(4.0)));
+    }
+
+    #[test]
+    fn warm_start_from_prefix_skyline_matches_cold_run() {
+        use crate::route::equivalent_skylines;
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let full = ex.query();
+        let mut bssr = Bssr::new(&ctx);
+        // Every proper prefix ⟨c1..cj⟩ warm-starts the (j+1)-position
+        // query. A given prefix may contribute nothing (NNinit can already
+        // dominate all its completions — warm_seed_routes counts only
+        // *inserted* seeds), but across the chain at least one must.
+        let mut any_seeded = false;
+        for j in 1..full.len() {
+            let prefix_q = SkySrQuery::with_positions(full.start, full.sequence[..j].to_vec());
+            let next_q = SkySrQuery::with_positions(full.start, full.sequence[..=j].to_vec());
+            let prefix = bssr.run(&prefix_q).unwrap().routes;
+            let cold = bssr.run(&next_q).unwrap();
+            let warm = bssr.run_with_seeds(&next_q, &prefix).unwrap();
+            assert!(
+                equivalent_skylines(&warm.routes, &cold.routes),
+                "prefix len {j}: warm {:?} vs cold {:?}",
+                warm.routes,
+                cold.routes
+            );
+            any_seeded |= warm.stats.warm_seed_routes > 0;
+            // The seeds can only tighten thresholds: never more enqueued
+            // work than the cold run.
+            assert!(warm.stats.routes_enqueued <= cold.stats.routes_enqueued);
+        }
+        assert!(any_seeded, "some prefix must seed surviving routes");
+    }
+
+    #[test]
+    fn warm_start_with_foreign_prefix_stays_exact() {
+        use crate::route::equivalent_skylines;
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        // A prefix skyline computed for a *different* first position (Gift
+        // instead of Hobby) from the same start: its semantic scores are
+        // wrong for this query, so the seeder must rescore the routes
+        // under the query's own positions — the result must still be the
+        // exact skyline.
+        let gift = ex.forest.by_name("Gift Shop").unwrap();
+        let hobby = ex.forest.by_name("Hobby Shop").unwrap();
+        let mut bssr = Bssr::new(&ctx);
+        let foreign = bssr.run(&SkySrQuery::new(ex.vq, [gift])).unwrap().routes;
+        let q = SkySrQuery::new(ex.vq, [hobby, gift]);
+        let cold = bssr.run(&q).unwrap();
+        let warm = bssr.run_with_seeds(&q, &foreign).unwrap();
+        assert!(
+            equivalent_skylines(&warm.routes, &cold.routes),
+            "warm {:?} vs cold {:?}",
+            warm.routes,
+            cold.routes
+        );
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Warm start from a cached prefix skyline (semantic cache reuse).
+//!
+//! A skyline route for the prefix sequence ⟨c₁, …, c_{k−1}⟩ is, by
+//! Definition 3.4, a valid partial route for the full query
+//! ⟨c₁, …, c_{k−1}, c_k⟩: every completion of it with a PoI matching the
+//! last position is a valid sequenced route. Seeding those completions into
+//! the skyline set *before* the branch-and-bound search starts tightens the
+//! pruning thresholds of Definition 5.4 — the exact mechanism NNinit
+//! (§5.3.1) uses, but starting from the *Pareto-optimal* prefix trade-offs
+//! instead of one greedy chain, so the seeded upper bounds are usually
+//! tighter and more varied in semantic score.
+//!
+//! Correctness is inherited from the NNinit argument (Lemma 5.1/5.3): the
+//! threshold only ever prunes routes that some inserted *valid* route
+//! dominates, so any set of valid seed routes keeps the search exact. The
+//! seeds here are valid by construction — prefix PoIs come from a prefix
+//! skyline over the same start vertex, the appended PoI semantically
+//! matches the last position and is not already on the route.
+
+use skysr_graph::{dijkstra_with, Cost, DijkstraWorkspace, Settle};
+
+use crate::context::QueryContext;
+use crate::dominance::SkylineSet;
+use crate::prepared::PreparedQuery;
+use crate::route::SkylineRoute;
+use crate::stats::QueryStats;
+
+/// Extends every route of a (k−1)-position prefix skyline with reachable
+/// matches for the last position of `pq`, inserting the completed routes
+/// into `skyline`. Returns the number of seed routes inserted (also
+/// recorded as [`QueryStats::warm_seed_routes`]).
+///
+/// Each seed's semantic score is recomputed from `pq`'s own positions (not
+/// taken from the prefix route), so any same-start prefix whose PoIs match
+/// positions 1..k−1 produces a correctly scored seed; routes whose shape
+/// does not fit (wrong length, a PoI that does not match its position) are
+/// skipped, so a stale or foreign skyline degrades to a cold start.
+///
+/// **Precondition:** every prefix route's `length` must be a genuine
+/// accumulated shortest-path length from `pq.start` through its PoIs — the
+/// invariant of any skyline computed for the same start vertex. An
+/// understated length would over-tighten the pruning threshold and break
+/// exactness; this cannot be validated cheaply here, and the cache-keyed
+/// caller (`skysr-service`) guarantees it structurally.
+pub fn seed_prefix_routes(
+    ctx: &QueryContext<'_>,
+    pq: &PreparedQuery,
+    prefix: &[SkylineRoute],
+    ws: &mut DijkstraWorkspace,
+    skyline: &mut SkylineSet,
+    stats: &mut QueryStats,
+) -> usize {
+    let k = pq.len();
+    let last = match pq.positions.last() {
+        Some(p) => p,
+        None => return 0,
+    };
+    let mut seeded = 0;
+    for route in prefix {
+        if route.pois.len() + 1 != k || route.pois.is_empty() {
+            continue;
+        }
+        // Recompute the similarity accumulator Π h_i under *this* query's
+        // positions (multiplied in position order, exactly as the engine
+        // accumulates it). A PoI that does not match disqualifies the
+        // route.
+        let mut sim_acc = 1.0;
+        let mut valid = true;
+        for (i, &p) in route.pois.iter().enumerate() {
+            let s = pq.positions[i].sim_of(ctx, p);
+            if s <= 0.0 {
+                valid = false;
+                break;
+            }
+            sim_acc *= s;
+        }
+        if !valid {
+            continue;
+        }
+        let source = *route.pois.last().expect("non-empty checked");
+        let search_stats = dijkstra_with(ctx.graph, ws, &[(source, Cost::ZERO)], |u, d| {
+            if route.pois.contains(&u) {
+                // Definition 3.4(iii): PoI vertices must be distinct.
+                return Settle::Continue;
+            }
+            let sim = last.sim_of(ctx, u);
+            if sim > 0.0 {
+                let mut pois = Vec::with_capacity(k);
+                pois.extend_from_slice(&route.pois);
+                pois.push(u);
+                // Only completions that actually enter the set count as
+                // seeds — dominated candidates contributed nothing, and
+                // the warm/cold classification downstream relies on that.
+                if skyline.update(SkylineRoute {
+                    pois,
+                    length: route.length + d,
+                    semantic: 1.0 - sim_acc * sim,
+                }) {
+                    seeded += 1;
+                }
+                if sim >= 1.0 {
+                    // Anything settling later is longer AND at best equally
+                    // similar — dominated, so stop this leg (as NNinit's
+                    // final leg does).
+                    return Settle::Stop;
+                }
+            }
+            Settle::Continue
+        });
+        stats.search.merge(&search_stats);
+    }
+    stats.warm_seed_routes = seeded;
+    seeded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bssr::Bssr;
+    use crate::paper_example::PaperExample;
+    use crate::query::SkySrQuery;
+    use skysr_graph::VertexId;
+
+    fn fixture() -> (PaperExample, SkySrQuery) {
+        let ex = PaperExample::new();
+        let q = ex.query();
+        (ex, q)
+    }
+
+    #[test]
+    fn seeds_complete_valid_routes_from_a_prefix_skyline() {
+        let (ex, full) = fixture();
+        let ctx = ex.context();
+        // Cold skyline of the 2-position prefix.
+        let prefix_query = SkySrQuery::with_positions(
+            full.start,
+            full.sequence[..full.sequence.len() - 1].to_vec(),
+        );
+        let prefix = Bssr::new(&ctx).run(&prefix_query).unwrap().routes;
+        assert!(!prefix.is_empty());
+
+        let pq = crate::prepared::PreparedQuery::prepare(&ctx, &full).unwrap();
+        let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
+        let mut skyline = SkylineSet::new();
+        let mut stats = QueryStats::default();
+        let n = seed_prefix_routes(&ctx, &pq, &prefix, &mut ws, &mut skyline, &mut stats);
+        assert!(n > 0);
+        assert_eq!(stats.warm_seed_routes, n);
+        // Every seeded member is a full-length route with distinct PoIs and
+        // scores no better than the true skyline permits.
+        let truth = Bssr::new(&ctx).run(&full).unwrap().routes;
+        for r in skyline.routes() {
+            assert_eq!(r.pois.len(), full.len());
+            let mut pois = r.pois.clone();
+            pois.sort_unstable();
+            pois.dedup();
+            assert_eq!(pois.len(), full.len(), "distinct PoIs");
+            assert!(
+                truth.iter().any(|t| !r.dominates(t)),
+                "a seed cannot dominate the exact skyline"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_prefixes_are_skipped() {
+        let (ex, full) = fixture();
+        let ctx = ex.context();
+        let pq = crate::prepared::PreparedQuery::prepare(&ctx, &full).unwrap();
+        let mut ws = DijkstraWorkspace::new(ctx.graph.num_vertices());
+        let mut skyline = SkylineSet::new();
+        let mut stats = QueryStats::default();
+        let bad = vec![
+            // Wrong length for a (k−1)-prefix.
+            SkylineRoute { pois: vec![ex.p(2)], length: Cost::new(1.0), semantic: 0.0 },
+            // Right length but a PoI that cannot match position 0
+            // (vertex 0 is not a PoI at all).
+            SkylineRoute {
+                pois: vec![VertexId(0), ex.p(5)],
+                length: Cost::new(1.0),
+                semantic: 0.0,
+            },
+        ];
+        let n = seed_prefix_routes(&ctx, &pq, &bad, &mut ws, &mut skyline, &mut stats);
+        assert_eq!(n, 0);
+        assert!(skyline.is_empty());
+    }
+}

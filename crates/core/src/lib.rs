@@ -42,6 +42,6 @@ pub use context::QueryContext;
 pub use error::QueryError;
 pub use poi::PoiTable;
 pub use prepared::PreparedQuery;
-pub use query::{PositionSpec, SkySrQuery};
+pub use query::{CanonicalPosition, PositionSpec, SkySrQuery};
 pub use route::SkylineRoute;
 pub use stats::QueryStats;

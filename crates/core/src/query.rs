@@ -25,6 +25,22 @@ impl From<Requirement> for PositionSpec {
     }
 }
 
+/// The canonical, hashable form of one sequence position.
+///
+/// Produced by [`SkySrQuery::canonical_positions`]; unlike [`PositionSpec`]
+/// it implements `Eq + Hash`, and structurally different spellings of the
+/// same requirement collapse to one value (see
+/// [`Requirement::canonical`]) — a requirement that reduces to a single
+/// plain category becomes [`CanonicalPosition::Category`], so it shares
+/// cache entries with the equivalent plain-category query.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CanonicalPosition {
+    /// A plain category (or a requirement that reduces to one).
+    Category(CategoryId),
+    /// A complex requirement in canonical form.
+    Requirement(Requirement),
+}
+
 /// A SkySR query: "starting from `start`, visit something matching each
 /// position of `sequence`, in order" (Definition 4.2).
 #[derive(Clone, Debug, PartialEq)]
@@ -58,6 +74,23 @@ impl SkySrQuery {
     pub fn is_empty(&self) -> bool {
         self.sequence.is_empty()
     }
+
+    /// The canonical form of every position, in order — the structural
+    /// identity result caches key by. Queries that differ only in
+    /// requirement spelling (branch order, duplicate branches, redundant
+    /// nesting, exclusion order) map to the same canonical sequence.
+    pub fn canonical_positions(&self) -> Vec<CanonicalPosition> {
+        self.sequence
+            .iter()
+            .map(|spec| match spec {
+                PositionSpec::Category(c) => CanonicalPosition::Category(*c),
+                PositionSpec::Requirement(r) => match r.canonical() {
+                    Requirement::Category(c) => CanonicalPosition::Category(c),
+                    canon => CanonicalPosition::Requirement(canon),
+                },
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +112,42 @@ mod tests {
         assert_eq!(p, PositionSpec::Category(CategoryId(4)));
         let r: PositionSpec = Requirement::category(CategoryId(4)).into();
         assert!(matches!(r, PositionSpec::Requirement(_)));
+    }
+
+    #[test]
+    fn canonical_positions_unify_spellings() {
+        let plain = SkySrQuery::new(VertexId(0), [CategoryId(1), CategoryId(2)]);
+        // The same query with position 0 spelled as a singleton disjunction
+        // and position 1 as a plain requirement.
+        let spelled = SkySrQuery::with_positions(
+            VertexId(0),
+            [
+                PositionSpec::Requirement(Requirement::any_of([CategoryId(1)])),
+                PositionSpec::Requirement(Requirement::category(CategoryId(2))),
+            ],
+        );
+        assert_ne!(plain, spelled);
+        assert_eq!(plain.canonical_positions(), spelled.canonical_positions());
+        assert_eq!(
+            plain.canonical_positions(),
+            vec![
+                CanonicalPosition::Category(CategoryId(1)),
+                CanonicalPosition::Category(CategoryId(2))
+            ]
+        );
+        // Branch order of a genuine disjunction is canonicalized away.
+        let ab = SkySrQuery::with_positions(
+            VertexId(0),
+            [PositionSpec::Requirement(Requirement::any_of([CategoryId(1), CategoryId(2)]))],
+        );
+        let ba = SkySrQuery::with_positions(
+            VertexId(0),
+            [PositionSpec::Requirement(Requirement::any_of([CategoryId(2), CategoryId(1)]))],
+        );
+        assert_eq!(ab.canonical_positions(), ba.canonical_positions());
+        assert!(matches!(
+            ab.canonical_positions()[0],
+            CanonicalPosition::Requirement(Requirement::AnyOf(_))
+        ));
     }
 }

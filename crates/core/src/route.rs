@@ -172,6 +172,45 @@ impl SkylineRoute {
     }
 }
 
+/// Whether two skylines are score-equivalent: same size, and a perfect
+/// matching pairs every route of `a` with a distinct route of `b` whose
+/// scores are [`SkylineRoute::equivalent`].
+///
+/// This is the correctness gate for execution strategies that may pick a
+/// *different representative route* for a score-tied skyline point (e.g. a
+/// warm-started search seeds a valid route first, and the cold search's
+/// score-equivalent twin is then rejected as a duplicate) or accumulate a
+/// length in a different floating-point order. The skyline as a set of
+/// (length, semantic) trade-offs must be identical up to
+/// [`SCORE_EPS`]; the PoI sequences realising a tied point may differ.
+pub fn equivalent_skylines(a: &[SkylineRoute], b: &[SkylineRoute]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    // Greedy first-fit over an epsilon relation is order-sensitive (the
+    // relation is not transitive), so sort both sides by score first:
+    // near-equal values then line up in the same relative order and the
+    // greedy pass finds a perfect matching whenever one exists.
+    fn sorted(routes: &[SkylineRoute]) -> Vec<&SkylineRoute> {
+        let mut rs: Vec<&SkylineRoute> = routes.iter().collect();
+        rs.sort_by(|x, y| x.length.cmp(&y.length).then_with(|| x.semantic.total_cmp(&y.semantic)));
+        rs
+    }
+    let a = sorted(a);
+    let b = sorted(b);
+    let mut used = vec![false; b.len()];
+    'outer: for ra in a {
+        for (j, rb) in b.iter().enumerate() {
+            if !used[j] && ra.equivalent(rb) {
+                used[j] = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +286,32 @@ mod tests {
         // Incomparable routes.
         assert!(!sky(1.0, 0.5).dominates(&sky(0.5, 0.9)));
         assert!(!sky(0.5, 0.9).dominates(&sky(1.0, 0.5)));
+    }
+
+    #[test]
+    fn equivalent_skylines_is_a_tolerant_multiset_match() {
+        let a = vec![sky(10.0, 0.0), sky(5.0, 0.5)];
+        // Same scores in another order, one perturbed below SCORE_EPS.
+        let b = vec![sky(5.0 + 1e-12, 0.5), sky(10.0, 0.0)];
+        assert!(equivalent_skylines(&a, &b));
+        assert!(equivalent_skylines(&[], &[]));
+        // Size mismatch.
+        assert!(!equivalent_skylines(&a, &b[..1]));
+        // Score mismatch.
+        let c = vec![sky(5.0, 0.5), sky(11.0, 0.0)];
+        assert!(!equivalent_skylines(&a, &c));
+        // Duplicated scores must match one-to-one, not many-to-one.
+        let d = vec![sky(5.0, 0.5), sky(5.0, 0.5)];
+        assert!(!equivalent_skylines(&a, &d));
+        assert!(equivalent_skylines(&d, &d));
+        // Near-tie straddling the tolerance: x ~ y and y ~ z but x !~ z.
+        // An unsorted greedy pass would pair e[0] with f[0] and strand the
+        // rest; sorting both sides first finds the crossing matching.
+        let eps = SCORE_EPS * 5.0;
+        let e = vec![sky(5.0, 0.0), sky(5.0 + 1.6 * eps, 0.0)];
+        let f = vec![sky(5.0 + 0.8 * eps, 0.0), sky(5.0, 0.0)];
+        assert!(equivalent_skylines(&e, &f));
+        assert!(equivalent_skylines(&f, &e));
     }
 
     #[test]

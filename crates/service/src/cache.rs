@@ -1,21 +1,35 @@
 //! Cross-query LRU result cache.
 //!
-//! Keys are *canonicalized* queries: start vertex, plain category
-//! sequence, and the engine configuration the result was computed under.
-//! Queries using complex [`Requirement`](skysr_category::Requirement)
-//! positions are not canonicalized (no cheap structural key exists for
-//! them yet) and simply bypass the cache.
+//! Keys are *canonicalized* queries: start vertex, the canonical form of
+//! every sequence position, and the engine configuration the result was
+//! computed under. Since PR 2, complex
+//! [`Requirement`](skysr_category::Requirement) positions canonicalize too
+//! (sorted/deduplicated/flattened connectives, normalized exclusion
+//! chains — see [`skysr_core::CanonicalPosition`]), so *every* valid query
+//! is cacheable and structurally different spellings of one requirement
+//! share a single entry.
 //!
 //! Values are `Arc<[SkylineRoute]>`, so a hit shares the stored skyline
 //! with every waiter instead of cloning route vectors under the lock.
+//!
+//! Counters are exact: `hits + misses` equals the number of [`get`]
+//! lookups (uncacheable traffic never reaches the cache since
+//! canonicalization is total; a service running with caching disabled
+//! performs no lookups at all), prefix probes via [`peek`] are not
+//! counted, inserting over an identical key refreshes the entry without
+//! counting an eviction, and `insertions` counts stored results so CI
+//! perf artifacts can cross-check `hits + coalesced + executed` against
+//! completed queries.
+//!
+//! [`get`]: ResultCache::get
+//! [`peek`]: ResultCache::peek
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use skysr_category::CategoryId;
 use skysr_core::bssr::BssrConfig;
-use skysr_core::query::PositionSpec;
+use skysr_core::query::CanonicalPosition;
 use skysr_core::query::SkySrQuery;
 use skysr_core::route::SkylineRoute;
 use skysr_graph::VertexId;
@@ -24,22 +38,41 @@ use skysr_graph::VertexId;
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     start: VertexId,
-    categories: Box<[CategoryId]>,
+    positions: Box<[CanonicalPosition]>,
     config: BssrConfig,
 }
 
 impl QueryKey {
-    /// Canonicalizes `query`; `None` if any position is a complex
-    /// requirement (such queries bypass the cache).
-    pub fn canonicalize(query: &SkySrQuery, config: BssrConfig) -> Option<QueryKey> {
-        let mut categories = Vec::with_capacity(query.sequence.len());
-        for spec in &query.sequence {
-            match spec {
-                PositionSpec::Category(c) => categories.push(*c),
-                PositionSpec::Requirement(_) => return None,
-            }
+    /// Canonicalizes `query`. Total: every syntactically valid query has a
+    /// key (complex requirements are reduced to their canonical form).
+    pub fn canonicalize(query: &SkySrQuery, config: BssrConfig) -> QueryKey {
+        QueryKey {
+            start: query.start,
+            positions: query.canonical_positions().into_boxed_slice(),
+            config,
         }
-        Some(QueryKey { start: query.start, categories: categories.into_boxed_slice(), config })
+    }
+
+    /// The key of this query's (k−1)-position prefix under the same start
+    /// and configuration — the entry a warm start reuses. `None` for
+    /// single-position queries.
+    pub fn prefix(&self) -> Option<QueryKey> {
+        (self.positions.len() >= 2).then(|| QueryKey {
+            start: self.start,
+            positions: self.positions[..self.positions.len() - 1].into(),
+            config: self.config,
+        })
+    }
+
+    /// Number of sequence positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the key has no positions (never true for keys built by
+    /// [`QueryKey::canonicalize`] from a valid query).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
     }
 }
 
@@ -112,7 +145,8 @@ impl<K: Clone + Eq + std::hash::Hash, V: Clone> Lru<K, V> {
     }
 
     /// Inserts (or refreshes) `key`; returns `true` when an older entry
-    /// was evicted to make room.
+    /// was evicted to make room. Refreshing an identical key never
+    /// evicts — the entry count does not grow.
     fn insert(&mut self, key: K, value: V) -> bool {
         if let Some(&i) = self.map.get(&key) {
             self.nodes[i].value = value;
@@ -155,9 +189,12 @@ impl<K: Clone + Eq + std::hash::Hash, V: Clone> Lru<K, V> {
 pub struct CacheCounters {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that missed (including uncacheable queries).
+    /// Lookups that missed.
     pub misses: u64,
-    /// Entries displaced by capacity pressure.
+    /// Results stored (first-time inserts and refreshes).
+    pub insertions: u64,
+    /// Entries displaced by capacity pressure. Refreshing an existing key
+    /// is not an eviction.
     pub evictions: u64,
     /// Entries currently stored.
     pub len: u64,
@@ -180,6 +217,7 @@ pub struct ResultCache {
     inner: Mutex<Lru<QueryKey, Arc<[SkylineRoute]>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    insertions: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -190,14 +228,14 @@ impl ResultCache {
             inner: Mutex::new(Lru::new(capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks a canonicalized query up, counting the hit or miss. Pass
-    /// `None` (an uncacheable query) to count a miss without locking.
-    pub fn get(&self, key: Option<&QueryKey>) -> Option<Arc<[SkylineRoute]>> {
-        let result = key.and_then(|k| self.inner.lock().expect("cache poisoned").get(k));
+    /// Looks a canonicalized query up, counting the hit or miss.
+    pub fn get(&self, key: &QueryKey) -> Option<Arc<[SkylineRoute]>> {
+        let result = self.inner.lock().expect("cache poisoned").get(key);
         match result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -205,8 +243,30 @@ impl ResultCache {
         result
     }
 
+    /// Looks `key` up *without* touching the hit/miss counters — used for
+    /// opportunistic prefix probes (warm starts), which are not request
+    /// traffic and must not distort the hit rate. A found entry is still
+    /// marked recently used: reuse as a seed is a use.
+    pub fn peek(&self, key: &QueryKey) -> Option<Arc<[SkylineRoute]>> {
+        self.inner.lock().expect("cache poisoned").get(key)
+    }
+
+    /// Reclassifies one already-counted miss as a hit.
+    ///
+    /// A flight leader whose post-claim re-probe finds the answer (a
+    /// racing previous leader cached it between this request's counted
+    /// lookup and the flight claim — see `worker_loop`) is ultimately
+    /// served from the cache. Converting its miss keeps both invariants
+    /// exact: `hits + misses` equals counted lookups, and `hits` equals
+    /// responses served from the cache.
+    pub fn reclassify_miss_as_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Stores a computed skyline.
     pub fn insert(&self, key: QueryKey, routes: Arc<[SkylineRoute]>) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
         if self.inner.lock().expect("cache poisoned").insert(key, routes) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -217,6 +277,7 @@ impl ResultCache {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             len: self.inner.lock().expect("cache poisoned").len() as u64,
         }
@@ -232,8 +293,9 @@ impl std::fmt::Debug for ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skysr_category::Requirement;
+    use skysr_category::{CategoryId, Requirement};
     use skysr_core::bssr::QueuePolicy;
+    use skysr_core::query::PositionSpec;
     use skysr_graph::Cost;
 
     fn routes(n: u32) -> Arc<[SkylineRoute]> {
@@ -243,41 +305,104 @@ mod tests {
 
     fn key(start: u32) -> QueryKey {
         let q = SkySrQuery::new(VertexId(start), [CategoryId(0), CategoryId(1)]);
-        QueryKey::canonicalize(&q, BssrConfig::default()).unwrap()
+        QueryKey::canonicalize(&q, BssrConfig::default())
     }
 
     #[test]
-    fn requirement_queries_are_uncacheable() {
-        let q = SkySrQuery::with_positions(
+    fn requirement_queries_are_cacheable_and_spelling_insensitive() {
+        let cfg = BssrConfig::default();
+        let plain = SkySrQuery::new(VertexId(0), [CategoryId(0)]);
+        let wrapped = SkySrQuery::with_positions(
             VertexId(0),
-            [PositionSpec::Requirement(Requirement::category(CategoryId(0)))],
+            [PositionSpec::Requirement(Requirement::any_of([CategoryId(0)]))],
         );
-        assert!(QueryKey::canonicalize(&q, BssrConfig::default()).is_none());
+        // A requirement that reduces to one category shares the plain
+        // query's entry.
+        assert_eq!(QueryKey::canonicalize(&plain, cfg), QueryKey::canonicalize(&wrapped, cfg));
+        // Branch order of a genuine disjunction is canonicalized away.
+        let ab = SkySrQuery::with_positions(
+            VertexId(0),
+            [PositionSpec::Requirement(Requirement::any_of([CategoryId(0), CategoryId(1)]))],
+        );
+        let ba = SkySrQuery::with_positions(
+            VertexId(0),
+            [PositionSpec::Requirement(Requirement::any_of([CategoryId(1), CategoryId(0)]))],
+        );
+        assert_eq!(QueryKey::canonicalize(&ab, cfg), QueryKey::canonicalize(&ba, cfg));
+        assert_ne!(QueryKey::canonicalize(&ab, cfg), QueryKey::canonicalize(&plain, cfg));
+    }
+
+    #[test]
+    fn prefix_key_drops_the_last_position() {
+        let cfg = BssrConfig::default();
+        let q3 = SkySrQuery::new(VertexId(7), [CategoryId(0), CategoryId(1), CategoryId(2)]);
+        let q2 = SkySrQuery::new(VertexId(7), [CategoryId(0), CategoryId(1)]);
+        let q1 = SkySrQuery::new(VertexId(7), [CategoryId(0)]);
+        let k3 = QueryKey::canonicalize(&q3, cfg);
+        let k2 = k3.prefix().expect("3-position key has a prefix");
+        assert_eq!(k2, QueryKey::canonicalize(&q2, cfg));
+        let k1 = k2.prefix().expect("2-position key has a prefix");
+        assert_eq!(k1, QueryKey::canonicalize(&q1, cfg));
+        assert_eq!(k1.prefix(), None, "single-position keys have no prefix");
+        assert_eq!((k3.len(), k2.len(), k1.len()), (3, 2, 1));
+        assert!(!k3.is_empty());
     }
 
     #[test]
     fn config_distinguishes_keys() {
         let q = SkySrQuery::new(VertexId(0), [CategoryId(0)]);
-        let a = QueryKey::canonicalize(&q, BssrConfig::default()).unwrap();
+        let a = QueryKey::canonicalize(&q, BssrConfig::default());
         let b = QueryKey::canonicalize(
             &q,
             BssrConfig { queue_policy: QueuePolicy::DistanceBased, ..BssrConfig::default() },
-        )
-        .unwrap();
+        );
         assert_ne!(a, b);
     }
 
     #[test]
     fn hit_miss_and_counters() {
         let cache = ResultCache::new(4);
-        assert!(cache.get(Some(&key(1))).is_none());
+        assert!(cache.get(&key(1)).is_none());
         cache.insert(key(1), routes(1));
-        let hit = cache.get(Some(&key(1))).expect("hit");
+        let hit = cache.get(&key(1)).expect("hit");
         assert_eq!(hit[0].pois, vec![VertexId(1)]);
-        assert!(cache.get(None).is_none(), "uncacheable counts as a miss");
         let c = cache.counters();
-        assert_eq!((c.hits, c.misses, c.evictions, c.len), (1, 2, 0, 1));
-        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!((c.hits, c.misses, c.insertions, c.evictions, c.len), (1, 1, 1, 0, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reclassify_converts_a_counted_miss_into_a_hit() {
+        // The flight-leader re-probe path: one counted lookup missed, the
+        // answer then appeared; after reclassification the request reads
+        // as the cache hit it was ultimately served as.
+        let cache = ResultCache::new(4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), routes(1));
+        assert!(cache.peek(&key(1)).is_some());
+        cache.reclassify_miss_as_hit();
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 0));
+        assert!((c.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_does_not_count_a_lookup() {
+        let cache = ResultCache::new(4);
+        assert!(cache.peek(&key(1)).is_none());
+        cache.insert(key(1), routes(1));
+        assert!(cache.peek(&key(1)).is_some());
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (0, 0), "peeks are not traffic");
+        // But a peek refreshes recency: after peeking 1 in a full cache,
+        // the other entry is the eviction victim.
+        let cache = ResultCache::new(2);
+        cache.insert(key(1), routes(1));
+        cache.insert(key(2), routes(2));
+        assert!(cache.peek(&key(1)).is_some());
+        cache.insert(key(3), routes(3));
+        assert!(cache.peek(&key(2)).is_none(), "2 was evicted");
+        assert!(cache.peek(&key(1)).is_some());
     }
 
     #[test]
@@ -286,25 +411,34 @@ mod tests {
         cache.insert(key(1), routes(1));
         cache.insert(key(2), routes(2));
         // Touch 1, making 2 the eviction victim.
-        assert!(cache.get(Some(&key(1))).is_some());
+        assert!(cache.get(&key(1)).is_some());
         cache.insert(key(3), routes(3));
-        assert!(cache.get(Some(&key(2))).is_none(), "2 was evicted");
-        assert!(cache.get(Some(&key(1))).is_some());
-        assert!(cache.get(Some(&key(3))).is_some());
+        assert!(cache.get(&key(2)).is_none(), "2 was evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
         assert_eq!(cache.counters().evictions, 1);
     }
 
     #[test]
-    fn reinsert_refreshes_without_eviction() {
+    fn reinsert_over_identical_key_counts_no_eviction() {
+        // Regression guard for the CI perf artifacts: refreshing an entry
+        // (e.g. two uncoalesced workers finishing the same query) must not
+        // inflate the eviction counter, even at capacity.
         let cache = ResultCache::new(2);
         cache.insert(key(1), routes(1));
         cache.insert(key(2), routes(2));
+        // At capacity: re-inserting both existing keys evicts nothing.
         cache.insert(key(1), routes(10));
-        assert_eq!(cache.counters().evictions, 0);
-        assert_eq!(cache.get(Some(&key(1))).unwrap()[0].length, Cost::new(10.0));
-        // 2 is now the LRU entry.
+        cache.insert(key(2), routes(20));
+        let c = cache.counters();
+        assert_eq!(c.evictions, 0);
+        assert_eq!(c.insertions, 4, "refreshes still count as insertions");
+        assert_eq!(c.len, 2);
+        assert_eq!(cache.get(&key(1)).unwrap()[0].length, Cost::new(10.0));
+        // 1 was refreshed more recently... then got, so 2 is LRU now.
         cache.insert(key(3), routes(3));
-        assert!(cache.get(Some(&key(2))).is_none());
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(cache.get(&key(2)).is_none());
     }
 
     #[test]
@@ -316,8 +450,9 @@ mod tests {
         let c = cache.counters();
         assert_eq!(c.len, 3);
         assert_eq!(c.evictions, 97);
+        assert_eq!(c.insertions, 100);
         for i in 97..100 {
-            assert!(cache.get(Some(&key(i))).is_some(), "newest entries survive");
+            assert!(cache.get(&key(i)).is_some(), "newest entries survive");
         }
     }
 }

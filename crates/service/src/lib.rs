@@ -13,18 +13,33 @@
 //!
 //! * [`context::ServiceContext`] — the owned, `Arc`-shared counterpart of
 //!   the borrowed `QueryContext`;
-//! * [`pool`] — a std-only worker pool fed by a bounded submission queue;
-//!   when the queue is full, [`QueryService::submit`] blocks (backpressure)
-//!   instead of letting work pile up unboundedly;
-//! * [`cache`] — a cross-query LRU result cache keyed by the canonicalized
-//!   query (start vertex + category sequence + engine configuration), with
-//!   hit/miss/eviction counters;
-//! * [`metrics`] — aggregate counters and recorded per-query latencies,
-//!   snapshotted into throughput / percentile reports;
-//! * [`replay`] — a workload-replay driver: a Zipf-skewed stream over a
-//!   pool of distinct generated queries, executed across N workers and
-//!   summarised in a [`replay::ReplayReport`]. The CLI's `replay`
-//!   subcommand is a thin wrapper around it.
+//! * [`pool`] — a std-only worker pool fed by a bounded submission queue
+//!   (when the queue is full, [`QueryService::submit`] blocks —
+//!   backpressure), plus the singleflight [`pool::InflightTable`] behind
+//!   request coalescing;
+//! * [`cache`] — a cross-query LRU result cache keyed by the *canonical*
+//!   query (start vertex + canonical form of every position + engine
+//!   configuration; complex requirements canonicalize too), with exact
+//!   hit/miss/insertion/eviction counters;
+//! * [`metrics`] — aggregate counters (searches, coalesced hits,
+//!   warm-started searches) and recorded per-query latencies, snapshotted
+//!   into throughput / percentile reports;
+//! * [`replay`] — a workload-replay driver with three stream shapes
+//!   (Zipf, duplicate bursts, prefix chains), optional verification
+//!   against sequential execution, summarised in a
+//!   [`replay::ReplayReport`]. The CLI's `replay` subcommand is a thin
+//!   wrapper around it;
+//! * [`bench`] — the bench-smoke harness comparing the reuse layer to the
+//!   exact-match baseline and serializing the `BENCH_pr.json` CI artifact.
+//!
+//! Between a request and a BSSR search sit three reuse layers, applied in
+//! order by the worker loop: the result cache, request coalescing
+//! (concurrent duplicates park behind one in-flight computation and share
+//! its `Arc`'d skyline — the leader fills the cache *before* ending the
+//! flight, so a key is never searched twice concurrently), and semantic
+//! prefix reuse (a cached skyline for ⟨c₁,…,c_{k−1}⟩ warm-starts the
+//! search for ⟨c₁,…,c_k⟩ via [`skysr_core::bssr::warm`], keeping results
+//! exact while tightening the pruning thresholds).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +63,7 @@
 //! assert_eq!(m.completed, 8);
 //! ```
 
+pub mod bench;
 pub mod cache;
 pub mod context;
 pub mod metrics;
@@ -55,8 +71,9 @@ pub mod pool;
 pub mod replay;
 mod service;
 
-pub use cache::{QueryKey, ResultCache};
+pub use bench::{BenchReport, BenchSpec};
+pub use cache::{CacheCounters, QueryKey, ResultCache};
 pub use context::ServiceContext;
-pub use metrics::MetricsSnapshot;
-pub use replay::{ReplayReport, ReplaySpec};
+pub use metrics::{MetricsSnapshot, Served};
+pub use replay::{ReplayReport, ReplaySpec, StreamPattern};
 pub use service::{QueryResponse, QueryService, ServiceConfig, Ticket};

@@ -41,6 +41,23 @@ impl SampleSet {
     }
 }
 
+/// How one successfully answered query was served — drives which counters
+/// [`MetricsRecorder::record`] bumps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// A BSSR search ran; `warm` tells whether it was warm-started from a
+    /// cached prefix skyline (semantic reuse).
+    Search {
+        /// Warm-started from a prefix skyline.
+        warm: bool,
+    },
+    /// Answered from the result cache.
+    CacheHit,
+    /// Answered by joining another request's in-flight computation
+    /// (request coalescing).
+    Coalesced,
+}
+
 /// Shared recorder the workers write into.
 ///
 /// Counters are atomics; per-query latencies and skyline sizes go into a
@@ -52,17 +69,28 @@ pub struct MetricsRecorder {
     completed: AtomicU64,
     failed: AtomicU64,
     executed: AtomicU64,
+    coalesced: AtomicU64,
+    prefix_seeded: AtomicU64,
     samples: Mutex<SampleSet>,
 }
 
 impl MetricsRecorder {
     /// Records one successfully answered query. `latency` is
-    /// submission-to-completion (queueing included); `served_from_cache`
-    /// tells whether a search actually ran.
-    pub fn record(&self, latency: Duration, skyline_size: usize, served_from_cache: bool) {
+    /// submission-to-completion (queueing included); `served` tells
+    /// whether a search actually ran and how the answer was shared.
+    pub fn record(&self, latency: Duration, skyline_size: usize, served: Served) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        if !served_from_cache {
-            self.executed.fetch_add(1, Ordering::Relaxed);
+        match served {
+            Served::Search { warm } => {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                if warm {
+                    self.prefix_seeded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Served::CacheHit => {}
+            Served::Coalesced => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
         }
         let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
         self.samples
@@ -95,6 +123,8 @@ impl MetricsRecorder {
             completed,
             failed: self.failed.load(Ordering::Relaxed),
             executed,
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            prefix_seeded: self.prefix_seeded.load(Ordering::Relaxed),
             wall,
             throughput_qps: if wall.as_secs_f64() > 0.0 {
                 completed as f64 / wall.as_secs_f64()
@@ -133,8 +163,15 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Queries rejected by validation.
     pub failed: u64,
-    /// Queries that ran an actual BSSR search (completed − cache hits).
+    /// Queries that ran an actual BSSR search.
     pub executed: u64,
+    /// Queries answered by joining another request's in-flight search
+    /// (request coalescing). `executed + coalesced + cache hits =
+    /// completed`.
+    pub coalesced: u64,
+    /// Searches warm-started from a cached prefix skyline (semantic
+    /// reuse); a subset of `executed`.
+    pub prefix_seeded: u64,
     /// Observation window.
     pub wall: Duration,
     /// Completed queries per second of the window.
@@ -163,11 +200,19 @@ impl std::fmt::Display for MetricsSnapshot {
             d.as_secs_f64() * 1e3
         }
         writeln!(f, "queries     {} completed, {} failed", self.completed, self.failed)?;
+        let shared = self.completed - self.executed.min(self.completed);
         writeln!(
             f,
-            "executed    {} searches ({} served from cache)",
+            "executed    {} searches ({} answers shared: {} cache hits, {} coalesced)",
             self.executed,
-            self.completed - self.executed.min(self.completed)
+            shared,
+            shared - self.coalesced.min(shared),
+            self.coalesced
+        )?;
+        writeln!(
+            f,
+            "reuse       {} searches warm-started from a prefix skyline",
+            self.prefix_seeded
         )?;
         writeln!(
             f,
@@ -221,7 +266,7 @@ mod tests {
         // Far beyond the cap, all with the same latency: the reservoir must
         // stay capped and every retained sample must be a real observation.
         for _ in 0..(SAMPLE_CAP as u64 + 10_000) {
-            rec.record(Duration::from_micros(5), 1, false);
+            rec.record(Duration::from_micros(5), 1, Served::Search { warm: false });
         }
         let inner = rec.samples.lock().unwrap();
         assert_eq!(inner.samples.len(), SAMPLE_CAP);
@@ -236,23 +281,28 @@ mod tests {
     #[test]
     fn snapshot_aggregates_counters_and_sizes() {
         let rec = MetricsRecorder::default();
-        rec.record(Duration::from_micros(100), 2, false);
-        rec.record(Duration::from_micros(300), 4, true);
-        rec.record(Duration::from_micros(200), 3, false);
+        rec.record(Duration::from_micros(100), 2, Served::Search { warm: false });
+        rec.record(Duration::from_micros(300), 4, Served::CacheHit);
+        rec.record(Duration::from_micros(200), 3, Served::Search { warm: true });
+        rec.record(Duration::from_micros(150), 2, Served::Coalesced);
         rec.record_failure();
         let snap = rec.snapshot(Duration::from_secs(2), CacheCounters::default());
-        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.completed, 4);
         assert_eq!(snap.executed, 2);
+        assert_eq!(snap.coalesced, 1);
+        assert_eq!(snap.prefix_seeded, 1);
         assert_eq!(snap.failed, 1);
-        assert!((snap.throughput_qps - 1.5).abs() < 1e-12);
-        assert_eq!(snap.latency_p50, Duration::from_micros(200));
+        assert!((snap.throughput_qps - 2.0).abs() < 1e-12);
+        assert_eq!(snap.latency_p50, Duration::from_micros(150));
         assert_eq!(snap.latency_max, Duration::from_micros(300));
-        assert!((snap.mean_skyline_size - 3.0).abs() < 1e-12);
+        assert!((snap.mean_skyline_size - 2.75).abs() < 1e-12);
         assert_eq!(snap.max_skyline_size, 4);
         // The report renders without panicking and mentions the headline
         // numbers.
         let text = snap.to_string();
-        assert!(text.contains("3 completed"), "{text}");
+        assert!(text.contains("4 completed"), "{text}");
+        assert!(text.contains("1 coalesced"), "{text}");
+        assert!(text.contains("warm-started"), "{text}");
         assert!(text.contains("queries/s"), "{text}");
     }
 }

@@ -1,7 +1,9 @@
 //! Std-only worker-pool plumbing: a bounded MPMC queue with blocking
-//! producers (backpressure) and blocking consumers.
+//! producers (backpressure) and a singleflight in-flight table for
+//! request coalescing.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::{Condvar, Mutex};
 
 /// A bounded multi-producer multi-consumer queue.
@@ -89,11 +91,118 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// A singleflight-style in-flight table: the first caller to `begin` a key
+/// becomes its *leader* (and runs the computation); every later caller
+/// becomes a *follower* whose waiter is parked under the key until the
+/// leader calls [`InflightTable::complete`] and answers them all with the
+/// shared result.
+///
+/// The begin decision and the waiter parking are one atomic step under the
+/// table lock — there is no window in which a follower can park under a
+/// key whose leader has already completed. The converse race (a leader
+/// completes, *then* a new request begins the same key) is handled by the
+/// caller checking the result cache before `begin`, and by inserting into
+/// the cache *before* completing (see `worker_loop` in `service.rs`); with
+/// caching disabled such a latecomer simply leads a fresh computation.
+pub struct InflightTable<K, W> {
+    inner: Mutex<HashMap<K, Vec<W>>>,
+}
+
+/// Outcome of [`InflightTable::begin`].
+pub enum Begin<W> {
+    /// No one is computing this key: the caller leads, and gets its waiter
+    /// back to answer directly when done.
+    Leader(W),
+    /// Someone else is computing this key; the waiter was parked.
+    Joined,
+}
+
+impl<K: Eq + Hash, W> InflightTable<K, W> {
+    /// Empty table.
+    pub fn new() -> InflightTable<K, W> {
+        InflightTable { inner: Mutex::new(HashMap::new()) }
+    }
+
+    /// Atomically claims `key` (becoming its leader) or parks `waiter`
+    /// under the existing leader.
+    pub fn begin(&self, key: K, waiter: W) -> Begin<W> {
+        use std::collections::hash_map::Entry;
+        match self.inner.lock().expect("inflight table poisoned").entry(key) {
+            Entry::Occupied(mut e) => {
+                e.get_mut().push(waiter);
+                Begin::Joined
+            }
+            Entry::Vacant(e) => {
+                e.insert(Vec::new());
+                Begin::Leader(waiter)
+            }
+        }
+    }
+
+    /// Ends the flight for `key`, returning every parked waiter (empty if
+    /// none joined). The leader must call this exactly once, even on
+    /// failure — parked waiters would otherwise never be answered.
+    pub fn complete(&self, key: &K) -> Vec<W> {
+        self.inner.lock().expect("inflight table poisoned").remove(key).unwrap_or_default()
+    }
+
+    /// Number of keys currently in flight.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("inflight table poisoned").len()
+    }
+
+    /// Whether no key is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, W> Default for InflightTable<K, W> {
+    fn default() -> InflightTable<K, W> {
+        InflightTable::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
     use std::time::Duration;
+
+    #[test]
+    fn singleflight_one_leader_many_followers() {
+        let t: InflightTable<u32, &'static str> = InflightTable::new();
+        let Begin::Leader(w) = t.begin(7, "leader") else {
+            panic!("first begin must lead");
+        };
+        assert_eq!(w, "leader");
+        assert!(matches!(t.begin(7, "f1"), Begin::Joined));
+        assert!(matches!(t.begin(7, "f2"), Begin::Joined));
+        // A different key gets its own leader.
+        assert!(matches!(t.begin(8, "other"), Begin::Leader("other")));
+        assert_eq!(t.len(), 2);
+        let waiters = t.complete(&7);
+        assert_eq!(waiters, vec!["f1", "f2"]);
+        // The key is free again: the next begin leads.
+        assert!(matches!(t.begin(7, "again"), Begin::Leader("again")));
+        assert_eq!(t.complete(&7), Vec::<&str>::new());
+        assert_eq!(t.complete(&8), Vec::<&str>::new());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn concurrent_begins_elect_exactly_one_leader() {
+        let t: Arc<InflightTable<u32, usize>> = Arc::new(InflightTable::new());
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || matches!(t.begin(1, i), Begin::Leader(_)))
+            })
+            .collect();
+        let leaders = handles.into_iter().map(|h| h.join().unwrap()).filter(|&led| led).count();
+        assert_eq!(leaders, 1);
+        assert_eq!(t.complete(&1).len(), 15);
+    }
 
     #[test]
     fn fifo_within_capacity() {

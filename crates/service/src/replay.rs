@@ -1,13 +1,27 @@
-//! Workload replay: a Zipf-skewed query stream over a pool of distinct
-//! generated queries, executed through a [`QueryService`].
+//! Workload replay: skewed query streams over a pool of distinct generated
+//! queries, executed through a [`QueryService`].
 //!
 //! Real query traffic repeats itself — popular start areas and category
-//! sequences recur, which is exactly what a cross-query result cache
-//! exploits. The replay driver models that with the same skew machinery
-//! the dataset generator uses (`skysr_data::zipf`): a pool of `distinct`
-//! queries is generated per §7.1 ([`WorkloadSpec`]), then `total` requests
-//! are drawn from the pool with Zipf(`zipf_exponent`) popularity, shuffled
-//! into an arrival order, and pushed through the service.
+//! sequences recur, which is exactly what the cross-query reuse layer
+//! (result cache, request coalescing, semantic prefix reuse) exploits.
+//! Three stream shapes are supported ([`StreamPattern`]):
+//!
+//! * **Zipf** — `total` requests drawn from the pool with
+//!   Zipf(`zipf_exponent`) popularity, shuffled into an arrival order
+//!   (PR 1's original stream; exercises the cache).
+//! * **Duplicate bursts** — the Zipf draw repeated in consecutive bursts
+//!   of [`ReplaySpec::burst`] identical requests, so duplicates are in
+//!   flight *simultaneously*; exercises request coalescing.
+//! * **Prefix chains** — the pool is expanded with every proper prefix
+//!   ⟨c₁,…,c_j⟩ of each generated query and the stream walks chains
+//!   short-to-long; exercises semantic prefix reuse (warm starts).
+//!
+//! With [`ReplaySpec::verify`] set, every request is also answered by a
+//! sequential cold [`Bssr`] run and the skylines compared with
+//! [`equivalent_skylines`]: same size and score-identical up to the score
+//! tolerance. (Exact route equality is deliberately not required — a
+//! warm-started search may return a different *representative* route for a
+//! score-tied skyline point.)
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -17,7 +31,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use skysr_core::bssr::{Bssr, BssrConfig};
 use skysr_core::query::SkySrQuery;
-use skysr_core::route::SkylineRoute;
+use skysr_core::route::{equivalent_skylines, SkylineRoute};
 use skysr_data::dataset::Dataset;
 use skysr_data::workload::WorkloadSpec;
 use skysr_data::zipf::Zipf;
@@ -26,15 +40,42 @@ use crate::context::ServiceContext;
 use crate::metrics::MetricsSnapshot;
 use crate::service::{QueryService, ServiceConfig};
 
+/// Shape of the replayed request stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamPattern {
+    /// Zipf-popular requests in shuffled arrival order.
+    Zipf,
+    /// Zipf-popular requests arriving in bursts of identical duplicates.
+    DuplicateBursts,
+    /// Chains ⟨c₁⟩, ⟨c₁,c₂⟩, …, ⟨c₁,…,c_k⟩ walked short-to-long.
+    PrefixChains,
+}
+
+impl std::fmt::Display for StreamPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StreamPattern::Zipf => "zipf",
+            StreamPattern::DuplicateBursts => "duplicate",
+            StreamPattern::PrefixChains => "prefix",
+        })
+    }
+}
+
 /// Parameters of one replay run.
 #[derive(Clone, Debug)]
 pub struct ReplaySpec {
     /// Total requests replayed.
     pub total: usize,
-    /// Distinct queries in the pool the stream draws from.
+    /// Distinct *generated* queries (the prefix pattern additionally pools
+    /// every proper prefix of each).
     pub distinct: usize,
     /// Category-sequence length of generated queries.
     pub seq_len: usize,
+    /// Stream shape.
+    pub pattern: StreamPattern,
+    /// Consecutive identical requests per burst
+    /// ([`StreamPattern::DuplicateBursts`] only).
+    pub burst: usize,
     /// Zipf exponent of query popularity (0 = uniform, 1 = classic skew).
     pub zipf_exponent: f64,
     /// RNG seed for pool generation and stream sampling.
@@ -43,12 +84,16 @@ pub struct ReplaySpec {
     pub workers: usize,
     /// Result-cache capacity (0 disables caching).
     pub cache_capacity: usize,
+    /// Request coalescing (see [`ServiceConfig::coalesce`]).
+    pub coalesce: bool,
+    /// Semantic prefix reuse (see [`ServiceConfig::prefix_reuse`]).
+    pub prefix_reuse: bool,
     /// Submission-queue capacity.
     pub queue_capacity: usize,
     /// Engine configuration.
     pub engine: BssrConfig,
     /// Also run every request sequentially on one thread and compare
-    /// skylines route-by-route.
+    /// skylines (score-equivalent multisets).
     pub verify: bool,
 }
 
@@ -58,10 +103,14 @@ impl Default for ReplaySpec {
             total: 1000,
             distinct: 100,
             seq_len: 3,
+            pattern: StreamPattern::Zipf,
+            burst: 16,
             zipf_exponent: 1.0,
             seed: 7,
             workers: 4,
             cache_capacity: 1024,
+            coalesce: true,
+            prefix_reuse: true,
             queue_capacity: 256,
             engine: BssrConfig::default(),
             verify: false,
@@ -74,8 +123,10 @@ impl Default for ReplaySpec {
 pub struct ReplayReport {
     /// Requests replayed.
     pub total: usize,
-    /// Distinct queries in the pool.
+    /// Distinct queries in the (possibly prefix-expanded) pool.
     pub distinct: usize,
+    /// Stream shape replayed.
+    pub pattern: StreamPattern,
     /// Worker threads used.
     pub workers: usize,
     /// Wall-clock time of the concurrent replay.
@@ -83,7 +134,8 @@ pub struct ReplayReport {
     /// Service metrics over the replay window.
     pub metrics: MetricsSnapshot,
     /// `Some(mismatches)` when verification ran: the number of requests
-    /// whose concurrent skyline differed from the sequential one.
+    /// whose concurrent skyline was not score-equivalent to the
+    /// sequential one.
     pub verify_mismatches: Option<usize>,
 }
 
@@ -91,9 +143,10 @@ impl std::fmt::Display for ReplayReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "replayed    {} requests ({} distinct) on {} workers in {:.2} s",
+            "replayed    {} requests ({} distinct, {} stream) on {} workers in {:.2} s",
             self.total,
             self.distinct,
+            self.pattern,
             self.workers,
             self.wall.as_secs_f64()
         )?;
@@ -101,7 +154,7 @@ impl std::fmt::Display for ReplayReport {
         if let Some(m) = self.verify_mismatches {
             write!(f, "\nverify      ")?;
             if m == 0 {
-                write!(f, "OK — concurrent skylines identical to sequential execution")?;
+                write!(f, "OK — concurrent skylines equivalent to sequential execution")?;
             } else {
                 write!(f, "FAILED — {m} mismatching request(s)")?;
             }
@@ -110,42 +163,110 @@ impl std::fmt::Display for ReplayReport {
     }
 }
 
-/// Builds the request stream: `spec.total` indexes into a pool of
-/// `spec.distinct` queries, Zipf-popular and shuffled into arrival order.
-fn request_stream(spec: &ReplaySpec) -> Vec<usize> {
-    let zipf = Zipf::new(spec.distinct, spec.zipf_exponent);
+/// Builds the query pool the stream draws from. The prefix pattern expands
+/// each generated k-position query into its full chain (indices
+/// `q*seq_len + (len-1)`).
+pub fn build_pool(dataset: &Dataset, spec: &ReplaySpec) -> Vec<SkySrQuery> {
+    let base = WorkloadSpec::new(spec.seq_len)
+        .queries(spec.distinct)
+        .seed(spec.seed)
+        .generate(dataset)
+        .queries;
+    match spec.pattern {
+        StreamPattern::Zipf | StreamPattern::DuplicateBursts => base,
+        StreamPattern::PrefixChains => base
+            .into_iter()
+            .flat_map(|q| {
+                (1..=q.len())
+                    .map(|l| SkySrQuery::with_positions(q.start, q.sequence[..l].to_vec()))
+                    .collect::<Vec<_>>()
+            })
+            .collect(),
+    }
+}
+
+/// Builds the request stream: `spec.total` indexes into the pool.
+fn request_stream(spec: &ReplaySpec, pool_len: usize) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7e_706c_6179); // "replay"
-    let mut stream: Vec<usize> = (0..spec.total).map(|_| zipf.sample(&mut rng)).collect();
-    stream.shuffle(&mut rng);
-    stream
+    match spec.pattern {
+        StreamPattern::Zipf => {
+            let zipf = Zipf::new(pool_len, spec.zipf_exponent);
+            let mut stream: Vec<usize> = (0..spec.total).map(|_| zipf.sample(&mut rng)).collect();
+            stream.shuffle(&mut rng);
+            stream
+        }
+        StreamPattern::DuplicateBursts => {
+            // Bursts stay consecutive (no shuffle): the point is duplicates
+            // being in flight at the same time.
+            let zipf = Zipf::new(pool_len, spec.zipf_exponent);
+            let burst = spec.burst.max(2);
+            let mut stream = Vec::with_capacity(spec.total);
+            while stream.len() < spec.total {
+                let i = zipf.sample(&mut rng);
+                for _ in 0..burst.min(spec.total - stream.len()) {
+                    stream.push(i);
+                }
+            }
+            stream
+        }
+        StreamPattern::PrefixChains => {
+            // Walk chains short-to-long in *length wavefronts*: every
+            // chain's length-1 query, then every length-2 query, and so
+            // on (cycling until `total`). Separating a chain's successive
+            // lengths by a whole wavefront ensures the prefix result is
+            // cached — not merely in flight — when the extension arrives,
+            // so warm starts happen from the first cycle on.
+            let seq_len = spec.seq_len;
+            assert!(
+                pool_len >= seq_len && pool_len.is_multiple_of(seq_len),
+                "a prefix-chain pool must hold whole chains of {seq_len} entries (got \
+                 {pool_len}) — build it with build_pool and the same spec"
+            );
+            let chains = pool_len / seq_len;
+            let mut stream = Vec::with_capacity(spec.total);
+            'outer: loop {
+                for l in 0..seq_len {
+                    for chain in 0..chains {
+                        if stream.len() == spec.total {
+                            break 'outer;
+                        }
+                        stream.push(chain * seq_len + l);
+                    }
+                }
+            }
+            stream
+        }
+    }
 }
 
 /// Replays `spec` against `dataset` and reports service metrics.
 ///
 /// The dataset is consumed: its graph, forest and PoI table become the
-/// shared [`ServiceContext`]. When `spec.verify` is set, every request is
-/// also answered by a sequential [`Bssr`] run and the skylines compared
-/// exactly.
+/// shared [`ServiceContext`]. Use [`build_pool`] + [`replay_on`] directly
+/// to run several replays (e.g. config comparisons) over one context.
 ///
 /// # Panics
 /// If `spec.total` or `spec.distinct` is zero, or the dataset cannot
 /// populate a workload of `spec.seq_len` (see [`WorkloadSpec::generate`]).
 pub fn replay(dataset: Dataset, spec: &ReplaySpec) -> ReplayReport {
     assert!(spec.total > 0 && spec.distinct > 0, "replay needs a non-empty stream");
-    let pool = WorkloadSpec::new(spec.seq_len)
-        .queries(spec.distinct)
-        .seed(spec.seed)
-        .generate(&dataset)
-        .queries;
-    let stream = request_stream(spec);
-
+    let pool = build_pool(&dataset, spec);
     let ctx = Arc::new(ServiceContext::from_dataset(dataset));
+    replay_on(ctx, &pool, spec)
+}
+
+/// Replays `spec`'s stream over an already-built pool and shared context.
+pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpec) -> ReplayReport {
+    assert!(!pool.is_empty(), "replay needs a non-empty pool");
+    let stream = request_stream(spec, pool.len());
     let service = QueryService::new(
         Arc::clone(&ctx),
         ServiceConfig {
             workers: spec.workers,
             queue_capacity: spec.queue_capacity,
             cache_capacity: spec.cache_capacity,
+            coalesce: spec.coalesce,
+            prefix_reuse: spec.prefix_reuse,
             engine: spec.engine,
         },
     );
@@ -158,20 +279,21 @@ pub fn replay(dataset: Dataset, spec: &ReplaySpec) -> ReplayReport {
     drop(service);
 
     let verify_mismatches = spec.verify.then(|| {
-        let sequential = sequential_skylines(&ctx, &pool, spec.engine);
+        let sequential = sequential_skylines(&ctx, pool, spec.engine);
         stream
             .iter()
             .zip(&outcomes)
             .filter(|&(&i, outcome)| match outcome {
-                Ok(response) => response.routes.as_ref() != sequential[i].as_slice(),
+                Ok(response) => !equivalent_skylines(&response.routes, &sequential[i]),
                 Err(_) => true,
             })
             .count()
     });
 
     ReplayReport {
-        total: spec.total,
-        distinct: spec.distinct,
+        total: stream.len(),
+        distinct: pool.len(),
+        pattern: spec.pattern,
         workers,
         wall,
         metrics,
@@ -179,7 +301,7 @@ pub fn replay(dataset: Dataset, spec: &ReplaySpec) -> ReplayReport {
     }
 }
 
-/// One-threaded reference answers for every pool query.
+/// One-threaded cold reference answers for every pool query.
 fn sequential_skylines(
     ctx: &ServiceContext,
     pool: &[SkySrQuery],
@@ -195,27 +317,66 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stream_is_skewed_and_deterministic() {
+    fn zipf_stream_is_skewed_and_deterministic() {
         let spec = ReplaySpec { total: 2_000, distinct: 50, ..ReplaySpec::default() };
-        let a = request_stream(&spec);
-        let b = request_stream(&spec);
+        let a = request_stream(&spec, 50);
+        let b = request_stream(&spec, 50);
         assert_eq!(a, b);
         assert!(a.iter().all(|&i| i < 50));
         // Zipf(1) over 50 ranks: rank 0 draws ~22% of all requests.
         let zeros = a.iter().filter(|&&i| i == 0).count();
         assert!(zeros > a.len() / 10, "rank 0 appeared only {zeros} times");
         let spec2 = ReplaySpec { seed: 8, ..spec };
-        assert_ne!(request_stream(&spec2), a);
+        assert_ne!(request_stream(&spec2, 50), a);
     }
 
     #[test]
     fn uniform_exponent_spreads_requests() {
         let spec =
             ReplaySpec { total: 5_000, distinct: 10, zipf_exponent: 0.0, ..ReplaySpec::default() };
-        let stream = request_stream(&spec);
+        let stream = request_stream(&spec, 10);
         for rank in 0..10 {
             let n = stream.iter().filter(|&&i| i == rank).count();
             assert!((250..=750).contains(&n), "rank {rank}: {n}");
         }
+    }
+
+    #[test]
+    fn duplicate_stream_arrives_in_bursts() {
+        let spec = ReplaySpec {
+            total: 200,
+            distinct: 10,
+            burst: 8,
+            pattern: StreamPattern::DuplicateBursts,
+            ..ReplaySpec::default()
+        };
+        let stream = request_stream(&spec, 10);
+        assert_eq!(stream.len(), 200);
+        for chunk in stream.chunks(8) {
+            assert!(chunk.iter().all(|&i| i == chunk[0]), "burst not uniform: {chunk:?}");
+        }
+        // More than one distinct query appears overall.
+        let mut uniq = stream.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() > 1);
+    }
+
+    #[test]
+    fn prefix_stream_walks_length_wavefronts() {
+        let spec = ReplaySpec {
+            total: 50,
+            distinct: 4,
+            seq_len: 3,
+            pattern: StreamPattern::PrefixChains,
+            ..ReplaySpec::default()
+        };
+        // Pool: 4 chains × 3 lengths; chain c occupies indices 3c..3c+3.
+        let stream = request_stream(&spec, 12);
+        assert_eq!(stream.len(), 50);
+        // Wavefront of all length-1 queries, then all length-2 queries.
+        assert_eq!(&stream[..8], &[0, 3, 6, 9, 1, 4, 7, 10]);
+        // The stream cycles: entry 12 restarts the length-1 wavefront.
+        assert_eq!(stream[12], 0);
     }
 }

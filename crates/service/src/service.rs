@@ -1,4 +1,5 @@
-//! The query service: shared context + worker pool + cache + metrics.
+//! The query service: shared context + worker pool + cache + in-flight
+//! coalescing + metrics.
 
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -12,8 +13,8 @@ use skysr_core::route::SkylineRoute;
 
 use crate::cache::{QueryKey, ResultCache};
 use crate::context::ServiceContext;
-use crate::metrics::{MetricsRecorder, MetricsSnapshot};
-use crate::pool::BoundedQueue;
+use crate::metrics::{MetricsRecorder, MetricsSnapshot, Served};
+use crate::pool::{Begin, BoundedQueue, InflightTable};
 
 /// Sizing and engine configuration of a [`QueryService`].
 #[derive(Clone, Debug)]
@@ -24,6 +25,12 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Result-cache entries; `0` disables caching.
     pub cache_capacity: usize,
+    /// Request coalescing: concurrent duplicate queries block on one
+    /// computation and all receive the shared result.
+    pub coalesce: bool,
+    /// Semantic prefix reuse: a cached skyline for ⟨c₁,…,c_{k−1}⟩
+    /// warm-starts the search for ⟨c₁,…,c_k⟩. Requires caching.
+    pub prefix_reuse: bool,
     /// Engine configuration every worker runs with.
     pub engine: BssrConfig,
 }
@@ -34,6 +41,8 @@ impl Default for ServiceConfig {
             workers: 0,
             queue_capacity: 256,
             cache_capacity: 1024,
+            coalesce: true,
+            prefix_reuse: true,
             engine: BssrConfig::default(),
         }
     }
@@ -46,6 +55,9 @@ pub struct QueryResponse {
     pub routes: Arc<[SkylineRoute]>,
     /// Whether the answer came from the result cache.
     pub cache_hit: bool,
+    /// Whether the answer was computed by another request's in-flight
+    /// search this one coalesced onto.
+    pub coalesced: bool,
     /// Submission-to-completion latency (queueing included).
     pub latency: Duration,
 }
@@ -68,6 +80,14 @@ struct Job {
     reply: mpsc::Sender<Result<QueryResponse, QueryError>>,
 }
 
+/// What an in-flight leader owes a parked duplicate request: its reply
+/// channel and its own submission instant (so coalesced answers report
+/// their true latency).
+struct Waiter {
+    reply: mpsc::Sender<Result<QueryResponse, QueryError>>,
+    submitted: Instant,
+}
+
 /// A multi-threaded in-process SkySR query engine.
 ///
 /// Construction spawns the worker pool; each worker owns a [`Bssr`] engine
@@ -84,6 +104,14 @@ pub struct QueryService {
     config: ServiceConfig,
 }
 
+/// Per-worker reuse switches, resolved once at spawn time.
+#[derive(Clone, Copy)]
+struct ReuseOpts {
+    caching: bool,
+    coalesce: bool,
+    prefix_reuse: bool,
+}
+
 impl QueryService {
     /// Spawns a service over `ctx` with `config`.
     pub fn new(ctx: Arc<ServiceContext>, config: ServiceConfig) -> QueryService {
@@ -94,9 +122,15 @@ impl QueryService {
         };
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
         // Capacity 0 disables caching: keep a 1-entry cache object for
-        // uniform counters but never consult it.
-        let caching = config.cache_capacity > 0;
+        // uniform counters but never consult it. Prefix reuse reads the
+        // cache, so it is implied off without one.
+        let opts = ReuseOpts {
+            caching: config.cache_capacity > 0,
+            coalesce: config.coalesce,
+            prefix_reuse: config.prefix_reuse && config.cache_capacity > 0,
+        };
         let cache = Arc::new(ResultCache::new(config.cache_capacity.max(1)));
+        let inflight: Arc<InflightTable<QueryKey, Waiter>> = Arc::new(InflightTable::new());
         let metrics = Arc::new(MetricsRecorder::default());
 
         let handles = (0..workers)
@@ -104,11 +138,14 @@ impl QueryService {
                 let ctx = Arc::clone(&ctx);
                 let queue = Arc::clone(&queue);
                 let cache = Arc::clone(&cache);
+                let inflight = Arc::clone(&inflight);
                 let metrics = Arc::clone(&metrics);
                 let engine_cfg = config.engine;
                 std::thread::Builder::new()
                     .name(format!("skysr-worker-{i}"))
-                    .spawn(move || worker_loop(&ctx, &queue, &cache, &metrics, engine_cfg, caching))
+                    .spawn(move || {
+                        worker_loop(&ctx, &queue, &cache, &inflight, &metrics, engine_cfg, opts)
+                    })
                     .expect("spawning a worker thread")
             })
             .collect();
@@ -199,37 +236,146 @@ impl Drop for QueryService {
     }
 }
 
+/// Answers one waiter with the shared routes, recording its metrics.
+fn respond(
+    metrics: &MetricsRecorder,
+    reply: &mpsc::Sender<Result<QueryResponse, QueryError>>,
+    submitted: Instant,
+    routes: Arc<[SkylineRoute]>,
+    served: Served,
+) {
+    let latency = submitted.elapsed();
+    metrics.record(latency, routes.len(), served);
+    let _ = reply.send(Ok(QueryResponse {
+        routes,
+        cache_hit: served == Served::CacheHit,
+        coalesced: served == Served::Coalesced,
+        latency,
+    }));
+}
+
+/// The per-worker serving loop. For every job, in order:
+///
+/// 1. **Cache.** A canonical-key hit answers immediately.
+/// 2. **Coalescing.** `InflightTable::begin` atomically either parks this
+///    request under an in-flight duplicate (the worker moves on — the
+///    leader will answer it) or elects this worker the key's leader. A
+///    fresh leader re-probes the cache before searching: its own lookup
+///    in step 1 may have raced a previous leader of the same key, which
+///    filled the cache and completed between the miss and the `begin`.
+/// 3. **Semantic reuse.** The leader probes the cache for the query's
+///    (k−1)-prefix skyline and warm-starts the search with it.
+/// 4. **Completion.** The leader inserts the result into the cache
+///    *before* ending the flight — any duplicate arriving in between hits
+///    the cache, so with caching enabled a key can never be searched twice
+///    concurrently nor re-searched after a coalesced flight completes.
+///    Then it answers itself and every parked waiter with the same
+///    `Arc`'d skyline. Failures propagate to all waiters (they asked the
+///    same invalid query) and are never cached.
 fn worker_loop(
     ctx: &ServiceContext,
     queue: &BoundedQueue<Job>,
     cache: &ResultCache,
+    inflight: &InflightTable<QueryKey, Waiter>,
     metrics: &MetricsRecorder,
     engine_cfg: BssrConfig,
-    caching: bool,
+    opts: ReuseOpts,
 ) {
     let qctx = ctx.query_context();
     let mut engine = Bssr::with_config(&qctx, engine_cfg);
     while let Some(job) = queue.pop() {
-        let key = if caching { QueryKey::canonicalize(&job.query, engine_cfg) } else { None };
-        if let Some(routes) = cache.get(key.as_ref()) {
-            let latency = job.submitted.elapsed();
-            metrics.record(latency, routes.len(), true);
-            let _ = job.reply.send(Ok(QueryResponse { routes, cache_hit: true, latency }));
-            continue;
+        let Job { query, submitted, reply } = job;
+        let key =
+            (opts.caching || opts.coalesce).then(|| QueryKey::canonicalize(&query, engine_cfg));
+        if opts.caching {
+            let key = key.as_ref().expect("caching implies a key");
+            if let Some(routes) = cache.get(key) {
+                respond(metrics, &reply, submitted, routes, Served::CacheHit);
+                continue;
+            }
         }
-        match engine.run(&job.query) {
-            Ok(result) => {
-                let routes: Arc<[SkylineRoute]> = result.routes.into();
-                if let Some(key) = key {
-                    cache.insert(key, Arc::clone(&routes));
+        let mut leader = Waiter { reply, submitted };
+        if opts.coalesce {
+            let k = key.clone().expect("coalescing implies a key");
+            match inflight.begin(k, leader) {
+                Begin::Joined => continue,
+                Begin::Leader(w) => leader = w,
+            }
+            // Close the miss-then-begin window: between this worker's
+            // cache miss and winning the flight, a previous leader for the
+            // same key may have filled the cache and completed. Re-probe so
+            // a key completed moments ago is never re-searched; on a hit,
+            // the request's already-counted miss is reclassified so the
+            // exact-counter invariants survive the race.
+            if opts.caching {
+                let k = key.as_ref().expect("caching implies a key");
+                if let Some(routes) = cache.peek(k) {
+                    cache.reclassify_miss_as_hit();
+                    let waiters = inflight.complete(k);
+                    respond(
+                        metrics,
+                        &leader.reply,
+                        leader.submitted,
+                        Arc::clone(&routes),
+                        Served::CacheHit,
+                    );
+                    for w in waiters {
+                        respond(
+                            metrics,
+                            &w.reply,
+                            w.submitted,
+                            Arc::clone(&routes),
+                            Served::Coalesced,
+                        );
+                    }
+                    continue;
                 }
-                let latency = job.submitted.elapsed();
-                metrics.record(latency, routes.len(), false);
-                let _ = job.reply.send(Ok(QueryResponse { routes, cache_hit: false, latency }));
+            }
+        }
+        let seeds = if opts.prefix_reuse {
+            key.as_ref().and_then(QueryKey::prefix).and_then(|pk| cache.peek(&pk))
+        } else {
+            None
+        };
+        let outcome = match &seeds {
+            Some(prefix) => engine.run_with_seeds(&query, prefix),
+            None => engine.run(&query),
+        };
+        match outcome {
+            Ok(result) => {
+                // A prefix probe only helps when it actually seeded routes
+                // (an unreachable last position can leave it dry).
+                let warm = result.stats.warm_seed_routes > 0;
+                let routes: Arc<[SkylineRoute]> = result.routes.into();
+                if opts.caching {
+                    cache.insert(key.clone().expect("caching implies a key"), Arc::clone(&routes));
+                }
+                let waiters = match (opts.coalesce, &key) {
+                    (true, Some(key)) => inflight.complete(key),
+                    _ => Vec::new(),
+                };
+                respond(
+                    metrics,
+                    &leader.reply,
+                    leader.submitted,
+                    Arc::clone(&routes),
+                    Served::Search { warm },
+                );
+                for w in waiters {
+                    respond(metrics, &w.reply, w.submitted, Arc::clone(&routes), Served::Coalesced);
+                }
             }
             Err(e) => {
+                let waiters = match (opts.coalesce, &key) {
+                    (true, Some(key)) => inflight.complete(key),
+                    _ => Vec::new(),
+                };
                 metrics.record_failure();
-                let _ = job.reply.send(Err(e));
+                let _ = leader.reply.send(Err(e.clone()));
+                for w in waiters {
+                    metrics.record_failure();
+                    let _ = w.reply.send(Err(e.clone()));
+                }
             }
         }
     }

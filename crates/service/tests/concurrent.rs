@@ -6,7 +6,7 @@ use std::sync::Arc;
 use skysr_core::bssr::{Bssr, BssrConfig};
 use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 use skysr_data::workload::WorkloadSpec;
-use skysr_service::replay::{replay, ReplaySpec};
+use skysr_service::replay::{replay, ReplaySpec, StreamPattern};
 use skysr_service::{QueryService, ServiceConfig, ServiceContext};
 
 fn city() -> Dataset {
@@ -38,6 +38,8 @@ fn concurrent_replay_matches_sequential_execution() {
 
 #[test]
 fn caching_disabled_still_matches_sequential() {
+    // Coalescing stays on: concurrent duplicates may still share a search,
+    // but every answer remains correct and nothing touches the cache.
     let spec = ReplaySpec {
         total: 120,
         distinct: 40,
@@ -49,8 +51,107 @@ fn caching_disabled_still_matches_sequential() {
     };
     let report = replay(city(), &spec);
     assert_eq!(report.verify_mismatches, Some(0));
-    assert_eq!(report.metrics.executed, 120, "every request runs a search");
+    assert_eq!(
+        report.metrics.executed + report.metrics.coalesced,
+        120,
+        "every request is searched or coalesced onto one"
+    );
     assert_eq!(report.metrics.cache.hits, 0);
+    assert_eq!(report.metrics.cache.misses, 0, "a disabled cache sees no lookups");
+    assert_eq!(report.metrics.cache.insertions, 0);
+}
+
+#[test]
+fn all_reuse_disabled_runs_every_search_and_matches_sequential() {
+    // PR 1's "exact-match cache only" baseline minus the cache: with
+    // caching, coalescing and prefix reuse all off, every request must run
+    // its own search.
+    let spec = ReplaySpec {
+        total: 120,
+        distinct: 40,
+        workers: 4,
+        seq_len: 2,
+        cache_capacity: 0,
+        coalesce: false,
+        prefix_reuse: false,
+        verify: true,
+        ..ReplaySpec::default()
+    };
+    let report = replay(city(), &spec);
+    assert_eq!(report.verify_mismatches, Some(0));
+    assert_eq!(report.metrics.executed, 120, "every request runs a search");
+    assert_eq!(report.metrics.coalesced, 0);
+    assert_eq!(report.metrics.prefix_seeded, 0);
+    assert_eq!(report.metrics.cache.hits, 0);
+}
+
+#[test]
+fn prefix_chain_replay_warm_starts_and_stays_exact() {
+    // One worker makes reuse deterministic: the stream walks length
+    // wavefronts, so by the time any ⟨c1..ck⟩ query runs, its (k−1)-prefix
+    // skyline is cached and must warm-start the search. Verification
+    // compares every answer against a sequential cold run — the
+    // correctness gate for semantic reuse.
+    let spec = ReplaySpec {
+        total: 90,
+        distinct: 10,
+        workers: 1,
+        seq_len: 3,
+        pattern: StreamPattern::PrefixChains,
+        verify: true,
+        ..ReplaySpec::default()
+    };
+    let report = replay(city(), &spec);
+    assert_eq!(report.verify_mismatches, Some(0));
+    assert_eq!(report.distinct, 30, "pool expands to every chain prefix");
+    assert!(
+        report.metrics.prefix_seeded > 0,
+        "length-wavefront chains must warm-start ({} searches)",
+        report.metrics.executed
+    );
+    // Reuse never runs extra searches: one per distinct pool entry.
+    assert!(report.metrics.executed <= 30);
+}
+
+#[test]
+fn prefix_chain_replay_concurrent_matches_sequential() {
+    // Same workload across 8 workers: whatever interleaving happens
+    // (warm, cold, coalesced, cached), every answer must stay
+    // score-equivalent to sequential execution.
+    let spec = ReplaySpec {
+        total: 300,
+        distinct: 12,
+        workers: 8,
+        seq_len: 3,
+        pattern: StreamPattern::PrefixChains,
+        verify: true,
+        ..ReplaySpec::default()
+    };
+    let report = replay(city(), &spec);
+    assert_eq!(report.verify_mismatches, Some(0));
+    assert_eq!(report.metrics.completed, 300);
+}
+
+#[test]
+fn duplicate_burst_replay_verifies_against_sequential() {
+    let spec = ReplaySpec {
+        total: 300,
+        distinct: 20,
+        workers: 8,
+        seq_len: 2,
+        burst: 16,
+        pattern: StreamPattern::DuplicateBursts,
+        verify: true,
+        ..ReplaySpec::default()
+    };
+    let report = replay(city(), &spec);
+    assert_eq!(report.verify_mismatches, Some(0));
+    assert_eq!(report.metrics.completed, 300);
+    assert_eq!(
+        report.metrics.executed + report.metrics.coalesced + report.metrics.cache.hits,
+        300,
+        "every answer is exactly one of searched / coalesced / cached"
+    );
 }
 
 #[test]

@@ -150,6 +150,27 @@ proptest! {
     }
 
     #[test]
+    fn warm_started_bssr_matches_oracle(inst in arb_instance()) {
+        // Semantic cache reuse (skysr-service): a query warm-started from
+        // the skyline of its (k−1)-prefix must return the exact skyline.
+        let built = build(&inst);
+        if built.query.len() < 2 {
+            return; // no proper prefix to reuse
+        }
+        let ctx = QueryContext::new(&built.graph, &built.forest, &built.pois);
+        let pq = PreparedQuery::prepare(&ctx, &built.query).expect("valid query");
+        let oracle = naive_skysr(&ctx, &pq, 5_000_000);
+        let prefix_query = SkySrQuery::with_positions(
+            built.query.start,
+            built.query.sequence[..built.query.len() - 1].to_vec(),
+        );
+        let mut engine = Bssr::new(&ctx);
+        let prefix = engine.run(&prefix_query).expect("valid prefix").routes;
+        let warm = engine.run_with_seeds(&built.query, &prefix).expect("valid query");
+        assert_same_skyline(&warm.routes, &oracle, "warm-started");
+    }
+
+    #[test]
     fn skyband_matches_oracle_for_small_k(inst in arb_instance()) {
         let built = build(&inst);
         let ctx = QueryContext::new(&built.graph, &built.forest, &built.pois);
