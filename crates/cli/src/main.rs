@@ -21,15 +21,23 @@
 //! position at a time) through a worker pool with a cross-query result
 //! cache, request coalescing and semantic prefix reuse, and prints
 //! throughput, latency percentiles, cache and reuse statistics.
-//! `--verify true` re-answers every request sequentially and fails unless
-//! the concurrent skylines are score-equivalent.
+//! `--qps N` switches from closed-loop batching to an open-loop arrival
+//! process (exponential inter-arrivals at the target rate), and
+//! `--update-rate R` publishes bursts of `--update-burst` random
+//! edge-weight changes per second as new weight epochs while the stream is
+//! in flight. `--verify true` re-answers every request sequentially *at
+//! the epoch it was served under* and fails unless the concurrent skylines
+//! are score-equivalent; the run also fails if any answer was served from
+//! a stale (non-pinned-epoch) cache entry — the staleness gate.
 //!
-//! `bench` replays duplicate-heavy and prefix-heavy workloads twice each —
-//! once with the reuse layer off (PR 1's exact-match cache baseline), once
-//! on — and writes the JSON metrics artifact CI uploads as `BENCH_pr.json`
-//! (throughput, p50/p99, hit/coalesce/warm-start rates, verified
-//! correctness, speedups). `--require-speedup X` fails the run unless the
-//! duplicate-workload speedup reaches `X`.
+//! `bench` replays duplicate-heavy, prefix-heavy and dynamic (weight
+//! updates racing the stream) workloads twice each — once with the reuse
+//! layer off (PR 1's exact-match cache baseline), once on — and writes the
+//! JSON metrics artifact CI uploads as `BENCH_pr.json` (throughput,
+//! p50/p99, hit/coalesce/warm-start rates, epochs published,
+//! invalidations, verified correctness, speedups). `--require-speedup X`
+//! fails the run unless the duplicate-workload speedup reaches `X`; any
+//! stale serve fails it unconditionally.
 
 use std::process::ExitCode;
 
@@ -81,9 +89,10 @@ fn usage() -> &'static str {
      \t[--distinct N] [--workers N] [--seq-len K] [--zipf S] [--cache N]\n  \
      \t[--queue N] [--pattern zipf|duplicate|prefix] [--burst N]\n  \
      \t[--coalesce true|false] [--prefix-reuse true|false] [--verify true|false]\n  \
+     \t[--qps F] [--update-rate F] [--update-burst N] [--update-magnitude F]\n  \
      skysr-cli bench [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
      \t[--distinct N] [--workers N] [--seq-len K] [--burst N] [--out FILE.json]\n  \
-     \t[--require-speedup X]\n  \
+     \t[--update-rate F] [--update-burst N] [--require-speedup X]\n  \
      skysr-cli demo"
 }
 
@@ -220,6 +229,10 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 burst: parse_flag(&mut args, "burst", 16)?,
                 coalesce: parse_flag(&mut args, "coalesce", true)?,
                 prefix_reuse: parse_flag(&mut args, "prefix-reuse", true)?,
+                qps: parse_flag(&mut args, "qps", 0.0)?,
+                update_rate: parse_flag(&mut args, "update-rate", 0.0)?,
+                update_burst: parse_flag(&mut args, "update-burst", 32)?,
+                update_magnitude: parse_flag(&mut args, "update-magnitude", 2.0)?,
                 seed: city.seed,
                 ..ReplaySpec::default()
             };
@@ -239,6 +252,18 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             if !spec.zipf_exponent.is_finite() || spec.zipf_exponent < 0.0 {
                 return Err("--zipf must be a non-negative finite number".into());
             }
+            if !spec.qps.is_finite() || spec.qps < 0.0 {
+                return Err("--qps must be a non-negative finite number".into());
+            }
+            if !spec.update_rate.is_finite() || spec.update_rate < 0.0 {
+                return Err("--update-rate must be a non-negative finite number".into());
+            }
+            if !spec.update_magnitude.is_finite() || spec.update_magnitude < 1.0 {
+                return Err("--update-magnitude must be a finite number >= 1".into());
+            }
+            if spec.update_rate > 0.0 && spec.update_burst == 0 {
+                return Err("--update-burst must be at least 1".into());
+            }
             let dataset = load_or_generate(&city)?;
             check_seq_len(&dataset, spec.seq_len)?;
             eprintln!(
@@ -250,6 +275,13 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             if report.verify_mismatches.is_some_and(|m| m > 0) {
                 return Err("verification failed: concurrent and sequential skylines differ".into());
             }
+            if report.stale_served() > 0 {
+                return Err(format!(
+                    "staleness gate failed: {} answer(s) served from a non-pinned-epoch cache \
+                     entry",
+                    report.stale_served()
+                ));
+            }
             Ok(())
         }
         "bench" => {
@@ -260,6 +292,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 seq_len: parse_flag(&mut args, "seq-len", 3)?,
                 workers: parse_flag(&mut args, "workers", 8)?,
                 burst: parse_flag(&mut args, "burst", 24)?,
+                update_rate: parse_flag(&mut args, "update-rate", 200.0)?,
+                update_burst: parse_flag(&mut args, "update-burst", 16)?,
                 seed: city.seed,
                 ..BenchSpec::default()
             };
@@ -271,6 +305,14 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             args.finish()?;
             if spec.total == 0 || spec.distinct == 0 || spec.seq_len == 0 {
                 return Err("--queries, --distinct and --seq-len must be at least 1".into());
+            }
+            if !spec.update_rate.is_finite() || spec.update_rate <= 0.0 {
+                // The dynamic cells need a real updater; a zero/invalid rate
+                // would silently measure two static runs as "dynamic".
+                return Err("--update-rate must be a positive finite number".into());
+            }
+            if spec.update_burst == 0 {
+                return Err("--update-burst must be at least 1".into());
             }
             let dataset = load_or_generate(&city)?;
             check_seq_len(&dataset, spec.seq_len)?;
@@ -287,6 +329,13 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             }
             if report.verify_mismatches() > 0 {
                 return Err("verification failed: reuse answers differ from sequential".into());
+            }
+            if report.stale_served() > 0 {
+                return Err(format!(
+                    "staleness gate failed: {} answer(s) served from a non-pinned-epoch cache \
+                     entry",
+                    report.stale_served()
+                ));
             }
             if let Some(min) = require_speedup {
                 if report.speedup_duplicate < min {

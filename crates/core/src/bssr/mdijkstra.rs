@@ -51,6 +51,14 @@ impl Scratch {
         }
     }
 
+    /// Ensures capacity for `n` vertices (recycled scratch may come from a
+    /// smaller graph).
+    pub(crate) fn ensure(&mut self, n: usize) {
+        self.dist.resize(n);
+        self.psim.resize(n);
+        self.visited.resize(n);
+    }
+
     fn reset(&mut self) {
         self.dist.clear();
         self.psim.clear();

@@ -92,6 +92,34 @@ pub struct BssrResult {
     pub stats: QueryStats,
 }
 
+/// Reusable engine state (Dijkstra workspace + modified-Dijkstra buffers)
+/// detached from any graph borrow.
+///
+/// A long-lived worker serving a *dynamic* graph re-pins a fresh snapshot
+/// whenever a weight epoch publishes, which means rebuilding its [`Bssr`]
+/// (the engine borrows the pinned graph). The workspaces are tens of
+/// megabytes on city-scale graphs and already paged in; recycling them
+/// through [`Bssr::with_scratch`] / [`Bssr::into_scratch`] makes the
+/// rebuild allocation-free.
+pub struct BssrScratch {
+    ws: DijkstraWorkspace,
+    scratch: Scratch,
+}
+
+impl BssrScratch {
+    /// Scratch sized for graphs with up to `n` vertices (grown on demand if
+    /// a larger graph shows up).
+    pub fn new(n: usize) -> BssrScratch {
+        BssrScratch { ws: DijkstraWorkspace::new(n), scratch: Scratch::new(n) }
+    }
+}
+
+impl std::fmt::Debug for BssrScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BssrScratch").finish_non_exhaustive()
+    }
+}
+
 /// The BSSR query engine. Holds reusable scratch space, so construct once
 /// and run many queries.
 pub struct Bssr<'g> {
@@ -110,7 +138,21 @@ impl<'g> Bssr<'g> {
     /// Engine with an explicit configuration (ablations).
     pub fn with_config(ctx: &QueryContext<'g>, cfg: BssrConfig) -> Bssr<'g> {
         let n = ctx.graph.num_vertices();
-        Bssr { ctx: *ctx, cfg, ws: DijkstraWorkspace::new(n), scratch: Scratch::new(n) }
+        Bssr::with_scratch(ctx, cfg, BssrScratch::new(n))
+    }
+
+    /// Engine recycling previously allocated scratch (see [`BssrScratch`]).
+    pub fn with_scratch(ctx: &QueryContext<'g>, cfg: BssrConfig, scratch: BssrScratch) -> Bssr<'g> {
+        let n = ctx.graph.num_vertices();
+        let BssrScratch { mut ws, scratch: mut sc } = scratch;
+        ws.ensure(n);
+        sc.ensure(n);
+        Bssr { ctx: *ctx, cfg, ws, scratch: sc }
+    }
+
+    /// Releases the engine's scratch for reuse by a successor engine.
+    pub fn into_scratch(self) -> BssrScratch {
+        BssrScratch { ws: self.ws, scratch: self.scratch }
     }
 
     /// Active configuration.

@@ -40,6 +40,12 @@ impl<'a> QueryContext<'a> {
     ) -> QueryContext<'a> {
         QueryContext { graph, forest, pois, similarity }
     }
+
+    /// The weight epoch of the graph view this context serves. Searches
+    /// over the context are pinned to it.
+    pub fn epoch(&self) -> skysr_graph::EpochId {
+        self.graph.epoch()
+    }
 }
 
 impl std::fmt::Debug for QueryContext<'_> {

@@ -10,7 +10,7 @@
 
 use skysr_category::similarity::SimilarityTable;
 use skysr_graph::fxhash::FxHashMap;
-use skysr_graph::VertexId;
+use skysr_graph::{EpochId, VertexId};
 
 use crate::context::QueryContext;
 use crate::error::QueryError;
@@ -94,6 +94,11 @@ pub struct PreparedQuery {
     pub start: VertexId,
     /// Compiled positions, in sequence order.
     pub positions: Vec<Position>,
+    /// The weight epoch of the graph view this query was compiled against:
+    /// any search running this prepared query observes exactly that epoch's
+    /// edge weights, so its result is attributable to (and only valid for)
+    /// this epoch.
+    pub epoch: EpochId,
 }
 
 impl PreparedQuery {
@@ -113,7 +118,7 @@ impl PreparedQuery {
             .iter()
             .map(|spec| Self::compile_position(ctx, spec))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(PreparedQuery { start: query.start, positions })
+        Ok(PreparedQuery { start: query.start, positions, epoch: ctx.graph.epoch() })
     }
 
     fn compile_position(
@@ -346,6 +351,24 @@ mod tests {
         let q2 = SkySrQuery::new(VertexId(0), [lonely]);
         let pq2 = PreparedQuery::prepare(&ctx2, &q2).unwrap();
         assert_eq!(pq2.unmatchable_position(), Some(0));
+    }
+
+    #[test]
+    fn prepared_query_pins_the_graph_epoch() {
+        use skysr_graph::{EpochId, WeightDelta, WeightEpoch};
+        let fx = fixture();
+        let asian = fx.forest.by_name("Asian").unwrap();
+        let q = SkySrQuery::new(VertexId(0), [asian]);
+        let ctx = QueryContext::new(&fx.graph, &fx.forest, &fx.pois);
+        assert_eq!(PreparedQuery::prepare(&ctx, &q).unwrap().epoch, EpochId::BASE);
+        assert_eq!(ctx.epoch(), EpochId::BASE);
+        // Preparing against a later-epoch pin records that epoch.
+        let epochs = WeightEpoch::new(fx.graph.clone());
+        epochs.publish(&[WeightDelta::new(VertexId(0), VertexId(1), 2.0)]);
+        let pinned = epochs.pin();
+        let ctx2 = QueryContext::new(&pinned, &fx.forest, &fx.pois);
+        assert_eq!(ctx2.epoch(), EpochId(1));
+        assert_eq!(PreparedQuery::prepare(&ctx2, &q).unwrap().epoch, EpochId(1));
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Dynamic edge weights: epoch-versioned copy-on-write weight overlays.
+//!
+//! Live traffic changes edge weights underneath long-running services.
+//! Rebuilding (or even copying) a city-scale CSR per update is far too
+//! expensive, and mutating weights in place would let a search observe a
+//! half-applied update. Instead, a [`WeightEpoch`] manager applies batched
+//! [`WeightDelta`]s as sparse, immutable [`WeightOverlay`]s over the shared
+//! CSR storage — the same diff-over-base idea the incremental-versioning
+//! literature uses for snapshot storage — and each published batch gets a
+//! monotonically increasing [`EpochId`]:
+//!
+//! * **Readers pin.** [`WeightEpoch::pin`] returns a [`RoadNetwork`] view
+//!   (two `Arc` clones) frozen at the current epoch; a search that holds it
+//!   sees one consistent set of weights no matter how many updates publish
+//!   concurrently.
+//! * **Writers copy-on-write.** [`WeightEpoch::publish`] merges the new
+//!   deltas with the previous cumulative overlay into a fresh overlay —
+//!   O(cumulative changed arcs + batch), which stays far below O(|E|) as
+//!   long as traffic touches a fraction of the network — and retains every
+//!   published overlay so past epochs stay pinnable
+//!   ([`WeightEpoch::pin_at`]) for verification and result-cache audits.
+//!   Retention means memory grows with epochs × changed arcs; compacting
+//!   or garbage-collecting old overlays once no reader can pin them is a
+//!   recorded follow-on (see ROADMAP), not yet implemented.
+//!
+//! Overlay entries are keyed by *arc slot* (see [`RoadNetwork::arc`]), so
+//! lookups during neighbour iteration are a cursor walk over a sorted
+//! sub-slice rather than a hash probe per arc.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::csr::RoadNetwork;
+use crate::VertexId;
+
+/// Identifier of a published weight epoch. Epoch ids are monotonically
+/// increasing per [`WeightEpoch`] manager, starting at [`EpochId::BASE`]
+/// (the weights the network was built with).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EpochId(pub u64);
+
+impl EpochId {
+    /// The epoch of the base weights (no update applied).
+    pub const BASE: EpochId = EpochId(0);
+
+    /// Raw value accessor.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for EpochId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for EpochId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One edge reweighting: the edge `from — to` takes the absolute weight
+/// `weight` from the publishing epoch on. On undirected networks both
+/// stored arc directions are updated; parallel edges are all updated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightDelta {
+    /// Tail vertex.
+    pub from: VertexId,
+    /// Head vertex.
+    pub to: VertexId,
+    /// New absolute weight (non-negative, non-NaN).
+    pub weight: f64,
+}
+
+impl WeightDelta {
+    /// Creates a delta, validating the weight.
+    ///
+    /// # Panics
+    /// If `weight` is negative or NaN.
+    pub fn new(from: VertexId, to: VertexId, weight: f64) -> WeightDelta {
+        assert!(weight >= 0.0, "edge weight must be non-negative, got {weight}");
+        WeightDelta { from, to, weight }
+    }
+}
+
+/// A sparse, immutable arc-reweighting layer: the cumulative set of arcs
+/// whose weight differs from the base CSR weights, as of one epoch.
+#[derive(Debug)]
+pub struct WeightOverlay {
+    epoch: EpochId,
+    /// Affected arc slots, sorted ascending, unique.
+    arcs: Box<[u32]>,
+    /// `weights[i]` is the weight of arc `arcs[i]`.
+    weights: Box<[f64]>,
+}
+
+impl WeightOverlay {
+    fn empty(epoch: EpochId) -> WeightOverlay {
+        WeightOverlay { epoch, arcs: Box::new([]), weights: Box::new([]) }
+    }
+
+    /// The epoch this overlay was published as.
+    #[inline]
+    pub fn epoch(&self) -> EpochId {
+        self.epoch
+    }
+
+    /// Number of reweighted arcs.
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Whether no arc is reweighted.
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// The overlay entries covering arc slots `lo..hi`, as parallel
+    /// (slots, weights) sub-slices.
+    #[inline]
+    pub(crate) fn range(&self, lo: u32, hi: u32) -> (&[u32], &[f64]) {
+        let a = self.arcs.partition_point(|&s| s < lo);
+        let b = a + self.arcs[a..].partition_point(|&s| s < hi);
+        (&self.arcs[a..b], &self.weights[a..b])
+    }
+
+    /// The overlay weight of arc `slot`, if reweighted.
+    #[inline]
+    pub(crate) fn weight_of(&self, slot: u32) -> Option<f64> {
+        self.arcs.binary_search(&slot).ok().map(|i| self.weights[i])
+    }
+
+    /// All (arc slot, weight) entries.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.arcs.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.arcs.len() * std::mem::size_of::<u32>()
+            + self.weights.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Epoch-versioned manager of dynamic edge weights over one road network.
+///
+/// The network passed to [`WeightEpoch::new`] (with whatever weights its
+/// view carries) becomes epoch 0. Each [`publish`](WeightEpoch::publish)
+/// folds a batch of deltas into a new cumulative overlay and makes it the
+/// current epoch; readers that [`pin`](WeightEpoch::pin)ned an earlier
+/// epoch keep their snapshot untouched. Epoch ids are meaningful only
+/// within one manager.
+#[derive(Debug)]
+pub struct WeightEpoch {
+    base: RoadNetwork,
+    /// The most recently published epoch id, readable without the lock —
+    /// serving workers poll this once per request to decide whether to
+    /// re-pin, and must not serialize against an in-progress publish
+    /// merge.
+    current: AtomicU64,
+    /// Every published overlay; `overlays[e]` is epoch `e`'s cumulative
+    /// layer (epoch 0 is the base view's own overlay, usually empty).
+    /// Retained so past epochs stay pinnable; each holds only the arcs
+    /// changed since the base, so memory is O(epochs × changed arcs), not
+    /// O(epochs × |E|).
+    overlays: Mutex<Vec<Arc<WeightOverlay>>>,
+}
+
+impl WeightEpoch {
+    /// Takes `base` (as currently weighted) as epoch 0.
+    pub fn new(base: RoadNetwork) -> WeightEpoch {
+        let zero = match base.overlay() {
+            // A re-managed pinned view keeps its weights but restarts the
+            // epoch counter: flatten its overlay into this manager's epoch 0.
+            Some(o) => Arc::new(WeightOverlay {
+                epoch: EpochId::BASE,
+                arcs: o.arcs.clone(),
+                weights: o.weights.clone(),
+            }),
+            None => Arc::new(WeightOverlay::empty(EpochId::BASE)),
+        };
+        WeightEpoch { base, current: AtomicU64::new(0), overlays: Mutex::new(vec![zero]) }
+    }
+
+    /// The most recently published epoch. Lock-free: safe to poll per
+    /// request even while a publish is merging overlays.
+    pub fn current_epoch(&self) -> EpochId {
+        EpochId(self.current.load(Ordering::Acquire))
+    }
+
+    /// A read view pinned to the current epoch. O(1): two `Arc` clones.
+    pub fn pin(&self) -> RoadNetwork {
+        let overlay = Arc::clone(
+            self.overlays
+                .lock()
+                .expect("epoch manager poisoned")
+                .last()
+                .expect("epoch 0 always exists"),
+        );
+        self.view(overlay)
+    }
+
+    /// A read view pinned to `epoch`, if it was published by this manager.
+    pub fn pin_at(&self, epoch: EpochId) -> Option<RoadNetwork> {
+        let overlays = self.overlays.lock().expect("epoch manager poisoned");
+        overlays.get(epoch.0 as usize).map(|o| self.view(Arc::clone(o)))
+    }
+
+    fn view(&self, overlay: Arc<WeightOverlay>) -> RoadNetwork {
+        if overlay.is_empty() && overlay.epoch() == EpochId::BASE {
+            // The epoch-0 pin of an unmodified base needs no overlay at all.
+            self.base.clone()
+        } else {
+            self.base.with_overlay(overlay)
+        }
+    }
+
+    /// The base (epoch-0) view.
+    pub fn base(&self) -> &RoadNetwork {
+        &self.base
+    }
+
+    /// Applies one batch of weight deltas as the next epoch and returns its
+    /// id. Copy-on-write: the previous overlay is merged with the resolved
+    /// deltas into a fresh overlay (last write wins within the batch);
+    /// published epochs are never mutated.
+    ///
+    /// An empty batch still publishes a (content-identical) new epoch —
+    /// callers control epoch granularity.
+    ///
+    /// # Panics
+    /// If a delta names an edge that does not exist in the network, or
+    /// carries a negative/NaN weight.
+    pub fn publish(&self, deltas: &[WeightDelta]) -> EpochId {
+        // Resolve edges to arc slots outside the lock; both directions of
+        // an undirected edge change together so a pinned view stays
+        // symmetric.
+        let mut patch: Vec<(u32, f64)> = Vec::with_capacity(deltas.len() * 2);
+        for d in deltas {
+            assert!(
+                !d.weight.is_nan() && d.weight >= 0.0,
+                "edge weight must be non-negative, got {}",
+                d.weight
+            );
+            let mut slots = self.base.arcs_between(d.from, d.to);
+            if !self.base.is_directed() && d.from != d.to {
+                slots.extend(self.base.arcs_between(d.to, d.from));
+            }
+            assert!(
+                !slots.is_empty(),
+                "weight delta names a nonexistent edge {:?} -> {:?}",
+                d.from,
+                d.to
+            );
+            patch.extend(slots.into_iter().map(|s| (s, d.weight)));
+        }
+        // Within one batch the last delta for an edge wins.
+        patch.sort_by_key(|&(s, _)| s);
+        patch.dedup_by(|later, earlier| {
+            // `dedup_by` keeps the *first* of a run; runs are in input order
+            // after the stable sort, so copy the later value forward.
+            if later.0 == earlier.0 {
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
+
+        let mut overlays = self.overlays.lock().expect("epoch manager poisoned");
+        let prev = overlays.last().expect("epoch 0 always exists");
+        let epoch = EpochId(overlays.len() as u64);
+        // Sorted two-pointer merge of the previous cumulative overlay with
+        // the patch (patch wins on collision).
+        let mut arcs = Vec::with_capacity(prev.arcs.len() + patch.len());
+        let mut weights = Vec::with_capacity(prev.arcs.len() + patch.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < prev.arcs.len() || j < patch.len() {
+            let take_patch = match (prev.arcs.get(i), patch.get(j)) {
+                (Some(&a), Some(&(b, _))) => {
+                    if a == b {
+                        i += 1; // superseded by the patch
+                        true
+                    } else {
+                        b < a
+                    }
+                }
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_patch {
+                let (s, w) = patch[j];
+                arcs.push(s);
+                weights.push(w);
+                j += 1;
+            } else {
+                arcs.push(prev.arcs[i]);
+                weights.push(prev.weights[i]);
+                i += 1;
+            }
+        }
+        overlays.push(Arc::new(WeightOverlay {
+            epoch,
+            arcs: arcs.into_boxed_slice(),
+            weights: weights.into_boxed_slice(),
+        }));
+        // Advertise the epoch only after its overlay is resident (still
+        // inside the lock), so a reader that observes the new id can
+        // always pin it.
+        self.current.store(epoch.0, Ordering::Release);
+        epoch
+    }
+
+    /// Number of reweighted arcs in the current cumulative overlay.
+    pub fn overlay_len(&self) -> usize {
+        self.overlays
+            .lock()
+            .expect("epoch manager poisoned")
+            .last()
+            .expect("epoch 0 always exists")
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::weight::Cost;
+
+    /// 0 —1— 1 —2— 2, plus 0 —5— 2.
+    fn triangle() -> RoadNetwork {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..3).map(|_| b.add_vertex()).collect();
+        b.add_edge(v[0], v[1], 1.0);
+        b.add_edge(v[1], v[2], 2.0);
+        b.add_edge(v[0], v[2], 5.0);
+        b.build()
+    }
+
+    fn weight_between(g: &RoadNetwork, a: u32, b: u32) -> f64 {
+        g.neighbors(VertexId(a)).find(|&(t, _)| t == VertexId(b)).map(|(_, w)| w.get()).unwrap()
+    }
+
+    #[test]
+    fn epochs_are_monotonic_and_pins_are_stable() {
+        let epochs = WeightEpoch::new(triangle());
+        assert_eq!(epochs.current_epoch(), EpochId::BASE);
+        let e0 = epochs.pin();
+        let e1 = epochs.publish(&[WeightDelta::new(VertexId(0), VertexId(1), 9.0)]);
+        assert_eq!(e1, EpochId(1));
+        let e2 = epochs.publish(&[WeightDelta::new(VertexId(1), VertexId(2), 4.0)]);
+        assert_eq!(e2, EpochId(2));
+        assert_eq!(epochs.current_epoch(), EpochId(2));
+        // The epoch-0 pin still sees base weights.
+        assert_eq!(weight_between(&e0, 0, 1), 1.0);
+        assert_eq!(e0.epoch(), EpochId::BASE);
+        // Cumulative: epoch 2 sees both updates.
+        let p2 = epochs.pin();
+        assert_eq!(p2.epoch(), EpochId(2));
+        assert_eq!(weight_between(&p2, 0, 1), 9.0);
+        assert_eq!(weight_between(&p2, 1, 2), 4.0);
+        assert_eq!(weight_between(&p2, 0, 2), 5.0);
+        // Historical pin: epoch 1 has only the first update.
+        let p1 = epochs.pin_at(EpochId(1)).unwrap();
+        assert_eq!(weight_between(&p1, 0, 1), 9.0);
+        assert_eq!(weight_between(&p1, 1, 2), 2.0);
+        assert!(epochs.pin_at(EpochId(99)).is_none());
+    }
+
+    #[test]
+    fn undirected_updates_apply_to_both_arcs() {
+        let epochs = WeightEpoch::new(triangle());
+        epochs.publish(&[WeightDelta::new(VertexId(2), VertexId(0), 7.5)]);
+        let p = epochs.pin();
+        assert_eq!(weight_between(&p, 0, 2), 7.5);
+        assert_eq!(weight_between(&p, 2, 0), 7.5);
+    }
+
+    #[test]
+    fn directed_updates_touch_one_direction() {
+        let mut b = GraphBuilder::directed();
+        let v0 = b.add_vertex();
+        let v1 = b.add_vertex();
+        b.add_edge(v0, v1, 1.0);
+        b.add_edge(v1, v0, 1.0);
+        let epochs = WeightEpoch::new(b.build());
+        epochs.publish(&[WeightDelta::new(v0, v1, 3.0)]);
+        let p = epochs.pin();
+        assert_eq!(weight_between(&p, 0, 1), 3.0);
+        assert_eq!(weight_between(&p, 1, 0), 1.0);
+    }
+
+    #[test]
+    fn last_delta_wins_within_a_batch() {
+        let epochs = WeightEpoch::new(triangle());
+        epochs.publish(&[
+            WeightDelta::new(VertexId(0), VertexId(1), 2.0),
+            WeightDelta::new(VertexId(1), VertexId(0), 3.0),
+        ]);
+        let p = epochs.pin();
+        assert_eq!(weight_between(&p, 0, 1), 3.0);
+        assert_eq!(weight_between(&p, 1, 0), 3.0);
+    }
+
+    #[test]
+    fn empty_batch_still_advances_the_epoch() {
+        let epochs = WeightEpoch::new(triangle());
+        let e = epochs.publish(&[]);
+        assert_eq!(e, EpochId(1));
+        assert_eq!(epochs.pin().epoch(), EpochId(1));
+        assert_eq!(weight_between(&epochs.pin(), 0, 1), 1.0);
+    }
+
+    #[test]
+    fn managing_a_pinned_view_preserves_weights_and_restarts_epochs() {
+        let first = WeightEpoch::new(triangle());
+        first.publish(&[WeightDelta::new(VertexId(0), VertexId(1), 6.0)]);
+        let handoff = first.pin();
+        let second = WeightEpoch::new(handoff);
+        assert_eq!(second.current_epoch(), EpochId::BASE);
+        let p = second.pin();
+        assert_eq!(p.epoch(), EpochId::BASE);
+        assert_eq!(weight_between(&p, 0, 1), 6.0, "inherited weights survive the handoff");
+        second.publish(&[WeightDelta::new(VertexId(1), VertexId(2), 8.0)]);
+        let q = second.pin();
+        assert_eq!(weight_between(&q, 0, 1), 6.0);
+        assert_eq!(weight_between(&q, 1, 2), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent edge")]
+    fn unknown_edge_rejected() {
+        let epochs = WeightEpoch::new(triangle());
+        epochs.publish(&[WeightDelta::new(VertexId(0), VertexId(0), 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        WeightDelta::new(VertexId(0), VertexId(1), -1.0);
+    }
+
+    #[test]
+    fn overlay_len_tracks_cumulative_changes() {
+        let epochs = WeightEpoch::new(triangle());
+        assert_eq!(epochs.overlay_len(), 0);
+        epochs.publish(&[WeightDelta::new(VertexId(0), VertexId(1), 2.0)]);
+        assert_eq!(epochs.overlay_len(), 2, "both arc directions");
+        // Re-updating the same edge does not grow the overlay.
+        epochs.publish(&[WeightDelta::new(VertexId(0), VertexId(1), 3.0)]);
+        assert_eq!(epochs.overlay_len(), 2);
+        epochs.publish(&[WeightDelta::new(VertexId(1), VertexId(2), 3.0)]);
+        assert_eq!(epochs.overlay_len(), 4);
+    }
+
+    #[test]
+    fn concurrent_readers_on_pinned_epochs_are_unaffected_by_publishes() {
+        use crate::dijkstra::{shortest_distance, DijkstraWorkspace};
+        let epochs = std::sync::Arc::new(WeightEpoch::new(triangle()));
+        let pinned = epochs.pin(); // epoch 0: d(0, 2) = 3 via 0-1-2
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let g = pinned.clone();
+                std::thread::spawn(move || {
+                    let mut ws = DijkstraWorkspace::new(g.num_vertices());
+                    (0..200)
+                        .map(|_| shortest_distance(&g, &mut ws, VertexId(0), VertexId(2)).unwrap())
+                        .all(|d| d == Cost::new(3.0))
+                })
+            })
+            .collect();
+        let writer = {
+            let epochs = std::sync::Arc::clone(&epochs);
+            std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    epochs.publish(&[WeightDelta::new(
+                        VertexId(0),
+                        VertexId(1),
+                        1.0 + f64::from(i),
+                    )]);
+                }
+            })
+        };
+        for r in readers {
+            assert!(r.join().unwrap(), "a pinned reader must never observe an update");
+        }
+        writer.join().unwrap();
+        assert_eq!(epochs.current_epoch(), EpochId(200));
+        // After the writer, a fresh pin sees the last update.
+        let mut ws = DijkstraWorkspace::new(3);
+        let d = shortest_distance(&epochs.pin(), &mut ws, VertexId(0), VertexId(2)).unwrap();
+        assert_eq!(d, Cost::new(5.0), "0-1 now costs 200, so the direct 0-2 edge wins");
+    }
+}

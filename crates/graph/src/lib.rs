@@ -12,6 +12,9 @@
 //!   nearest-neighbour search ([`resumable`]) used by the PNE baseline,
 //! * versioned scratch arrays ([`versioned`]) so repeated searches avoid
 //!   O(|V|) reinitialisation,
+//! * dynamic edge weights ([`epoch`]): batched weight deltas published as
+//!   epoch-versioned copy-on-write overlays, so searches pin a consistent
+//!   snapshot while traffic updates proceed concurrently,
 //! * geographic helpers ([`geometry`]) for haversine edge weights and
 //!   point-to-segment projection (PoI embedding on the closest edge),
 //! * connectivity utilities ([`connectivity`]) used by the dataset
@@ -21,6 +24,7 @@ pub mod builder;
 pub mod connectivity;
 pub mod csr;
 pub mod dijkstra;
+pub mod epoch;
 pub mod fxhash;
 pub mod geometry;
 pub mod landmarks;
@@ -34,6 +38,7 @@ pub mod weight;
 pub use builder::GraphBuilder;
 pub use csr::RoadNetwork;
 pub use dijkstra::{dijkstra_with, DijkstraWorkspace, Settle};
+pub use epoch::{EpochId, WeightDelta, WeightEpoch};
 pub use geometry::GeoPoint;
 pub use landmarks::Landmarks;
 pub use resumable::ResumableDijkstra;

@@ -127,3 +127,144 @@ proptest! {
         prop_assert!((ab.get() - ba.get()).abs() <= 1e-9 * (1.0 + ab.get()));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Dynamic weights: epoch-versioned overlays must be indistinguishable from a
+// graph rebuilt with the updated weights, and pins must be immutable.
+// ---------------------------------------------------------------------------
+
+use skysr_graph::epoch::{EpochId, WeightDelta, WeightEpoch};
+
+/// A random graph plus a sequence of weight-update batches, each naming
+/// input edges by index with a fresh weight.
+#[derive(Debug, Clone)]
+struct RandomUpdates {
+    graph: RandomGraph,
+    /// Per batch: (edge index, new weight). Indexes cover both the path
+    /// edges and the extras.
+    batches: Vec<Vec<(usize, f64)>>,
+}
+
+fn arb_updates() -> impl Strategy<Value = RandomUpdates> {
+    arb_graph().prop_flat_map(|graph| {
+        let edges = graph.path_weights.len() + graph.extra.len();
+        (
+            Just(graph),
+            prop::collection::vec(prop::collection::vec((0..edges, 0.1f64..20.0), 1..6), 1..5),
+        )
+            .prop_map(|(graph, batches)| RandomUpdates { graph, batches })
+    })
+}
+
+/// The input edges of a [`RandomGraph`] in builder insertion order.
+fn input_edges(g: &RandomGraph) -> Vec<(usize, usize, f64)> {
+    let mut edges: Vec<(usize, usize, f64)> =
+        g.path_weights.iter().enumerate().map(|(i, &w)| (i, i + 1, w)).collect();
+    edges.extend(g.extra.iter().copied());
+    edges
+}
+
+/// Reference model: rebuilds the network from scratch with every update
+/// applied the way `WeightEpoch::publish` defines it — a delta on edge
+/// (u, v) retargets *all* parallel edges between u and v.
+fn rebuild_with_updates(g: &RandomGraph, batches: &[Vec<(usize, f64)>]) -> RoadNetwork {
+    let mut edges = input_edges(g);
+    for batch in batches {
+        for &(i, w) in batch {
+            let (u, v, _) = edges[i];
+            let pair = |a: usize, b: usize| (a.min(b), a.max(b));
+            let key = pair(u, v);
+            for e in edges.iter_mut() {
+                if pair(e.0, e.1) == key {
+                    e.2 = w;
+                }
+            }
+        }
+    }
+    let mut b = GraphBuilder::new();
+    let vs: Vec<VertexId> = (0..g.n).map(|_| b.add_vertex()).collect();
+    for (u, v, w) in edges {
+        b.add_edge(vs[u], vs[v], w);
+    }
+    b.build()
+}
+
+fn publish_all(epochs: &WeightEpoch, g: &RandomGraph, batches: &[Vec<(usize, f64)>]) {
+    let edges = input_edges(g);
+    for batch in batches {
+        let deltas: Vec<WeightDelta> = batch
+            .iter()
+            .map(|&(i, w)| {
+                let (u, v, _) = edges[i];
+                WeightDelta::new(VertexId(u as u32), VertexId(v as u32), w)
+            })
+            .collect();
+        epochs.publish(&deltas);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pinned_overlay_equals_rebuilt_graph(u in arb_updates()) {
+        let net = build(&u.graph);
+        let epochs = WeightEpoch::new(net);
+        publish_all(&epochs, &u.graph, &u.batches);
+        let pinned = epochs.pin();
+        let rebuilt = rebuild_with_updates(&u.graph, &u.batches);
+        prop_assert_eq!(pinned.epoch(), EpochId(u.batches.len() as u64));
+        // Arc-by-arc identical weights (same CSR layout by construction).
+        prop_assert_eq!(pinned.num_arcs(), rebuilt.num_arcs());
+        for v in pinned.vertices() {
+            let a: Vec<_> = pinned.neighbors(v).collect();
+            let b: Vec<_> = rebuilt.neighbors(v).collect();
+            prop_assert_eq!(a, b, "vertex {} adjacency differs", v);
+        }
+        // And therefore identical shortest-path structure.
+        let mut wa = DijkstraWorkspace::new(pinned.num_vertices());
+        let mut wb = DijkstraWorkspace::new(rebuilt.num_vertices());
+        dijkstra(&pinned, &mut wa, VertexId(0));
+        dijkstra(&rebuilt, &mut wb, VertexId(0));
+        for v in pinned.vertices() {
+            prop_assert_eq!(wa.distance(v), wb.distance(v));
+        }
+    }
+
+    #[test]
+    fn pins_are_immutable_across_later_publishes(u in arb_updates()) {
+        let net = build(&u.graph);
+        let epochs = WeightEpoch::new(net.clone());
+        // Pin every intermediate epoch while publishing.
+        let edges = input_edges(&u.graph);
+        let mut pins = vec![epochs.pin()];
+        for batch in &u.batches {
+            let deltas: Vec<WeightDelta> = batch
+                .iter()
+                .map(|&(i, w)| {
+                    let (a, b, _) = edges[i];
+                    WeightDelta::new(VertexId(a as u32), VertexId(b as u32), w)
+                })
+                .collect();
+            epochs.publish(&deltas);
+            pins.push(epochs.pin());
+        }
+        // Each pin still renders exactly its prefix of the update history.
+        for (k, pin) in pins.iter().enumerate() {
+            prop_assert_eq!(pin.epoch(), EpochId(k as u64));
+            let expect = rebuild_with_updates(&u.graph, &u.batches[..k]);
+            for v in pin.vertices() {
+                let a: Vec<_> = pin.neighbors(v).collect();
+                let b: Vec<_> = expect.neighbors(v).collect();
+                prop_assert_eq!(a, b, "epoch {} vertex {}", k, v);
+            }
+            // pin_at reproduces the same historical view.
+            let again = epochs.pin_at(EpochId(k as u64)).expect("published epoch");
+            for v in pin.vertices() {
+                let a: Vec<_> = pin.neighbors(v).collect();
+                let b: Vec<_> = again.neighbors(v).collect();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

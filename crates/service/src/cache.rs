@@ -1,4 +1,4 @@
-//! Cross-query LRU result cache.
+//! Cross-query LRU result cache with epoch-versioned entries.
 //!
 //! Keys are *canonicalized* queries: start vertex, the canonical form of
 //! every sequence position, and the engine configuration the result was
@@ -9,8 +9,20 @@
 //! is cacheable and structurally different spellings of one requirement
 //! share a single entry.
 //!
-//! Values are `Arc<[SkylineRoute]>`, so a hit shares the stored skyline
-//! with every waiter instead of cloning route vectors under the lock.
+//! Values are `Arc<[SkylineRoute]>` *stamped with the weight
+//! [`EpochId`] they were computed under*. Dynamic edge weights make a
+//! skyline valid only for its epoch, so a lookup supplies the requester's
+//! pinned epoch and an entry answers only when the stamps match:
+//!
+//! * an **older** entry is dropped on sight and the lookup counts a miss
+//!   plus an `invalidations` counter bump — *lazy invalidation*: no epoch
+//!   publish ever scans the cache, stale entries die on first touch (or by
+//!   ordinary LRU pressure);
+//! * a **newer** entry (the requester pinned an epoch that has since been
+//!   superseded) also misses, but is left in place — and
+//!   [`insert`](ResultCache::insert) refuses to overwrite a newer-epoch
+//!   entry with an older result, so a slow straggler can never regress the
+//!   cache.
 //!
 //! Counters are exact: `hits + misses` equals the number of [`get`]
 //! lookups (uncacheable traffic never reaches the cache since
@@ -19,7 +31,8 @@
 //! counted, inserting over an identical key refreshes the entry without
 //! counting an eviction, and `insertions` counts stored results so CI
 //! perf artifacts can cross-check `hits + coalesced + executed` against
-//! completed queries.
+//! completed queries. `invalidations` (epoch-stale drops) and `evictions`
+//! (capacity displacement) are disjoint by construction.
 //!
 //! [`get`]: ResultCache::get
 //! [`peek`]: ResultCache::peek
@@ -32,9 +45,13 @@ use skysr_core::bssr::BssrConfig;
 use skysr_core::query::CanonicalPosition;
 use skysr_core::query::SkySrQuery;
 use skysr_core::route::SkylineRoute;
-use skysr_graph::VertexId;
+use skysr_graph::{EpochId, VertexId};
 
 /// Canonical cache key for a SkySR query under one engine configuration.
+///
+/// Deliberately *epoch-free*: the epoch lives on the entry, not in the
+/// key, so one logical query occupies one slot whose stamp advances with
+/// traffic instead of leaking an entry per epoch.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     start: VertexId,
@@ -76,8 +93,24 @@ impl QueryKey {
     }
 }
 
+/// One cached skyline: the routes plus the weight epoch they are valid
+/// for.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    epoch: EpochId,
+    routes: Arc<[SkylineRoute]>,
+}
+
+// Placeholder left in freed slab slots (see `Lru::remove`): must not keep
+// any skyline alive.
+impl Default for CacheEntry {
+    fn default() -> CacheEntry {
+        CacheEntry { epoch: EpochId::BASE, routes: Vec::new().into() }
+    }
+}
+
 /// Plain LRU map: `HashMap` for lookup plus an index-linked list for
-/// recency order. Both operations are O(1); no allocation after the node
+/// recency order. All operations are O(1); no allocation after the node
 /// slab reaches capacity.
 struct Lru<K, V> {
     map: HashMap<K, usize>,
@@ -99,7 +132,7 @@ struct Node<K, V> {
 
 const NIL: usize = usize::MAX;
 
-impl<K: Clone + Eq + std::hash::Hash, V: Clone> Lru<K, V> {
+impl<K: Clone + Eq + std::hash::Hash, V: Default> Lru<K, V> {
     fn new(capacity: usize) -> Lru<K, V> {
         assert!(capacity > 0, "LRU capacity must be positive");
         Lru {
@@ -134,14 +167,40 @@ impl<K: Clone + Eq + std::hash::Hash, V: Clone> Lru<K, V> {
         self.head = i;
     }
 
-    /// Looks `key` up, marking it most recently used on a hit.
-    fn get(&mut self, key: &K) -> Option<V> {
-        let &i = self.map.get(key)?;
+    /// Reads `key`'s value without touching recency order.
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&i| &self.nodes[i].value)
+    }
+
+    /// Slot index of `key`, if resident. The index stays valid until the
+    /// entry is removed or evicted; index-based accessors below let a
+    /// lookup hash the key once instead of once per operation (this all
+    /// runs under the cache mutex every worker contends on).
+    fn index_of(&self, key: &K) -> Option<usize> {
+        self.map.get(key).copied()
+    }
+
+    /// The value stored in slot `i`.
+    fn value(&self, i: usize) -> &V {
+        &self.nodes[i].value
+    }
+
+    /// Marks slot `i` most recently used.
+    fn promote_index(&mut self, i: usize) {
         if self.head != i {
             self.unlink(i);
             self.push_front(i);
         }
-        Some(self.nodes[i].value.clone())
+    }
+
+    /// Removes slot `i`'s entry. The freed slot's value is dropped
+    /// immediately — an invalidated skyline must not stay heap-resident
+    /// until some later insert happens to reuse the slot.
+    fn remove_index(&mut self, i: usize) {
+        self.map.remove(&self.nodes[i].key);
+        self.unlink(i);
+        self.nodes[i].value = V::default();
+        self.free.push(i);
     }
 
     /// Inserts (or refreshes) `key`; returns `true` when an older entry
@@ -187,15 +246,19 @@ impl<K: Clone + Eq + std::hash::Hash, V: Clone> Lru<K, V> {
 /// Counter values of a [`ResultCache`] at one instant.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (same-epoch entries only).
     pub hits: u64,
-    /// Lookups that missed.
+    /// Lookups that missed (no entry, or an entry of another epoch).
     pub misses: u64,
     /// Results stored (first-time inserts and refreshes).
     pub insertions: u64,
     /// Entries displaced by capacity pressure. Refreshing an existing key
-    /// is not an eviction.
+    /// is not an eviction, and epoch-stale drops are counted separately as
+    /// `invalidations`.
     pub evictions: u64,
+    /// Entries dropped because their epoch was older than a requester's
+    /// pinned epoch (lazy invalidation of stale skylines).
+    pub invalidations: u64,
     /// Entries currently stored.
     pub len: u64,
 }
@@ -212,13 +275,15 @@ impl CacheCounters {
     }
 }
 
-/// Thread-safe LRU cache from canonicalized queries to shared skylines.
+/// Thread-safe LRU cache from canonicalized queries to epoch-stamped
+/// shared skylines.
 pub struct ResultCache {
-    inner: Mutex<Lru<QueryKey, Arc<[SkylineRoute]>>>,
+    inner: Mutex<Lru<QueryKey, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl ResultCache {
@@ -230,12 +295,21 @@ impl ResultCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
-    /// Looks a canonicalized query up, counting the hit or miss.
-    pub fn get(&self, key: &QueryKey) -> Option<Arc<[SkylineRoute]>> {
-        let result = self.inner.lock().expect("cache poisoned").get(key);
+    /// Looks a canonicalized query up for a requester pinned to `epoch`,
+    /// counting the hit or miss.
+    ///
+    /// Only an entry stamped exactly `epoch` answers; the returned stamp
+    /// is always `epoch` and is handed back so the serving layer can
+    /// assert (and account) that no stale skyline ever leaves the cache.
+    /// An entry from an *older* epoch is invalidated on the spot; an entry
+    /// from a *newer* epoch (the requester pinned before the latest
+    /// publish) stays for requesters that can use it.
+    pub fn get(&self, key: &QueryKey, epoch: EpochId) -> Option<(EpochId, Arc<[SkylineRoute]>)> {
+        let result = self.lookup(key, epoch);
         match result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -245,10 +319,30 @@ impl ResultCache {
 
     /// Looks `key` up *without* touching the hit/miss counters — used for
     /// opportunistic prefix probes (warm starts), which are not request
-    /// traffic and must not distort the hit rate. A found entry is still
-    /// marked recently used: reuse as a seed is a use.
-    pub fn peek(&self, key: &QueryKey) -> Option<Arc<[SkylineRoute]>> {
-        self.inner.lock().expect("cache poisoned").get(key)
+    /// traffic and must not distort the hit rate. Epoch semantics match
+    /// [`get`](ResultCache::get): only a same-epoch entry is returned (a
+    /// prefix skyline from another epoch would seed the search with routes
+    /// scored under different weights). A found entry is still marked
+    /// recently used: reuse as a seed is a use.
+    pub fn peek(&self, key: &QueryKey, epoch: EpochId) -> Option<(EpochId, Arc<[SkylineRoute]>)> {
+        self.lookup(key, epoch)
+    }
+
+    fn lookup(&self, key: &QueryKey, epoch: EpochId) -> Option<(EpochId, Arc<[SkylineRoute]>)> {
+        let mut lru = self.inner.lock().expect("cache poisoned");
+        let i = lru.index_of(key)?;
+        let entry_epoch = lru.value(i).epoch;
+        if entry_epoch == epoch {
+            let routes = Arc::clone(&lru.value(i).routes);
+            lru.promote_index(i);
+            Some((entry_epoch, routes))
+        } else {
+            if entry_epoch < epoch {
+                lru.remove_index(i);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+            None
+        }
     }
 
     /// Reclassifies one already-counted miss as a hit.
@@ -264,10 +358,19 @@ impl ResultCache {
         self.misses.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Stores a computed skyline.
-    pub fn insert(&self, key: QueryKey, routes: Arc<[SkylineRoute]>) {
+    /// Stores a skyline computed at `epoch`.
+    ///
+    /// Refused (silently) when the cache already holds a *newer*-epoch
+    /// entry for the key: a leader that started before an update published
+    /// must not clobber the post-update result — its flight was pinned to
+    /// the older epoch and its answer is already stale for new traffic.
+    pub fn insert(&self, key: QueryKey, epoch: EpochId, routes: Arc<[SkylineRoute]>) {
+        let mut lru = self.inner.lock().expect("cache poisoned");
+        if lru.peek(&key).is_some_and(|e| e.epoch > epoch) {
+            return;
+        }
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        if self.inner.lock().expect("cache poisoned").insert(key, routes) {
+        if lru.insert(key, CacheEntry { epoch, routes }) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -279,6 +382,7 @@ impl ResultCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             len: self.inner.lock().expect("cache poisoned").len() as u64,
         }
     }
@@ -297,6 +401,10 @@ mod tests {
     use skysr_core::bssr::QueuePolicy;
     use skysr_core::query::PositionSpec;
     use skysr_graph::Cost;
+
+    const E0: EpochId = EpochId::BASE;
+    const E1: EpochId = EpochId(1);
+    const E2: EpochId = EpochId(2);
 
     fn routes(n: u32) -> Arc<[SkylineRoute]> {
         vec![SkylineRoute { pois: vec![VertexId(n)], length: Cost::new(n as f64), semantic: 0.0 }]
@@ -362,13 +470,51 @@ mod tests {
     #[test]
     fn hit_miss_and_counters() {
         let cache = ResultCache::new(4);
-        assert!(cache.get(&key(1)).is_none());
-        cache.insert(key(1), routes(1));
-        let hit = cache.get(&key(1)).expect("hit");
+        assert!(cache.get(&key(1), E0).is_none());
+        cache.insert(key(1), E0, routes(1));
+        let (e, hit) = cache.get(&key(1), E0).expect("hit");
+        assert_eq!(e, E0);
         assert_eq!(hit[0].pois, vec![VertexId(1)]);
         let c = cache.counters();
         assert_eq!((c.hits, c.misses, c.insertions, c.evictions, c.len), (1, 1, 1, 0, 1));
+        assert_eq!(c.invalidations, 0);
         assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_entries_miss_and_are_invalidated() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1), E0, routes(1));
+        // A requester pinned to a later epoch must not see the old skyline.
+        assert!(cache.get(&key(1), E1).is_none());
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (0, 1));
+        assert_eq!(c.invalidations, 1, "the stale entry was dropped");
+        assert_eq!(c.len, 0);
+        assert_eq!(c.evictions, 0, "invalidation is not an eviction");
+        // Gone for everyone, including its own epoch.
+        assert!(cache.get(&key(1), E0).is_none());
+        // Refill at the new epoch serves the new epoch.
+        cache.insert(key(1), E1, routes(2));
+        assert!(cache.get(&key(1), E1).is_some());
+    }
+
+    #[test]
+    fn newer_entries_miss_for_older_pins_but_survive() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1), E2, routes(2));
+        // A straggler pinned to an older epoch cannot use it...
+        assert!(cache.get(&key(1), E1).is_none());
+        let c = cache.counters();
+        assert_eq!(c.invalidations, 0, "newer entries are not invalidated");
+        assert_eq!(c.len, 1);
+        // ...and cannot overwrite it with its older result.
+        cache.insert(key(1), E1, routes(1));
+        let (e, r) = cache.get(&key(1), E2).expect("newer entry survives");
+        assert_eq!(e, E2);
+        assert_eq!(r[0].pois, vec![VertexId(2)]);
+        // The refused insert was not counted.
+        assert_eq!(cache.counters().insertions, 1);
     }
 
     #[test]
@@ -377,9 +523,9 @@ mod tests {
         // answer then appeared; after reclassification the request reads
         // as the cache hit it was ultimately served as.
         let cache = ResultCache::new(4);
-        assert!(cache.get(&key(1)).is_none());
-        cache.insert(key(1), routes(1));
-        assert!(cache.peek(&key(1)).is_some());
+        assert!(cache.get(&key(1), E0).is_none());
+        cache.insert(key(1), E0, routes(1));
+        assert!(cache.peek(&key(1), E0).is_some());
         cache.reclassify_miss_as_hit();
         let c = cache.counters();
         assert_eq!((c.hits, c.misses), (1, 0));
@@ -387,36 +533,42 @@ mod tests {
     }
 
     #[test]
-    fn peek_does_not_count_a_lookup() {
+    fn peek_does_not_count_a_lookup_and_respects_epochs() {
         let cache = ResultCache::new(4);
-        assert!(cache.peek(&key(1)).is_none());
-        cache.insert(key(1), routes(1));
-        assert!(cache.peek(&key(1)).is_some());
+        assert!(cache.peek(&key(1), E0).is_none());
+        cache.insert(key(1), E0, routes(1));
+        assert!(cache.peek(&key(1), E0).is_some());
+        // Same-epoch only: a prefix skyline from epoch 0 must not seed an
+        // epoch-1 search.
+        assert!(cache.peek(&key(1), E1).is_none());
         let c = cache.counters();
         assert_eq!((c.hits, c.misses), (0, 0), "peeks are not traffic");
+        // The stale peek *did* lazily invalidate the old entry.
+        assert_eq!(c.invalidations, 1);
         // But a peek refreshes recency: after peeking 1 in a full cache,
         // the other entry is the eviction victim.
         let cache = ResultCache::new(2);
-        cache.insert(key(1), routes(1));
-        cache.insert(key(2), routes(2));
-        assert!(cache.peek(&key(1)).is_some());
-        cache.insert(key(3), routes(3));
-        assert!(cache.peek(&key(2)).is_none(), "2 was evicted");
-        assert!(cache.peek(&key(1)).is_some());
+        cache.insert(key(1), E0, routes(1));
+        cache.insert(key(2), E0, routes(2));
+        assert!(cache.peek(&key(1), E0).is_some());
+        cache.insert(key(3), E0, routes(3));
+        assert!(cache.peek(&key(2), E0).is_none(), "2 was evicted");
+        assert!(cache.peek(&key(1), E0).is_some());
     }
 
     #[test]
     fn lru_evicts_least_recently_used() {
         let cache = ResultCache::new(2);
-        cache.insert(key(1), routes(1));
-        cache.insert(key(2), routes(2));
+        cache.insert(key(1), E0, routes(1));
+        cache.insert(key(2), E0, routes(2));
         // Touch 1, making 2 the eviction victim.
-        assert!(cache.get(&key(1)).is_some());
-        cache.insert(key(3), routes(3));
-        assert!(cache.get(&key(2)).is_none(), "2 was evicted");
-        assert!(cache.get(&key(1)).is_some());
-        assert!(cache.get(&key(3)).is_some());
+        assert!(cache.get(&key(1), E0).is_some());
+        cache.insert(key(3), E0, routes(3));
+        assert!(cache.get(&key(2), E0).is_none(), "2 was evicted");
+        assert!(cache.get(&key(1), E0).is_some());
+        assert!(cache.get(&key(3), E0).is_some());
         assert_eq!(cache.counters().evictions, 1);
+        assert_eq!(cache.counters().invalidations, 0);
     }
 
     #[test]
@@ -425,34 +577,68 @@ mod tests {
         // (e.g. two uncoalesced workers finishing the same query) must not
         // inflate the eviction counter, even at capacity.
         let cache = ResultCache::new(2);
-        cache.insert(key(1), routes(1));
-        cache.insert(key(2), routes(2));
+        cache.insert(key(1), E0, routes(1));
+        cache.insert(key(2), E0, routes(2));
         // At capacity: re-inserting both existing keys evicts nothing.
-        cache.insert(key(1), routes(10));
-        cache.insert(key(2), routes(20));
+        cache.insert(key(1), E0, routes(10));
+        cache.insert(key(2), E0, routes(20));
         let c = cache.counters();
         assert_eq!(c.evictions, 0);
         assert_eq!(c.insertions, 4, "refreshes still count as insertions");
         assert_eq!(c.len, 2);
-        assert_eq!(cache.get(&key(1)).unwrap()[0].length, Cost::new(10.0));
+        assert_eq!(cache.get(&key(1), E0).unwrap().1[0].length, Cost::new(10.0));
         // 1 was refreshed more recently... then got, so 2 is LRU now.
-        cache.insert(key(3), routes(3));
+        cache.insert(key(3), E0, routes(3));
         assert_eq!(cache.counters().evictions, 1);
-        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(2), E0).is_none());
+    }
+
+    #[test]
+    fn epoch_refresh_over_identical_key_keeps_one_slot() {
+        // Advancing an entry's epoch in place must not grow the cache or
+        // count an eviction — one logical query, one slot.
+        let cache = ResultCache::new(2);
+        cache.insert(key(1), E0, routes(1));
+        cache.insert(key(1), E1, routes(11));
+        cache.insert(key(1), E2, routes(12));
+        let c = cache.counters();
+        assert_eq!((c.len, c.evictions), (1, 0));
+        let (e, r) = cache.get(&key(1), E2).expect("latest stamp answers");
+        assert_eq!(e, E2);
+        assert_eq!(r[0].pois, vec![VertexId(12)]);
     }
 
     #[test]
     fn slab_reuse_after_many_evictions() {
         let cache = ResultCache::new(3);
         for i in 0..100 {
-            cache.insert(key(i), routes(i));
+            cache.insert(key(i), E0, routes(i));
         }
         let c = cache.counters();
         assert_eq!(c.len, 3);
         assert_eq!(c.evictions, 97);
         assert_eq!(c.insertions, 100);
         for i in 97..100 {
-            assert!(cache.get(&key(i)).is_some(), "newest entries survive");
+            assert!(cache.get(&key(i), E0).is_some(), "newest entries survive");
         }
+    }
+
+    #[test]
+    fn slab_reuse_after_many_invalidations() {
+        // Invalidation frees slots back to the slab; interleaved reuse at
+        // successive epochs must stay consistent.
+        let cache = ResultCache::new(3);
+        for e in 0..50u64 {
+            let epoch = EpochId(e);
+            cache.insert(key(1), epoch, routes(1));
+            cache.insert(key(2), epoch, routes(2));
+            // Next epoch's lookups invalidate both.
+            assert!(cache.get(&key(1), EpochId(e + 1)).is_none());
+            assert!(cache.get(&key(2), EpochId(e + 1)).is_none());
+        }
+        let c = cache.counters();
+        assert_eq!(c.invalidations, 100);
+        assert_eq!(c.evictions, 0);
+        assert_eq!(c.len, 0);
     }
 }

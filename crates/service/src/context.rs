@@ -1,11 +1,12 @@
-//! The owned, shareable counterpart of `skysr_core::QueryContext`.
+//! The owned, shareable counterpart of `skysr_core::QueryContext`, with
+//! epoch-managed dynamic edge weights.
 
 use std::sync::Arc;
 
 use skysr_category::{CategoryForest, Similarity, WuPalmer};
 use skysr_core::{PoiTable, QueryContext};
 use skysr_data::dataset::Dataset;
-use skysr_graph::RoadNetwork;
+use skysr_graph::{EpochId, RoadNetwork, WeightDelta, WeightEpoch};
 
 /// Owned bundle of graph + category forest + PoI table + similarity
 /// measure.
@@ -13,18 +14,24 @@ use skysr_graph::RoadNetwork;
 /// The borrowed [`QueryContext`] ties a query to the stack frame owning
 /// the data; a `ServiceContext` instead *owns* the data, so one
 /// `Arc<ServiceContext>` can be moved into any number of worker threads.
-/// Workers derive a borrowed `QueryContext` via [`Self::query_context`]
-/// and run the existing engines on it unchanged.
+///
+/// The road network is held behind a [`WeightEpoch`] manager: weight
+/// updates are published with [`Self::publish_weights`] while workers keep
+/// serving. A worker never reads the live graph directly — it takes a
+/// [`PinnedContext`] via [`Self::pin`], a consistent snapshot frozen at one
+/// [`EpochId`], and runs the existing engines on it unchanged. Forest, PoI
+/// table and similarity remain immutable for the context's lifetime.
 pub struct ServiceContext {
-    graph: RoadNetwork,
+    graph: WeightEpoch,
     forest: CategoryForest,
     pois: PoiTable,
     similarity: Arc<dyn Similarity>,
 }
 
-// Shared immutably across worker threads; everything inside is either
-// plain owned data or an `Arc<dyn Similarity>` whose trait requires
-// `Send + Sync`. Keep that a compile-time fact:
+// Shared across worker threads; the graph's epoch manager is internally
+// synchronized and everything else is either plain owned data or an
+// `Arc<dyn Similarity>` whose trait requires `Send + Sync`. Keep that a
+// compile-time fact:
 const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ServiceContext>();
@@ -43,7 +50,7 @@ impl ServiceContext {
         pois: PoiTable,
         similarity: Arc<dyn Similarity>,
     ) -> ServiceContext {
-        ServiceContext { graph, forest, pois, similarity }
+        ServiceContext { graph: WeightEpoch::new(graph), forest, pois, similarity }
     }
 
     /// Takes ownership of a generated (or loaded) dataset's graph, forest
@@ -52,15 +59,62 @@ impl ServiceContext {
         ServiceContext::new(dataset.graph, dataset.forest, dataset.pois)
     }
 
-    /// A borrowed [`QueryContext`] over this context, usable with every
-    /// algorithm in `skysr-core`.
+    /// A borrowed [`QueryContext`] over the *base* (epoch-0) graph view,
+    /// usable with every algorithm in `skysr-core`.
+    ///
+    /// This deliberately does not follow weight updates — it borrows from
+    /// `self` and therefore cannot pin a snapshot. Code that must see
+    /// current (or historical) traffic goes through [`Self::pin`] /
+    /// [`Self::pin_at`].
     pub fn query_context(&self) -> QueryContext<'_> {
-        QueryContext::with_similarity(&self.graph, &self.forest, &self.pois, &*self.similarity)
+        QueryContext::with_similarity(
+            self.graph.base(),
+            &self.forest,
+            &self.pois,
+            &*self.similarity,
+        )
     }
 
-    /// The road network.
+    /// A consistent snapshot of the context at the current weight epoch.
+    /// O(1): the graph view is two `Arc` clones.
+    pub fn pin(&self) -> PinnedContext<'_> {
+        self.pinned_view(self.graph.pin())
+    }
+
+    /// A snapshot pinned to `epoch`, if that epoch was published on this
+    /// context. Historical pins power verification: a replayed answer is
+    /// audited against a fresh search *at the epoch it was served under*.
+    pub fn pin_at(&self, epoch: EpochId) -> Option<PinnedContext<'_>> {
+        self.graph.pin_at(epoch).map(|g| self.pinned_view(g))
+    }
+
+    fn pinned_view(&self, graph: RoadNetwork) -> PinnedContext<'_> {
+        PinnedContext {
+            graph,
+            forest: &self.forest,
+            pois: &self.pois,
+            similarity: &*self.similarity,
+        }
+    }
+
+    /// Publishes one batch of edge-weight deltas as the next epoch and
+    /// returns its id. Already-pinned snapshots are unaffected; subsequent
+    /// [`Self::pin`] calls observe the new weights.
+    ///
+    /// # Panics
+    /// If a delta names a nonexistent edge or a negative/NaN weight.
+    pub fn publish_weights(&self, deltas: &[WeightDelta]) -> EpochId {
+        self.graph.publish(deltas)
+    }
+
+    /// The most recently published weight epoch.
+    pub fn current_epoch(&self) -> EpochId {
+        self.graph.current_epoch()
+    }
+
+    /// The base (epoch-0) road network view.
     pub fn graph(&self) -> &RoadNetwork {
-        &self.graph
+        self.graph.base()
     }
 
     /// The category forest.
@@ -77,10 +131,52 @@ impl ServiceContext {
 impl std::fmt::Debug for ServiceContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceContext")
-            .field("vertices", &self.graph.num_vertices())
-            .field("edges", &self.graph.num_edges())
+            .field("vertices", &self.graph.base().num_vertices())
+            .field("edges", &self.graph.base().num_edges())
             .field("pois", &self.pois.num_pois())
             .field("categories", &self.forest.num_categories())
+            .field("epoch", &self.graph.current_epoch())
+            .finish()
+    }
+}
+
+/// A consistent snapshot of a [`ServiceContext`] frozen at one weight
+/// epoch.
+///
+/// The graph view is owned (cheap — shared storage plus the epoch's
+/// overlay); forest, PoI table and similarity are borrowed from the
+/// context. A search run over [`Self::query_context`] observes exactly the
+/// weights of [`Self::epoch`], no matter what updates publish concurrently.
+pub struct PinnedContext<'a> {
+    graph: RoadNetwork,
+    forest: &'a CategoryForest,
+    pois: &'a PoiTable,
+    similarity: &'a dyn Similarity,
+}
+
+impl PinnedContext<'_> {
+    /// The weight epoch this snapshot is frozen at.
+    pub fn epoch(&self) -> EpochId {
+        self.graph.epoch()
+    }
+
+    /// The pinned graph view.
+    pub fn graph(&self) -> &RoadNetwork {
+        &self.graph
+    }
+
+    /// A borrowed [`QueryContext`] over this snapshot, usable with every
+    /// algorithm in `skysr-core`.
+    pub fn query_context(&self) -> QueryContext<'_> {
+        QueryContext::with_similarity(&self.graph, self.forest, self.pois, self.similarity)
+    }
+}
+
+impl std::fmt::Debug for PinnedContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedContext")
+            .field("epoch", &self.epoch())
+            .field("vertices", &self.graph.num_vertices())
             .finish()
     }
 }
@@ -103,6 +199,11 @@ mod tests {
         let from_owned = Bssr::new(&owned.query_context()).run(&ex.query()).unwrap();
         let from_borrowed = Bssr::new(&ex.context()).run(&ex.query()).unwrap();
         assert_eq!(from_owned.routes, from_borrowed.routes);
+        // An untouched context pins epoch 0, and its pin answers agree too.
+        let pinned = owned.pin();
+        assert_eq!(pinned.epoch(), EpochId::BASE);
+        let from_pinned = Bssr::new(&pinned.query_context()).run(&ex.query()).unwrap();
+        assert_eq!(from_pinned.routes, from_borrowed.routes);
     }
 
     #[test]
@@ -114,7 +215,7 @@ mod tests {
                 let ctx = std::sync::Arc::clone(&ctx);
                 let query = ex.query();
                 std::thread::spawn(move || {
-                    Bssr::new(&ctx.query_context()).run(&query).unwrap().routes
+                    Bssr::new(&ctx.pin().query_context()).run(&query).unwrap().routes
                 })
             })
             .collect();
@@ -125,8 +226,27 @@ mod tests {
     }
 
     #[test]
+    fn publishing_weights_moves_pins_but_not_existing_snapshots() {
+        let ctx = paper_service_context();
+        let before = ctx.pin();
+        assert_eq!(ctx.current_epoch(), EpochId::BASE);
+        // Reweight some edge of the paper graph (vq's first arc).
+        let (from, to, w) = ctx.graph().arc(0);
+        let e1 = ctx.publish_weights(&[WeightDelta::new(from, to, w.get() * 3.0)]);
+        assert_eq!(e1, EpochId(1));
+        assert_eq!(ctx.current_epoch(), EpochId(1));
+        assert_eq!(before.epoch(), EpochId::BASE, "existing snapshot stays pinned");
+        let after = ctx.pin();
+        assert_eq!(after.epoch(), EpochId(1));
+        // Historical pin round-trips.
+        assert_eq!(ctx.pin_at(EpochId::BASE).unwrap().epoch(), EpochId::BASE);
+        assert!(ctx.pin_at(EpochId(7)).is_none());
+    }
+
+    #[test]
     fn debug_shows_sizes() {
         let s = format!("{:?}", paper_service_context());
         assert!(s.contains("vertices"), "{s}");
+        assert!(s.contains("epoch"), "{s}");
     }
 }

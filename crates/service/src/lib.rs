@@ -2,35 +2,44 @@
 //!
 //! The algorithm crates answer one query on one thread against a borrowed
 //! [`QueryContext`](skysr_core::QueryContext). This crate adds the serving
-//! layer the ROADMAP's scaling work builds on: SkySR's inputs (road
-//! network, category forest, PoI table, similarity measure) are immutable
-//! after construction, so a single owned [`ServiceContext`] can be shared
-//! by `Arc` across any number of worker threads, each running the
-//! unchanged [`Bssr`](skysr_core::bssr::Bssr) engine with its own reusable
-//! scratch state.
+//! layer the ROADMAP's scaling work builds on. Category forest, PoI table
+//! and similarity measure are immutable after construction; the road
+//! network's *edge weights* are dynamic (live traffic), managed as
+//! epoch-versioned copy-on-write overlays
+//! ([`skysr_graph::epoch`]). A single owned [`ServiceContext`] is shared
+//! by `Arc` across any number of worker threads; each worker pins a
+//! consistent snapshot ([`context::PinnedContext`]) per request and runs
+//! the unchanged [`Bssr`](skysr_core::bssr::Bssr) engine on it with
+//! recycled scratch state.
 //!
 //! Components:
 //!
 //! * [`context::ServiceContext`] — the owned, `Arc`-shared counterpart of
-//!   the borrowed `QueryContext`;
+//!   the borrowed `QueryContext`, with
+//!   [`publish_weights`](ServiceContext::publish_weights) /
+//!   [`pin`](ServiceContext::pin) /
+//!   [`pin_at`](ServiceContext::pin_at) for dynamic weights;
 //! * [`pool`] — a std-only worker pool fed by a bounded submission queue
 //!   (when the queue is full, [`QueryService::submit`] blocks —
 //!   backpressure), plus the singleflight [`pool::InflightTable`] behind
-//!   request coalescing;
+//!   request coalescing (keyed per canonical query *and* weight epoch);
 //! * [`cache`] — a cross-query LRU result cache keyed by the *canonical*
 //!   query (start vertex + canonical form of every position + engine
-//!   configuration; complex requirements canonicalize too), with exact
-//!   hit/miss/insertion/eviction counters;
+//!   configuration; complex requirements canonicalize too), with entries
+//!   stamped by weight epoch (lazy invalidation; stale entries are never
+//!   served) and exact hit/miss/insertion/eviction/invalidation counters;
 //! * [`metrics`] — aggregate counters (searches, coalesced hits,
-//!   warm-started searches) and recorded per-query latencies, snapshotted
-//!   into throughput / percentile reports;
+//!   warm-started searches, stale serves) and recorded per-query
+//!   latencies, snapshotted into throughput / percentile reports;
 //! * [`replay`] — a workload-replay driver with three stream shapes
-//!   (Zipf, duplicate bursts, prefix chains), optional verification
+//!   (Zipf, duplicate bursts, prefix chains), optional open-loop arrivals
+//!   and mid-stream weight-update bursts, and epoch-aware verification
 //!   against sequential execution, summarised in a
 //!   [`replay::ReplayReport`]. The CLI's `replay` subcommand is a thin
 //!   wrapper around it;
-//! * [`bench`] — the bench-smoke harness comparing the reuse layer to the
-//!   exact-match baseline and serializing the `BENCH_pr.json` CI artifact.
+//! * [`mod@bench`] — the bench-smoke harness comparing the reuse layer to
+//!   the exact-match baseline (including a dynamic, update-heavy cell) and
+//!   serializing the `BENCH_pr.json` CI artifact.
 //!
 //! Between a request and a BSSR search sit three reuse layers, applied in
 //! order by the worker loop: the result cache, request coalescing
@@ -39,7 +48,9 @@
 //! flight, so a key is never searched twice concurrently), and semantic
 //! prefix reuse (a cached skyline for ⟨c₁,…,c_{k−1}⟩ warm-starts the
 //! search for ⟨c₁,…,c_k⟩ via [`skysr_core::bssr::warm`], keeping results
-//! exact while tightening the pruning thresholds).
+//! exact while tightening the pruning thresholds). All three are
+//! epoch-exact: a cached skyline, an in-flight computation or a warm-start
+//! seed is reused only by requests pinned to the same weight epoch.
 //!
 //! ## Quickstart
 //!

@@ -71,6 +71,7 @@ pub struct MetricsRecorder {
     executed: AtomicU64,
     coalesced: AtomicU64,
     prefix_seeded: AtomicU64,
+    stale_served: AtomicU64,
     samples: Mutex<SampleSet>,
 }
 
@@ -104,6 +105,17 @@ impl MetricsRecorder {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a *stale serve*: a response whose skyline was computed under
+    /// a different weight epoch than the request was pinned to.
+    ///
+    /// The epoch-stamped cache refuses cross-epoch answers by construction,
+    /// so this counter staying at zero is the serving layer's staleness
+    /// guarantee — CI gates on it. A nonzero value means the invalidation
+    /// layer is broken.
+    pub fn record_stale_serve(&self) {
+        self.stale_served.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot over everything recorded so far. `wall` is the wall-clock
     /// window the caller observed (used for throughput); `cache` the
     /// cache's counters at the same instant.
@@ -125,6 +137,7 @@ impl MetricsRecorder {
             executed,
             coalesced: self.coalesced.load(Ordering::Relaxed),
             prefix_seeded: self.prefix_seeded.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
             wall,
             throughput_qps: if wall.as_secs_f64() > 0.0 {
                 completed as f64 / wall.as_secs_f64()
@@ -172,6 +185,11 @@ pub struct MetricsSnapshot {
     /// Searches warm-started from a cached prefix skyline (semantic
     /// reuse); a subset of `executed`.
     pub prefix_seeded: u64,
+    /// Responses served from a cache entry of a *different* weight epoch
+    /// than the request was pinned to. Always zero unless the
+    /// epoch-invalidation layer is broken — the CI staleness gate asserts
+    /// on it.
+    pub stale_served: u64,
     /// Observation window.
     pub wall: Duration,
     /// Completed queries per second of the window.
@@ -237,6 +255,11 @@ impl std::fmt::Display for MetricsSnapshot {
             self.cache.misses,
             self.cache.evictions,
             self.cache.len
+        )?;
+        writeln!(
+            f,
+            "staleness   {} entries invalidated by epoch change, {} stale serves",
+            self.cache.invalidations, self.stale_served
         )?;
         write!(
             f,
@@ -304,5 +327,21 @@ mod tests {
         assert!(text.contains("1 coalesced"), "{text}");
         assert!(text.contains("warm-started"), "{text}");
         assert!(text.contains("queries/s"), "{text}");
+        assert!(text.contains("0 stale serves"), "{text}");
+    }
+
+    #[test]
+    fn stale_serves_are_counted_and_reported() {
+        // The tripwire behind the CI staleness gate: in a healthy service
+        // this counter is never bumped; when it is, the snapshot and the
+        // rendered report must expose it.
+        let rec = MetricsRecorder::default();
+        let clean = rec.snapshot(Duration::from_secs(1), CacheCounters::default());
+        assert_eq!(clean.stale_served, 0);
+        rec.record_stale_serve();
+        rec.record_stale_serve();
+        let snap = rec.snapshot(Duration::from_secs(1), CacheCounters::default());
+        assert_eq!(snap.stale_served, 2);
+        assert!(snap.to_string().contains("2 stale serves"), "{snap}");
     }
 }

@@ -1,5 +1,6 @@
 //! Workload replay: skewed query streams over a pool of distinct generated
-//! queries, executed through a [`QueryService`].
+//! queries, executed through a [`QueryService`] — optionally as an
+//! *open-loop* arrival process with live weight updates underneath.
 //!
 //! Real query traffic repeats itself — popular start areas and category
 //! sequences recur, which is exactly what the cross-query reuse layer
@@ -16,29 +17,54 @@
 //!   ⟨c₁,…,c_j⟩ of each generated query and the stream walks chains
 //!   short-to-long; exercises semantic prefix reuse (warm starts).
 //!
-//! With [`ReplaySpec::verify`] set, every request is also answered by a
-//! sequential cold [`Bssr`] run and the skylines compared with
-//! [`equivalent_skylines`]: same size and score-identical up to the score
-//! tolerance. (Exact route equality is deliberately not required — a
-//! warm-started search may return a different *representative* route for a
-//! score-tied skyline point.)
+//! Two orthogonal realism knobs turn the closed-loop batch into a live
+//! serving experiment:
+//!
+//! * **Open-loop load** ([`ReplaySpec::qps`] > 0): requests are submitted
+//!   at exponentially distributed inter-arrival times targeting the given
+//!   rate, independent of completion — so latency under saturation is
+//!   measured honestly (queueing delay included) instead of the closed
+//!   loop's self-throttling. (If the bounded submission queue fills, the
+//!   submitter blocks; a sustained-overload run measures exactly that
+//!   backpressure.)
+//! * **Weight updates** ([`ReplaySpec::update_rate`] > 0): a background
+//!   updater publishes bursts of [`update_burst`](ReplaySpec::update_burst)
+//!   random edge reweightings (log-uniform factors within
+//!   [`update_magnitude`](ReplaySpec::update_magnitude) of the base
+//!   weight) as new weight epochs, at exponentially distributed instants,
+//!   while the stream is in flight. Queries pin the epoch current at
+//!   dequeue time; cached skylines from older epochs are lazily
+//!   invalidated and must never be served.
+//!
+//! With [`ReplaySpec::verify`] set, every answered request is re-answered
+//! by a sequential cold [`Bssr`] run *at the epoch the response reports it
+//! was pinned to* (historical epochs stay pinnable), and the skylines
+//! compared with [`equivalent_skylines`]: same size and score-identical up
+//! to the score tolerance. (Exact route equality is deliberately not
+//! required — a warm-started search may return a different
+//! *representative* route for a score-tied skyline point.) Together with
+//! the report's stale-serve count (which must be zero) this is the
+//! end-to-end proof that staleness never leaks.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use skysr_core::bssr::{Bssr, BssrConfig};
+use rand::{RngExt, SeedableRng};
+use skysr_core::bssr::{Bssr, BssrConfig, BssrScratch};
+use skysr_core::error::QueryError;
 use skysr_core::query::SkySrQuery;
 use skysr_core::route::{equivalent_skylines, SkylineRoute};
 use skysr_data::dataset::Dataset;
 use skysr_data::workload::WorkloadSpec;
 use skysr_data::zipf::Zipf;
+use skysr_graph::{EpochId, RoadNetwork, WeightDelta};
 
 use crate::context::ServiceContext;
 use crate::metrics::MetricsSnapshot;
-use crate::service::{QueryService, ServiceConfig};
+use crate::service::{QueryResponse, QueryService, ServiceConfig, Ticket};
 
 /// Shape of the replayed request stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,7 +104,8 @@ pub struct ReplaySpec {
     pub burst: usize,
     /// Zipf exponent of query popularity (0 = uniform, 1 = classic skew).
     pub zipf_exponent: f64,
-    /// RNG seed for pool generation and stream sampling.
+    /// RNG seed for pool generation, stream sampling, arrival times and
+    /// update placement.
     pub seed: u64,
     /// Worker threads (0 = one per CPU).
     pub workers: usize,
@@ -92,8 +119,21 @@ pub struct ReplaySpec {
     pub queue_capacity: usize,
     /// Engine configuration.
     pub engine: BssrConfig,
-    /// Also run every request sequentially on one thread and compare
-    /// skylines (score-equivalent multisets).
+    /// Open-loop target arrival rate in queries/second; `0` replays the
+    /// stream as a closed-loop batch (submit-everything, PR 1 behaviour).
+    pub qps: f64,
+    /// Weight-update bursts per second published while the stream is in
+    /// flight; `0` keeps the network static.
+    pub update_rate: f64,
+    /// Edge reweightings per update burst.
+    pub update_burst: usize,
+    /// Maximum multiplicative weight change per update: each reweighted
+    /// edge gets `base_weight × magnitude^u` with `u` uniform in [−1, 1].
+    /// Must be ≥ 1; factors are relative to the *base* weights, so traffic
+    /// stays bounded over arbitrarily long runs.
+    pub update_magnitude: f64,
+    /// Also re-answer every request sequentially at its pinned epoch and
+    /// compare skylines (score-equivalent multisets).
     pub verify: bool,
 }
 
@@ -113,6 +153,10 @@ impl Default for ReplaySpec {
             prefix_reuse: true,
             queue_capacity: 256,
             engine: BssrConfig::default(),
+            qps: 0.0,
+            update_rate: 0.0,
+            update_burst: 32,
+            update_magnitude: 2.0,
             verify: false,
         }
     }
@@ -129,19 +173,31 @@ pub struct ReplayReport {
     pub pattern: StreamPattern,
     /// Worker threads used.
     pub workers: usize,
+    /// Open-loop target rate (0 = closed loop).
+    pub qps: f64,
     /// Wall-clock time of the concurrent replay.
     pub wall: Duration,
+    /// Weight epochs published while the stream was in flight.
+    pub epochs_published: u64,
     /// Service metrics over the replay window.
     pub metrics: MetricsSnapshot,
     /// `Some(mismatches)` when verification ran: the number of requests
-    /// whose concurrent skyline was not score-equivalent to the
-    /// sequential one.
+    /// whose concurrent skyline was not score-equivalent to a fresh
+    /// sequential run at the request's pinned epoch.
     pub verify_mismatches: Option<usize>,
+}
+
+impl ReplayReport {
+    /// Stale serves observed (cache answers from a non-pinned epoch).
+    /// The staleness gate: must be zero.
+    pub fn stale_served(&self) -> u64 {
+        self.metrics.stale_served
+    }
 }
 
 impl std::fmt::Display for ReplayReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
+        write!(
             f,
             "replayed    {} requests ({} distinct, {} stream) on {} workers in {:.2} s",
             self.total,
@@ -150,11 +206,22 @@ impl std::fmt::Display for ReplayReport {
             self.workers,
             self.wall.as_secs_f64()
         )?;
+        if self.qps > 0.0 {
+            write!(f, " (open loop @ {:.0} q/s target)", self.qps)?;
+        }
+        writeln!(f)?;
+        if self.epochs_published > 0 {
+            writeln!(
+                f,
+                "updates     {} weight epochs published mid-stream",
+                self.epochs_published
+            )?;
+        }
         write!(f, "{}", self.metrics)?;
         if let Some(m) = self.verify_mismatches {
             write!(f, "\nverify      ")?;
             if m == 0 {
-                write!(f, "OK — concurrent skylines equivalent to sequential execution")?;
+                write!(f, "OK — every skyline equivalent to a fresh search at its pinned epoch")?;
             } else {
                 write!(f, "FAILED — {m} mismatching request(s)")?;
             }
@@ -239,6 +306,35 @@ fn request_stream(spec: &ReplaySpec, pool_len: usize) -> Vec<usize> {
     }
 }
 
+/// One exponential(1) draw — inter-arrival times of a Poisson process.
+fn exp_sample(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.random(); // [0, 1)
+    -(1.0 - u).ln()
+}
+
+/// `count` random edge reweightings over `graph`: arcs sampled uniformly,
+/// each assigned `base_weight × magnitude^u` with `u` uniform in [−1, 1].
+/// Factors are relative to the base weights so repeated bursts never drift
+/// the network off to extremes.
+pub fn random_traffic_deltas(
+    graph: &RoadNetwork,
+    count: usize,
+    magnitude: f64,
+    rng: &mut StdRng,
+) -> Vec<WeightDelta> {
+    assert!(magnitude >= 1.0, "update magnitude must be >= 1, got {magnitude}");
+    assert!(graph.num_arcs() > 0, "cannot reweight an edgeless graph");
+    (0..count)
+        .map(|_| {
+            let slot = rng.random_range(0usize..graph.num_arcs());
+            let (from, to, _) = graph.arc(slot);
+            let base = graph.base_arc_weight(slot).get();
+            let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+            WeightDelta::new(from, to, base * magnitude.powf(u))
+        })
+        .collect()
+}
+
 /// Replays `spec` against `dataset` and reports service metrics.
 ///
 /// The dataset is consumed: its graph, forest and PoI table become the
@@ -271,45 +367,135 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         },
     );
     let workers = service.config().workers;
+    let epoch_before = ctx.current_epoch();
+
+    // The updater publishes weight-delta bursts at exponential instants
+    // until the stream drains.
+    let stop = Arc::new(AtomicBool::new(false));
+    let updater = (spec.update_rate > 0.0).then(|| {
+        let ctx = Arc::clone(&ctx);
+        let stop = Arc::clone(&stop);
+        let rate = spec.update_rate;
+        let burst = spec.update_burst.max(1);
+        let magnitude = spec.update_magnitude.max(1.0);
+        let seed = spec.seed ^ 0x7570_6474; // "updt"
+        std::thread::Builder::new()
+            .name("skysr-updater".into())
+            .spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                while !stop.load(Ordering::Relaxed) {
+                    // Sleep in small slices so a drained stream stops the
+                    // updater promptly.
+                    let deadline =
+                        Instant::now() + Duration::from_secs_f64(exp_sample(&mut rng) / rate);
+                    while let Some(left) = deadline.checked_duration_since(Instant::now()) {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(left.min(Duration::from_millis(2)));
+                    }
+                    let deltas = random_traffic_deltas(ctx.graph(), burst, magnitude, &mut rng);
+                    ctx.publish_weights(&deltas);
+                }
+            })
+            .expect("spawning the updater thread")
+    });
 
     let t0 = Instant::now();
-    let outcomes = service.run_batch(stream.iter().map(|&i| pool[i].clone()));
+    let outcomes = if spec.qps > 0.0 {
+        open_loop_batch(&service, pool, &stream, spec.qps, spec.seed)
+    } else {
+        service.run_batch(stream.iter().map(|&i| pool[i].clone()))
+    };
     let wall = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = updater {
+        h.join().expect("updater thread panicked");
+    }
     let metrics = service.metrics();
     drop(service);
+    let epochs_published = ctx.current_epoch().get() - epoch_before.get();
 
-    let verify_mismatches = spec.verify.then(|| {
-        let sequential = sequential_skylines(&ctx, pool, spec.engine);
-        stream
-            .iter()
-            .zip(&outcomes)
-            .filter(|&(&i, outcome)| match outcome {
-                Ok(response) => !equivalent_skylines(&response.routes, &sequential[i]),
-                Err(_) => true,
-            })
-            .count()
-    });
+    let verify_mismatches =
+        spec.verify.then(|| count_oracle_mismatches(&ctx, pool, spec.engine, &stream, &outcomes));
 
     ReplayReport {
         total: stream.len(),
         distinct: pool.len(),
         pattern: spec.pattern,
         workers,
+        qps: spec.qps,
         wall,
+        epochs_published,
         metrics,
         verify_mismatches,
     }
 }
 
-/// One-threaded cold reference answers for every pool query.
-fn sequential_skylines(
+/// Submits the stream at exponentially distributed inter-arrival times
+/// targeting `qps`, then waits for every answer (order preserved).
+fn open_loop_batch(
+    service: &QueryService,
+    pool: &[SkySrQuery],
+    stream: &[usize],
+    qps: f64,
+    seed: u64,
+) -> Vec<Result<QueryResponse, QueryError>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6f70_656e); // "open"
+    let started = Instant::now();
+    let mut at = 0.0f64;
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(stream.len());
+    for &i in stream {
+        at += exp_sample(&mut rng) / qps;
+        let target = started + Duration::from_secs_f64(at);
+        if let Some(wait) = target.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        // Submission may block on a full queue: open-loop overload turns
+        // into measured backpressure, not an unbounded client-side buffer.
+        tickets.push(service.submit(pool[i].clone()));
+    }
+    tickets.into_iter().map(Ticket::wait).collect()
+}
+
+/// Epoch-aware verification: every answered request is recomputed by a
+/// cold sequential [`Bssr`] over a snapshot pinned to the epoch the
+/// response reports, and compared as score-equivalent multisets. Each
+/// (epoch, pool entry) reference is computed once.
+fn count_oracle_mismatches(
     ctx: &ServiceContext,
     pool: &[SkySrQuery],
     engine: BssrConfig,
-) -> Vec<Vec<SkylineRoute>> {
-    let qctx = ctx.query_context();
-    let mut bssr = Bssr::with_config(&qctx, engine);
-    pool.iter().map(|q| bssr.run(q).expect("generated queries are valid").routes).collect()
+    stream: &[usize],
+    outcomes: &[Result<QueryResponse, QueryError>],
+) -> usize {
+    use std::collections::{BTreeMap, BTreeSet, HashMap};
+    let mut need: BTreeMap<EpochId, BTreeSet<usize>> = BTreeMap::new();
+    for (&i, outcome) in stream.iter().zip(outcomes) {
+        if let Ok(r) = outcome {
+            need.entry(r.epoch).or_default().insert(i);
+        }
+    }
+    let mut reference: HashMap<(EpochId, usize), Vec<SkylineRoute>> = HashMap::new();
+    let mut scratch = BssrScratch::new(ctx.graph().num_vertices());
+    for (&epoch, indexes) in &need {
+        let pinned = ctx.pin_at(epoch).expect("responses only report published epochs");
+        let qctx = pinned.query_context();
+        let mut bssr = Bssr::with_scratch(&qctx, engine, scratch);
+        for &i in indexes {
+            let routes = bssr.run(&pool[i]).expect("generated queries are valid").routes;
+            reference.insert((epoch, i), routes);
+        }
+        scratch = bssr.into_scratch();
+    }
+    stream
+        .iter()
+        .zip(outcomes)
+        .filter(|&(&i, outcome)| match outcome {
+            Ok(r) => !equivalent_skylines(&r.routes, &reference[&(r.epoch, i)]),
+            Err(_) => true,
+        })
+        .count()
 }
 
 #[cfg(test)]
@@ -378,5 +564,35 @@ mod tests {
         assert_eq!(&stream[..8], &[0, 3, 6, 9, 1, 4, 7, 10]);
         // The stream cycles: entry 12 restarts the length-1 wavefront.
         assert_eq!(stream[12], 0);
+    }
+
+    #[test]
+    fn exponential_samples_are_positive_with_unit_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exp_sample(&mut rng)).sum();
+        assert!((sum / n as f64 - 1.0).abs() < 0.05, "mean {}", sum / n as f64);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..10_000).all(|_| exp_sample(&mut rng) >= 0.0));
+    }
+
+    #[test]
+    fn traffic_deltas_stay_within_magnitude_of_base() {
+        use skysr_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..10).map(|_| b.add_vertex()).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], 4.0);
+        }
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(11);
+        let deltas = random_traffic_deltas(&g, 500, 3.0, &mut rng);
+        assert_eq!(deltas.len(), 500);
+        for d in &deltas {
+            assert!(d.weight >= 4.0 / 3.0 - 1e-9 && d.weight <= 4.0 * 3.0 + 1e-9, "{d:?}");
+        }
+        // Deterministic per seed.
+        let mut rng2 = StdRng::seed_from_u64(11);
+        assert_eq!(random_traffic_deltas(&g, 500, 3.0, &mut rng2), deltas);
     }
 }

@@ -1,15 +1,16 @@
 //! The query service: shared context + worker pool + cache + in-flight
-//! coalescing + metrics.
+//! coalescing + metrics, epoch-consistent under dynamic edge weights.
 
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use skysr_core::bssr::{Bssr, BssrConfig};
+use skysr_core::bssr::{Bssr, BssrConfig, BssrScratch};
 use skysr_core::error::QueryError;
 use skysr_core::query::SkySrQuery;
 use skysr_core::route::SkylineRoute;
+use skysr_graph::EpochId;
 
 use crate::cache::{QueryKey, ResultCache};
 use crate::context::ServiceContext;
@@ -53,6 +54,9 @@ impl Default for ServiceConfig {
 pub struct QueryResponse {
     /// The skyline routes, shared with the cache (and other waiters).
     pub routes: Arc<[SkylineRoute]>,
+    /// The weight epoch the request was pinned to — the routes are exact
+    /// for precisely this epoch's edge weights.
+    pub epoch: EpochId,
     /// Whether the answer came from the result cache.
     pub cache_hit: bool,
     /// Whether the answer was computed by another request's in-flight
@@ -88,12 +92,21 @@ struct Waiter {
     submitted: Instant,
 }
 
+/// Coalescing key: one flight per canonical query *per weight epoch*. A
+/// request pinned to epoch N+1 must never join (and be answered by) a
+/// leader that is searching epoch-N weights, so the epoch is part of the
+/// flight identity.
+type FlightKey = (QueryKey, EpochId);
+
 /// A multi-threaded in-process SkySR query engine.
 ///
 /// Construction spawns the worker pool; each worker owns a [`Bssr`] engine
 /// (reusing its Dijkstra workspace and scratch state across queries) over
-/// the shared [`ServiceContext`]. Dropping the service closes the
-/// submission queue, drains in-flight work and joins every worker.
+/// the shared [`ServiceContext`]. Before each job the worker re-pins the
+/// context's current weight epoch, so published weight updates take effect
+/// on the next dequeued query while in-progress searches finish on their
+/// own consistent snapshot. Dropping the service closes the submission
+/// queue, drains in-flight work and joins every worker.
 pub struct QueryService {
     ctx: Arc<ServiceContext>,
     queue: Arc<BoundedQueue<Job>>,
@@ -130,7 +143,7 @@ impl QueryService {
             prefix_reuse: config.prefix_reuse && config.cache_capacity > 0,
         };
         let cache = Arc::new(ResultCache::new(config.cache_capacity.max(1)));
-        let inflight: Arc<InflightTable<QueryKey, Waiter>> = Arc::new(InflightTable::new());
+        let inflight: Arc<InflightTable<FlightKey, Waiter>> = Arc::new(InflightTable::new());
         let metrics = Arc::new(MetricsRecorder::default());
 
         let handles = (0..workers)
@@ -242,12 +255,14 @@ fn respond(
     reply: &mpsc::Sender<Result<QueryResponse, QueryError>>,
     submitted: Instant,
     routes: Arc<[SkylineRoute]>,
+    epoch: EpochId,
     served: Served,
 ) {
     let latency = submitted.elapsed();
     metrics.record(latency, routes.len(), served);
     let _ = reply.send(Ok(QueryResponse {
         routes,
+        epoch,
         cache_hit: served == Served::CacheHit,
         coalesced: served == Served::Coalesced,
         latency,
@@ -256,67 +271,100 @@ fn respond(
 
 /// The per-worker serving loop. For every job, in order:
 ///
-/// 1. **Cache.** A canonical-key hit answers immediately.
-/// 2. **Coalescing.** `InflightTable::begin` atomically either parks this
-///    request under an in-flight duplicate (the worker moves on — the
-///    leader will answer it) or elects this worker the key's leader. A
-///    fresh leader re-probes the cache before searching: its own lookup
-///    in step 1 may have raced a previous leader of the same key, which
-///    filled the cache and completed between the miss and the `begin`.
-/// 3. **Semantic reuse.** The leader probes the cache for the query's
-///    (k−1)-prefix skyline and warm-starts the search with it.
-/// 4. **Completion.** The leader inserts the result into the cache
-///    *before* ending the flight — any duplicate arriving in between hits
-///    the cache, so with caching enabled a key can never be searched twice
-///    concurrently nor re-searched after a coalesced flight completes.
-///    Then it answers itself and every parked waiter with the same
-///    `Arc`'d skyline. Failures propagate to all waiters (they asked the
-///    same invalid query) and are never cached.
+/// 1. **Pin.** The worker refreshes its [`PinnedContext`] snapshot if the
+///    context's weight epoch advanced since the previous job. The whole
+///    request — cache lookup, coalescing, search, cache fill — runs
+///    against that one pinned epoch.
+/// 2. **Cache.** A canonical-key hit *stamped with the pinned epoch*
+///    answers immediately. The cache never returns cross-epoch entries
+///    (older ones are lazily invalidated); the worker still re-checks the
+///    returned stamp and counts a stale serve if it ever mismatched.
+/// 3. **Coalescing.** `InflightTable::begin` on the (key, epoch) pair
+///    atomically either parks this request under an in-flight duplicate of
+///    the same epoch (the worker moves on — the leader will answer it) or
+///    elects this worker the flight's leader. Requests pinned to different
+///    epochs never share a flight. A fresh leader re-probes the cache
+///    before searching: its own lookup in step 2 may have raced a previous
+///    leader of the same flight, which filled the cache and completed
+///    between the miss and the `begin`.
+/// 4. **Semantic reuse.** The leader probes the cache for the query's
+///    (k−1)-prefix skyline — same epoch only — and warm-starts the search
+///    with it.
+/// 5. **Completion.** The leader inserts the epoch-stamped result into the
+///    cache *before* ending the flight — any same-epoch duplicate arriving
+///    in between hits the cache, so with caching enabled a (key, epoch) can
+///    never be searched twice concurrently nor re-searched after a
+///    coalesced flight completes. The insert refuses to overwrite a
+///    newer-epoch entry, so a flight that straddled an update cannot
+///    poison the cache for post-update traffic. Then it answers itself and
+///    every parked waiter with the same `Arc`'d skyline. Failures
+///    propagate to all waiters (they asked the same invalid query) and are
+///    never cached.
+///
+/// [`PinnedContext`]: crate::context::PinnedContext
 fn worker_loop(
     ctx: &ServiceContext,
     queue: &BoundedQueue<Job>,
     cache: &ResultCache,
-    inflight: &InflightTable<QueryKey, Waiter>,
+    inflight: &InflightTable<FlightKey, Waiter>,
     metrics: &MetricsRecorder,
     engine_cfg: BssrConfig,
     opts: ReuseOpts,
 ) {
-    let qctx = ctx.query_context();
-    let mut engine = Bssr::with_config(&qctx, engine_cfg);
+    let mut pinned = ctx.pin();
+    // One engine scratch per worker for its whole lifetime: re-pinning an
+    // epoch rebuilds the engine view but recycles the (large, already
+    // paged-in) workspaces.
+    let mut scratch = Some(BssrScratch::new(pinned.graph().num_vertices()));
     while let Some(job) = queue.pop() {
+        if pinned.epoch() != ctx.current_epoch() {
+            pinned = ctx.pin();
+        }
+        let epoch = pinned.epoch();
         let Job { query, submitted, reply } = job;
         let key =
             (opts.caching || opts.coalesce).then(|| QueryKey::canonicalize(&query, engine_cfg));
         if opts.caching {
             let key = key.as_ref().expect("caching implies a key");
-            if let Some(routes) = cache.get(key) {
-                respond(metrics, &reply, submitted, routes, Served::CacheHit);
-                continue;
+            if let Some((entry_epoch, routes)) = cache.get(key, epoch) {
+                if entry_epoch == epoch {
+                    respond(metrics, &reply, submitted, routes, epoch, Served::CacheHit);
+                    continue;
+                }
+                // Unreachable unless the cache's epoch filter is broken:
+                // refuse to serve the stale skyline, record the near-miss
+                // for the staleness gate, and fall through to a fresh
+                // search at the pinned epoch.
+                metrics.record_stale_serve();
             }
         }
         let mut leader = Waiter { reply, submitted };
-        if opts.coalesce {
-            let k = key.clone().expect("coalescing implies a key");
-            match inflight.begin(k, leader) {
+        // The flight identity of this request, built once; `None` when
+        // coalescing is off.
+        let fkey: Option<FlightKey> =
+            opts.coalesce.then(|| (key.clone().expect("coalescing implies a key"), epoch));
+        if let Some(fk) = &fkey {
+            match inflight.begin(fk.clone(), leader) {
                 Begin::Joined => continue,
                 Begin::Leader(w) => leader = w,
             }
             // Close the miss-then-begin window: between this worker's
             // cache miss and winning the flight, a previous leader for the
-            // same key may have filled the cache and completed. Re-probe so
-            // a key completed moments ago is never re-searched; on a hit,
-            // the request's already-counted miss is reclassified so the
-            // exact-counter invariants survive the race.
+            // same (key, epoch) may have filled the cache and completed.
+            // Re-probe so a flight completed moments ago is never
+            // re-searched; on a hit, the request's already-counted miss is
+            // reclassified so the exact-counter invariants survive the
+            // race.
             if opts.caching {
-                let k = key.as_ref().expect("caching implies a key");
-                if let Some(routes) = cache.peek(k) {
+                if let Some((_, routes)) = cache.peek(&fk.0, epoch) {
                     cache.reclassify_miss_as_hit();
-                    let waiters = inflight.complete(k);
+                    let waiters = inflight.complete(fk);
                     respond(
                         metrics,
                         &leader.reply,
                         leader.submitted,
                         Arc::clone(&routes),
+                        epoch,
                         Served::CacheHit,
                     );
                     for w in waiters {
@@ -325,6 +373,7 @@ fn worker_loop(
                             &w.reply,
                             w.submitted,
                             Arc::clone(&routes),
+                            epoch,
                             Served::Coalesced,
                         );
                     }
@@ -332,15 +381,21 @@ fn worker_loop(
                 }
             }
         }
+        // Same-epoch prefix skylines only: seeds scored under other
+        // weights would warm-start the search with invalid thresholds.
         let seeds = if opts.prefix_reuse {
-            key.as_ref().and_then(QueryKey::prefix).and_then(|pk| cache.peek(&pk))
+            key.as_ref().and_then(QueryKey::prefix).and_then(|pk| cache.peek(&pk, epoch))
         } else {
             None
         };
+        let qctx = pinned.query_context();
+        let mut engine =
+            Bssr::with_scratch(&qctx, engine_cfg, scratch.take().expect("scratch is recycled"));
         let outcome = match &seeds {
-            Some(prefix) => engine.run_with_seeds(&query, prefix),
+            Some((_, prefix)) => engine.run_with_seeds(&query, prefix),
             None => engine.run(&query),
         };
+        scratch = Some(engine.into_scratch());
         match outcome {
             Ok(result) => {
                 // A prefix probe only helps when it actually seeded routes
@@ -348,27 +403,35 @@ fn worker_loop(
                 let warm = result.stats.warm_seed_routes > 0;
                 let routes: Arc<[SkylineRoute]> = result.routes.into();
                 if opts.caching {
-                    cache.insert(key.clone().expect("caching implies a key"), Arc::clone(&routes));
+                    cache.insert(key.expect("caching implies a key"), epoch, Arc::clone(&routes));
                 }
-                let waiters = match (opts.coalesce, &key) {
-                    (true, Some(key)) => inflight.complete(key),
-                    _ => Vec::new(),
+                let waiters = match &fkey {
+                    Some(fk) => inflight.complete(fk),
+                    None => Vec::new(),
                 };
                 respond(
                     metrics,
                     &leader.reply,
                     leader.submitted,
                     Arc::clone(&routes),
+                    epoch,
                     Served::Search { warm },
                 );
                 for w in waiters {
-                    respond(metrics, &w.reply, w.submitted, Arc::clone(&routes), Served::Coalesced);
+                    respond(
+                        metrics,
+                        &w.reply,
+                        w.submitted,
+                        Arc::clone(&routes),
+                        epoch,
+                        Served::Coalesced,
+                    );
                 }
             }
             Err(e) => {
-                let waiters = match (opts.coalesce, &key) {
-                    (true, Some(key)) => inflight.complete(key),
-                    _ => Vec::new(),
+                let waiters = match &fkey {
+                    Some(fk) => inflight.complete(fk),
+                    None => Vec::new(),
                 };
                 metrics.record_failure();
                 let _ = leader.reply.send(Err(e.clone()));
@@ -385,7 +448,7 @@ fn worker_loop(
 mod tests {
     use super::*;
     use skysr_core::paper_example::PaperExample;
-    use skysr_graph::VertexId;
+    use skysr_graph::{VertexId, WeightDelta};
 
     fn service(workers: usize, cache: usize) -> (PaperExample, QueryService) {
         let ex = PaperExample::new();
@@ -401,6 +464,7 @@ mod tests {
         let response = service.submit(ex.query()).wait().unwrap();
         assert_eq!(response.routes.len(), 2);
         assert!(!response.cache_hit);
+        assert_eq!(response.epoch, EpochId::BASE);
         assert_eq!(response.routes[0].pois, vec![VertexId(6), VertexId(9), VertexId(8)]);
     }
 
@@ -416,6 +480,7 @@ mod tests {
         assert_eq!(m.completed, 2);
         assert_eq!(m.executed, 1);
         assert_eq!(m.cache.hits, 1);
+        assert_eq!(m.stale_served, 0);
     }
 
     #[test]
@@ -451,5 +516,30 @@ mod tests {
             assert_eq!(o.unwrap().routes.len(), 2);
         }
         assert_eq!(svc.shutdown().completed, 64);
+    }
+
+    #[test]
+    fn weight_update_invalidates_cached_answers() {
+        // Cache the paper-example answer, triple the weight of the route's
+        // first leg, and ask again: the service must re-search at the new
+        // epoch (the old entry is lazily invalidated, never served) and the
+        // two answers must carry their own epochs.
+        let (ex, service) = service(1, 16);
+        let before = service.submit(ex.query()).wait().unwrap();
+        assert_eq!(before.epoch, EpochId::BASE);
+        let (from, to, w) = service.context().graph().arc(0);
+        let e1 = service.context().publish_weights(&[WeightDelta::new(from, to, w.get() * 3.0)]);
+        let after = service.submit(ex.query()).wait().unwrap();
+        assert_eq!(after.epoch, e1);
+        assert!(!after.cache_hit, "the pre-update entry must not answer");
+        let m = service.metrics();
+        assert_eq!(m.executed, 2, "the post-update request re-searched");
+        assert_eq!(m.cache.invalidations, 1, "the stale entry was dropped on lookup");
+        assert_eq!(m.stale_served, 0);
+        // The post-update entry serves post-update traffic.
+        let again = service.submit(ex.query()).wait().unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.epoch, e1);
+        assert_eq!(again.routes, after.routes);
     }
 }

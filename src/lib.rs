@@ -62,7 +62,9 @@ pub mod prelude {
         dataset::{Dataset, DatasetSpec, Preset},
         workload::{Workload, WorkloadSpec},
     };
-    pub use skysr_graph::{Cost, Landmarks, RoadNetwork, VertexId};
+    pub use skysr_graph::{
+        Cost, EpochId, Landmarks, RoadNetwork, VertexId, WeightDelta, WeightEpoch,
+    };
     pub use skysr_service::{
         replay::{replay, ReplayReport, ReplaySpec},
         MetricsSnapshot, QueryResponse, QueryService, ServiceConfig, ServiceContext,

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset of proptest the workspace's property tests use:
-//! the [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
 //! range and tuple strategies, `prop::collection::vec`, `prop::option::of`,
 //! [`prelude::any`] and the `prop_assert*` macros.
 //!
@@ -218,7 +218,7 @@ pub mod prop {
         use rand::RngExt;
         use std::ops::Range;
 
-        /// Accepted size arguments for [`vec`]: a fixed size or a
+        /// Accepted size arguments for [`vec()`]: a fixed size or a
         /// half-open range.
         #[derive(Clone, Debug)]
         pub struct SizeRange {
@@ -244,7 +244,7 @@ pub mod prop {
             VecStrategy { element, size: size.into() }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Clone, Debug)]
         pub struct VecStrategy<S> {
             element: S,
