@@ -11,7 +11,7 @@
 //! skysr-cli categories city.txt --top 15
 //! skysr-cli query city.txt --start 12 --categories "t0/n4,t1/n7" [--destination 99]
 //! skysr-cli replay [city.txt] --queries 1000 --workers 4 [--pattern duplicate] [--verify true]
-//! skysr-cli bench --out BENCH_pr.json [--require-speedup 2.0]
+//! skysr-cli bench --out BENCH_pr.json [--require-speedup 2.0] [--require-repair-speedup 1.5]
 //! skysr-cli demo
 //! ```
 //!
@@ -25,19 +25,31 @@
 //! process (exponential inter-arrivals at the target rate), and
 //! `--update-rate R` publishes bursts of `--update-burst` random
 //! edge-weight changes per second as new weight epochs while the stream is
-//! in flight. `--verify true` re-answers every request sequentially *at
+//! in flight; `--update-every N` instead publishes one burst after every
+//! N completed requests (synchronous closed-loop update waves).
+//! `--verify true` re-answers every request sequentially *at
 //! the epoch it was served under* and fails unless the concurrent skylines
 //! are score-equivalent; the run also fails if any answer was served from
 //! a stale (non-pinned-epoch) cache entry — the staleness gate.
+//! `--repair true` turns on incremental skyline repair: a cached answer
+//! from an older epoch is repaired against the exact epoch delta and
+//! promoted in place instead of invalidated and recomputed (still
+//! oracle-exact under `--verify`), and one-epoch-stale prefix skylines
+//! provably untouched by the delta still seed warm starts.
+//! `--retention K` bounds the weight-epoch history to the newest K epochs
+//! (overlays beyond the ring are compacted once no reader leases them);
+//! it conflicts with `--verify`, which needs historical epochs pinnable.
 //!
-//! `bench` replays duplicate-heavy, prefix-heavy and dynamic (weight
-//! updates racing the stream) workloads twice each — once with the reuse
-//! layer off (PR 1's exact-match cache baseline), once on — and writes the
+//! `bench` replays duplicate-heavy, prefix-heavy, dynamic (weight
+//! updates racing the stream) and repair (incremental repair vs.
+//! invalidate-and-recompute under deterministic update waves) workloads
+//! twice each — baseline vs. treatment — and writes the
 //! JSON metrics artifact CI uploads as `BENCH_pr.json` (throughput,
-//! p50/p99, hit/coalesce/warm-start rates, epochs published,
+//! p50/p99, hit/coalesce/warm-start/repair rates, epochs published,
 //! invalidations, verified correctness, speedups). `--require-speedup X`
-//! fails the run unless the duplicate-workload speedup reaches `X`; any
-//! stale serve fails it unconditionally.
+//! fails the run unless the duplicate-workload speedup reaches `X`;
+//! `--require-repair-speedup X` does the same for the repair cell; any
+//! stale serve fails either unconditionally.
 
 use std::process::ExitCode;
 
@@ -89,10 +101,13 @@ fn usage() -> &'static str {
      \t[--distinct N] [--workers N] [--seq-len K] [--zipf S] [--cache N]\n  \
      \t[--queue N] [--pattern zipf|duplicate|prefix] [--burst N]\n  \
      \t[--coalesce true|false] [--prefix-reuse true|false] [--verify true|false]\n  \
-     \t[--qps F] [--update-rate F] [--update-burst N] [--update-magnitude F]\n  \
+     \t[--repair true|false] [--retention K] [--qps F]\n  \
+     \t[--update-rate F] [--update-burst N] [--update-magnitude F]\n  \
+     \t[--update-every N]\n  \
      skysr-cli bench [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
      \t[--distinct N] [--workers N] [--seq-len K] [--burst N] [--out FILE.json]\n  \
      \t[--update-rate F] [--update-burst N] [--require-speedup X]\n  \
+     \t[--require-repair-speedup X]\n  \
      skysr-cli demo"
 }
 
@@ -233,6 +248,9 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 update_rate: parse_flag(&mut args, "update-rate", 0.0)?,
                 update_burst: parse_flag(&mut args, "update-burst", 32)?,
                 update_magnitude: parse_flag(&mut args, "update-magnitude", 2.0)?,
+                update_every: parse_flag(&mut args, "update-every", 0)?,
+                repair: parse_flag(&mut args, "repair", false)?,
+                retention: parse_flag(&mut args, "retention", 0)?,
                 seed: city.seed,
                 ..ReplaySpec::default()
             };
@@ -263,6 +281,20 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             }
             if spec.update_rate > 0.0 && spec.update_burst == 0 {
                 return Err("--update-burst must be at least 1".into());
+            }
+            if spec.update_every > 0 && (spec.qps > 0.0 || spec.update_rate > 0.0) {
+                return Err(
+                    "--update-every replays synchronous closed-loop update waves and conflicts \
+                     with the open-loop --qps/--update-rate knobs"
+                        .into(),
+                );
+            }
+            if spec.verify && spec.retention > 0 {
+                return Err(
+                    "--verify re-answers requests at historical epochs and requires unlimited \
+                     retention (drop --retention)"
+                        .into(),
+                );
             }
             let dataset = load_or_generate(&city)?;
             check_seq_len(&dataset, spec.seq_len)?;
@@ -301,6 +333,10 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             let require_speedup: Option<f64> = args
                 .optional("require-speedup")
                 .map(|s| s.parse().map_err(|_| "bad --require-speedup".to_string()))
+                .transpose()?;
+            let require_repair_speedup: Option<f64> = args
+                .optional("require-repair-speedup")
+                .map(|s| s.parse().map_err(|_| "bad --require-repair-speedup".to_string()))
                 .transpose()?;
             args.finish()?;
             if spec.total == 0 || spec.distinct == 0 || spec.seq_len == 0 {
@@ -342,6 +378,15 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                     return Err(format!(
                         "duplicate-workload speedup {:.2}x is below the required {min:.2}x",
                         report.speedup_duplicate
+                    ));
+                }
+            }
+            if let Some(min) = require_repair_speedup {
+                if report.speedup_repair < min {
+                    return Err(format!(
+                        "repair-workload speedup {:.2}x is below the required {min:.2}x \
+                         (repair vs. invalidate-and-recompute)",
+                        report.speedup_repair
                     ));
                 }
             }

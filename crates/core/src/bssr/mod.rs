@@ -23,6 +23,7 @@ pub mod cache;
 mod mdijkstra;
 pub mod nninit;
 pub mod queue;
+pub mod repair;
 pub mod warm;
 
 use std::time::Instant;
@@ -31,6 +32,7 @@ use skysr_graph::DijkstraWorkspace;
 
 pub use bounds::LowerBoundMode;
 pub use queue::QueuePolicy;
+pub use repair::{RepairOutcome, RepairResult, RepairStats};
 
 use crate::bssr::cache::SearchCache;
 use crate::bssr::mdijkstra::{mdijkstra_step, Scratch, StepEnv};

@@ -30,18 +30,27 @@ use crate::stats::QueryStats;
 /// into `skyline`. Returns the number of seed routes inserted (also
 /// recorded as [`QueryStats::warm_seed_routes`]).
 ///
-/// Each seed's semantic score is recomputed from `pq`'s own positions (not
-/// taken from the prefix route), so any same-start prefix whose PoIs match
-/// positions 1..k−1 produces a correctly scored seed; routes whose shape
-/// does not fit (wrong length, a PoI that does not match its position) are
-/// skipped, so a stale or foreign skyline degrades to a cold start.
+/// Seeds of *full* length k are also accepted (since the incremental
+/// repair work): they are validated against the query's positions,
+/// rescored semantically, and inserted directly — no extension leg runs.
+/// This is how repair's rescored survivors and epoch-crossing prefix
+/// entries re-enter a search as thresholds.
 ///
-/// **Precondition:** every prefix route's `length` must be a genuine
-/// accumulated shortest-path length from `pq.start` through its PoIs — the
-/// invariant of any skyline computed for the same start vertex. An
-/// understated length would over-tighten the pruning threshold and break
-/// exactness; this cannot be validated cheaply here, and the cache-keyed
-/// caller (`skysr-service`) guarantees it structurally.
+/// Each seed's semantic score is recomputed from `pq`'s own positions (not
+/// taken from the seed route), so any same-start skyline whose PoIs match
+/// the corresponding positions produces a correctly scored seed; routes
+/// whose shape does not fit (wrong length, a PoI that does not match its
+/// position, duplicated PoIs) are skipped, so a stale or foreign skyline
+/// degrades to a cold start.
+///
+/// **Precondition:** every seed route's `length` must be a genuine
+/// accumulated shortest-path length from `pq.start` through its PoIs *at
+/// this context's weight epoch* — the invariant of any skyline computed
+/// for the same start vertex and epoch. An understated length would
+/// over-tighten the pruning threshold and break exactness; this cannot be
+/// validated cheaply here, and the cache-keyed caller (`skysr-service`)
+/// guarantees it structurally (same-epoch entries, or entries proven
+/// untouched by the epoch delta).
 pub fn seed_prefix_routes(
     ctx: &QueryContext<'_>,
     pq: &PreparedQuery,
@@ -57,6 +66,25 @@ pub fn seed_prefix_routes(
     };
     let mut seeded = 0;
     for route in prefix {
+        if route.pois.len() == k {
+            // Full-length seed: validate and insert as-is.
+            if valid_full_seed(ctx, pq, route) {
+                let sim_acc: f64 = route
+                    .pois
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| pq.positions[i].sim_of(ctx, p))
+                    .product();
+                if skyline.update(SkylineRoute {
+                    pois: route.pois.clone(),
+                    length: route.length,
+                    semantic: 1.0 - sim_acc,
+                }) {
+                    seeded += 1;
+                }
+            }
+            continue;
+        }
         if route.pois.len() + 1 != k || route.pois.is_empty() {
             continue;
         }
@@ -111,6 +139,24 @@ pub fn seed_prefix_routes(
     }
     stats.warm_seed_routes = seeded;
     seeded
+}
+
+/// Whether `route` is a structurally valid full-length (k PoIs, distinct,
+/// every PoI matching its position) sequenced route for `pq`.
+fn valid_full_seed(ctx: &QueryContext<'_>, pq: &PreparedQuery, route: &SkylineRoute) -> bool {
+    if route.pois.len() != pq.len() {
+        return false;
+    }
+    for (i, &p) in route.pois.iter().enumerate() {
+        if pq.positions[i].sim_of(ctx, p) <= 0.0 {
+            return false;
+        }
+        // Definition 3.4(iii): PoI vertices must be distinct.
+        if route.pois[..i].contains(&p) {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]

@@ -188,6 +188,45 @@ impl RoadNetwork {
         Cost::new(self.storage.weights[slot])
     }
 
+    /// The effective (overlay-applied) weight of arc `slot`, without the
+    /// endpoint recovery [`RoadNetwork::arc`] pays for.
+    #[inline]
+    pub(crate) fn arc_weight(&self, slot: u32) -> f64 {
+        match self.overlay.as_ref().and_then(|o| o.weight_of(slot)) {
+            Some(w) => w,
+            None => self.storage.weights[slot as usize],
+        }
+    }
+
+    /// A *new storage* with this view's effective weights plus `extra`
+    /// folded into the base weight array — the base-CSR snapshot merge
+    /// behind [`WeightEpoch::compact`](crate::epoch::WeightEpoch::compact).
+    /// O(|arcs| + |V|) copy; topology and coordinates are duplicated so the
+    /// old storage (and every pinned view over it) stays untouched.
+    pub(crate) fn with_weights_folded(&self, extra: &WeightOverlay) -> RoadNetwork {
+        let s = &self.storage;
+        let mut weights = s.weights.clone();
+        if let Some(o) = &self.overlay {
+            for (slot, w) in o.entries() {
+                weights[slot as usize] = w;
+            }
+        }
+        for (slot, w) in extra.entries() {
+            weights[slot as usize] = w;
+        }
+        RoadNetwork {
+            storage: Arc::new(CsrStorage {
+                offsets: s.offsets.clone(),
+                targets: s.targets.clone(),
+                weights,
+                coords: s.coords.clone(),
+                directed: s.directed,
+                num_input_edges: s.num_input_edges,
+            }),
+            overlay: None,
+        }
+    }
+
     /// Arc slots of every stored arc `from → to` (several for parallel
     /// edges, empty if the arc does not exist).
     pub(crate) fn arcs_between(&self, from: VertexId, to: VertexId) -> Vec<u32> {

@@ -93,6 +93,20 @@ impl QueryKey {
     }
 }
 
+/// Outcome of a repair-aware lookup ([`ResultCache::get_for_repair`]).
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// A same-epoch entry answered.
+    Hit(Arc<[SkylineRoute]>),
+    /// An entry from an *older* epoch exists. It was **left in place**
+    /// (not lazily invalidated) so the caller can attempt an incremental
+    /// repair and promote it to the new epoch via
+    /// [`insert`](ResultCache::insert); counted as a miss.
+    Stale(EpochId, Arc<[SkylineRoute]>),
+    /// No usable entry (none at all, or only a newer-epoch one).
+    Miss,
+}
+
 /// One cached skyline: the routes plus the weight epoch they are valid
 /// for.
 #[derive(Clone, Debug)]
@@ -345,6 +359,59 @@ impl ResultCache {
         }
     }
 
+    /// Repair-aware lookup: like [`get`](ResultCache::get), but an entry
+    /// from an **older** epoch is returned as [`Lookup::Stale`] *without*
+    /// being invalidated — the serving layer attempts an incremental
+    /// repair and, on success, promotes the entry to the requester's epoch
+    /// in place (through the ordinary [`insert`](ResultCache::insert)
+    /// path, whose newer-epoch guard still applies). Counter taxonomy is
+    /// unchanged: a stale return counts as a miss (it is not a serve), and
+    /// `invalidations` is *not* bumped (nothing was dropped).
+    pub fn get_for_repair(&self, key: &QueryKey, epoch: EpochId) -> Lookup {
+        let mut lru = self.inner.lock().expect("cache poisoned");
+        let Some(i) = lru.index_of(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        };
+        let entry_epoch = lru.value(i).epoch;
+        if entry_epoch == epoch {
+            let routes = Arc::clone(&lru.value(i).routes);
+            lru.promote_index(i);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Lookup::Hit(routes)
+        } else if entry_epoch < epoch {
+            let routes = Arc::clone(&lru.value(i).routes);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            Lookup::Stale(entry_epoch, routes)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            Lookup::Miss
+        }
+    }
+
+    /// Non-counting, non-invalidating probe that returns whatever epoch
+    /// the entry carries (possibly older than the requester's — never
+    /// newer than `epoch`). Powers cross-epoch warm-start rescue: a prefix
+    /// skyline one or more epochs behind can still seed a search once the
+    /// epoch delta is proven not to touch it, so the probe must not
+    /// destroy the entry the way [`peek`](ResultCache::peek) would. A
+    /// found entry is marked recently used.
+    pub fn peek_stale(
+        &self,
+        key: &QueryKey,
+        epoch: EpochId,
+    ) -> Option<(EpochId, Arc<[SkylineRoute]>)> {
+        let mut lru = self.inner.lock().expect("cache poisoned");
+        let i = lru.index_of(key)?;
+        let entry_epoch = lru.value(i).epoch;
+        if entry_epoch > epoch {
+            return None;
+        }
+        let routes = Arc::clone(&lru.value(i).routes);
+        lru.promote_index(i);
+        Some((entry_epoch, routes))
+    }
+
     /// Reclassifies one already-counted miss as a hit.
     ///
     /// A flight leader whose post-claim re-probe finds the answer (a
@@ -554,6 +621,52 @@ mod tests {
         cache.insert(key(3), E0, routes(3));
         assert!(cache.peek(&key(2), E0).is_none(), "2 was evicted");
         assert!(cache.peek(&key(1), E0).is_some());
+    }
+
+    #[test]
+    fn get_for_repair_returns_stale_entries_without_invalidating() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1), E0, routes(1));
+        // A later-epoch requester gets the stale entry for repair...
+        match cache.get_for_repair(&key(1), E1) {
+            Lookup::Stale(e, r) => {
+                assert_eq!(e, E0);
+                assert_eq!(r[0].pois, vec![VertexId(1)]);
+            }
+            other => panic!("expected Stale, got {other:?}"),
+        }
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (0, 1), "a stale return is a miss, not a serve");
+        assert_eq!(c.invalidations, 0, "the entry was left for repair");
+        assert_eq!(c.len, 1);
+        // ...and promoting it refreshes the same slot.
+        cache.insert(key(1), E1, routes(2));
+        match cache.get_for_repair(&key(1), E1) {
+            Lookup::Hit(r) => assert_eq!(r[0].pois, vec![VertexId(2)]),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.len, c.evictions), (1, 1, 1, 0));
+        // Newer entries still miss for older pins, and stay.
+        assert!(matches!(cache.get_for_repair(&key(1), E0), Lookup::Miss));
+        assert_eq!(cache.counters().len, 1);
+        // Absent keys miss.
+        assert!(matches!(cache.get_for_repair(&key(9), E0), Lookup::Miss));
+    }
+
+    #[test]
+    fn peek_stale_is_silent_and_never_returns_newer_entries() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1), E1, routes(1));
+        // Older entry visible to a newer pin, silently.
+        let (e, _) = cache.peek_stale(&key(1), E2).expect("stale peek");
+        assert_eq!(e, E1);
+        // Same epoch works too; newer entries are off limits.
+        assert!(cache.peek_stale(&key(1), E1).is_some());
+        assert!(cache.peek_stale(&key(1), E0).is_none());
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.invalidations), (0, 0, 0), "peeks are not traffic");
+        assert_eq!(c.len, 1, "nothing was dropped");
     }
 
     #[test]

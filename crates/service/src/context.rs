@@ -1,12 +1,19 @@
 //! The owned, shareable counterpart of `skysr_core::QueryContext`, with
 //! epoch-managed dynamic edge weights.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use skysr_category::{CategoryForest, Similarity, WuPalmer};
 use skysr_core::{PoiTable, QueryContext};
 use skysr_data::dataset::Dataset;
-use skysr_graph::{EpochId, RoadNetwork, WeightDelta, WeightEpoch};
+use skysr_graph::{
+    DeltaSet, EpochGcStats, EpochId, Landmarks, RoadNetwork, VertexId, WeightDelta, WeightEpoch,
+};
+
+/// Landmarks built for the repair lower bounds: enough for useful
+/// triangle-inequality bounds, few enough that the one-time build (one
+/// full Dijkstra each) stays negligible next to serving.
+const REPAIR_LANDMARKS: usize = 8;
 
 /// Owned bundle of graph + category forest + PoI table + similarity
 /// measure.
@@ -26,6 +33,11 @@ pub struct ServiceContext {
     forest: CategoryForest,
     pois: PoiTable,
     similarity: Arc<dyn Similarity>,
+    /// Landmark (ALT) oracle over the epoch-0 weights, built lazily on the
+    /// first repair attempt. `None` inside means the graph does not
+    /// support landmarks (directed) — repair then skips its cheap
+    /// lower-bound tiers but stays correct.
+    landmarks: OnceLock<Option<Landmarks>>,
 }
 
 // Shared across worker threads; the graph's epoch manager is internally
@@ -50,7 +62,13 @@ impl ServiceContext {
         pois: PoiTable,
         similarity: Arc<dyn Similarity>,
     ) -> ServiceContext {
-        ServiceContext { graph: WeightEpoch::new(graph), forest, pois, similarity }
+        ServiceContext {
+            graph: WeightEpoch::new(graph),
+            forest,
+            pois,
+            similarity,
+            landmarks: OnceLock::new(),
+        }
     }
 
     /// Takes ownership of a generated (or loaded) dataset's graph, forest
@@ -110,6 +128,51 @@ impl ServiceContext {
     /// The most recently published weight epoch.
     pub fn current_epoch(&self) -> EpochId {
         self.graph.current_epoch()
+    }
+
+    /// Bounds the weight-epoch history to the newest `retention` epochs
+    /// (`0` = unlimited, the default). Older overlays are compacted once
+    /// no reader leases them; epochs that fell out of the ring can no
+    /// longer be pinned with [`Self::pin_at`] — in particular, replay
+    /// verification (which re-answers requests at historical epochs)
+    /// requires unlimited retention.
+    pub fn set_epoch_retention(&self, retention: usize) {
+        self.graph.set_retention(retention);
+    }
+
+    /// Forces a history compaction sweep plus a base-CSR rebase of the
+    /// newest cumulative overlay (see
+    /// [`WeightEpoch::compact`]). Returns the number of overlays dropped.
+    pub fn compact_epochs(&self) -> usize {
+        self.graph.compact()
+    }
+
+    /// Epoch history / GC accounting (retained overlays, compactions,
+    /// rebases) for metrics and the soak gates.
+    pub fn epoch_gc_stats(&self) -> EpochGcStats {
+        self.graph.gc_stats()
+    }
+
+    /// The exact arc-weight diff between two retained epochs, or `None`
+    /// when either epoch was compacted away (repair then falls back to a
+    /// fresh search). See [`WeightEpoch::delta_between`].
+    pub fn delta_between(&self, from: EpochId, to: EpochId) -> Option<DeltaSet> {
+        self.graph.delta_between(from, to)
+    }
+
+    /// The landmark lower-bound oracle repair's cheap tiers use, built
+    /// over the epoch-0 weights on first use (`None` for graphs without
+    /// landmark support, i.e. directed ones). Callers that enable repair
+    /// should invoke this once during warmup so the build cost does not
+    /// land on the first repaired request.
+    pub fn landmarks(&self) -> Option<&Landmarks> {
+        self.landmarks
+            .get_or_init(|| {
+                let base = self.graph.base();
+                (!base.is_directed() && base.num_vertices() > 0)
+                    .then(|| Landmarks::build(base, REPAIR_LANDMARKS, VertexId(0)))
+            })
+            .as_ref()
     }
 
     /// The base (epoch-0) road network view.

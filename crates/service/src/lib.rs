@@ -38,8 +38,9 @@
 //!   [`replay::ReplayReport`]. The CLI's `replay` subcommand is a thin
 //!   wrapper around it;
 //! * [`mod@bench`] — the bench-smoke harness comparing the reuse layer to
-//!   the exact-match baseline (including a dynamic, update-heavy cell) and
-//!   serializing the `BENCH_pr.json` CI artifact.
+//!   the exact-match baseline (including a dynamic, update-heavy cell and
+//!   a repair-vs-invalidate cell) and serializing the `BENCH_pr.json` CI
+//!   artifact.
 //!
 //! Between a request and a BSSR search sit three reuse layers, applied in
 //! order by the worker loop: the result cache, request coalescing
@@ -50,7 +51,16 @@
 //! search for ⟨c₁,…,c_k⟩ via [`skysr_core::bssr::warm`], keeping results
 //! exact while tightening the pruning thresholds). All three are
 //! epoch-exact: a cached skyline, an in-flight computation or a warm-start
-//! seed is reused only by requests pinned to the same weight epoch.
+//! seed is reused only by requests pinned to the same weight epoch —
+//! except where *incremental repair* ([`ServiceConfig::repair`]) proves a
+//! cross-epoch reuse sound: a cached skyline at an older epoch is
+//! repaired against the exact weight delta
+//! ([`skysr_core::bssr::repair`]) and promoted to the new epoch in place,
+//! and a stale prefix skyline provably untouched by the delta still seeds
+//! a warm start. The weight-epoch history itself can be bounded
+//! ([`ServiceContext::set_epoch_retention`]): old overlays are compacted
+//! once no reader leases them, so long-running services under churn hold
+//! at most K epochs.
 //!
 //! ## Quickstart
 //!
@@ -83,7 +93,7 @@ pub mod replay;
 mod service;
 
 pub use bench::{BenchReport, BenchSpec};
-pub use cache::{CacheCounters, QueryKey, ResultCache};
+pub use cache::{CacheCounters, Lookup, QueryKey, ResultCache};
 pub use context::ServiceContext;
 pub use metrics::{MetricsSnapshot, Served};
 pub use replay::{ReplayReport, ReplaySpec, StreamPattern};

@@ -4,6 +4,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use skysr_graph::EpochGcStats;
+
 use crate::cache::CacheCounters;
 
 /// At most this many (latency, skyline-size) samples are retained;
@@ -56,6 +58,17 @@ pub enum Served {
     /// Answered by joining another request's in-flight computation
     /// (request coalescing).
     Coalesced,
+    /// Answered by incrementally repairing a cached skyline from an older
+    /// epoch instead of recomputing it (a subset of executed work).
+    Repaired {
+        /// The repair could not be resolved in place and fell back to a
+        /// full warm-seeded re-search.
+        fallback: bool,
+        /// Cached routes proven untouched without any graph search.
+        routes_untouched: usize,
+        /// Cached routes whose legs were re-run at the new epoch.
+        routes_rescored: usize,
+    },
 }
 
 /// Shared recorder the workers write into.
@@ -72,6 +85,10 @@ pub struct MetricsRecorder {
     coalesced: AtomicU64,
     prefix_seeded: AtomicU64,
     stale_served: AtomicU64,
+    repairs: AtomicU64,
+    repair_fallbacks: AtomicU64,
+    routes_untouched: AtomicU64,
+    routes_rescored: AtomicU64,
     samples: Mutex<SampleSet>,
 }
 
@@ -91,6 +108,19 @@ impl MetricsRecorder {
             Served::CacheHit => {}
             Served::Coalesced => {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            Served::Repaired { fallback, routes_untouched, routes_rescored } => {
+                // A repair runs real graph work (legs / relevance ball /
+                // fallback search), so it counts as executed — `hits +
+                // coalesced + executed == completed` stays exact.
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                if fallback {
+                    self.repair_fallbacks.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.repairs.fetch_add(1, Ordering::Relaxed);
+                }
+                self.routes_untouched.fetch_add(routes_untouched as u64, Ordering::Relaxed);
+                self.routes_rescored.fetch_add(routes_rescored as u64, Ordering::Relaxed);
             }
         }
         let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
@@ -118,8 +148,14 @@ impl MetricsRecorder {
 
     /// Snapshot over everything recorded so far. `wall` is the wall-clock
     /// window the caller observed (used for throughput); `cache` the
-    /// cache's counters at the same instant.
-    pub fn snapshot(&self, wall: Duration, cache: CacheCounters) -> MetricsSnapshot {
+    /// cache's counters and `epochs` the weight-epoch history accounting
+    /// at the same instant.
+    pub fn snapshot(
+        &self,
+        wall: Duration,
+        cache: CacheCounters,
+        epochs: EpochGcStats,
+    ) -> MetricsSnapshot {
         let mut samples = self.samples.lock().expect("metrics poisoned").samples.clone();
         samples.sort_unstable_by_key(|&(ns, _)| ns);
         let completed = self.completed.load(Ordering::Relaxed);
@@ -138,6 +174,10 @@ impl MetricsRecorder {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             prefix_seeded: self.prefix_seeded.load(Ordering::Relaxed),
             stale_served: self.stale_served.load(Ordering::Relaxed),
+            repairs: self.repairs.load(Ordering::Relaxed),
+            repair_fallbacks: self.repair_fallbacks.load(Ordering::Relaxed),
+            routes_untouched: self.routes_untouched.load(Ordering::Relaxed),
+            routes_rescored: self.routes_rescored.load(Ordering::Relaxed),
             wall,
             throughput_qps: if wall.as_secs_f64() > 0.0 {
                 completed as f64 / wall.as_secs_f64()
@@ -156,6 +196,7 @@ impl MetricsRecorder {
             },
             max_skyline_size: sizes.iter().copied().max().unwrap_or(0) as usize,
             cache,
+            epochs,
         }
     }
 }
@@ -190,6 +231,20 @@ pub struct MetricsSnapshot {
     /// epoch-invalidation layer is broken — the CI staleness gate asserts
     /// on it.
     pub stale_served: u64,
+    /// Cached skylines promoted to a newer epoch by incremental repair
+    /// (the cheap tiers: untouched / rescored), without a full re-search.
+    /// A subset of `executed`.
+    pub repairs: u64,
+    /// Repair attempts that had to fall back to a full warm-seeded
+    /// re-search. Also a subset of `executed`; `repairs +
+    /// repair_fallbacks` is the total number of repair attempts.
+    pub repair_fallbacks: u64,
+    /// Cached routes proven untouched by repair's lower-bound tier (no
+    /// graph search at all), summed over all repair attempts.
+    pub routes_untouched: u64,
+    /// Cached routes whose shortest-path legs were re-run at the new
+    /// epoch, summed over all repair attempts.
+    pub routes_rescored: u64,
     /// Observation window.
     pub wall: Duration,
     /// Completed queries per second of the window.
@@ -210,6 +265,9 @@ pub struct MetricsSnapshot {
     pub max_skyline_size: usize,
     /// Result-cache counters at snapshot time.
     pub cache: CacheCounters,
+    /// Weight-epoch history / GC accounting at snapshot time (retained
+    /// overlays, compactions, rebases).
+    pub epochs: EpochGcStats,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -261,6 +319,23 @@ impl std::fmt::Display for MetricsSnapshot {
             "staleness   {} entries invalidated by epoch change, {} stale serves",
             self.cache.invalidations, self.stale_served
         )?;
+        writeln!(
+            f,
+            "repair      {} skylines repaired in place, {} fell back to re-search ({} routes \
+             untouched, {} rescored)",
+            self.repairs, self.repair_fallbacks, self.routes_untouched, self.routes_rescored
+        )?;
+        {
+            let e = &self.epochs;
+            let cap =
+                if e.retention == 0 { "unlimited".to_owned() } else { e.retention.to_string() };
+            writeln!(
+                f,
+                "epochs      {} retained (max {}, cap {}), {} overlays compacted, {} rebases, \
+                 {} overlay arcs",
+                e.retained, e.retained_max, cap, e.compacted, e.rebases, e.overlay_len
+            )?;
+        }
         write!(
             f,
             "skylines    {:.2} routes/answer mean, {} max",
@@ -296,7 +371,8 @@ mod tests {
         assert_eq!(inner.seen, SAMPLE_CAP as u64 + 10_000);
         assert!(inner.samples.iter().all(|&(ns, s)| ns == 5_000 && s == 1));
         drop(inner);
-        let snap = rec.snapshot(Duration::from_secs(1), CacheCounters::default());
+        let snap =
+            rec.snapshot(Duration::from_secs(1), CacheCounters::default(), EpochGcStats::default());
         assert_eq!(snap.completed, SAMPLE_CAP as u64 + 10_000);
         assert_eq!(snap.latency_p50, Duration::from_micros(5));
     }
@@ -309,7 +385,8 @@ mod tests {
         rec.record(Duration::from_micros(200), 3, Served::Search { warm: true });
         rec.record(Duration::from_micros(150), 2, Served::Coalesced);
         rec.record_failure();
-        let snap = rec.snapshot(Duration::from_secs(2), CacheCounters::default());
+        let snap =
+            rec.snapshot(Duration::from_secs(2), CacheCounters::default(), EpochGcStats::default());
         assert_eq!(snap.completed, 4);
         assert_eq!(snap.executed, 2);
         assert_eq!(snap.coalesced, 1);
@@ -336,11 +413,13 @@ mod tests {
         // this counter is never bumped; when it is, the snapshot and the
         // rendered report must expose it.
         let rec = MetricsRecorder::default();
-        let clean = rec.snapshot(Duration::from_secs(1), CacheCounters::default());
+        let clean =
+            rec.snapshot(Duration::from_secs(1), CacheCounters::default(), EpochGcStats::default());
         assert_eq!(clean.stale_served, 0);
         rec.record_stale_serve();
         rec.record_stale_serve();
-        let snap = rec.snapshot(Duration::from_secs(1), CacheCounters::default());
+        let snap =
+            rec.snapshot(Duration::from_secs(1), CacheCounters::default(), EpochGcStats::default());
         assert_eq!(snap.stale_served, 2);
         assert!(snap.to_string().contains("2 stale serves"), "{snap}");
     }

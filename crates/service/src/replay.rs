@@ -60,7 +60,7 @@ use skysr_core::route::{equivalent_skylines, SkylineRoute};
 use skysr_data::dataset::Dataset;
 use skysr_data::workload::WorkloadSpec;
 use skysr_data::zipf::Zipf;
-use skysr_graph::{EpochId, RoadNetwork, WeightDelta};
+use skysr_graph::{EpochGcStats, EpochId, RoadNetwork, WeightDelta};
 
 use crate::context::ServiceContext;
 use crate::metrics::MetricsSnapshot;
@@ -123,8 +123,18 @@ pub struct ReplaySpec {
     /// stream as a closed-loop batch (submit-everything, PR 1 behaviour).
     pub qps: f64,
     /// Weight-update bursts per second published while the stream is in
-    /// flight; `0` keeps the network static.
+    /// flight; `0` keeps the network static. Mutually exclusive with
+    /// [`update_every`](ReplaySpec::update_every).
     pub update_rate: f64,
+    /// Synchronous update waves: publish one weight-delta burst after
+    /// every `update_every` *completed* requests (closed loop: submit the
+    /// chunk, drain it, publish, continue). `0` disables. Unlike the
+    /// wall-clock updater this makes the number of epoch crossings per
+    /// cached key deterministic, which is what a perf comparison of
+    /// repair vs. invalidate-and-recompute needs — open-loop churn has a
+    /// feedback loop (a slow service clumps requests inside one epoch and
+    /// dodges its own invalidation penalty).
+    pub update_every: usize,
     /// Edge reweightings per update burst.
     pub update_burst: usize,
     /// Maximum multiplicative weight change per update: each reweighted
@@ -132,6 +142,15 @@ pub struct ReplaySpec {
     /// Must be ≥ 1; factors are relative to the *base* weights, so traffic
     /// stays bounded over arbitrarily long runs.
     pub update_magnitude: f64,
+    /// Incremental skyline repair (see [`ServiceConfig::repair`]): cached
+    /// entries at older epochs are repaired against the exact epoch delta
+    /// and promoted in place instead of invalidated and recomputed.
+    pub repair: bool,
+    /// Weight-epoch history retention: keep at most this many epochs
+    /// pinnable, compacting older unleased overlays (`0` = unlimited).
+    /// Verification requires `0` — the oracle re-answers requests at
+    /// historical epochs, which must still be pinnable after the run.
+    pub retention: usize,
     /// Also re-answer every request sequentially at its pinned epoch and
     /// compare skylines (score-equivalent multisets).
     pub verify: bool,
@@ -157,6 +176,9 @@ impl Default for ReplaySpec {
             update_rate: 0.0,
             update_burst: 32,
             update_magnitude: 2.0,
+            update_every: 0,
+            repair: false,
+            retention: 0,
             verify: false,
         }
     }
@@ -179,6 +201,10 @@ pub struct ReplayReport {
     pub wall: Duration,
     /// Weight epochs published while the stream was in flight.
     pub epochs_published: u64,
+    /// Epoch history / GC accounting measured *after* the service drained
+    /// and (when retention is bounded) a final compaction sweep ran — the
+    /// numbers the soak gate checks against the configured cap.
+    pub epoch_gc: EpochGcStats,
     /// Service metrics over the replay window.
     pub metrics: MetricsSnapshot,
     /// `Some(mismatches)` when verification ran: the number of requests
@@ -215,6 +241,15 @@ impl std::fmt::Display for ReplayReport {
                 f,
                 "updates     {} weight epochs published mid-stream",
                 self.epochs_published
+            )?;
+        }
+        if self.epoch_gc.retention > 0 {
+            let e = &self.epoch_gc;
+            writeln!(
+                f,
+                "history     {} epochs retained after drain (max {}, cap {}), {} overlays \
+                 compacted, {} rebases",
+                e.retained, e.retained_max, e.retention, e.compacted, e.rebases
             )?;
         }
         write!(f, "{}", self.metrics)?;
@@ -354,7 +389,24 @@ pub fn replay(dataset: Dataset, spec: &ReplaySpec) -> ReplayReport {
 /// Replays `spec`'s stream over an already-built pool and shared context.
 pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpec) -> ReplayReport {
     assert!(!pool.is_empty(), "replay needs a non-empty pool");
+    assert!(
+        !(spec.verify && spec.retention > 0),
+        "verification re-answers requests at historical epochs and requires unlimited retention"
+    );
+    assert!(
+        !(spec.update_every > 0 && (spec.qps > 0.0 || spec.update_rate > 0.0)),
+        "synchronous update waves (update_every) are closed-loop and exclusive with the \
+         open-loop qps/update_rate knobs"
+    );
     let stream = request_stream(spec, pool.len());
+    if spec.retention > 0 {
+        ctx.set_epoch_retention(spec.retention);
+    }
+    if spec.repair {
+        // Build the landmark oracle before the clock starts: repair's
+        // cheap tiers consult it on the very first repaired request.
+        let _ = ctx.landmarks();
+    }
     let service = QueryService::new(
         Arc::clone(&ctx),
         ServiceConfig {
@@ -363,6 +415,7 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
             cache_capacity: spec.cache_capacity,
             coalesce: spec.coalesce,
             prefix_reuse: spec.prefix_reuse,
+            repair: spec.repair,
             engine: spec.engine,
         },
     );
@@ -404,6 +457,18 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
     let t0 = Instant::now();
     let outcomes = if spec.qps > 0.0 {
         open_loop_batch(&service, pool, &stream, spec.qps, spec.seed)
+    } else if spec.update_every > 0 {
+        // Closed-loop epoch waves: drain a chunk, publish a burst, repeat.
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7761_7665); // "wave"
+        let burst = spec.update_burst.max(1);
+        let magnitude = spec.update_magnitude.max(1.0);
+        let mut outcomes = Vec::with_capacity(stream.len());
+        for chunk in stream.chunks(spec.update_every) {
+            outcomes.extend(service.run_batch(chunk.iter().map(|&i| pool[i].clone())));
+            let deltas = random_traffic_deltas(ctx.graph(), burst, magnitude, &mut rng);
+            ctx.publish_weights(&deltas);
+        }
+        outcomes
     } else {
         service.run_batch(stream.iter().map(|&i| pool[i].clone()))
     };
@@ -414,6 +479,13 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
     }
     let metrics = service.metrics();
     drop(service);
+    // With a bounded ring, measure the history *after* every worker lease
+    // is released and a final sweep ran: the soak gate asserts the drained
+    // service holds at most K epochs.
+    if spec.retention > 0 {
+        ctx.compact_epochs();
+    }
+    let epoch_gc = ctx.epoch_gc_stats();
     let epochs_published = ctx.current_epoch().get() - epoch_before.get();
 
     let verify_mismatches =
@@ -427,6 +499,7 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         qps: spec.qps,
         wall,
         epochs_published,
+        epoch_gc,
         metrics,
         verify_mismatches,
     }
