@@ -122,6 +122,15 @@ impl CategoryForest {
         })
     }
 
+    /// Proper ancestors of `c` from its parent up to the root — `a(c)`
+    /// without `c` itself, nearest-first. The probe order for
+    /// ancestor-category reuse: a cached skyline for the *parent* category
+    /// is semantically closest to `c`'s own, so its seeds survive
+    /// rescoring most often.
+    pub fn proper_ancestors(&self, c: CategoryId) -> impl Iterator<Item = CategoryId> + '_ {
+        self.ancestors(c).skip(1)
+    }
+
     /// Whether `anc` is an ancestor of `c` (or equal to it).
     pub fn is_ancestor_or_self(&self, anc: CategoryId, c: CategoryId) -> bool {
         if !self.same_tree(anc, c) || self.depth(anc) > self.depth(c) {
@@ -320,6 +329,20 @@ mod tests {
         let leaves: Vec<_> = f.leaves().collect();
         assert!(leaves.contains(&sushi));
         assert!(!leaves.contains(&japanese));
+    }
+
+    #[test]
+    fn proper_ancestors_walk_parent_chain_nearest_first() {
+        let f = figure2();
+        let sushi = f.by_name("Sushi").unwrap();
+        let names: Vec<_> = f.proper_ancestors(sushi).map(|c| f.name(c).to_owned()).collect();
+        assert_eq!(names, vec!["Japanese", "Asian", "Food"]);
+        let food = f.by_name("Food").unwrap();
+        assert_eq!(f.proper_ancestors(food).count(), 0, "roots have no proper ancestors");
+        for a in f.proper_ancestors(sushi) {
+            assert!(f.is_ancestor_or_self(a, sushi));
+            assert_ne!(a, sushi);
+        }
     }
 
     #[test]

@@ -18,9 +18,13 @@
 //! `replay` drives the concurrent `skysr-service` engine: it streams a
 //! skewed workload (`--pattern zipf` Zipf-popular arrivals, `duplicate`
 //! bursts of identical in-flight requests, `prefix` chains extended one
-//! position at a time) through a worker pool with a cross-query result
-//! cache, request coalescing and semantic prefix reuse, and prints
-//! throughput, latency percentiles, cache and reuse statistics.
+//! position at a time, `hierarchy` category-subtree chains walking
+//! suffix → ancestor variant → full query) through a worker pool with a
+//! cross-query result cache, request coalescing and semantic reuse
+//! (prefix, ancestor-category and suffix warm starts — individually
+//! toggleable via `--prefix-reuse` / `--ancestor-reuse` /
+//! `--suffix-reuse`), and prints throughput, latency percentiles, cache
+//! and per-strategy reuse statistics.
 //! `--qps N` switches from closed-loop batching to an open-loop arrival
 //! process (exponential inter-arrivals at the target rate), and
 //! `--update-rate R` publishes bursts of `--update-burst` random
@@ -38,18 +42,22 @@
 //! provably untouched by the delta still seed warm starts.
 //! `--retention K` bounds the weight-epoch history to the newest K epochs
 //! (overlays beyond the ring are compacted once no reader leases them);
-//! it conflicts with `--verify`, which needs historical epochs pinnable.
+//! combined with `--verify`, the oracle audits every response whose
+//! pinned epoch is still within the ring and reports how many it had to
+//! skip (epochs already compacted away).
 //!
 //! `bench` replays duplicate-heavy, prefix-heavy, dynamic (weight
-//! updates racing the stream) and repair (incremental repair vs.
+//! updates racing the stream), hierarchy (ancestor+suffix seeding vs.
+//! cold searches over a subtree walk) and repair (incremental repair vs.
 //! invalidate-and-recompute under deterministic update waves) workloads
 //! twice each — baseline vs. treatment — and writes the
 //! JSON metrics artifact CI uploads as `BENCH_pr.json` (throughput,
 //! p50/p99, hit/coalesce/warm-start/repair rates, epochs published,
 //! invalidations, verified correctness, speedups). `--require-speedup X`
 //! fails the run unless the duplicate-workload speedup reaches `X`;
-//! `--require-repair-speedup X` does the same for the repair cell; any
-//! stale serve fails either unconditionally.
+//! `--require-hierarchy-speedup X` and `--require-repair-speedup X` do
+//! the same for the hierarchy and repair cells; any stale serve fails
+//! either unconditionally.
 
 use std::process::ExitCode;
 
@@ -99,15 +107,16 @@ fn usage() -> &'static str {
      \t[--destination VERTEX] [--mode ordered|unordered|rated]\n  \
      skysr-cli replay [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
      \t[--distinct N] [--workers N] [--seq-len K] [--zipf S] [--cache N]\n  \
-     \t[--queue N] [--pattern zipf|duplicate|prefix] [--burst N]\n  \
-     \t[--coalesce true|false] [--prefix-reuse true|false] [--verify true|false]\n  \
-     \t[--repair true|false] [--retention K] [--qps F]\n  \
+     \t[--queue N] [--pattern zipf|duplicate|prefix|hierarchy] [--burst N]\n  \
+     \t[--coalesce true|false] [--prefix-reuse true|false]\n  \
+     \t[--ancestor-reuse true|false] [--suffix-reuse true|false]\n  \
+     \t[--verify true|false] [--repair true|false] [--retention K] [--qps F]\n  \
      \t[--update-rate F] [--update-burst N] [--update-magnitude F]\n  \
      \t[--update-every N]\n  \
      skysr-cli bench [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
      \t[--distinct N] [--workers N] [--seq-len K] [--burst N] [--out FILE.json]\n  \
      \t[--update-rate F] [--update-burst N] [--require-speedup X]\n  \
-     \t[--require-repair-speedup X]\n  \
+     \t[--require-hierarchy-speedup X] [--require-repair-speedup X]\n  \
      skysr-cli demo"
 }
 
@@ -244,6 +253,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 burst: parse_flag(&mut args, "burst", 16)?,
                 coalesce: parse_flag(&mut args, "coalesce", true)?,
                 prefix_reuse: parse_flag(&mut args, "prefix-reuse", true)?,
+                ancestor_reuse: parse_flag(&mut args, "ancestor-reuse", true)?,
+                suffix_reuse: parse_flag(&mut args, "suffix-reuse", true)?,
                 qps: parse_flag(&mut args, "qps", 0.0)?,
                 update_rate: parse_flag(&mut args, "update-rate", 0.0)?,
                 update_burst: parse_flag(&mut args, "update-burst", 32)?,
@@ -258,6 +269,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 None | Some("zipf") => StreamPattern::Zipf,
                 Some("duplicate") => StreamPattern::DuplicateBursts,
                 Some("prefix") => StreamPattern::PrefixChains,
+                Some("hierarchy") => StreamPattern::Hierarchy,
                 Some(other) => return Err(format!("unknown --pattern {other:?}")),
             };
             spec.verify = parse_flag(&mut args, "verify", false)?;
@@ -289,10 +301,10 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                         .into(),
                 );
             }
-            if spec.verify && spec.retention > 0 {
+            if spec.pattern == StreamPattern::Hierarchy && spec.seq_len < 2 {
                 return Err(
-                    "--verify re-answers requests at historical epochs and requires unlimited \
-                     retention (drop --retention)"
+                    "--pattern hierarchy needs --seq-len >= 2 (each chain walks the query's \
+                     suffix and an ancestor variant)"
                         .into(),
                 );
             }
@@ -306,6 +318,12 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             println!("{report}");
             if report.verify_mismatches.is_some_and(|m| m > 0) {
                 return Err("verification failed: concurrent and sequential skylines differ".into());
+            }
+            if let Some(skipped) = report.verify_skipped.filter(|&n| n > 0) {
+                eprintln!(
+                    "note: {skipped} response(s) were unverifiable (pinned epochs beyond the \
+                     --retention ring) and were skipped"
+                );
             }
             if report.stale_served() > 0 {
                 return Err(format!(
@@ -334,13 +352,24 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 .optional("require-speedup")
                 .map(|s| s.parse().map_err(|_| "bad --require-speedup".to_string()))
                 .transpose()?;
+            let require_hierarchy_speedup: Option<f64> = args
+                .optional("require-hierarchy-speedup")
+                .map(|s| s.parse().map_err(|_| "bad --require-hierarchy-speedup".to_string()))
+                .transpose()?;
             let require_repair_speedup: Option<f64> = args
                 .optional("require-repair-speedup")
                 .map(|s| s.parse().map_err(|_| "bad --require-repair-speedup".to_string()))
                 .transpose()?;
             args.finish()?;
-            if spec.total == 0 || spec.distinct == 0 || spec.seq_len == 0 {
-                return Err("--queries, --distinct and --seq-len must be at least 1".into());
+            if spec.total == 0 || spec.distinct == 0 {
+                return Err("--queries and --distinct must be at least 1".into());
+            }
+            if spec.seq_len < 2 {
+                return Err(
+                    "bench needs --seq-len >= 2 (the hierarchy cell walks each query's suffix \
+                     and an ancestor variant)"
+                        .into(),
+                );
             }
             if !spec.update_rate.is_finite() || spec.update_rate <= 0.0 {
                 // The dynamic cells need a real updater; a zero/invalid rate
@@ -378,6 +407,15 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                     return Err(format!(
                         "duplicate-workload speedup {:.2}x is below the required {min:.2}x",
                         report.speedup_duplicate
+                    ));
+                }
+            }
+            if let Some(min) = require_hierarchy_speedup {
+                if report.speedup_hierarchy < min {
+                    return Err(format!(
+                        "hierarchy-workload speedup {:.2}x is below the required {min:.2}x \
+                         (ancestor+suffix seeding vs. cold searches)",
+                        report.speedup_hierarchy
                     ));
                 }
             }

@@ -74,7 +74,21 @@ pub(crate) struct StepEnv<'a, 'g> {
     pub bounds: &'a MinDistBounds,
     /// Per-position: whether the Lemma 5.5 rules are sound (tree-disjoint).
     pub lemma55: &'a [bool],
+    /// `sigma_suffix[i]`: best similarity product positions `i..k` can
+    /// still contribute (`[k] = 1`). Threshold probes use the *achievable*
+    /// minimum completion semantic `1 − sim_acc · sigma_suffix[i]` instead
+    /// of the optimistic `s(R)` — identical when every remaining position
+    /// has a perfect match, strictly tighter otherwise.
+    pub sigma_suffix: &'a [f64],
     pub use_cache: bool,
+}
+
+impl StepEnv<'_, '_> {
+    /// The minimum semantic score any valid completion of `r` can reach.
+    #[inline]
+    pub(crate) fn min_semantic(&self, r: &PartialRoute) -> f64 {
+        1.0 - r.sim_acc() * self.sigma_suffix[r.len()]
+    }
 }
 
 /// One `mDijkstra(R_d, c_d, p_d, Q_b, S)` invocation. `is_first` tags the
@@ -94,7 +108,7 @@ pub(crate) fn mdijkstra_step(
     let pos = rd.len();
     debug_assert!(pos < env.pq.len());
     let base = rd.length();
-    let threshold_rd = skyline.threshold(rd.semantic());
+    let threshold_rd = skyline.threshold(env.min_semantic(rd));
     let radius = if threshold_rd.is_finite() { threshold_rd - base } else { Cost::INFINITY };
     if radius <= Cost::ZERO {
         stats.threshold_prunes += 1;
@@ -142,7 +156,7 @@ pub(crate) fn mdijkstra_step(
 
         if sky_version != skyline.version() {
             sky_version = skyline.version();
-            threshold_rd = skyline.threshold(rd.semantic());
+            threshold_rd = skyline.threshold(env.min_semantic(rd));
         }
         if base + d >= threshold_rd {
             break; // Lemma 5.3: no surviving extension beyond this radius.
@@ -216,7 +230,7 @@ fn process_candidate(
         return; // Definition 3.4(iii): PoIs must be distinct.
     }
     let rt = rd.extend(v, d, sim);
-    if rt.length() >= skyline.threshold(rt.semantic()) {
+    if rt.length() >= skyline.threshold(env.min_semantic(&rt)) {
         stats.threshold_prunes += 1;
         return;
     }
@@ -256,7 +270,15 @@ mod tests {
             let pq = self.ex.prepared(&ctx);
             let bounds = MinDistBounds::disabled(pq.len());
             let lemma55 = vec![true; pq.len()];
-            let env = StepEnv { ctx: &ctx, pq: &pq, bounds: &bounds, lemma55: &lemma55, use_cache };
+            let sigma_suffix = vec![1.0; pq.len() + 1];
+            let env = StepEnv {
+                ctx: &ctx,
+                pq: &pq,
+                bounds: &bounds,
+                lemma55: &lemma55,
+                sigma_suffix: &sigma_suffix,
+                use_cache,
+            };
             let mut scratch = Scratch::new(ctx.graph.num_vertices());
             let mut queue = RouteQueue::new(QueuePolicy::Proposed);
             let mut stats = QueryStats::default();
@@ -402,8 +424,15 @@ mod tests {
         let pq = crate::prepared::PreparedQuery::prepare(&ctx, &q).unwrap();
         let bounds = MinDistBounds::disabled(pq.len());
         let lemma55 = vec![false; pq.len()];
-        let env =
-            StepEnv { ctx: &ctx, pq: &pq, bounds: &bounds, lemma55: &lemma55, use_cache: false };
+        let sigma_suffix = vec![1.0; pq.len() + 1];
+        let env = StepEnv {
+            ctx: &ctx,
+            pq: &pq,
+            bounds: &bounds,
+            lemma55: &lemma55,
+            sigma_suffix: &sigma_suffix,
+            use_cache: false,
+        };
         let mut scratch = Scratch::new(ctx.graph.num_vertices());
         let mut queue = RouteQueue::new(QueuePolicy::Proposed);
         let mut skyline = SkylineSet::new();

@@ -85,6 +85,26 @@ impl BssrConfig {
     }
 }
 
+/// Warm-start seed material for one run (see [`warm`]).
+///
+/// All variants preserve exactness: seeds are validated against the target
+/// query, rescored under its own positions, and only ever *tighten* the
+/// pruning thresholds. Unusable routes are skipped, so foreign material
+/// degrades to a cold run.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum WarmSeeds<'a> {
+    /// Cold run.
+    #[default]
+    None,
+    /// A (k−1)-position prefix skyline, or any same-start full-length
+    /// skyline (ancestor-category reuse) — routes are completed/validated
+    /// by [`warm::seed_prefix_routes`].
+    PrefixOrFull(&'a [SkylineRoute]),
+    /// A skyline of the ⟨c₂, …, c_k⟩ suffix from the same start, prepended
+    /// one leg by [`warm::seed_suffix_routes`].
+    Suffix(&'a [SkylineRoute]),
+}
+
 /// Result of one BSSR run.
 #[derive(Clone, Debug)]
 pub struct BssrResult {
@@ -169,7 +189,8 @@ impl<'g> Bssr<'g> {
     }
 
     /// Validates and runs `query` warm-started from a cached skyline of its
-    /// (k−1)-position prefix (semantic cache reuse; see [`warm`]).
+    /// (k−1)-position prefix — or any same-start full-length skyline, e.g.
+    /// an ancestor-category variant's (semantic cache reuse; see [`warm`]).
     ///
     /// The result is score-equivalent to a cold [`Bssr::run`] — the seeds
     /// only tighten the pruning thresholds, exactly as NNinit does. Routes
@@ -184,15 +205,37 @@ impl<'g> Bssr<'g> {
         Ok(self.run_prepared_warm(&pq, prefix))
     }
 
+    /// Validates and runs `query` warm-started from a cached skyline of its
+    /// *suffix* ⟨c₂, …, c_k⟩ over the same start: each suffix route is
+    /// prepended one shortest-path leg through a first-position match
+    /// ([`warm::seed_suffix_routes`]). Exactness is preserved the same way
+    /// as every other warm start — seeds are genuine valid routes that only
+    /// tighten the thresholds.
+    pub fn run_with_suffix_seeds(
+        &mut self,
+        query: &SkySrQuery,
+        suffix: &[SkylineRoute],
+    ) -> Result<BssrResult, QueryError> {
+        let pq = PreparedQuery::prepare(&self.ctx, query)?;
+        Ok(self.run_prepared_seeded(&pq, WarmSeeds::Suffix(suffix)))
+    }
+
     /// Runs a pre-compiled query (lets callers reuse the preparation across
     /// engines, e.g. when comparing configurations).
     pub fn run_prepared(&mut self, pq: &PreparedQuery) -> BssrResult {
-        self.run_prepared_warm(pq, &[])
+        self.run_prepared_seeded(pq, WarmSeeds::None)
     }
 
-    /// [`Bssr::run_prepared`] with warm-start seeds from a prefix skyline
-    /// (empty slice = cold run).
+    /// [`Bssr::run_prepared`] with warm-start seeds from a prefix (or
+    /// full-length) skyline; an empty slice is a cold run.
     pub fn run_prepared_warm(&mut self, pq: &PreparedQuery, prefix: &[SkylineRoute]) -> BssrResult {
+        let seeds =
+            if prefix.is_empty() { WarmSeeds::None } else { WarmSeeds::PrefixOrFull(prefix) };
+        self.run_prepared_seeded(pq, seeds)
+    }
+
+    /// [`Bssr::run_prepared`] with explicit warm-seed material.
+    pub fn run_prepared_seeded(&mut self, pq: &PreparedQuery, seeds: WarmSeeds<'_>) -> BssrResult {
         let t0 = Instant::now();
         let mut stats = QueryStats::default();
         let k = pq.len();
@@ -210,11 +253,17 @@ impl<'g> Bssr<'g> {
             nninit::nninit(&ctx, pq, &mut self.ws, &mut skyline, &mut stats);
         }
 
-        // Warm start: seed completions of a cached prefix skyline *before*
-        // the minimum-distance bounds are computed, so the tightened
-        // threshold also shrinks the bound-computation search radius.
-        if !prefix.is_empty() {
-            warm::seed_prefix_routes(&ctx, pq, prefix, &mut self.ws, &mut skyline, &mut stats);
+        // Warm start: seed completions of a cached skyline *before* the
+        // minimum-distance bounds are computed, so the tightened threshold
+        // also shrinks the bound-computation search radius.
+        match seeds {
+            WarmSeeds::None => {}
+            WarmSeeds::PrefixOrFull(routes) => {
+                warm::seed_prefix_routes(&ctx, pq, routes, &mut self.ws, &mut skyline, &mut stats);
+            }
+            WarmSeeds::Suffix(routes) => {
+                warm::seed_suffix_routes(&ctx, pq, routes, &mut self.ws, &mut skyline, &mut stats);
+            }
         }
 
         let bounds = if self.cfg.lower_bound == LowerBoundMode::Off {
@@ -242,11 +291,24 @@ impl<'g> Bssr<'g> {
             }
         }
 
+        // σ-suffix: the best similarity product positions i..k can still
+        // contribute. `1 − sim_acc(R) × sigma_suffix[|R|]` is then the
+        // *achievable* minimum semantic of any completion of R — tighter
+        // than the paper's `s(R)` whenever a remaining position has no
+        // perfect match (best_sim < 1), and every threshold probe below
+        // uses it (sound by the Lemma 5.3 argument: no completion can
+        // score below the achievable minimum).
+        let mut sigma_suffix = vec![1.0f64; k + 1];
+        for i in (0..k).rev() {
+            sigma_suffix[i] = pq.positions[i].best_sim() * sigma_suffix[i + 1];
+        }
+
         let env = StepEnv {
             ctx: &ctx,
             pq,
             bounds: &bounds,
             lemma55: &lemma55,
+            sigma_suffix: &sigma_suffix,
             use_cache: self.cfg.use_cache,
         };
         let mut cache = SearchCache::new();
@@ -269,7 +331,7 @@ impl<'g> Bssr<'g> {
         while let Some(rd) = queue.pop() {
             // Re-check against the (possibly improved) threshold before
             // spending a search on a stale route.
-            if rd.length() >= skyline.threshold(rd.semantic()) {
+            if rd.length() >= skyline.threshold(env.min_semantic(&rd)) {
                 stats.threshold_prunes += 1;
                 continue;
             }
@@ -461,6 +523,31 @@ mod tests {
             assert!(warm.stats.routes_enqueued <= cold.stats.routes_enqueued);
         }
         assert!(any_seeded, "some prefix must seed surviving routes");
+    }
+
+    #[test]
+    fn suffix_warm_start_matches_cold_run() {
+        use crate::route::equivalent_skylines;
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let full = ex.query();
+        let mut bssr = Bssr::new(&ctx);
+        let suffix_q = SkySrQuery::with_positions(full.start, full.sequence[1..].to_vec());
+        let suffix = bssr.run(&suffix_q).unwrap().routes;
+        let cold = bssr.run(&full).unwrap();
+        let warm = bssr.run_with_suffix_seeds(&full, &suffix).unwrap();
+        assert!(
+            equivalent_skylines(&warm.routes, &cold.routes),
+            "suffix warm {:?} vs cold {:?}",
+            warm.routes,
+            cold.routes
+        );
+        assert!(warm.stats.routes_enqueued <= cold.stats.routes_enqueued);
+        // A foreign suffix (wrong positions entirely) degrades to cold.
+        let gift = ex.forest.by_name("Gift Shop").unwrap();
+        let foreign = bssr.run(&SkySrQuery::new(ex.vq, [gift])).unwrap().routes;
+        let degraded = bssr.run_with_suffix_seeds(&full, &foreign).unwrap();
+        assert!(equivalent_skylines(&degraded.routes, &cold.routes));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! longer trustworthy — but when the batch touched a handful of arcs
 //! nowhere near the query, recomputing the whole BSSR search throws away
 //! everything the cache knew. Repair classifies the cached result against
-//! the exact [`DeltaSet`] between its epoch and the current one, and does
+//! the exact [`DeltaSet`](skysr_graph::DeltaSet) between its epoch and the
+//! current one (packaged with its per-epoch-pair [`DeltaIndex`]), and does
 //! the *cheapest sound thing*:
 //!
 //! 1. **Untouched** ([`wholesale_untouched`]) — a lower-bound check: if
@@ -62,7 +63,7 @@ use std::time::Instant;
 
 use skysr_graph::dijkstra::{dijkstra_with, shortest_distance, Settle};
 use skysr_graph::fxhash::FxHashSet;
-use skysr_graph::{Cost, DeltaSet, DijkstraWorkspace, Landmarks, VertexId};
+use skysr_graph::{Cost, DeltaIndex, DijkstraWorkspace, Landmarks, VertexId};
 
 use crate::bssr::Bssr;
 use crate::context::QueryContext;
@@ -151,11 +152,12 @@ fn scaled_lb(landmarks: &Landmarks, ratio: f64, start: VertexId, v: VertexId) ->
 /// view; without an oracle the check degrades to "only an empty delta is
 /// untouched".
 pub fn wholesale_untouched(
-    delta: &DeltaSet,
+    index: &DeltaIndex,
     landmarks: Option<&Landmarks>,
     start: VertexId,
     max_len: Cost,
 ) -> bool {
+    let delta = index.delta();
     if delta.is_empty() {
         return true;
     }
@@ -163,6 +165,15 @@ pub fn wholesale_untouched(
         return false;
     };
     let ratio = delta.from_min_ratio();
+    // Fast path: one O(landmarks) probe of the precomputed touched-ball
+    // index clears the whole delta at once — the common "updates landed
+    // far away" case costs the same whether the batch touched 2 arcs or
+    // 2000, and is shared across every stale key of this epoch pair.
+    if safely_beyond(ratio.clamp(0.0, 1.0) * index.touched_floor(lm, start), max_len.get()) {
+        return true;
+    }
+    // Exact fallback: per-tail triangle bounds (strictly tighter than the
+    // ball floor), same verdict the pre-index implementation computed.
     delta
         .touches()
         .iter()
@@ -172,10 +183,11 @@ pub fn wholesale_untouched(
 /// The smallest scaled lower bound from `start` to any touched tail — the
 /// per-route skip floor of tier 2 (a route shorter than this provably
 /// keeps its length across the delta).
-fn touched_floor(delta: &DeltaSet, landmarks: Option<&Landmarks>, start: VertexId) -> f64 {
+fn touched_floor(index: &DeltaIndex, landmarks: Option<&Landmarks>, start: VertexId) -> f64 {
     let Some(lm) = landmarks else {
         return 0.0;
     };
+    let delta = index.delta();
     let ratio = delta.from_min_ratio();
     delta
         .touches()
@@ -214,13 +226,25 @@ fn rescore_route(
 /// settled by one radius-bounded Dijkstra over the new-epoch graph.
 fn decreases_relevant(
     ctx: &QueryContext<'_>,
-    delta: &DeltaSet,
+    index: &DeltaIndex,
     landmarks: Option<&Landmarks>,
     start: VertexId,
     max_len: Cost,
     ws: &mut DijkstraWorkspace,
     stats: &mut QueryStats,
 ) -> bool {
+    let delta = index.delta();
+    // Fast path via the shared index: when the nearest *decreased* tail is
+    // provably beyond the skyline radius (or nothing decreased at all —
+    // the floor is then infinite), no per-tail probe or Dijkstra runs.
+    if let Some(lm) = landmarks {
+        let floor = index.decreased_floor(lm, start);
+        if floor.is_infinite()
+            || safely_beyond(delta.to_min_ratio().clamp(0.0, 1.0) * floor, max_len.get())
+        {
+            return false;
+        }
+    }
     let suspicious: FxHashSet<u32> = delta
         .touches()
         .iter()
@@ -259,11 +283,14 @@ enum InPlace {
 }
 
 impl<'g> Bssr<'g> {
-    /// Repairs `cached` — a skyline computed for `query` at
-    /// `delta.from_epoch()` — into the exact skyline at this engine's
+    /// Repairs `cached` — a skyline computed for `query` at the index's
+    /// `delta().from_epoch()` — into the exact skyline at this engine's
     /// (newer) epoch, choosing the cheapest sound tier (see the module
-    /// docs). `landmarks`, if provided, must be built over the weight
-    /// manager's origin view.
+    /// docs). `index` is the per-epoch-pair touched-ball index
+    /// ([`DeltaIndex`]), built once from the exact delta and shared across
+    /// every stale key of that epoch pair; `landmarks`, if provided, must
+    /// be the oracle the index was built with (over the weight manager's
+    /// origin view).
     ///
     /// The in-place tiers consult only the start vertex, the cached
     /// scores, the delta and the graph — *query preparation (similarity
@@ -280,7 +307,7 @@ impl<'g> Bssr<'g> {
         &mut self,
         query: &SkySrQuery,
         cached: &[SkylineRoute],
-        delta: &DeltaSet,
+        index: &DeltaIndex,
         landmarks: Option<&Landmarks>,
     ) -> Result<RepairResult, QueryError> {
         // The cheap validations a prepare would do; the rest (category
@@ -294,7 +321,7 @@ impl<'g> Bssr<'g> {
         }
         let t0 = Instant::now();
         let mut stats = QueryStats::default();
-        match self.repair_in_place(query.start, cached, delta, landmarks, &mut stats) {
+        match self.repair_in_place(query.start, cached, index, landmarks, &mut stats) {
             InPlace::Promoted { routes, repair } => {
                 stats.total_time = t0.elapsed();
                 Ok(RepairResult { routes, stats, repair })
@@ -312,12 +339,12 @@ impl<'g> Bssr<'g> {
         &mut self,
         pq: &PreparedQuery,
         cached: &[SkylineRoute],
-        delta: &DeltaSet,
+        index: &DeltaIndex,
         landmarks: Option<&Landmarks>,
     ) -> RepairResult {
         let t0 = Instant::now();
         let mut stats = QueryStats::default();
-        match self.repair_in_place(pq.start, cached, delta, landmarks, &mut stats) {
+        match self.repair_in_place(pq.start, cached, index, landmarks, &mut stats) {
             InPlace::Promoted { routes, repair } => {
                 stats.total_time = t0.elapsed();
                 RepairResult { routes, stats, repair }
@@ -334,7 +361,7 @@ impl<'g> Bssr<'g> {
         &mut self,
         start: VertexId,
         cached: &[SkylineRoute],
-        delta: &DeltaSet,
+        index: &DeltaIndex,
         landmarks: Option<&Landmarks>,
         stats: &mut QueryStats,
     ) -> InPlace {
@@ -356,7 +383,7 @@ impl<'g> Bssr<'g> {
         let max_len = cached.iter().map(|r| r.length).max().expect("non-empty");
 
         // Tier 1: every touched arc is provably beyond the skyline radius.
-        if wholesale_untouched(delta, landmarks, start, max_len) {
+        if wholesale_untouched(index, landmarks, start, max_len) {
             let mut routes = cached.to_vec();
             routes.sort_by_key(|r| r.length);
             return InPlace::Promoted {
@@ -372,7 +399,7 @@ impl<'g> Bssr<'g> {
         // Tier 2: rescore each route's legs at the new epoch. Routes
         // strictly below the touched-distance floor provably kept their
         // length and skip the legs.
-        let floor = touched_floor(delta, landmarks, start);
+        let floor = touched_floor(index, landmarks, start);
         let mut survivors: Vec<SkylineRoute> = Vec::with_capacity(cached.len());
         let mut routes_untouched = 0usize;
         let mut routes_rescored = 0usize;
@@ -407,7 +434,7 @@ impl<'g> Bssr<'g> {
             }
         }
         if all_unchanged
-            && !decreases_relevant(&ctx, delta, landmarks, start, max_len, &mut self.ws, stats)
+            && !decreases_relevant(&ctx, index, landmarks, start, max_len, &mut self.ws, stats)
         {
             survivors.sort_by_key(|r| r.length);
             return InPlace::Promoted {
@@ -483,10 +510,11 @@ mod tests {
 
             let to = self.epochs.publish(deltas);
             let delta = self.epochs.delta_between(EpochId::BASE, to).unwrap();
+            let index = DeltaIndex::build(delta, Some(&self.landmarks));
             let pinned = self.epochs.pin();
             let qctx = crate::context::QueryContext::new(&pinned, &self.ex.forest, &self.ex.pois);
             let repaired =
-                Bssr::new(&qctx).repair(&q, &cached, &delta, Some(&self.landmarks)).unwrap();
+                Bssr::new(&qctx).repair(&q, &cached, &index, Some(&self.landmarks)).unwrap();
             let oracle = Bssr::with_config(&qctx, BssrConfig::default()).run(&q).unwrap().routes;
             assert!(
                 equivalent_skylines(&repaired.routes, &oracle),
@@ -549,9 +577,10 @@ mod tests {
             WeightDelta::new(from, to, w.get() * 2.0)
         }]);
         let delta = h.epochs.delta_between(EpochId::BASE, to).unwrap();
+        let index = DeltaIndex::build(delta, Some(&h.landmarks));
         let pinned = h.epochs.pin();
         let qctx = crate::context::QueryContext::new(&pinned, &h.ex.forest, &h.ex.pois);
-        let r = Bssr::new(&qctx).repair(&h.ex.query(), &[], &delta, Some(&h.landmarks)).unwrap();
+        let r = Bssr::new(&qctx).repair(&h.ex.query(), &[], &index, Some(&h.landmarks)).unwrap();
         assert!(r.routes.is_empty());
         assert_eq!(r.repair.outcome, RepairOutcome::Untouched);
     }
@@ -572,10 +601,10 @@ mod tests {
         let cached = Bssr::new(&qctx0).run(&q).unwrap().routes;
         let (from, to, w) = h.ex.graph.arc(9);
         let e = h.epochs.publish(&[WeightDelta::new(from, to, w.get() * 1.7)]);
-        let delta = h.epochs.delta_between(EpochId::BASE, e).unwrap();
+        let index = DeltaIndex::build(h.epochs.delta_between(EpochId::BASE, e).unwrap(), None);
         let pinned = h.epochs.pin();
         let qctx = crate::context::QueryContext::new(&pinned, &h.ex.forest, &h.ex.pois);
-        let repaired = Bssr::new(&qctx).repair(&q, &cached, &delta, None).unwrap();
+        let repaired = Bssr::new(&qctx).repair(&q, &cached, &index, None).unwrap();
         let oracle = Bssr::new(&qctx).run(&q).unwrap().routes;
         assert!(equivalent_skylines(&repaired.routes, &oracle));
     }

@@ -71,6 +71,23 @@ impl Position {
         self.sim_of(ctx, v) >= 1.0
     }
 
+    /// The best similarity any PoI can achieve at this position: 1 when a
+    /// perfect match exists, otherwise σ\* (0 only for unmatchable
+    /// positions, which short-circuit before any search). Products of
+    /// this over remaining positions bound the minimum semantic score any
+    /// completion can reach — positions without perfect matches (e.g.
+    /// non-leaf ancestor categories when PoIs carry leaves) then yield
+    /// finite pruning thresholds instead of an unbounded hunt for
+    /// impossible semantic-0 routes.
+    #[inline]
+    pub fn best_sim(&self) -> f64 {
+        if self.perfect.is_empty() {
+            self.sigma_star.unwrap_or(0.0)
+        } else {
+            1.0
+        }
+    }
+
     /// Builds the destination pseudo-position: exactly one "PoI" (`dest`)
     /// with similarity 1, revisits allowed.
     pub fn destination(dest: VertexId) -> Position {

@@ -81,6 +81,22 @@ impl Landmarks {
         &self.landmarks
     }
 
+    /// Number of landmarks actually built (may be below the requested
+    /// count on graphs smaller than it).
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Distance from landmark `l` (an index into [`Self::landmarks`]) to
+    /// `v` — `f64::INFINITY` when unreachable. The raw material for
+    /// precomputed bound structures (e.g. the per-epoch-pair
+    /// `DeltaIndex`), which fold many per-vertex probes into one interval
+    /// per landmark.
+    #[inline]
+    pub fn distance(&self, l: usize, v: VertexId) -> f64 {
+        self.dist[l][v.index()]
+    }
+
     /// Triangle-inequality lower bound on `d(u, v)`.
     pub fn lower_bound(&self, u: VertexId, v: VertexId) -> Cost {
         let mut best = 0.0f64;

@@ -15,6 +15,15 @@
 //!   and certifies (via the epoch-aware verifier and the stale-serve
 //!   counter) that invalidation never leaks a stale answer while updates
 //!   race the replay;
+//! * **hierarchy** — a single wavefront pass over category-subtree
+//!   chains (suffix → ancestor variant → full query; see
+//!   [`StreamPattern::Hierarchy`]) in which **every request is a distinct
+//!   query**, so the baseline cold-searches all of them while the
+//!   treatment warm-starts two of every three from the previously cached
+//!   chain entry. Both modes run the full PR 2-4 reuse stack; only the
+//!   new *ancestor* and *suffix* seed sources are toggled, so the ratio
+//!   (`speedup_hierarchy`, CI-gated via `--require-hierarchy-speedup`)
+//!   isolates exactly what this PR added;
 //! * **repair** — epoch churn again, but both modes run the full reuse
 //!   layer and only *incremental skyline repair* is toggled: baseline =
 //!   PR 3's invalidate-and-recompute, treatment = repair cached skylines
@@ -102,7 +111,7 @@ pub struct BenchRun {
 /// The full bench outcome.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
-    /// All eight runs.
+    /// All ten runs.
     pub runs: Vec<BenchRun>,
     /// Reuse-over-baseline throughput ratio on the duplicate workload.
     pub speedup_duplicate: f64,
@@ -111,6 +120,10 @@ pub struct BenchReport {
     /// Reuse-over-baseline throughput ratio on the dynamic (update-heavy)
     /// workload.
     pub speedup_dynamic: f64,
+    /// Ancestor+suffix-seeding-over-cold throughput ratio on the
+    /// hierarchy workload (full reuse stack in both modes; only the two
+    /// new seed sources toggled).
+    pub speedup_hierarchy: f64,
     /// Repair-over-invalidate-and-recompute throughput ratio on the
     /// update-heavy duplicate workload (both modes run the full reuse
     /// layer; only incremental repair is toggled).
@@ -127,6 +140,7 @@ impl BenchReport {
         self.speedup_duplicate
             .min(self.speedup_prefix)
             .min(self.speedup_dynamic)
+            .min(self.speedup_hierarchy)
             .min(self.speedup_repair)
     }
 
@@ -151,6 +165,7 @@ impl BenchReport {
                  \"workers\": {}, \"wall_s\": {:.6}, \"throughput_qps\": {:.3}, \
                  \"latency_p50_ms\": {:.6}, \"latency_p99_ms\": {:.6}, \
                  \"executed\": {}, \"coalesced\": {}, \"prefix_seeded\": {}, \
+                 \"seeded_ancestor\": {}, \"seeded_suffix\": {}, \
                  \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \
                  \"cache_insertions\": {}, \"cache_evictions\": {}, \
                  \"cache_invalidations\": {}, \"epochs_published\": {}, \
@@ -166,7 +181,9 @@ impl BenchReport {
                 m.latency_p99.as_secs_f64() * 1e3,
                 m.executed,
                 m.coalesced,
-                m.prefix_seeded,
+                m.seeded_prefix,
+                m.seeded_ancestor,
+                m.seeded_suffix,
                 c.hits,
                 c.misses,
                 c.hit_rate(),
@@ -187,12 +204,14 @@ impl BenchReport {
         }
         out.push_str(&format!(
             "  ],\n  \"speedup_duplicate\": {:.4},\n  \"speedup_prefix\": {:.4},\n  \
-             \"speedup_dynamic\": {:.4},\n  \"speedup_repair\": {:.4},\n  \
+             \"speedup_dynamic\": {:.4},\n  \"speedup_hierarchy\": {:.4},\n  \
+             \"speedup_repair\": {:.4},\n  \
              \"min_speedup\": {:.4},\n  \"verify_mismatches\": {},\n  \
              \"stale_served\": {}\n}}\n",
             self.speedup_duplicate,
             self.speedup_prefix,
             self.speedup_dynamic,
+            self.speedup_hierarchy,
             self.speedup_repair,
             self.min_speedup(),
             self.verify_mismatches(),
@@ -217,7 +236,7 @@ impl std::fmt::Display for BenchReport {
                 m.latency_p99.as_secs_f64() * 1e3,
                 m.executed,
                 m.coalesced,
-                m.prefix_seeded,
+                m.seeded_prefix + m.seeded_ancestor + m.seeded_suffix,
                 m.cache.hit_rate() * 100.0,
                 m.cache.invalidations
             )?;
@@ -225,10 +244,12 @@ impl std::fmt::Display for BenchReport {
         write!(
             f,
             "speedup     duplicate {:.2}x, prefix {:.2}x, dynamic {:.2}x (reuse vs. exact-match \
-             baseline), repair {:.2}x (repair vs. invalidate-and-recompute); {} stale serves",
+             baseline), hierarchy {:.2}x (ancestor+suffix seeding vs. cold), repair {:.2}x \
+             (repair vs. invalidate-and-recompute); {} stale serves",
             self.speedup_duplicate,
             self.speedup_prefix,
             self.speedup_dynamic,
+            self.speedup_hierarchy,
             self.speedup_repair,
             self.stale_served()
         )
@@ -253,6 +274,8 @@ fn cell_spec(
         workers: bench.workers,
         coalesce: reuse,
         prefix_reuse: reuse,
+        ancestor_reuse: reuse,
+        suffix_reuse: reuse,
         engine: bench.engine,
         update_rate,
         update_burst: bench.update_burst,
@@ -261,6 +284,27 @@ fn cell_spec(
         // Reuse runs carry the correctness gate.
         verify: reuse,
         ..ReplaySpec::default()
+    }
+}
+
+/// The hierarchy cell: full PR 2-4 reuse stack in both modes (cache,
+/// coalescing, prefix — which never fires on this pool, chains share no
+/// prefix), only the new ancestor/suffix seed sources toggled. A single
+/// wavefront pass (`total == pool len`) keeps every request distinct, so
+/// the toggle decides cold search vs. warm-seeded search for two of every
+/// three requests.
+fn hierarchy_cell_spec(bench: &BenchSpec, reuse: bool) -> ReplaySpec {
+    let distinct = bench.distinct * 4;
+    ReplaySpec {
+        pattern: StreamPattern::Hierarchy,
+        distinct,
+        total: distinct * crate::replay::HIERARCHY_CHAIN,
+        ancestor_reuse: reuse,
+        suffix_reuse: reuse,
+        // The treatment carries the correctness gate (ancestor/suffix
+        // seeds must be oracle-exact).
+        verify: reuse,
+        ..cell_spec(bench, StreamPattern::Hierarchy, true, 0.0)
     }
 }
 
@@ -307,12 +351,13 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
     let dup_pool =
         build_pool(&dataset, &cell_spec(spec, StreamPattern::DuplicateBursts, false, 0.0));
     let pre_pool = build_pool(&dataset, &cell_spec(spec, StreamPattern::PrefixChains, false, 0.0));
+    let hier_pool = build_pool(&dataset, &hierarchy_cell_spec(spec, false));
     let ctx = Arc::new(ServiceContext::from_dataset(dataset));
 
     {
         let qctx = ctx.query_context();
         let mut engine = skysr_core::bssr::Bssr::with_config(&qctx, spec.engine);
-        for q in dup_pool.iter().chain(&pre_pool) {
+        for q in dup_pool.iter().chain(&pre_pool).chain(&hier_pool) {
             let _ = engine.run(q);
         }
     }
@@ -325,7 +370,7 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         replay_on(Arc::clone(&ctx), &dup_pool, &warm);
     }
 
-    let mut runs = Vec::with_capacity(8);
+    let mut runs = Vec::with_capacity(10);
     let mut speedups = Vec::with_capacity(3);
     for (workload, pattern, pool, update_rate) in [
         ("duplicate", StreamPattern::DuplicateBursts, &dup_pool, 0.0),
@@ -344,6 +389,18 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         runs.push(BenchRun { workload, mode: "reuse", report: reuse });
     }
 
+    // Hierarchy cell: ancestor+suffix seeding vs. cold searches over the
+    // same single-pass subtree-walk stream.
+    let base = replay_on(Arc::clone(&ctx), &hier_pool, &hierarchy_cell_spec(spec, false));
+    let treat = replay_on(Arc::clone(&ctx), &hier_pool, &hierarchy_cell_spec(spec, true));
+    let speedup_hierarchy = if base.metrics.throughput_qps > 0.0 {
+        treat.metrics.throughput_qps / base.metrics.throughput_qps
+    } else {
+        0.0
+    };
+    runs.push(BenchRun { workload: "hierarchy", mode: "cold", report: base });
+    runs.push(BenchRun { workload: "hierarchy", mode: "seeded", report: treat });
+
     // Repair cell: invalidate-and-recompute vs. repair-in-place, under
     // the same update schedule.
     let base = replay_on(Arc::clone(&ctx), &dup_pool, &repair_cell_spec(spec, false));
@@ -361,6 +418,7 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         speedup_duplicate: speedups[0],
         speedup_prefix: speedups[1],
         speedup_dynamic: speedups[2],
+        speedup_hierarchy,
         speedup_repair,
     }
 }
@@ -384,29 +442,47 @@ mod tests {
             ..BenchSpec::default()
         };
         let report = bench(dataset, &spec);
-        assert_eq!(report.runs.len(), 8);
+        assert_eq!(report.runs.len(), 10);
         // The correctness gate ran on the reuse runs and passed — including
         // the dynamic cell, whose oracle is epoch-aware.
         assert_eq!(report.verify_mismatches(), 0);
         // The staleness gate: nothing was ever served cross-epoch.
         assert_eq!(report.stale_served(), 0);
         for run in &report.runs {
-            let expect = if run.workload == "repair" { 480 } else { 160 };
+            let expect = match run.workload {
+                "repair" => 480,
+                "hierarchy" => 8 * 4 * 3, // distinct×4 chains, 3 entries each, one pass
+                _ => 160,
+            };
             assert_eq!(run.report.metrics.completed, expect, "{}/{}", run.workload, run.mode);
             // Coalesced / warm-start *counts* in reuse mode are
             // scheduling-dependent on a fast fixture; the deterministic
             // guarantees live in tests/coalescing.rs. Here only the mode
             // wiring and the correctness gate are asserted.
+            let m = &run.report.metrics;
             if run.mode == "exact-match" {
-                assert_eq!(run.report.metrics.coalesced, 0);
-                assert_eq!(run.report.metrics.prefix_seeded, 0);
+                assert_eq!(m.coalesced, 0);
+                assert_eq!(m.seeded_prefix + m.seeded_ancestor + m.seeded_suffix, 0);
+            }
+            if run.mode == "cold" {
+                assert_eq!(
+                    m.seeded_ancestor + m.seeded_suffix,
+                    0,
+                    "the hierarchy baseline runs without the new seed sources"
+                );
             }
             if run.workload != "dynamic" && run.workload != "repair" {
                 assert_eq!(run.report.epochs_published, 0, "static cells stay static");
             }
             if run.mode == "invalidate" {
-                assert_eq!(run.report.metrics.repairs, 0, "repair off in the baseline mode");
-                assert_eq!(run.report.metrics.repair_fallbacks, 0);
+                assert_eq!(m.repairs, 0, "repair off in the baseline mode");
+                assert_eq!(m.repair_fallbacks, 0);
+            }
+            if run.workload == "hierarchy" && run.mode == "seeded" {
+                assert!(
+                    m.seeded_ancestor > 0 && m.seeded_suffix > 0,
+                    "the hierarchy treatment must exercise both new seed sources: {m:?}"
+                );
             }
         }
         let json = report.to_json();
@@ -415,6 +491,9 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"speedup_duplicate\""));
         assert!(json.contains("\"speedup_dynamic\""));
+        assert!(json.contains("\"speedup_hierarchy\""));
+        assert!(json.contains("\"seeded_ancestor\""));
+        assert!(json.contains("\"seeded_suffix\""));
         assert!(json.contains("\"speedup_repair\""));
         assert!(json.contains("\"repairs\""));
         assert!(json.contains("\"workload\": \"repair\""));
@@ -422,10 +501,12 @@ mod tests {
         assert!(json.contains("\"stale_served\": 0"));
         assert!(json.contains("\"workload\": \"prefix\""));
         assert!(json.contains("\"workload\": \"dynamic\""));
+        assert!(json.contains("\"workload\": \"hierarchy\""));
         assert!(!json.contains(",\n  ]"));
         let text = report.to_string();
         assert!(text.contains("speedup"), "{text}");
         assert!(text.contains("dynamic"), "{text}");
+        assert!(text.contains("hierarchy"), "{text}");
         assert!(text.contains("repair"), "{text}");
     }
 }

@@ -24,23 +24,31 @@
 //!   entry with an older result, so a slow straggler can never regress the
 //!   cache.
 //!
-//! Counters are exact: `hits + misses` equals the number of [`get`]
+//! Since the reuse-planner refactor all reads go through one non-counting,
+//! non-invalidating primitive — [`probe`](ResultCache::probe) — which the
+//! `ReusePlanner` drives (exact-hit, repair-source, prefix / ancestor /
+//! suffix seed probes are all the same call). Accounting is explicit and
+//! lives with the *policy*, not the probe: the planner counts exactly one
+//! lookup per cached request ([`note_lookup`](ResultCache::note_lookup))
+//! and performs lazy invalidation deliberately
+//! ([`discard_older`](ResultCache::discard_older)) when a stale entry has
+//! no repair path.
+//!
+//! Counters are exact: `hits + misses` equals the number of counted
 //! lookups (uncacheable traffic never reaches the cache since
 //! canonicalization is total; a service running with caching disabled
-//! performs no lookups at all), prefix probes via [`peek`] are not
-//! counted, inserting over an identical key refreshes the entry without
-//! counting an eviction, and `insertions` counts stored results so CI
-//! perf artifacts can cross-check `hits + coalesced + executed` against
-//! completed queries. `invalidations` (epoch-stale drops) and `evictions`
-//! (capacity displacement) are disjoint by construction.
-//!
-//! [`get`]: ResultCache::get
-//! [`peek`]: ResultCache::peek
+//! performs no lookups at all), seed probes are not counted, inserting
+//! over an identical key refreshes the entry without counting an
+//! eviction, and `insertions` counts stored results so CI perf artifacts
+//! can cross-check `hits + coalesced + executed` against completed
+//! queries. `invalidations` (epoch-stale drops) and `evictions` (capacity
+//! displacement) are disjoint by construction.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use skysr_category::CategoryId;
 use skysr_core::bssr::BssrConfig;
 use skysr_core::query::CanonicalPosition;
 use skysr_core::query::SkySrQuery;
@@ -81,6 +89,37 @@ impl QueryKey {
         })
     }
 
+    /// The key of this query's ⟨c₂, …, c_k⟩ *suffix* under the same start
+    /// and configuration — the entry suffix reuse prepends one leg to.
+    /// `None` for single-position queries.
+    pub fn suffix(&self) -> Option<QueryKey> {
+        (self.positions.len() >= 2).then(|| QueryKey {
+            start: self.start,
+            positions: self.positions[1..].into(),
+            config: self.config,
+        })
+    }
+
+    /// The plain category at position `i`, if that position is (or
+    /// canonicalizes to) one — the anchor for ancestor-category probes.
+    pub fn position_category(&self, i: usize) -> Option<CategoryId> {
+        match self.positions.get(i)? {
+            CanonicalPosition::Category(c) => Some(*c),
+            CanonicalPosition::Requirement(_) => None,
+        }
+    }
+
+    /// This key with position `i` replaced by the plain category `c` —
+    /// the key an ancestor-category variant of the query lives under.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn with_position_category(&self, i: usize, c: CategoryId) -> QueryKey {
+        let mut positions = self.positions.clone();
+        positions[i] = CanonicalPosition::Category(c);
+        QueryKey { start: self.start, positions, config: self.config }
+    }
+
     /// Number of sequence positions.
     pub fn len(&self) -> usize {
         self.positions.len()
@@ -91,20 +130,6 @@ impl QueryKey {
     pub fn is_empty(&self) -> bool {
         self.positions.is_empty()
     }
-}
-
-/// Outcome of a repair-aware lookup ([`ResultCache::get_for_repair`]).
-#[derive(Clone, Debug)]
-pub enum Lookup {
-    /// A same-epoch entry answered.
-    Hit(Arc<[SkylineRoute]>),
-    /// An entry from an *older* epoch exists. It was **left in place**
-    /// (not lazily invalidated) so the caller can attempt an incremental
-    /// repair and promote it to the new epoch via
-    /// [`insert`](ResultCache::insert); counted as a miss.
-    Stale(EpochId, Arc<[SkylineRoute]>),
-    /// No usable entry (none at all, or only a newer-epoch one).
-    Miss,
 }
 
 /// One cached skyline: the routes plus the weight epoch they are valid
@@ -313,94 +338,23 @@ impl ResultCache {
         }
     }
 
-    /// Looks a canonicalized query up for a requester pinned to `epoch`,
-    /// counting the hit or miss.
+    /// The unified non-counting, non-invalidating read primitive the
+    /// reuse planner drives.
     ///
-    /// Only an entry stamped exactly `epoch` answers; the returned stamp
-    /// is always `epoch` and is handed back so the serving layer can
-    /// assert (and account) that no stale skyline ever leaves the cache.
-    /// An entry from an *older* epoch is invalidated on the spot; an entry
-    /// from a *newer* epoch (the requester pinned before the latest
-    /// publish) stays for requesters that can use it.
-    pub fn get(&self, key: &QueryKey, epoch: EpochId) -> Option<(EpochId, Arc<[SkylineRoute]>)> {
-        let result = self.lookup(key, epoch);
-        match result {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        result
-    }
-
-    /// Looks `key` up *without* touching the hit/miss counters — used for
-    /// opportunistic prefix probes (warm starts), which are not request
-    /// traffic and must not distort the hit rate. Epoch semantics match
-    /// [`get`](ResultCache::get): only a same-epoch entry is returned (a
-    /// prefix skyline from another epoch would seed the search with routes
-    /// scored under different weights). A found entry is still marked
-    /// recently used: reuse as a seed is a use.
-    pub fn peek(&self, key: &QueryKey, epoch: EpochId) -> Option<(EpochId, Arc<[SkylineRoute]>)> {
-        self.lookup(key, epoch)
-    }
-
-    fn lookup(&self, key: &QueryKey, epoch: EpochId) -> Option<(EpochId, Arc<[SkylineRoute]>)> {
-        let mut lru = self.inner.lock().expect("cache poisoned");
-        let i = lru.index_of(key)?;
-        let entry_epoch = lru.value(i).epoch;
-        if entry_epoch == epoch {
-            let routes = Arc::clone(&lru.value(i).routes);
-            lru.promote_index(i);
-            Some((entry_epoch, routes))
-        } else {
-            if entry_epoch < epoch {
-                lru.remove_index(i);
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
-            }
-            None
-        }
-    }
-
-    /// Repair-aware lookup: like [`get`](ResultCache::get), but an entry
-    /// from an **older** epoch is returned as [`Lookup::Stale`] *without*
-    /// being invalidated — the serving layer attempts an incremental
-    /// repair and, on success, promotes the entry to the requester's epoch
-    /// in place (through the ordinary [`insert`](ResultCache::insert)
-    /// path, whose newer-epoch guard still applies). Counter taxonomy is
-    /// unchanged: a stale return counts as a miss (it is not a serve), and
-    /// `invalidations` is *not* bumped (nothing was dropped).
-    pub fn get_for_repair(&self, key: &QueryKey, epoch: EpochId) -> Lookup {
-        let mut lru = self.inner.lock().expect("cache poisoned");
-        let Some(i) = lru.index_of(key) else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return Lookup::Miss;
-        };
-        let entry_epoch = lru.value(i).epoch;
-        if entry_epoch == epoch {
-            let routes = Arc::clone(&lru.value(i).routes);
-            lru.promote_index(i);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            Lookup::Hit(routes)
-        } else if entry_epoch < epoch {
-            let routes = Arc::clone(&lru.value(i).routes);
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            Lookup::Stale(entry_epoch, routes)
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            Lookup::Miss
-        }
-    }
-
-    /// Non-counting, non-invalidating probe that returns whatever epoch
-    /// the entry carries (possibly older than the requester's — never
-    /// newer than `epoch`). Powers cross-epoch warm-start rescue: a prefix
-    /// skyline one or more epochs behind can still seed a search once the
-    /// epoch delta is proven not to touch it, so the probe must not
-    /// destroy the entry the way [`peek`](ResultCache::peek) would. A
-    /// found entry is marked recently used.
-    pub fn peek_stale(
-        &self,
-        key: &QueryKey,
-        epoch: EpochId,
-    ) -> Option<(EpochId, Arc<[SkylineRoute]>)> {
+    /// Returns the resident entry with whatever epoch stamp it carries,
+    /// as long as that stamp is **not newer** than `epoch` (a requester
+    /// must never observe a future epoch's skyline; an entry published
+    /// after its pin simply does not exist for it). The caller decides
+    /// what the stamp means: equal ⇒ exact hit; older ⇒ repair source,
+    /// provably-untouched seed material, or lazy-invalidation candidate
+    /// ([`discard_older`](ResultCache::discard_older)).
+    ///
+    /// Probes never touch the hit/miss counters — the planner counts
+    /// exactly one lookup per cached request via
+    /// [`note_lookup`](ResultCache::note_lookup), so seed probes cannot
+    /// distort the hit rate. A found entry is marked recently used: reuse
+    /// as a seed or repair source is a use.
+    pub fn probe(&self, key: &QueryKey, epoch: EpochId) -> Option<(EpochId, Arc<[SkylineRoute]>)> {
         let mut lru = self.inner.lock().expect("cache poisoned");
         let i = lru.index_of(key)?;
         let entry_epoch = lru.value(i).epoch;
@@ -410,6 +364,37 @@ impl ResultCache {
         let routes = Arc::clone(&lru.value(i).routes);
         lru.promote_index(i);
         Some((entry_epoch, routes))
+    }
+
+    /// Counts one request-level lookup. The serving layer calls this once
+    /// per cached request after planning: `hit` iff the plan serves
+    /// straight from a same-epoch entry. Keeps `hits + misses` equal to
+    /// counted lookups and `hits` equal to responses served from the
+    /// cache.
+    pub fn note_lookup(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lazy invalidation: removes `key`'s entry iff it is stamped strictly
+    /// older than `epoch`, counting an invalidation. The planner calls
+    /// this when a stale entry has no repair path (repair disabled, or the
+    /// epoch pair's delta was compacted away); with repair on, stale
+    /// entries are left in place as repair raw material instead.
+    pub fn discard_older(&self, key: &QueryKey, epoch: EpochId) -> bool {
+        let mut lru = self.inner.lock().expect("cache poisoned");
+        let Some(i) = lru.index_of(key) else {
+            return false;
+        };
+        if lru.value(i).epoch >= epoch {
+            return false;
+        }
+        lru.remove_index(i);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Reclassifies one already-counted miss as a hit.
@@ -483,6 +468,31 @@ mod tests {
         QueryKey::canonicalize(&q, BssrConfig::default())
     }
 
+    /// The planner's counted request lookup, reconstructed from the
+    /// unified primitives: probe, count the one lookup, lazily invalidate
+    /// a stale entry (the no-repair policy).
+    fn get(cache: &ResultCache, key: &QueryKey, epoch: EpochId) -> Option<Arc<[SkylineRoute]>> {
+        let hit = cache.probe(key, epoch).filter(|&(e, _)| e == epoch);
+        cache.note_lookup(hit.is_some());
+        if hit.is_none() {
+            cache.discard_older(key, epoch);
+        }
+        hit.map(|(_, r)| r)
+    }
+
+    /// The planner's same-epoch seed probe (not counted), with the
+    /// no-repair lazy invalidation of stale seed entries.
+    fn peek(cache: &ResultCache, key: &QueryKey, epoch: EpochId) -> Option<Arc<[SkylineRoute]>> {
+        match cache.probe(key, epoch) {
+            Some((e, r)) if e == epoch => Some(r),
+            Some(_) => {
+                cache.discard_older(key, epoch);
+                None
+            }
+            None => None,
+        }
+    }
+
     #[test]
     fn requirement_queries_are_cacheable_and_spelling_insensitive() {
         let cfg = BssrConfig::default();
@@ -537,10 +547,9 @@ mod tests {
     #[test]
     fn hit_miss_and_counters() {
         let cache = ResultCache::new(4);
-        assert!(cache.get(&key(1), E0).is_none());
+        assert!(get(&cache, &key(1), E0).is_none());
         cache.insert(key(1), E0, routes(1));
-        let (e, hit) = cache.get(&key(1), E0).expect("hit");
-        assert_eq!(e, E0);
+        let hit = get(&cache, &key(1), E0).expect("hit");
         assert_eq!(hit[0].pois, vec![VertexId(1)]);
         let c = cache.counters();
         assert_eq!((c.hits, c.misses, c.insertions, c.evictions, c.len), (1, 1, 1, 0, 1));
@@ -553,17 +562,17 @@ mod tests {
         let cache = ResultCache::new(4);
         cache.insert(key(1), E0, routes(1));
         // A requester pinned to a later epoch must not see the old skyline.
-        assert!(cache.get(&key(1), E1).is_none());
+        assert!(get(&cache, &key(1), E1).is_none());
         let c = cache.counters();
         assert_eq!((c.hits, c.misses), (0, 1));
         assert_eq!(c.invalidations, 1, "the stale entry was dropped");
         assert_eq!(c.len, 0);
         assert_eq!(c.evictions, 0, "invalidation is not an eviction");
         // Gone for everyone, including its own epoch.
-        assert!(cache.get(&key(1), E0).is_none());
+        assert!(get(&cache, &key(1), E0).is_none());
         // Refill at the new epoch serves the new epoch.
         cache.insert(key(1), E1, routes(2));
-        assert!(cache.get(&key(1), E1).is_some());
+        assert!(get(&cache, &key(1), E1).is_some());
     }
 
     #[test]
@@ -571,14 +580,13 @@ mod tests {
         let cache = ResultCache::new(4);
         cache.insert(key(1), E2, routes(2));
         // A straggler pinned to an older epoch cannot use it...
-        assert!(cache.get(&key(1), E1).is_none());
+        assert!(get(&cache, &key(1), E1).is_none());
         let c = cache.counters();
         assert_eq!(c.invalidations, 0, "newer entries are not invalidated");
         assert_eq!(c.len, 1);
         // ...and cannot overwrite it with its older result.
         cache.insert(key(1), E1, routes(1));
-        let (e, r) = cache.get(&key(1), E2).expect("newer entry survives");
-        assert_eq!(e, E2);
+        let r = get(&cache, &key(1), E2).expect("newer entry survives");
         assert_eq!(r[0].pois, vec![VertexId(2)]);
         // The refused insert was not counted.
         assert_eq!(cache.counters().insertions, 1);
@@ -590,9 +598,9 @@ mod tests {
         // answer then appeared; after reclassification the request reads
         // as the cache hit it was ultimately served as.
         let cache = ResultCache::new(4);
-        assert!(cache.get(&key(1), E0).is_none());
+        assert!(get(&cache, &key(1), E0).is_none());
         cache.insert(key(1), E0, routes(1));
-        assert!(cache.peek(&key(1), E0).is_some());
+        assert!(peek(&cache, &key(1), E0).is_some());
         cache.reclassify_miss_as_hit();
         let c = cache.counters();
         assert_eq!((c.hits, c.misses), (1, 0));
@@ -600,73 +608,70 @@ mod tests {
     }
 
     #[test]
-    fn peek_does_not_count_a_lookup_and_respects_epochs() {
+    fn seed_probes_do_not_count_lookups_and_respect_epochs() {
         let cache = ResultCache::new(4);
-        assert!(cache.peek(&key(1), E0).is_none());
+        assert!(peek(&cache, &key(1), E0).is_none());
         cache.insert(key(1), E0, routes(1));
-        assert!(cache.peek(&key(1), E0).is_some());
+        assert!(peek(&cache, &key(1), E0).is_some());
         // Same-epoch only: a prefix skyline from epoch 0 must not seed an
         // epoch-1 search.
-        assert!(cache.peek(&key(1), E1).is_none());
+        assert!(peek(&cache, &key(1), E1).is_none());
         let c = cache.counters();
-        assert_eq!((c.hits, c.misses), (0, 0), "peeks are not traffic");
-        // The stale peek *did* lazily invalidate the old entry.
+        assert_eq!((c.hits, c.misses), (0, 0), "probes are not traffic");
+        // The stale probe's explicit discard lazily invalidated the entry.
         assert_eq!(c.invalidations, 1);
-        // But a peek refreshes recency: after peeking 1 in a full cache,
+        // But a probe refreshes recency: after probing 1 in a full cache,
         // the other entry is the eviction victim.
         let cache = ResultCache::new(2);
         cache.insert(key(1), E0, routes(1));
         cache.insert(key(2), E0, routes(2));
-        assert!(cache.peek(&key(1), E0).is_some());
+        assert!(peek(&cache, &key(1), E0).is_some());
         cache.insert(key(3), E0, routes(3));
-        assert!(cache.peek(&key(2), E0).is_none(), "2 was evicted");
-        assert!(cache.peek(&key(1), E0).is_some());
+        assert!(peek(&cache, &key(2), E0).is_none(), "2 was evicted");
+        assert!(peek(&cache, &key(1), E0).is_some());
     }
 
     #[test]
-    fn get_for_repair_returns_stale_entries_without_invalidating() {
+    fn probe_returns_stale_entries_without_invalidating() {
+        // The repair-source path: a stale probe leaves the entry in place
+        // (it is the flight's repair raw material), and the planner counts
+        // the request as a miss.
         let cache = ResultCache::new(4);
         cache.insert(key(1), E0, routes(1));
-        // A later-epoch requester gets the stale entry for repair...
-        match cache.get_for_repair(&key(1), E1) {
-            Lookup::Stale(e, r) => {
-                assert_eq!(e, E0);
-                assert_eq!(r[0].pois, vec![VertexId(1)]);
-            }
-            other => panic!("expected Stale, got {other:?}"),
-        }
+        let (e, r) = cache.probe(&key(1), E1).expect("stale entry visible to a newer pin");
+        assert_eq!(e, E0);
+        assert_eq!(r[0].pois, vec![VertexId(1)]);
+        cache.note_lookup(false);
         let c = cache.counters();
         assert_eq!((c.hits, c.misses), (0, 1), "a stale return is a miss, not a serve");
         assert_eq!(c.invalidations, 0, "the entry was left for repair");
         assert_eq!(c.len, 1);
         // ...and promoting it refreshes the same slot.
         cache.insert(key(1), E1, routes(2));
-        match cache.get_for_repair(&key(1), E1) {
-            Lookup::Hit(r) => assert_eq!(r[0].pois, vec![VertexId(2)]),
-            other => panic!("expected Hit, got {other:?}"),
-        }
+        let (e, r) = cache.probe(&key(1), E1).expect("promoted entry answers its epoch");
+        assert_eq!(e, E1);
+        assert_eq!(r[0].pois, vec![VertexId(2)]);
+        cache.note_lookup(true);
         let c = cache.counters();
         assert_eq!((c.hits, c.misses, c.len, c.evictions), (1, 1, 1, 0));
-        // Newer entries still miss for older pins, and stay.
-        assert!(matches!(cache.get_for_repair(&key(1), E0), Lookup::Miss));
+        // Newer entries are invisible to older pins, and stay.
+        assert!(cache.probe(&key(1), E0).is_none());
         assert_eq!(cache.counters().len, 1);
         // Absent keys miss.
-        assert!(matches!(cache.get_for_repair(&key(9), E0), Lookup::Miss));
+        assert!(cache.probe(&key(9), E0).is_none());
     }
 
     #[test]
-    fn peek_stale_is_silent_and_never_returns_newer_entries() {
+    fn discard_older_only_drops_strictly_older_entries() {
         let cache = ResultCache::new(4);
         cache.insert(key(1), E1, routes(1));
-        // Older entry visible to a newer pin, silently.
-        let (e, _) = cache.peek_stale(&key(1), E2).expect("stale peek");
-        assert_eq!(e, E1);
-        // Same epoch works too; newer entries are off limits.
-        assert!(cache.peek_stale(&key(1), E1).is_some());
-        assert!(cache.peek_stale(&key(1), E0).is_none());
+        assert!(!cache.discard_older(&key(1), E1), "same epoch is not stale");
+        assert!(!cache.discard_older(&key(1), E0), "newer entries survive older pins");
+        assert!(!cache.discard_older(&key(9), E2), "absent keys are a no-op");
+        assert_eq!(cache.counters().invalidations, 0);
+        assert!(cache.discard_older(&key(1), E2), "strictly older entries drop");
         let c = cache.counters();
-        assert_eq!((c.hits, c.misses, c.invalidations), (0, 0, 0), "peeks are not traffic");
-        assert_eq!(c.len, 1, "nothing was dropped");
+        assert_eq!((c.invalidations, c.len, c.evictions), (1, 0, 0));
     }
 
     #[test]
@@ -675,11 +680,11 @@ mod tests {
         cache.insert(key(1), E0, routes(1));
         cache.insert(key(2), E0, routes(2));
         // Touch 1, making 2 the eviction victim.
-        assert!(cache.get(&key(1), E0).is_some());
+        assert!(get(&cache, &key(1), E0).is_some());
         cache.insert(key(3), E0, routes(3));
-        assert!(cache.get(&key(2), E0).is_none(), "2 was evicted");
-        assert!(cache.get(&key(1), E0).is_some());
-        assert!(cache.get(&key(3), E0).is_some());
+        assert!(get(&cache, &key(2), E0).is_none(), "2 was evicted");
+        assert!(get(&cache, &key(1), E0).is_some());
+        assert!(get(&cache, &key(3), E0).is_some());
         assert_eq!(cache.counters().evictions, 1);
         assert_eq!(cache.counters().invalidations, 0);
     }
@@ -699,11 +704,11 @@ mod tests {
         assert_eq!(c.evictions, 0);
         assert_eq!(c.insertions, 4, "refreshes still count as insertions");
         assert_eq!(c.len, 2);
-        assert_eq!(cache.get(&key(1), E0).unwrap().1[0].length, Cost::new(10.0));
+        assert_eq!(get(&cache, &key(1), E0).unwrap()[0].length, Cost::new(10.0));
         // 1 was refreshed more recently... then got, so 2 is LRU now.
         cache.insert(key(3), E0, routes(3));
         assert_eq!(cache.counters().evictions, 1);
-        assert!(cache.get(&key(2), E0).is_none());
+        assert!(get(&cache, &key(2), E0).is_none());
     }
 
     #[test]
@@ -716,8 +721,7 @@ mod tests {
         cache.insert(key(1), E2, routes(12));
         let c = cache.counters();
         assert_eq!((c.len, c.evictions), (1, 0));
-        let (e, r) = cache.get(&key(1), E2).expect("latest stamp answers");
-        assert_eq!(e, E2);
+        let r = get(&cache, &key(1), E2).expect("latest stamp answers");
         assert_eq!(r[0].pois, vec![VertexId(12)]);
     }
 
@@ -732,7 +736,7 @@ mod tests {
         assert_eq!(c.evictions, 97);
         assert_eq!(c.insertions, 100);
         for i in 97..100 {
-            assert!(cache.get(&key(i), E0).is_some(), "newest entries survive");
+            assert!(get(&cache, &key(i), E0).is_some(), "newest entries survive");
         }
     }
 
@@ -746,8 +750,8 @@ mod tests {
             cache.insert(key(1), epoch, routes(1));
             cache.insert(key(2), epoch, routes(2));
             // Next epoch's lookups invalidate both.
-            assert!(cache.get(&key(1), EpochId(e + 1)).is_none());
-            assert!(cache.get(&key(2), EpochId(e + 1)).is_none());
+            assert!(get(&cache, &key(1), EpochId(e + 1)).is_none());
+            assert!(get(&cache, &key(2), EpochId(e + 1)).is_none());
         }
         let c = cache.counters();
         assert_eq!(c.invalidations, 100);

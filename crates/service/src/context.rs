@@ -1,19 +1,31 @@
 //! The owned, shareable counterpart of `skysr_core::QueryContext`, with
 //! epoch-managed dynamic edge weights.
 
-use std::sync::{Arc, OnceLock};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use skysr_category::{CategoryForest, Similarity, WuPalmer};
 use skysr_core::{PoiTable, QueryContext};
 use skysr_data::dataset::Dataset;
 use skysr_graph::{
-    DeltaSet, EpochGcStats, EpochId, Landmarks, RoadNetwork, VertexId, WeightDelta, WeightEpoch,
+    DeltaIndex, DeltaSet, EpochGcStats, EpochId, Landmarks, RoadNetwork, VertexId, WeightDelta,
+    WeightEpoch,
 };
 
 /// Landmarks built for the repair lower bounds: enough for useful
 /// triangle-inequality bounds, few enough that the one-time build (one
 /// full Dijkstra each) stays negligible next to serving.
 const REPAIR_LANDMARKS: usize = 8;
+
+/// Recent [`DeltaIndex`]es kept resident. Traffic repairs against a
+/// handful of live epoch pairs at a time (workers re-pin per job, so the
+/// "to" side is almost always the current epoch); a small ring makes the
+/// index effectively built once per pair and shared across every stale
+/// key of that pair.
+const DELTA_INDEX_RING: usize = 16;
+
+/// One memoized per-epoch-pair index: ((from, to), the shared index).
+type IndexedPair = ((EpochId, EpochId), Arc<DeltaIndex>);
 
 /// Owned bundle of graph + category forest + PoI table + similarity
 /// measure.
@@ -38,6 +50,8 @@ pub struct ServiceContext {
     /// support landmarks (directed) — repair then skips its cheap
     /// lower-bound tiers but stays correct.
     landmarks: OnceLock<Option<Landmarks>>,
+    /// Per-epoch-pair touched-ball indexes, most recent last.
+    delta_indexes: Mutex<VecDeque<IndexedPair>>,
 }
 
 // Shared across worker threads; the graph's epoch manager is internally
@@ -68,6 +82,7 @@ impl ServiceContext {
             pois,
             similarity,
             landmarks: OnceLock::new(),
+            delta_indexes: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -158,6 +173,40 @@ impl ServiceContext {
     /// fresh search). See [`WeightEpoch::delta_between`].
     pub fn delta_between(&self, from: EpochId, to: EpochId) -> Option<DeltaSet> {
         self.graph.delta_between(from, to)
+    }
+
+    /// The shared per-epoch-pair touched-ball index for `(from, to)`, or
+    /// `None` when the pair's delta is no longer derivable (an epoch was
+    /// compacted away, or the pair straddles a base-CSR rebase).
+    ///
+    /// Built **once** per pair — from [`Self::delta_between`] plus the
+    /// landmark oracle — and memoized in a small ring, so repairing N
+    /// stale cache keys against one weight update costs one index build
+    /// plus N O(landmarks) ball probes instead of N per-key, per-tail
+    /// landmark scans. This is the "shared per-epoch delta
+    /// classification" the repair tiers consume.
+    pub fn delta_index(&self, from: EpochId, to: EpochId) -> Option<Arc<DeltaIndex>> {
+        if from > to {
+            return None;
+        }
+        {
+            let ring = self.delta_indexes.lock().expect("delta-index ring poisoned");
+            if let Some((_, index)) = ring.iter().rev().find(|(pair, _)| *pair == (from, to)) {
+                return Some(Arc::clone(index));
+            }
+        }
+        // Build outside the lock: delta diffing and the landmark interval
+        // scan must not serialize the serving workers.
+        let delta = self.graph.delta_between(from, to)?;
+        let index = Arc::new(DeltaIndex::build(delta, self.landmarks()));
+        let mut ring = self.delta_indexes.lock().expect("delta-index ring poisoned");
+        if !ring.iter().any(|(pair, _)| *pair == (from, to)) {
+            if ring.len() == DELTA_INDEX_RING {
+                ring.pop_front();
+            }
+            ring.push_back(((from, to), Arc::clone(&index)));
+        }
+        Some(index)
     }
 
     /// The landmark lower-bound oracle repair's cheap tiers use, built

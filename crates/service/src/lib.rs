@@ -42,14 +42,20 @@
 //!   a repair-vs-invalidate cell) and serializing the `BENCH_pr.json` CI
 //!   artifact.
 //!
-//! Between a request and a BSSR search sit three reuse layers, applied in
-//! order by the worker loop: the result cache, request coalescing
-//! (concurrent duplicates park behind one in-flight computation and share
-//! its `Arc`'d skyline — the leader fills the cache *before* ending the
-//! flight, so a key is never searched twice concurrently), and semantic
-//! prefix reuse (a cached skyline for ⟨c₁,…,c_{k−1}⟩ warm-starts the
-//! search for ⟨c₁,…,c_k⟩ via [`skysr_core::bssr::warm`], keeping results
-//! exact while tightening the pruning thresholds). All three are
+//! Between a request and a BSSR search sits the **reuse planner**
+//! ([`plan`]): for each dequeued job it probes the cache once through the
+//! unified non-counting [`ResultCache::probe`] and emits an ordered
+//! [`plan::ReusePlan`] over the rung ladder `ExactHit → Coalesce →
+//! Repair → WarmSeed{prefix|ancestor|suffix} → ColdSearch`, which the
+//! worker loop executes mechanically. The rungs: the result cache,
+//! request coalescing (concurrent duplicates park behind one in-flight
+//! computation and share its `Arc`'d skyline — the leader fills the cache
+//! *before* ending the flight, so a key is never searched twice
+//! concurrently), and semantic reuse (a cached skyline for the query's
+//! *prefix* ⟨c₁,…,c_{k−1}⟩, an *ancestor-category* variant, or its
+//! *suffix* ⟨c₂,…,c_k⟩ warm-starts the search via
+//! [`skysr_core::bssr::warm`], keeping results exact while tightening the
+//! pruning thresholds). All of these are
 //! epoch-exact: a cached skyline, an in-flight computation or a warm-start
 //! seed is reused only by requests pinned to the same weight epoch —
 //! except where *incremental repair* ([`ServiceConfig::repair`]) proves a
@@ -88,13 +94,15 @@ pub mod bench;
 pub mod cache;
 pub mod context;
 pub mod metrics;
+pub mod plan;
 pub mod pool;
 pub mod replay;
 mod service;
 
 pub use bench::{BenchReport, BenchSpec};
-pub use cache::{CacheCounters, Lookup, QueryKey, ResultCache};
+pub use cache::{CacheCounters, QueryKey, ResultCache};
 pub use context::ServiceContext;
 pub use metrics::{MetricsSnapshot, Served};
+pub use plan::{PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource};
 pub use replay::{ReplayReport, ReplaySpec, StreamPattern};
 pub use service::{QueryResponse, QueryService, ServiceConfig, Ticket};

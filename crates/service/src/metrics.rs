@@ -7,6 +7,7 @@ use std::time::Duration;
 use skysr_graph::EpochGcStats;
 
 use crate::cache::CacheCounters;
+use crate::plan::SeedSource;
 
 /// At most this many (latency, skyline-size) samples are retained;
 /// beyond it, reservoir sampling keeps a uniform subset so percentiles
@@ -47,11 +48,13 @@ impl SampleSet {
 /// [`MetricsRecorder::record`] bumps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Served {
-    /// A BSSR search ran; `warm` tells whether it was warm-started from a
-    /// cached prefix skyline (semantic reuse).
+    /// A BSSR search ran; `seeded` records which cached skyline
+    /// warm-started it (semantic reuse), if any actually contributed
+    /// seeds.
     Search {
-        /// Warm-started from a prefix skyline.
-        warm: bool,
+        /// The reuse source whose seeds survived into the skyline set
+        /// (`None` for a cold search, or when the probe came up dry).
+        seeded: Option<SeedSource>,
     },
     /// Answered from the result cache.
     CacheHit,
@@ -83,7 +86,9 @@ pub struct MetricsRecorder {
     failed: AtomicU64,
     executed: AtomicU64,
     coalesced: AtomicU64,
-    prefix_seeded: AtomicU64,
+    seeded_prefix: AtomicU64,
+    seeded_ancestor: AtomicU64,
+    seeded_suffix: AtomicU64,
     stale_served: AtomicU64,
     repairs: AtomicU64,
     repair_fallbacks: AtomicU64,
@@ -99,11 +104,16 @@ impl MetricsRecorder {
     pub fn record(&self, latency: Duration, skyline_size: usize, served: Served) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         match served {
-            Served::Search { warm } => {
+            Served::Search { seeded } => {
                 self.executed.fetch_add(1, Ordering::Relaxed);
-                if warm {
-                    self.prefix_seeded.fetch_add(1, Ordering::Relaxed);
-                }
+                match seeded {
+                    Some(SeedSource::Prefix) => self.seeded_prefix.fetch_add(1, Ordering::Relaxed),
+                    Some(SeedSource::Ancestor) => {
+                        self.seeded_ancestor.fetch_add(1, Ordering::Relaxed)
+                    }
+                    Some(SeedSource::Suffix) => self.seeded_suffix.fetch_add(1, Ordering::Relaxed),
+                    None => 0,
+                };
             }
             Served::CacheHit => {}
             Served::Coalesced => {
@@ -172,7 +182,9 @@ impl MetricsRecorder {
             failed: self.failed.load(Ordering::Relaxed),
             executed,
             coalesced: self.coalesced.load(Ordering::Relaxed),
-            prefix_seeded: self.prefix_seeded.load(Ordering::Relaxed),
+            seeded_prefix: self.seeded_prefix.load(Ordering::Relaxed),
+            seeded_ancestor: self.seeded_ancestor.load(Ordering::Relaxed),
+            seeded_suffix: self.seeded_suffix.load(Ordering::Relaxed),
             stale_served: self.stale_served.load(Ordering::Relaxed),
             repairs: self.repairs.load(Ordering::Relaxed),
             repair_fallbacks: self.repair_fallbacks.load(Ordering::Relaxed),
@@ -223,9 +235,16 @@ pub struct MetricsSnapshot {
     /// (request coalescing). `executed + coalesced + cache hits =
     /// completed`.
     pub coalesced: u64,
-    /// Searches warm-started from a cached prefix skyline (semantic
+    /// Searches warm-started from a cached *prefix* skyline (semantic
     /// reuse); a subset of `executed`.
-    pub prefix_seeded: u64,
+    pub seeded_prefix: u64,
+    /// Searches warm-started from a cached *ancestor-category* variant's
+    /// skyline (a position's category replaced by one of its ancestors);
+    /// a subset of `executed`.
+    pub seeded_ancestor: u64,
+    /// Searches warm-started from a cached *suffix* skyline (⟨c₂…c_k⟩
+    /// prepended one leg); a subset of `executed`.
+    pub seeded_suffix: u64,
     /// Responses served from a cache entry of a *different* weight epoch
     /// than the request was pinned to. Always zero unless the
     /// epoch-invalidation layer is broken — the CI staleness gate asserts
@@ -287,8 +306,8 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "reuse       {} searches warm-started from a prefix skyline",
-            self.prefix_seeded
+            "reuse       {} prefix-, {} ancestor-, {} suffix-seeded warm starts",
+            self.seeded_prefix, self.seeded_ancestor, self.seeded_suffix
         )?;
         writeln!(
             f,
@@ -364,7 +383,7 @@ mod tests {
         // Far beyond the cap, all with the same latency: the reservoir must
         // stay capped and every retained sample must be a real observation.
         for _ in 0..(SAMPLE_CAP as u64 + 10_000) {
-            rec.record(Duration::from_micros(5), 1, Served::Search { warm: false });
+            rec.record(Duration::from_micros(5), 1, Served::Search { seeded: None });
         }
         let inner = rec.samples.lock().unwrap();
         assert_eq!(inner.samples.len(), SAMPLE_CAP);
@@ -380,29 +399,45 @@ mod tests {
     #[test]
     fn snapshot_aggregates_counters_and_sizes() {
         let rec = MetricsRecorder::default();
-        rec.record(Duration::from_micros(100), 2, Served::Search { warm: false });
+        rec.record(Duration::from_micros(100), 2, Served::Search { seeded: None });
         rec.record(Duration::from_micros(300), 4, Served::CacheHit);
-        rec.record(Duration::from_micros(200), 3, Served::Search { warm: true });
+        rec.record(
+            Duration::from_micros(200),
+            3,
+            Served::Search { seeded: Some(SeedSource::Prefix) },
+        );
         rec.record(Duration::from_micros(150), 2, Served::Coalesced);
+        rec.record(
+            Duration::from_micros(120),
+            2,
+            Served::Search { seeded: Some(SeedSource::Ancestor) },
+        );
+        rec.record(
+            Duration::from_micros(130),
+            2,
+            Served::Search { seeded: Some(SeedSource::Suffix) },
+        );
         rec.record_failure();
         let snap =
             rec.snapshot(Duration::from_secs(2), CacheCounters::default(), EpochGcStats::default());
-        assert_eq!(snap.completed, 4);
-        assert_eq!(snap.executed, 2);
+        assert_eq!(snap.completed, 6);
+        assert_eq!(snap.executed, 4);
         assert_eq!(snap.coalesced, 1);
-        assert_eq!(snap.prefix_seeded, 1);
+        assert_eq!(snap.seeded_prefix, 1);
+        assert_eq!(snap.seeded_ancestor, 1);
+        assert_eq!(snap.seeded_suffix, 1);
         assert_eq!(snap.failed, 1);
-        assert!((snap.throughput_qps - 2.0).abs() < 1e-12);
-        assert_eq!(snap.latency_p50, Duration::from_micros(150));
+        assert!((snap.throughput_qps - 3.0).abs() < 1e-12);
+        assert_eq!(snap.latency_p50, Duration::from_micros(130));
         assert_eq!(snap.latency_max, Duration::from_micros(300));
-        assert!((snap.mean_skyline_size - 2.75).abs() < 1e-12);
+        assert!((snap.mean_skyline_size - 2.5).abs() < 1e-12);
         assert_eq!(snap.max_skyline_size, 4);
         // The report renders without panicking and mentions the headline
         // numbers.
         let text = snap.to_string();
-        assert!(text.contains("4 completed"), "{text}");
+        assert!(text.contains("6 completed"), "{text}");
         assert!(text.contains("1 coalesced"), "{text}");
-        assert!(text.contains("warm-started"), "{text}");
+        assert!(text.contains("1 prefix-, 1 ancestor-, 1 suffix-seeded"), "{text}");
         assert!(text.contains("queries/s"), "{text}");
         assert!(text.contains("0 stale serves"), "{text}");
     }

@@ -16,6 +16,13 @@
 //! * **Prefix chains** — the pool is expanded with every proper prefix
 //!   ⟨c₁,…,c_j⟩ of each generated query and the stream walks chains
 //!   short-to-long; exercises semantic prefix reuse (warm starts).
+//! * **Hierarchy** — each generated query ⟨c₁,…,c_k⟩ expands into a
+//!   3-entry chain walking a category subtree: its suffix ⟨c₂,…,c_k⟩,
+//!   the ancestor variant ⟨parent(c₁),c₂,…,c_k⟩, then the query itself.
+//!   Walked in wavefronts (all chains' first entries, then all second
+//!   entries, …), so the ancestor variant is *suffix*-seeded from the
+//!   cached suffix and the full query is *ancestor*-seeded from the
+//!   cached parent variant — both new reuse sources fire from cycle 1.
 //!
 //! Two orthogonal realism knobs turn the closed-loop batch into a live
 //! serving experiment:
@@ -38,7 +45,12 @@
 //!
 //! With [`ReplaySpec::verify`] set, every answered request is re-answered
 //! by a sequential cold [`Bssr`] run *at the epoch the response reports it
-//! was pinned to* (historical epochs stay pinnable), and the skylines
+//! was pinned to*. With unbounded retention historical epochs stay
+//! pinnable and every response is audited; with a bounded
+//! [`ReplaySpec::retention`] ring, responses whose pinned epoch has been
+//! compacted away are skipped and counted
+//! ([`ReplayReport::verify_skipped`]) instead of refusing the flag
+//! combination. The skylines are
 //! compared with [`equivalent_skylines`]: same size and score-identical up
 //! to the score tolerance. (Exact route equality is deliberately not
 //! required — a warm-started search may return a different
@@ -75,7 +87,13 @@ pub enum StreamPattern {
     DuplicateBursts,
     /// Chains ⟨c₁⟩, ⟨c₁,c₂⟩, …, ⟨c₁,…,c_k⟩ walked short-to-long.
     PrefixChains,
+    /// Category-subtree chains ⟨c₂…c_k⟩, ⟨parent(c₁),c₂…c_k⟩,
+    /// ⟨c₁,c₂…c_k⟩ walked in wavefronts (ancestor + suffix reuse).
+    Hierarchy,
 }
+
+/// Entries per hierarchy chain: suffix, ancestor variant, full query.
+pub const HIERARCHY_CHAIN: usize = 3;
 
 impl std::fmt::Display for StreamPattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -83,6 +101,7 @@ impl std::fmt::Display for StreamPattern {
             StreamPattern::Zipf => "zipf",
             StreamPattern::DuplicateBursts => "duplicate",
             StreamPattern::PrefixChains => "prefix",
+            StreamPattern::Hierarchy => "hierarchy",
         })
     }
 }
@@ -115,6 +134,10 @@ pub struct ReplaySpec {
     pub coalesce: bool,
     /// Semantic prefix reuse (see [`ServiceConfig::prefix_reuse`]).
     pub prefix_reuse: bool,
+    /// Ancestor-category reuse (see [`ServiceConfig::ancestor_reuse`]).
+    pub ancestor_reuse: bool,
+    /// Suffix reuse (see [`ServiceConfig::suffix_reuse`]).
+    pub suffix_reuse: bool,
     /// Submission-queue capacity.
     pub queue_capacity: usize,
     /// Engine configuration.
@@ -148,8 +171,9 @@ pub struct ReplaySpec {
     pub repair: bool,
     /// Weight-epoch history retention: keep at most this many epochs
     /// pinnable, compacting older unleased overlays (`0` = unlimited).
-    /// Verification requires `0` — the oracle re-answers requests at
-    /// historical epochs, which must still be pinnable after the run.
+    /// Combines with [`verify`](ReplaySpec::verify): the oracle pins only
+    /// epochs still within the ring and skips (and counts) responses
+    /// whose epoch was compacted away.
     pub retention: usize,
     /// Also re-answer every request sequentially at its pinned epoch and
     /// compare skylines (score-equivalent multisets).
@@ -170,6 +194,8 @@ impl Default for ReplaySpec {
             cache_capacity: 1024,
             coalesce: true,
             prefix_reuse: true,
+            ancestor_reuse: true,
+            suffix_reuse: true,
             queue_capacity: 256,
             engine: BssrConfig::default(),
             qps: 0.0,
@@ -211,6 +237,11 @@ pub struct ReplayReport {
     /// whose concurrent skyline was not score-equivalent to a fresh
     /// sequential run at the request's pinned epoch.
     pub verify_mismatches: Option<usize>,
+    /// `Some(skipped)` when verification ran: responses that could not be
+    /// audited because their pinned epoch had already been compacted out
+    /// of a bounded retention ring. Always `Some(0)` with unlimited
+    /// retention.
+    pub verify_skipped: Option<usize>,
 }
 
 impl ReplayReport {
@@ -260,6 +291,9 @@ impl std::fmt::Display for ReplayReport {
             } else {
                 write!(f, "FAILED — {m} mismatching request(s)")?;
             }
+            if let Some(skipped) = self.verify_skipped.filter(|&n| n > 0) {
+                write!(f, " ({skipped} unverifiable: pinned epochs beyond the retention ring)")?;
+            }
         }
         Ok(())
     }
@@ -284,6 +318,27 @@ pub fn build_pool(dataset: &Dataset, spec: &ReplaySpec) -> Vec<SkySrQuery> {
                     .collect::<Vec<_>>()
             })
             .collect(),
+        StreamPattern::Hierarchy => {
+            assert!(
+                spec.seq_len >= 2,
+                "the hierarchy pattern needs at least 2 positions (a suffix must exist)"
+            );
+            base.into_iter()
+                .flat_map(|q| {
+                    // Chain indices c*HIERARCHY_CHAIN + {0: suffix,
+                    // 1: ancestor variant, 2: full}. A root first category
+                    // degenerates entry 1 to the full query (an exact-hit
+                    // step rather than an ancestor-seeded one).
+                    let suffix = SkySrQuery::with_positions(q.start, q.sequence[1..].to_vec());
+                    let mut anc_seq = q.sequence.clone();
+                    if let skysr_core::PositionSpec::Category(c) = &q.sequence[0] {
+                        anc_seq[0] = dataset.forest.parent(*c).unwrap_or(*c).into();
+                    }
+                    let anc_q = SkySrQuery::with_positions(q.start, anc_seq);
+                    [suffix, anc_q, q]
+                })
+                .collect()
+        }
     }
 }
 
@@ -318,27 +373,40 @@ fn request_stream(spec: &ReplaySpec, pool_len: usize) -> Vec<usize> {
             // lengths by a whole wavefront ensures the prefix result is
             // cached — not merely in flight — when the extension arrives,
             // so warm starts happen from the first cycle on.
-            let seq_len = spec.seq_len;
-            assert!(
-                pool_len >= seq_len && pool_len.is_multiple_of(seq_len),
-                "a prefix-chain pool must hold whole chains of {seq_len} entries (got \
-                 {pool_len}) — build it with build_pool and the same spec"
-            );
-            let chains = pool_len / seq_len;
-            let mut stream = Vec::with_capacity(spec.total);
-            'outer: loop {
-                for l in 0..seq_len {
-                    for chain in 0..chains {
-                        if stream.len() == spec.total {
-                            break 'outer;
-                        }
-                        stream.push(chain * seq_len + l);
-                    }
-                }
-            }
-            stream
+            chain_wavefronts(spec.total, pool_len, spec.seq_len, "prefix-chain")
+        }
+        StreamPattern::Hierarchy => {
+            // Same wavefront walk over 3-entry chains: every chain's
+            // suffix, then every ancestor variant (suffix-seeded), then
+            // every full query (ancestor-seeded).
+            chain_wavefronts(spec.total, pool_len, HIERARCHY_CHAIN, "hierarchy")
         }
     }
+}
+
+/// Walks fixed-stride chains in wavefronts: entry 0 of every chain, then
+/// entry 1 of every chain, … cycling until `total` requests. Each entry's
+/// predecessor is separated by a whole wavefront, so its result is cached
+/// — not merely in flight — when the successor arrives.
+fn chain_wavefronts(total: usize, pool_len: usize, stride: usize, what: &str) -> Vec<usize> {
+    assert!(
+        pool_len >= stride && pool_len.is_multiple_of(stride),
+        "a {what} pool must hold whole chains of {stride} entries (got {pool_len}) — build it \
+         with build_pool and the same spec"
+    );
+    let chains = pool_len / stride;
+    let mut stream = Vec::with_capacity(total);
+    'outer: loop {
+        for l in 0..stride {
+            for chain in 0..chains {
+                if stream.len() == total {
+                    break 'outer;
+                }
+                stream.push(chain * stride + l);
+            }
+        }
+    }
+    stream
 }
 
 /// One exponential(1) draw — inter-arrival times of a Poisson process.
@@ -390,10 +458,6 @@ pub fn replay(dataset: Dataset, spec: &ReplaySpec) -> ReplayReport {
 pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpec) -> ReplayReport {
     assert!(!pool.is_empty(), "replay needs a non-empty pool");
     assert!(
-        !(spec.verify && spec.retention > 0),
-        "verification re-answers requests at historical epochs and requires unlimited retention"
-    );
-    assert!(
         !(spec.update_every > 0 && (spec.qps > 0.0 || spec.update_rate > 0.0)),
         "synchronous update waves (update_every) are closed-loop and exclusive with the \
          open-loop qps/update_rate knobs"
@@ -415,6 +479,8 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
             cache_capacity: spec.cache_capacity,
             coalesce: spec.coalesce,
             prefix_reuse: spec.prefix_reuse,
+            ancestor_reuse: spec.ancestor_reuse,
+            suffix_reuse: spec.suffix_reuse,
             repair: spec.repair,
             engine: spec.engine,
         },
@@ -488,7 +554,7 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
     let epoch_gc = ctx.epoch_gc_stats();
     let epochs_published = ctx.current_epoch().get() - epoch_before.get();
 
-    let verify_mismatches =
+    let audit =
         spec.verify.then(|| count_oracle_mismatches(&ctx, pool, spec.engine, &stream, &outcomes));
 
     ReplayReport {
@@ -501,7 +567,8 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         epochs_published,
         epoch_gc,
         metrics,
-        verify_mismatches,
+        verify_mismatches: audit.map(|(mismatches, _)| mismatches),
+        verify_skipped: audit.map(|(_, skipped)| skipped),
     }
 }
 
@@ -534,14 +601,17 @@ fn open_loop_batch(
 /// Epoch-aware verification: every answered request is recomputed by a
 /// cold sequential [`Bssr`] over a snapshot pinned to the epoch the
 /// response reports, and compared as score-equivalent multisets. Each
-/// (epoch, pool entry) reference is computed once.
+/// (epoch, pool entry) reference is computed once. Returns
+/// `(mismatches, skipped)`: a response whose pinned epoch is no longer
+/// pinnable (compacted out of a bounded retention ring) cannot be audited
+/// and is skipped — counted, never silently dropped.
 fn count_oracle_mismatches(
     ctx: &ServiceContext,
     pool: &[SkySrQuery],
     engine: BssrConfig,
     stream: &[usize],
     outcomes: &[Result<QueryResponse, QueryError>],
-) -> usize {
+) -> (usize, usize) {
     use std::collections::{BTreeMap, BTreeSet, HashMap};
     let mut need: BTreeMap<EpochId, BTreeSet<usize>> = BTreeMap::new();
     for (&i, outcome) in stream.iter().zip(outcomes) {
@@ -552,7 +622,11 @@ fn count_oracle_mismatches(
     let mut reference: HashMap<(EpochId, usize), Vec<SkylineRoute>> = HashMap::new();
     let mut scratch = BssrScratch::new(ctx.graph().num_vertices());
     for (&epoch, indexes) in &need {
-        let pinned = ctx.pin_at(epoch).expect("responses only report published epochs");
+        // With a bounded retention ring, an epoch the stream was served
+        // under may have been compacted since; its responses are skipped.
+        let Some(pinned) = ctx.pin_at(epoch) else {
+            continue;
+        };
         let qctx = pinned.query_context();
         let mut bssr = Bssr::with_scratch(&qctx, engine, scratch);
         for &i in indexes {
@@ -561,14 +635,22 @@ fn count_oracle_mismatches(
         }
         scratch = bssr.into_scratch();
     }
-    stream
-        .iter()
-        .zip(outcomes)
-        .filter(|&(&i, outcome)| match outcome {
-            Ok(r) => !equivalent_skylines(&r.routes, &reference[&(r.epoch, i)]),
-            Err(_) => true,
-        })
-        .count()
+    let mut mismatches = 0usize;
+    let mut skipped = 0usize;
+    for (&i, outcome) in stream.iter().zip(outcomes) {
+        match outcome {
+            Ok(r) => match reference.get(&(r.epoch, i)) {
+                Some(oracle) => {
+                    if !equivalent_skylines(&r.routes, oracle) {
+                        mismatches += 1;
+                    }
+                }
+                None => skipped += 1,
+            },
+            Err(_) => mismatches += 1,
+        }
+    }
+    (mismatches, skipped)
 }
 
 #[cfg(test)]
@@ -636,6 +718,54 @@ mod tests {
         // Wavefront of all length-1 queries, then all length-2 queries.
         assert_eq!(&stream[..8], &[0, 3, 6, 9, 1, 4, 7, 10]);
         // The stream cycles: entry 12 restarts the length-1 wavefront.
+        assert_eq!(stream[12], 0);
+    }
+
+    #[test]
+    fn hierarchy_pool_expands_subtree_chains() {
+        use skysr_core::PositionSpec;
+        use skysr_data::dataset::{DatasetSpec, Preset};
+        let d = DatasetSpec::preset(Preset::CalSmall).scale(0.05).seed(3).generate();
+        let spec = ReplaySpec {
+            distinct: 4,
+            seq_len: 3,
+            pattern: StreamPattern::Hierarchy,
+            ..ReplaySpec::default()
+        };
+        let pool = build_pool(&d, &spec);
+        assert_eq!(pool.len(), 4 * HIERARCHY_CHAIN);
+        for chunk in pool.chunks(HIERARCHY_CHAIN) {
+            let (suffix, anc, full) = (&chunk[0], &chunk[1], &chunk[2]);
+            assert_eq!((suffix.len(), anc.len(), full.len()), (2, 3, 3));
+            assert_eq!(suffix.start, full.start);
+            assert_eq!(anc.start, full.start);
+            assert_eq!(suffix.sequence[..], full.sequence[1..], "entry 0 is the suffix");
+            assert_eq!(anc.sequence[1..], full.sequence[1..], "only position 0 varies");
+            let PositionSpec::Category(c) = full.sequence[0] else {
+                panic!("workloads use plain categories")
+            };
+            let PositionSpec::Category(a) = anc.sequence[0] else {
+                panic!("the ancestor variant stays a plain category")
+            };
+            assert!(d.forest.is_ancestor_or_self(a, c), "{a:?} must be an ancestor of {c:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_stream_walks_chain_wavefronts() {
+        let spec = ReplaySpec {
+            total: 30,
+            distinct: 4,
+            seq_len: 3,
+            pattern: StreamPattern::Hierarchy,
+            ..ReplaySpec::default()
+        };
+        // Pool: 4 chains × 3 entries; chain c occupies indices 3c..3c+3.
+        let stream = request_stream(&spec, 12);
+        assert_eq!(stream.len(), 30);
+        // Wavefront of all suffixes, then all ancestor variants.
+        assert_eq!(&stream[..8], &[0, 3, 6, 9, 1, 4, 7, 10]);
+        // The stream cycles: entry 12 restarts the suffix wavefront.
         assert_eq!(stream[12], 0);
     }
 

@@ -6,16 +6,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use skysr_core::bssr::repair::wholesale_untouched;
 use skysr_core::bssr::{Bssr, BssrConfig, BssrScratch};
 use skysr_core::error::QueryError;
 use skysr_core::query::SkySrQuery;
 use skysr_core::route::SkylineRoute;
 use skysr_graph::EpochId;
 
-use crate::cache::{Lookup, QueryKey, ResultCache};
+use crate::cache::{QueryKey, ResultCache};
 use crate::context::ServiceContext;
 use crate::metrics::{MetricsRecorder, MetricsSnapshot, Served};
+use crate::plan::{PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource};
 use crate::pool::{Begin, BoundedQueue, InflightTable};
 
 /// Sizing and engine configuration of a [`QueryService`].
@@ -33,6 +33,15 @@ pub struct ServiceConfig {
     /// Semantic prefix reuse: a cached skyline for ⟨c₁,…,c_{k−1}⟩
     /// warm-starts the search for ⟨c₁,…,c_k⟩. Requires caching.
     pub prefix_reuse: bool,
+    /// Ancestor-category reuse: a cached skyline for the query with some
+    /// position's category replaced by one of its ancestors warm-starts
+    /// the child query (seeds revalidated and rescored under the child's
+    /// own positions). Requires caching.
+    pub ancestor_reuse: bool,
+    /// Suffix reuse: a cached skyline for ⟨c₂,…,c_k⟩ warm-starts
+    /// ⟨c₁,c₂,…,c_k⟩ by prepending one shortest-path leg. Requires
+    /// caching.
+    pub suffix_reuse: bool,
     /// Incremental skyline repair: a cache hit at an *older* weight epoch
     /// is repaired against the exact epoch delta (and promoted in place)
     /// instead of being lazily invalidated and recomputed. Also lets
@@ -52,6 +61,8 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             coalesce: true,
             prefix_reuse: true,
+            ancestor_reuse: true,
+            suffix_reuse: true,
             repair: false,
             engine: BssrConfig::default(),
         }
@@ -66,16 +77,31 @@ pub struct QueryResponse {
     /// The weight epoch the request was pinned to — the routes are exact
     /// for precisely this epoch's edge weights.
     pub epoch: EpochId,
-    /// Whether the answer came from the result cache.
-    pub cache_hit: bool,
-    /// Whether the answer was computed by another request's in-flight
-    /// search this one coalesced onto.
-    pub coalesced: bool,
-    /// Whether the answer came from incrementally repairing a cached
-    /// skyline of an older epoch (in place or via the seeded fallback).
-    pub repaired: bool,
+    /// How the answer was produced — the single source of truth the
+    /// metrics recorder consumed for this response, so responses and
+    /// counters cannot disagree.
+    pub served: Served,
     /// Submission-to-completion latency (queueing included).
     pub latency: Duration,
+}
+
+impl QueryResponse {
+    /// Whether the answer came from the result cache.
+    pub fn cache_hit(&self) -> bool {
+        self.served == Served::CacheHit
+    }
+
+    /// Whether the answer was computed by another request's in-flight
+    /// search this one coalesced onto.
+    pub fn coalesced(&self) -> bool {
+        self.served == Served::Coalesced
+    }
+
+    /// Whether the answer came from incrementally repairing a cached
+    /// skyline of an older epoch (in place or via the seeded fallback).
+    pub fn repaired(&self) -> bool {
+        matches!(self.served, Served::Repaired { .. })
+    }
 }
 
 /// Waitable handle for one submitted query.
@@ -129,15 +155,6 @@ pub struct QueryService {
     config: ServiceConfig,
 }
 
-/// Per-worker reuse switches, resolved once at spawn time.
-#[derive(Clone, Copy)]
-struct ReuseOpts {
-    caching: bool,
-    coalesce: bool,
-    prefix_reuse: bool,
-    repair: bool,
-}
-
 impl QueryService {
     /// Spawns a service over `ctx` with `config`.
     pub fn new(ctx: Arc<ServiceContext>, config: ServiceConfig) -> QueryService {
@@ -148,14 +165,10 @@ impl QueryService {
         };
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
         // Capacity 0 disables caching: keep a 1-entry cache object for
-        // uniform counters but never consult it. Prefix reuse reads the
-        // cache, so it is implied off without one.
-        let opts = ReuseOpts {
-            caching: config.cache_capacity > 0,
-            coalesce: config.coalesce,
-            prefix_reuse: config.prefix_reuse && config.cache_capacity > 0,
-            repair: config.repair && config.cache_capacity > 0,
-        };
+        // uniform counters but never consult it. Every cache-reading
+        // strategy is implied off without one (see
+        // `ReuseStrategies::resolve`).
+        let planner = ReusePlanner::new(ReuseStrategies::resolve(&config), config.engine);
         let cache = Arc::new(ResultCache::new(config.cache_capacity.max(1)));
         let inflight: Arc<InflightTable<FlightKey, Waiter>> = Arc::new(InflightTable::new());
         let metrics = Arc::new(MetricsRecorder::default());
@@ -167,12 +180,10 @@ impl QueryService {
                 let cache = Arc::clone(&cache);
                 let inflight = Arc::clone(&inflight);
                 let metrics = Arc::clone(&metrics);
-                let engine_cfg = config.engine;
+                let planner = planner.clone();
                 std::thread::Builder::new()
                     .name(format!("skysr-worker-{i}"))
-                    .spawn(move || {
-                        worker_loop(&ctx, &queue, &cache, &inflight, &metrics, engine_cfg, opts)
-                    })
+                    .spawn(move || worker_loop(&ctx, &queue, &cache, &inflight, &metrics, &planner))
                     .expect("spawning a worker thread")
             })
             .collect();
@@ -278,38 +289,43 @@ fn respond(
 ) {
     let latency = submitted.elapsed();
     metrics.record(latency, routes.len(), served);
-    let _ = reply.send(Ok(QueryResponse {
-        routes,
-        epoch,
-        cache_hit: served == Served::CacheHit,
-        coalesced: served == Served::Coalesced,
-        repaired: matches!(served, Served::Repaired { .. }),
-        latency,
-    }));
+    let _ = reply.send(Ok(QueryResponse { routes, epoch, served, latency }));
 }
 
-/// The per-worker serving loop. For every job, in order:
+/// The per-worker serving loop: **plan, then execute** — all reuse
+/// policy lives in [`ReusePlanner::plan`]; this loop only walks the
+/// resulting rungs. For every job, in order:
 ///
 /// 1. **Pin.** The worker refreshes its [`PinnedContext`] snapshot if the
 ///    context's weight epoch advanced since the previous job. The whole
-///    request — cache lookup, coalescing, search, cache fill — runs
-///    against that one pinned epoch.
-/// 2. **Cache.** A canonical-key hit *stamped with the pinned epoch*
-///    answers immediately. The cache never returns cross-epoch entries
-///    (older ones are lazily invalidated); the worker still re-checks the
-///    returned stamp and counts a stale serve if it ever mismatched.
-/// 3. **Coalescing.** `InflightTable::begin` on the (key, epoch) pair
+///    request — planning, coalescing, search, cache fill — runs against
+///    that one pinned epoch.
+/// 2. **Plan.** The planner probes the cache (unified, non-counting
+///    [`ResultCache::probe`]) and emits the ordered rung ladder
+///    `ExactHit → Coalesce → Repair → WarmSeed → ColdSearch` with every
+///    rung's raw material resolved (hit routes, repair source + shared
+///    [`DeltaIndex`](skysr_graph::DeltaIndex), seed skyline +
+///    provenance). Accounting (one counted lookup, lazy invalidation) is
+///    part of planning.
+/// 3. **ExactHit** answers immediately; the plan is complete.
+/// 4. **Coalesce.** `InflightTable::begin` on the (key, epoch) pair
 ///    atomically either parks this request under an in-flight duplicate of
 ///    the same epoch (the worker moves on — the leader will answer it) or
 ///    elects this worker the flight's leader. Requests pinned to different
-///    epochs never share a flight. A fresh leader re-probes the cache
-///    before searching: its own lookup in step 2 may have raced a previous
-///    leader of the same flight, which filled the cache and completed
-///    between the miss and the `begin`.
-/// 4. **Semantic reuse.** The leader probes the cache for the query's
-///    (k−1)-prefix skyline — same epoch only — and warm-starts the search
-///    with it.
-/// 5. **Completion.** The leader inserts the epoch-stamped result into the
+///    epochs never share a flight. A fresh leader re-probes the cache:
+///    its planning probe may have raced a previous leader of the same
+///    flight, which filled the cache and completed between the miss and
+///    the `begin` — this re-probe is flight *mechanism*, not reuse
+///    policy, so it stays here. On a hit the request's already-counted
+///    miss is reclassified so the exact-counter invariants survive the
+///    race. (`probe` never invalidates, so a stale repair source is
+///    safe.)
+/// 5. **Terminal rung.** The leader runs the planned terminal — repair
+///    against the shared epoch-pair index, a warm-seeded search from the
+///    planned source, or a cold search — and the executed [`Served`]
+///    outcome becomes the single source of truth for the response and the
+///    metrics.
+/// 6. **Completion.** The leader inserts the epoch-stamped result into the
 ///    cache *before* ending the flight — any same-epoch duplicate arriving
 ///    in between hits the cache, so with caching enabled a (key, epoch) can
 ///    never be searched twice concurrently nor re-searched after a
@@ -327,8 +343,7 @@ fn worker_loop(
     cache: &ResultCache,
     inflight: &InflightTable<FlightKey, Waiter>,
     metrics: &MetricsRecorder,
-    engine_cfg: BssrConfig,
-    opts: ReuseOpts,
+    planner: &ReusePlanner,
 ) {
     let mut pinned = ctx.pin();
     // One engine scratch per worker for its whole lifetime: re-pinning an
@@ -341,123 +356,90 @@ fn worker_loop(
         }
         let epoch = pinned.epoch();
         let Job { query, submitted, reply } = job;
-        let key =
-            (opts.caching || opts.coalesce).then(|| QueryKey::canonicalize(&query, engine_cfg));
-        // With repair on, a same-key entry at an older epoch is *kept* and
-        // carried into the flight as repair raw material instead of being
-        // lazily invalidated.
-        let mut repair_src: Option<(EpochId, Arc<[SkylineRoute]>)> = None;
-        if opts.caching {
-            let key = key.as_ref().expect("caching implies a key");
-            if opts.repair {
-                match cache.get_for_repair(key, epoch) {
-                    Lookup::Hit(routes) => {
-                        respond(metrics, &reply, submitted, routes, epoch, Served::CacheHit);
-                        continue;
-                    }
-                    Lookup::Stale(entry_epoch, routes) => repair_src = Some((entry_epoch, routes)),
-                    Lookup::Miss => {}
-                }
-            } else if let Some((entry_epoch, routes)) = cache.get(key, epoch) {
-                if entry_epoch == epoch {
-                    respond(metrics, &reply, submitted, routes, epoch, Served::CacheHit);
-                    continue;
-                }
-                // Unreachable unless the cache's epoch filter is broken:
-                // refuse to serve the stale skyline, record the near-miss
-                // for the staleness gate, and fall through to a fresh
-                // search at the pinned epoch.
-                metrics.record_stale_serve();
+
+        let key = planner.key_of(&query);
+        let ReusePlan { steps } = planner.plan(&query, key.as_ref(), epoch, cache, ctx);
+        let mut steps = steps.into_iter();
+        let mut step = steps.next().expect("plans are never empty");
+
+        // Rung: exact hit. The executor independently re-checks the
+        // entry's epoch stamp against the pinned epoch: a mismatch is
+        // unreachable unless the planner's epoch filter is broken, and
+        // then the stale skyline is refused, the near-miss counted for
+        // the staleness gate, and the request falls through to a fresh
+        // search at the pinned epoch.
+        if let PlanStep::ExactHit(stamp, routes) = step {
+            if stamp == epoch {
+                respond(metrics, &reply, submitted, routes, epoch, Served::CacheHit);
+                continue;
             }
+            metrics.record_stale_serve();
+            step = PlanStep::ColdSearch;
         }
+
+        // Rung: coalescing.
         let mut leader = Waiter { reply, submitted };
-        // The flight identity of this request, built once; `None` when
-        // coalescing is off.
-        let fkey: Option<FlightKey> =
-            opts.coalesce.then(|| (key.clone().expect("coalescing implies a key"), epoch));
-        if let Some(fk) = &fkey {
+        let mut fkey: Option<FlightKey> = None;
+        if matches!(step, PlanStep::Coalesce) {
+            let fk = (key.clone().expect("coalescing implies a key"), epoch);
             match inflight.begin(fk.clone(), leader) {
                 Begin::Joined => continue,
                 Begin::Leader(w) => leader = w,
             }
-            // Close the miss-then-begin window: between this worker's
-            // cache miss and winning the flight, a previous leader for the
-            // same (key, epoch) may have filled the cache and completed.
-            // Re-probe so a flight completed moments ago is never
-            // re-searched; on a hit, the request's already-counted miss is
-            // reclassified so the exact-counter invariants survive the
-            // race. With repair on, the probe must not lazily invalidate
-            // an older entry — that entry is this flight's repair source.
-            if opts.caching {
-                let reprobe = if opts.repair {
-                    cache.peek_stale(&fk.0, epoch).filter(|&(e, _)| e == epoch)
-                } else {
-                    cache.peek(&fk.0, epoch)
-                };
-                if let Some((_, routes)) = reprobe {
-                    cache.reclassify_miss_as_hit();
-                    let waiters = inflight.complete(fk);
-                    respond(
-                        metrics,
-                        &leader.reply,
-                        leader.submitted,
-                        Arc::clone(&routes),
-                        epoch,
-                        Served::CacheHit,
-                    );
-                    for w in waiters {
+            // Close the miss-then-begin window: between this request's
+            // planning probe and winning the flight, a previous leader for
+            // the same (key, epoch) may have filled the cache and
+            // completed. Re-probe so a flight completed moments ago is
+            // never re-searched; on a hit, the request's already-counted
+            // miss is reclassified so the exact-counter invariants survive
+            // the race.
+            if planner.strategies().caching {
+                if let Some((e, routes)) = cache.probe(&fk.0, epoch) {
+                    if e == epoch {
+                        cache.reclassify_miss_as_hit();
+                        let waiters = inflight.complete(&fk);
                         respond(
                             metrics,
-                            &w.reply,
-                            w.submitted,
+                            &leader.reply,
+                            leader.submitted,
                             Arc::clone(&routes),
                             epoch,
-                            Served::Coalesced,
+                            Served::CacheHit,
                         );
+                        for w in waiters {
+                            respond(
+                                metrics,
+                                &w.reply,
+                                w.submitted,
+                                Arc::clone(&routes),
+                                epoch,
+                                Served::Coalesced,
+                            );
+                        }
+                        continue;
                     }
-                    continue;
                 }
             }
+            step = steps.next().expect("a coalesce rung is followed by a terminal");
+            fkey = Some(fk);
         }
-        // An epoch delta is needed to repair; a compacted-away source
-        // epoch degrades to an ordinary fresh search.
-        let repair_attempt = repair_src
-            .and_then(|(e, routes)| ctx.delta_between(e, epoch).map(|delta| (routes, delta)));
-        // Prefix warm-start seeds. Same-epoch entries seed directly; with
-        // repair on, an entry a few epochs behind is *rescued* when the
-        // exact delta provably cannot touch it (the untouched lower-bound
-        // check) — its lengths are then valid at the pinned epoch too.
-        let seeds = if opts.prefix_reuse && repair_attempt.is_none() {
-            key.as_ref().and_then(QueryKey::prefix).and_then(|pk| {
-                if opts.repair {
-                    cache.peek_stale(&pk, epoch).and_then(|(entry_epoch, routes)| {
-                        if entry_epoch == epoch {
-                            return Some((entry_epoch, routes));
-                        }
-                        if routes.is_empty() {
-                            return None;
-                        }
-                        let delta = ctx.delta_between(entry_epoch, epoch)?;
-                        let max_len = routes.iter().map(|r| r.length).max()?;
-                        wholesale_untouched(&delta, ctx.landmarks(), query.start, max_len)
-                            .then_some((entry_epoch, routes))
-                    })
-                } else {
-                    // Same-epoch prefix skylines only: seeds scored under
-                    // other weights would warm-start the search with
-                    // invalid thresholds.
-                    cache.peek(&pk, epoch)
-                }
-            })
-        } else {
-            None
-        };
+        // A deferred seed rung is resolved only now — by the flight
+        // leader (or an uncoalesced worker) — so parked followers never
+        // paid its cache probes.
+        if matches!(step, PlanStep::ProbeSeeds) {
+            step = planner.seed_step(&query, key.as_ref(), epoch, cache, ctx);
+        }
+
+        // Rung: the planned terminal.
         let qctx = pinned.query_context();
-        let mut engine =
-            Bssr::with_scratch(&qctx, engine_cfg, scratch.take().expect("scratch is recycled"));
-        let outcome = match (&repair_attempt, &seeds) {
-            (Some((cached, delta)), _) => {
-                engine.repair(&query, cached, delta, ctx.landmarks()).map(|r| {
+        let mut engine = Bssr::with_scratch(
+            &qctx,
+            planner.engine(),
+            scratch.take().expect("scratch is recycled"),
+        );
+        let outcome = match step {
+            PlanStep::Repair { cached, index } => {
+                engine.repair(&query, &cached, &index, ctx.landmarks()).map(|r| {
                     let served = Served::Repaired {
                         fallback: !r.repair.repaired_in_place(),
                         routes_untouched: r.repair.routes_untouched,
@@ -466,21 +448,32 @@ fn worker_loop(
                     (r.routes, served)
                 })
             }
-            (None, Some((_, prefix))) => engine.run_with_seeds(&query, prefix).map(|result| {
-                // A prefix probe only helps when it actually seeded routes
-                // (an unreachable last position can leave it dry).
-                let warm = result.stats.warm_seed_routes > 0;
-                (result.routes, Served::Search { warm })
-            }),
-            (None, None) => {
-                engine.run(&query).map(|result| (result.routes, Served::Search { warm: false }))
+            PlanStep::WarmSeed { source, seeds } => {
+                let run = match source {
+                    SeedSource::Suffix => engine.run_with_suffix_seeds(&query, &seeds),
+                    SeedSource::Prefix | SeedSource::Ancestor => {
+                        engine.run_with_seeds(&query, &seeds)
+                    }
+                };
+                run.map(|result| {
+                    // A seed probe only helps when it actually seeded
+                    // routes (an unreachable position can leave it dry).
+                    let seeded = (result.stats.warm_seed_routes > 0).then_some(source);
+                    (result.routes, Served::Search { seeded })
+                })
+            }
+            PlanStep::ColdSearch => {
+                engine.run(&query).map(|r| (r.routes, Served::Search { seeded: None }))
+            }
+            PlanStep::ExactHit(..) | PlanStep::Coalesce | PlanStep::ProbeSeeds => {
+                unreachable!("ExactHit/Coalesce/ProbeSeeds resolve before the terminal runs")
             }
         };
         scratch = Some(engine.into_scratch());
         match outcome {
             Ok((routes, served)) => {
                 let routes: Arc<[SkylineRoute]> = routes.into();
-                if opts.caching {
+                if planner.strategies().caching {
                     cache.insert(key.expect("caching implies a key"), epoch, Arc::clone(&routes));
                 }
                 let waiters = match &fkey {
@@ -541,7 +534,7 @@ mod tests {
         let (ex, service) = service(2, 16);
         let response = service.submit(ex.query()).wait().unwrap();
         assert_eq!(response.routes.len(), 2);
-        assert!(!response.cache_hit);
+        assert!(!response.cache_hit());
         assert_eq!(response.epoch, EpochId::BASE);
         assert_eq!(response.routes[0].pois, vec![VertexId(6), VertexId(9), VertexId(8)]);
     }
@@ -551,8 +544,8 @@ mod tests {
         let (ex, service) = service(1, 16);
         let cold = service.submit(ex.query()).wait().unwrap();
         let warm = service.submit(ex.query()).wait().unwrap();
-        assert!(!cold.cache_hit);
-        assert!(warm.cache_hit);
+        assert!(!cold.cache_hit());
+        assert!(warm.cache_hit());
         assert_eq!(cold.routes, warm.routes);
         let m = service.metrics();
         assert_eq!(m.completed, 2);
@@ -566,7 +559,7 @@ mod tests {
         let (ex, service) = service(1, 0);
         service.submit(ex.query()).wait().unwrap();
         let again = service.submit(ex.query()).wait().unwrap();
-        assert!(!again.cache_hit);
+        assert!(!again.cache_hit());
         assert_eq!(service.metrics().executed, 2);
     }
 
@@ -609,14 +602,14 @@ mod tests {
         let e1 = service.context().publish_weights(&[WeightDelta::new(from, to, w.get() * 3.0)]);
         let after = service.submit(ex.query()).wait().unwrap();
         assert_eq!(after.epoch, e1);
-        assert!(!after.cache_hit, "the pre-update entry must not answer");
+        assert!(!after.cache_hit(), "the pre-update entry must not answer");
         let m = service.metrics();
         assert_eq!(m.executed, 2, "the post-update request re-searched");
         assert_eq!(m.cache.invalidations, 1, "the stale entry was dropped on lookup");
         assert_eq!(m.stale_served, 0);
         // The post-update entry serves post-update traffic.
         let again = service.submit(ex.query()).wait().unwrap();
-        assert!(again.cache_hit);
+        assert!(again.cache_hit());
         assert_eq!(again.epoch, e1);
         assert_eq!(again.routes, after.routes);
     }
@@ -635,15 +628,15 @@ mod tests {
             ServiceConfig { workers: 1, repair: true, ..ServiceConfig::default() },
         );
         let before = service.submit(ex.query()).wait().unwrap();
-        assert!(!before.repaired);
+        assert!(!before.repaired());
         // Touch an edge *on* the paper skyline's first route: repair must
         // detect the change and re-derive an exact answer.
         let (from, to, w) = ctx.graph().arc(0);
         let e1 = ctx.publish_weights(&[WeightDelta::new(from, to, w.get() * 3.0)]);
         let after = service.submit(ex.query()).wait().unwrap();
         assert_eq!(after.epoch, e1);
-        assert!(after.repaired, "the stale entry was repaired, not recomputed blindly");
-        assert!(!after.cache_hit);
+        assert!(after.repaired(), "the stale entry was repaired, not recomputed blindly");
+        assert!(!after.cache_hit());
         {
             use skysr_core::route::equivalent_skylines;
             let pinned = ctx.pin_at(e1).unwrap();
@@ -653,7 +646,7 @@ mod tests {
         }
         // The promoted entry now serves the new epoch from cache.
         let again = service.submit(ex.query()).wait().unwrap();
-        assert!(again.cache_hit);
+        assert!(again.cache_hit());
         assert_eq!(again.epoch, e1);
         let m = service.metrics();
         assert_eq!(m.repairs + m.repair_fallbacks, 1, "exactly one repair attempt ran");
@@ -684,7 +677,7 @@ mod tests {
         let e1 = ctx.publish_weights(&[WeightDelta::new(from, to, w.get() * 1.01)]);
         let after = service.submit(ex.query()).wait().unwrap();
         assert_eq!(after.epoch, e1);
-        assert!(after.repaired);
+        assert!(after.repaired());
         let pinned = ctx.pin_at(e1).unwrap();
         let qctx = pinned.query_context();
         let oracle = skysr_core::bssr::Bssr::new(&qctx).run(&ex.query()).unwrap().routes;

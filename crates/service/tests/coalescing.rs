@@ -80,7 +80,7 @@ fn n_identical_queries_run_exactly_one_search() {
     }
     assert_eq!(responses[0].routes.len(), 2, "paper-example skyline");
     // Exactly one response is the leader's (neither cached nor coalesced).
-    let leaders = responses.iter().filter(|r| !r.cache_hit && !r.coalesced).count();
+    let leaders = responses.iter().filter(|r| !r.cache_hit() && !r.coalesced()).count();
     assert_eq!(leaders, 1);
 }
 

@@ -81,7 +81,7 @@ fn all_reuse_disabled_runs_every_search_and_matches_sequential() {
     assert_eq!(report.verify_mismatches, Some(0));
     assert_eq!(report.metrics.executed, 120, "every request runs a search");
     assert_eq!(report.metrics.coalesced, 0);
-    assert_eq!(report.metrics.prefix_seeded, 0);
+    assert_eq!(report.metrics.seeded_prefix, 0);
     assert_eq!(report.metrics.cache.hits, 0);
 }
 
@@ -105,7 +105,7 @@ fn prefix_chain_replay_warm_starts_and_stays_exact() {
     assert_eq!(report.verify_mismatches, Some(0));
     assert_eq!(report.distinct, 30, "pool expands to every chain prefix");
     assert!(
-        report.metrics.prefix_seeded > 0,
+        report.metrics.seeded_prefix > 0,
         "length-wavefront chains must warm-start ({} searches)",
         report.metrics.executed
     );
@@ -175,7 +175,7 @@ fn cache_hits_equal_cold_runs_on_generated_queries() {
     for ((cold, warm), want) in cold.iter().zip(&warm).zip(&reference) {
         let cold = cold.as_ref().unwrap();
         let warm = warm.as_ref().unwrap();
-        assert!(warm.cache_hit, "second pass must be served from cache");
+        assert!(warm.cache_hit(), "second pass must be served from cache");
         assert_eq!(cold.routes.as_ref(), want.as_slice());
         assert_eq!(warm.routes, cold.routes);
     }

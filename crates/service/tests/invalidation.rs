@@ -143,14 +143,14 @@ fn leader_started_on_epoch_n_cannot_serve_or_poison_epoch_n_plus_1() {
     let fresh = fresh.wait().unwrap();
     assert_eq!(slow.epoch, EpochId(0), "leader stays pinned to its epoch");
     assert_eq!(fresh.epoch, EpochId(1));
-    assert!(!fresh.coalesced, "cross-epoch duplicates never share a flight");
-    assert!(!fresh.cache_hit, "the epoch-0 result must not answer epoch-1 traffic");
+    assert!(!fresh.coalesced(), "cross-epoch duplicates never share a flight");
+    assert!(!fresh.cache_hit(), "the epoch-0 result must not answer epoch-1 traffic");
 
     // Whatever order the two inserts landed in, the cache now serves
     // epoch-1 traffic the epoch-1 answer.
     let again = service.submit(ex.query()).wait().unwrap();
     assert_eq!(again.epoch, EpochId(1));
-    assert!(again.cache_hit, "epoch-1 entry must be resident");
+    assert!(again.cache_hit(), "epoch-1 entry must be resident");
     assert_eq!(again.routes, fresh.routes);
 
     let m = service.shutdown();

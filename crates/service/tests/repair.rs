@@ -152,7 +152,7 @@ fn untouched_prefix_entries_seed_warm_starts_across_epochs() {
     assert!(equivalent_skylines(&full.routes, &exact(&ctx, &full_q)), "rescued seed stays exact");
     let m = service.metrics();
     assert_eq!(
-        m.prefix_seeded, 1,
+        m.seeded_prefix, 1,
         "the one-epoch-stale prefix skyline must seed the warm start: {m:?}"
     );
     assert_eq!(m.stale_served, 0);
@@ -183,6 +183,6 @@ fn touched_prefix_entries_are_not_rescued() {
     let full = service.submit(full_q.clone()).wait().unwrap();
     assert!(equivalent_skylines(&full.routes, &exact(&ctx, &full_q)));
     let m = service.metrics();
-    assert_eq!(m.prefix_seeded, 0, "a possibly-touched prefix must not seed: {m:?}");
+    assert_eq!(m.seeded_prefix, 0, "a possibly-touched prefix must not seed: {m:?}");
     assert_eq!(m.stale_served, 0);
 }

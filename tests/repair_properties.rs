@@ -19,7 +19,8 @@ use skysr::core::bssr::{Bssr, RepairOutcome};
 use skysr::core::route::equivalent_skylines;
 use skysr::core::{PoiTable, QueryContext, SkySrQuery};
 use skysr::graph::{
-    Cost, EpochId, GraphBuilder, Landmarks, RoadNetwork, VertexId, WeightDelta, WeightEpoch,
+    Cost, DeltaIndex, EpochId, GraphBuilder, Landmarks, RoadNetwork, VertexId, WeightDelta,
+    WeightEpoch,
 };
 
 /// A random but always-valid test instance plus a weight-delta batch.
@@ -129,10 +130,11 @@ proptest! {
         // Publish the random batch, repair across it.
         let to = epochs.publish(&built.deltas);
         let delta = epochs.delta_between(EpochId::BASE, to).expect("both epochs retained");
+        let index = DeltaIndex::build(delta, Some(&landmarks));
         let pinned = epochs.pin();
         let ctx = QueryContext::new(&pinned, &built.forest, &built.pois);
         let repaired = Bssr::new(&ctx)
-            .repair(&built.query, &cached, &delta, Some(&landmarks))
+            .repair(&built.query, &cached, &index, Some(&landmarks))
             .expect("valid query");
         let fresh = Bssr::new(&ctx).run(&built.query).unwrap().routes;
         prop_assert!(
@@ -160,9 +162,10 @@ proptest! {
         let max_len = cached.iter().map(|r| r.length).max().unwrap_or(Cost::ZERO);
 
         let to = epochs.publish(&built.deltas);
-        let delta = epochs.delta_between(EpochId::BASE, to).unwrap();
+        let index =
+            DeltaIndex::build(epochs.delta_between(EpochId::BASE, to).unwrap(), Some(&landmarks));
         if !cached.is_empty()
-            && wholesale_untouched(&delta, Some(&landmarks), built.query.start, max_len)
+            && wholesale_untouched(&index, Some(&landmarks), built.query.start, max_len)
         {
             let pinned = epochs.pin();
             let ctx = QueryContext::new(&pinned, &built.forest, &built.pois);
@@ -175,7 +178,7 @@ proptest! {
             );
             // And the repair tier must agree with its own classification.
             let repaired = Bssr::new(&ctx)
-                .repair(&built.query, &cached, &delta, Some(&landmarks))
+                .repair(&built.query, &cached, &index, Some(&landmarks))
                 .unwrap();
             prop_assert_eq!(repaired.repair.outcome, RepairOutcome::Untouched);
         }
