@@ -45,6 +45,13 @@
 //! combined with `--verify`, the oracle audits every response whose
 //! pinned epoch is still within the ring and reports how many it had to
 //! skip (epochs already compacted away).
+//! `--trace-out FILE` switches span retention to *full* (one
+//! [`TraceSpan`](skysr_service::TraceSpan) per request), dumps the spans
+//! as JSON lines, and fails the run if the trace-completeness invariant
+//! breaks (any response without exactly one span whose rung and epoch
+//! match); `--metrics-out FILE` writes the run's counters and latency
+//! histograms (end-to-end, queue-wait, engine, and per-rung) as
+//! Prometheus text exposition.
 //!
 //! `bench` replays duplicate-heavy, prefix-heavy, dynamic (weight
 //! updates racing the stream), hierarchy (ancestor+suffix seeding vs.
@@ -52,12 +59,19 @@
 //! invalidate-and-recompute under deterministic update waves) workloads
 //! twice each — baseline vs. treatment — and writes the
 //! JSON metrics artifact CI uploads as `BENCH_pr.json` (throughput,
-//! p50/p99, hit/coalesce/warm-start/repair rates, epochs published,
-//! invalidations, verified correctness, speedups). `--require-speedup X`
+//! p50/p99, queue-wait percentiles, per-rung latency summaries,
+//! hit/coalesce/warm-start/repair rates, epochs published, invalidations,
+//! verified correctness, speedups). A sixth *telemetry* cell replays the
+//! duplicate stream with span retention off vs. a span per request and
+//! reports the throughput ratio. `--require-speedup X`
 //! fails the run unless the duplicate-workload speedup reaches `X`;
 //! `--require-hierarchy-speedup X` and `--require-repair-speedup X` do
-//! the same for the hierarchy and repair cells; any stale serve fails
-//! either unconditionally.
+//! the same for the hierarchy and repair cells;
+//! `--require-telemetry-ratio X` fails unless full tracing retains at
+//! least fraction `X` of untraced throughput (0.95 = at most 5%
+//! overhead); any stale serve fails either unconditionally. Bench also
+//! accepts `--trace-out`/`--metrics-out` (spans and Prometheus text
+//! across all cells, each labelled by workload and mode).
 
 use std::process::ExitCode;
 
@@ -70,7 +84,9 @@ use skysr_data::codec;
 use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 use skysr_graph::VertexId;
 use skysr_service::bench::{bench, BenchSpec};
-use skysr_service::replay::{replay, ReplaySpec, StreamPattern};
+use skysr_service::replay::{replay, ReplaySpec, StreamPattern, TelemetryMode};
+use skysr_service::telemetry::export::{prometheus, spans_to_json_lines};
+use skysr_service::MetricsSnapshot;
 
 mod args;
 
@@ -112,11 +128,13 @@ fn usage() -> &'static str {
      \t[--ancestor-reuse true|false] [--suffix-reuse true|false]\n  \
      \t[--verify true|false] [--repair true|false] [--retention K] [--qps F]\n  \
      \t[--update-rate F] [--update-burst N] [--update-magnitude F]\n  \
-     \t[--update-every N]\n  \
+     \t[--update-every N] [--trace-out FILE.jsonl] [--metrics-out FILE.prom]\n  \
      skysr-cli bench [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
      \t[--distinct N] [--workers N] [--seq-len K] [--burst N] [--out FILE.json]\n  \
      \t[--update-rate F] [--update-burst N] [--require-speedup X]\n  \
      \t[--require-hierarchy-speedup X] [--require-repair-speedup X]\n  \
+     \t[--require-telemetry-ratio X] [--trace-out FILE.jsonl]\n  \
+     \t[--metrics-out FILE.prom]\n  \
      skysr-cli demo"
 }
 
@@ -273,6 +291,14 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 Some(other) => return Err(format!("unknown --pattern {other:?}")),
             };
             spec.verify = parse_flag(&mut args, "verify", false)?;
+            let trace_out = args.optional("trace-out");
+            let metrics_out = args.optional("metrics-out");
+            // Dumping spans only makes sense over a complete record:
+            // --trace-out switches span retention to full (every request),
+            // which also arms the trace-completeness audit.
+            if trace_out.is_some() {
+                spec.telemetry = TelemetryMode::Full;
+            }
             args.finish()?;
             // Reject what the replay driver would otherwise panic on,
             // before paying for dataset generation.
@@ -316,6 +342,24 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             );
             let report = replay(dataset, &spec);
             println!("{report}");
+            if let Some(path) = &trace_out {
+                std::fs::write(path, spans_to_json_lines(&report.spans))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {} trace spans to {path}", report.spans.len());
+            }
+            if let Some(path) = &metrics_out {
+                let pattern = spec.pattern.to_string();
+                let labels = [("pattern", pattern.as_str())];
+                std::fs::write(path, prometheus(&[(&labels, &report.metrics)]))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            if let Some(v) = report.trace_violations.filter(|&v| v > 0) {
+                return Err(format!(
+                    "trace-completeness invariant violated: {v} violation(s) (a response \
+                     without exactly one matching span, or rung/epoch disagreement)"
+                ));
+            }
             if report.verify_mismatches.is_some_and(|m| m > 0) {
                 return Err("verification failed: concurrent and sequential skylines differ".into());
             }
@@ -360,6 +404,12 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 .optional("require-repair-speedup")
                 .map(|s| s.parse().map_err(|_| "bad --require-repair-speedup".to_string()))
                 .transpose()?;
+            let require_telemetry_ratio: Option<f64> = args
+                .optional("require-telemetry-ratio")
+                .map(|s| s.parse().map_err(|_| "bad --require-telemetry-ratio".to_string()))
+                .transpose()?;
+            let trace_out = args.optional("trace-out");
+            let metrics_out = args.optional("metrics-out");
             args.finish()?;
             if spec.total == 0 || spec.distinct == 0 {
                 return Err("--queries and --distinct must be at least 1".into());
@@ -391,6 +441,38 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 std::fs::write(&path, report.to_json())
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 eprintln!("wrote {path}");
+            }
+            if let Some(path) = &trace_out {
+                let mut lines = String::new();
+                for run in &report.runs {
+                    lines.push_str(&spans_to_json_lines(&run.report.spans));
+                }
+                std::fs::write(path, lines).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            if let Some(path) = &metrics_out {
+                let labels: Vec<[(&str, &str); 2]> = report
+                    .runs
+                    .iter()
+                    .map(|r| [("workload", r.workload), ("mode", r.mode)])
+                    .collect();
+                let entries: Vec<(&[(&str, &str)], &MetricsSnapshot)> = report
+                    .runs
+                    .iter()
+                    .zip(&labels)
+                    .map(|(r, l)| (l.as_slice(), &r.report.metrics))
+                    .collect();
+                std::fs::write(path, prometheus(&entries))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            let trace_violations: usize =
+                report.runs.iter().filter_map(|r| r.report.trace_violations).sum();
+            if trace_violations > 0 {
+                return Err(format!(
+                    "trace-completeness invariant violated in {trace_violations} case(s) \
+                     across the traced bench cells"
+                ));
             }
             if report.verify_mismatches() > 0 {
                 return Err("verification failed: reuse answers differ from sequential".into());
@@ -425,6 +507,15 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                         "repair-workload speedup {:.2}x is below the required {min:.2}x \
                          (repair vs. invalidate-and-recompute)",
                         report.speedup_repair
+                    ));
+                }
+            }
+            if let Some(min) = require_telemetry_ratio {
+                if report.telemetry_overhead_ratio < min {
+                    return Err(format!(
+                        "telemetry overhead ratio {:.3} is below the required {min:.3} \
+                         (full tracing costs more throughput than allowed)",
+                        report.telemetry_overhead_ratio
                     ));
                 }
             }

@@ -43,7 +43,7 @@ use crate::error::QueryError;
 use crate::prepared::PreparedQuery;
 use crate::query::SkySrQuery;
 use crate::route::{PartialRoute, SkylineRoute};
-use crate::stats::QueryStats;
+use crate::stats::{EngineProfile, QueryStats};
 
 /// Which optimisations are active.
 ///
@@ -126,19 +126,31 @@ pub struct BssrResult {
 pub struct BssrScratch {
     ws: DijkstraWorkspace,
     scratch: Scratch,
+    profile: EngineProfile,
 }
 
 impl BssrScratch {
     /// Scratch sized for graphs with up to `n` vertices (grown on demand if
     /// a larger graph shows up).
     pub fn new(n: usize) -> BssrScratch {
-        BssrScratch { ws: DijkstraWorkspace::new(n), scratch: Scratch::new(n) }
+        BssrScratch {
+            ws: DijkstraWorkspace::new(n),
+            scratch: Scratch::new(n),
+            profile: EngineProfile::default(),
+        }
+    }
+
+    /// Cumulative engine-work profile over every query this scratch has
+    /// served — across all the engines that recycled it. The telemetry
+    /// layer's "how much raw graph work has this worker done" gauge.
+    pub fn profile(&self) -> EngineProfile {
+        self.profile
     }
 }
 
 impl std::fmt::Debug for BssrScratch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BssrScratch").finish_non_exhaustive()
+        f.debug_struct("BssrScratch").field("profile", &self.profile).finish_non_exhaustive()
     }
 }
 
@@ -149,6 +161,7 @@ pub struct Bssr<'g> {
     cfg: BssrConfig,
     ws: DijkstraWorkspace,
     scratch: Scratch,
+    profile: EngineProfile,
 }
 
 impl<'g> Bssr<'g> {
@@ -166,20 +179,31 @@ impl<'g> Bssr<'g> {
     /// Engine recycling previously allocated scratch (see [`BssrScratch`]).
     pub fn with_scratch(ctx: &QueryContext<'g>, cfg: BssrConfig, scratch: BssrScratch) -> Bssr<'g> {
         let n = ctx.graph.num_vertices();
-        let BssrScratch { mut ws, scratch: mut sc } = scratch;
+        let BssrScratch { mut ws, scratch: mut sc, profile } = scratch;
         ws.ensure(n);
         sc.ensure(n);
-        Bssr { ctx: *ctx, cfg, ws, scratch: sc }
+        Bssr { ctx: *ctx, cfg, ws, scratch: sc, profile }
     }
 
     /// Releases the engine's scratch for reuse by a successor engine.
     pub fn into_scratch(self) -> BssrScratch {
-        BssrScratch { ws: self.ws, scratch: self.scratch }
+        BssrScratch { ws: self.ws, scratch: self.scratch, profile: self.profile }
     }
 
     /// Active configuration.
     pub fn config(&self) -> &BssrConfig {
         &self.cfg
+    }
+
+    /// Cumulative engine-work profile (carried through the recycled
+    /// scratch; see [`BssrScratch::profile`]).
+    pub fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+
+    /// Folds one run's stats into the cumulative profile.
+    pub(crate) fn absorb_profile(&mut self, stats: &QueryStats) {
+        self.profile.absorb(&stats.profile());
     }
 
     /// Validates and runs `query`.
@@ -350,6 +374,7 @@ impl<'g> Bssr<'g> {
         }
 
         stats.total_time = t0.elapsed();
+        self.profile.absorb(&stats.profile());
         BssrResult { routes: skyline.into_routes(), stats }
     }
 }
@@ -413,6 +438,26 @@ mod tests {
         assert_eq!(without.init_routes, 0);
         // The optimised run prunes routes the plain run must enqueue.
         assert!(with.routes_enqueued <= without.routes_enqueued);
+    }
+
+    #[test]
+    fn scratch_profile_accumulates_across_recycled_engines() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let mut engine = Bssr::with_scratch(&ctx, BssrConfig::default(), BssrScratch::new(16));
+        let r1 = engine.run(&ex.query()).unwrap();
+        let after_one = engine.profile();
+        assert_eq!(after_one, r1.stats.profile(), "first run seeds the tally");
+        assert!(after_one.settled > 0 && after_one.heap_pushes > 0);
+        // Recycle the scratch into a fresh engine: the tally must carry
+        // over and keep growing.
+        let scratch = engine.into_scratch();
+        assert_eq!(scratch.profile(), after_one);
+        let mut engine = Bssr::with_scratch(&ctx, BssrConfig::default(), scratch);
+        engine.run(&ex.query()).unwrap();
+        let after_two = engine.profile();
+        assert!(after_two.settled >= after_one.settled * 2);
+        assert_eq!(after_two.mdijkstra_runs, after_one.mdijkstra_runs * 2);
     }
 
     #[test]

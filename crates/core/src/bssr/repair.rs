@@ -87,6 +87,17 @@ pub enum RepairOutcome {
     Researched,
 }
 
+impl RepairOutcome {
+    /// Stable lowercase name for telemetry (trace spans, exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairOutcome::Untouched => "untouched",
+            RepairOutcome::Rescored => "rescored",
+            RepairOutcome::Researched => "researched",
+        }
+    }
+}
+
 /// Per-repair breakdown, surfaced through the service metrics.
 #[derive(Clone, Copy, Debug)]
 pub struct RepairStats {
@@ -324,6 +335,7 @@ impl<'g> Bssr<'g> {
         match self.repair_in_place(query.start, cached, index, landmarks, &mut stats) {
             InPlace::Promoted { routes, repair } => {
                 stats.total_time = t0.elapsed();
+                self.absorb_profile(&stats);
                 Ok(RepairResult { routes, stats, repair })
             }
             InPlace::Fallback { survivors, routes_untouched, routes_rescored } => {
@@ -347,6 +359,7 @@ impl<'g> Bssr<'g> {
         match self.repair_in_place(pq.start, cached, index, landmarks, &mut stats) {
             InPlace::Promoted { routes, repair } => {
                 stats.total_time = t0.elapsed();
+                self.absorb_profile(&stats);
                 RepairResult { routes, stats, repair }
             }
             InPlace::Fallback { survivors, routes_untouched, routes_rescored } => {
@@ -462,6 +475,10 @@ impl<'g> Bssr<'g> {
         t0: Instant,
     ) -> RepairResult {
         let mut result = self.run_prepared_warm(pq, &survivors);
+        // The warm search absorbed its own work into the scratch profile;
+        // the in-place tiers' (rescoring legs, relevance ball) is only in
+        // `stats`, so count it here — each unit of work exactly once.
+        self.absorb_profile(&stats);
         result.stats.search.merge(&stats.search);
         result.stats.total_time = t0.elapsed();
         RepairResult {

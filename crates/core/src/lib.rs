@@ -44,4 +44,4 @@ pub use poi::PoiTable;
 pub use prepared::PreparedQuery;
 pub use query::{CanonicalPosition, PositionSpec, SkySrQuery};
 pub use route::SkylineRoute;
-pub use stats::QueryStats;
+pub use stats::{EngineProfile, QueryStats};

@@ -51,6 +51,22 @@ impl QueryStats {
         self.ls.iter().sum()
     }
 
+    /// The telemetry-facing projection of these stats (see
+    /// [`EngineProfile`]).
+    pub fn profile(&self) -> EngineProfile {
+        EngineProfile {
+            settled: self.search.settled,
+            relaxed: self.search.relaxed,
+            heap_pushes: self.search.pushed,
+            routes_enqueued: self.routes_enqueued,
+            threshold_prunes: self.threshold_prunes,
+            lower_bound_prunes: self.lower_bound_prunes,
+            seeds_survived: self.warm_seed_routes as u64,
+            mdijkstra_runs: self.mdijkstra_runs,
+            mdijkstra_cache_hits: self.cache_hits,
+        }
+    }
+
     /// Sum of lp over remaining gaps (diagnostic).
     pub fn lp_total(&self) -> f64 {
         self.lp.iter().sum()
@@ -60,6 +76,58 @@ impl QueryStats {
     /// y-axis counts runs only, the invocation count shows the gap.
     pub fn mdijkstra_invocations(&self) -> u64 {
         self.mdijkstra_runs + self.cache_hits
+    }
+}
+
+/// The compact engine-work profile telemetry attaches to a trace span —
+/// the counters that answer "why was this search slow" without shipping
+/// the full (allocating) [`QueryStats`] around.
+///
+/// Derived from [`QueryStats::profile`] per run; [`EngineProfile::absorb`]
+/// makes it cumulative, which is how a worker's
+/// [`BssrScratch`](crate::bssr::BssrScratch) keeps a lifetime tally across
+/// the engines that recycle it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Vertices settled across every graph search of the run.
+    pub settled: u64,
+    /// Arcs relaxed.
+    pub relaxed: u64,
+    /// Vertex-heap pushes.
+    pub heap_pushes: u64,
+    /// Routes pushed into the route priority queue.
+    pub routes_enqueued: u64,
+    /// Candidate routes discarded by the threshold test.
+    pub threshold_prunes: u64,
+    /// Candidate routes discarded by the minimum-distance lower bounds.
+    pub lower_bound_prunes: u64,
+    /// Warm-start seed routes that survived validation into the search.
+    pub seeds_survived: u64,
+    /// Modified-Dijkstra executions actually run.
+    pub mdijkstra_runs: u64,
+    /// Modified-Dijkstra invocations answered by the on-the-fly cache.
+    pub mdijkstra_cache_hits: u64,
+}
+
+impl EngineProfile {
+    /// Labels pruned by either mechanism.
+    pub fn pruned_labels(&self) -> u64 {
+        self.threshold_prunes + self.lower_bound_prunes
+    }
+
+    /// Adds `other` into this profile (saturating — a lifetime tally must
+    /// never wrap into nonsense).
+    pub fn absorb(&mut self, other: &EngineProfile) {
+        self.settled = self.settled.saturating_add(other.settled);
+        self.relaxed = self.relaxed.saturating_add(other.relaxed);
+        self.heap_pushes = self.heap_pushes.saturating_add(other.heap_pushes);
+        self.routes_enqueued = self.routes_enqueued.saturating_add(other.routes_enqueued);
+        self.threshold_prunes = self.threshold_prunes.saturating_add(other.threshold_prunes);
+        self.lower_bound_prunes = self.lower_bound_prunes.saturating_add(other.lower_bound_prunes);
+        self.seeds_survived = self.seeds_survived.saturating_add(other.seeds_survived);
+        self.mdijkstra_runs = self.mdijkstra_runs.saturating_add(other.mdijkstra_runs);
+        self.mdijkstra_cache_hits =
+            self.mdijkstra_cache_hits.saturating_add(other.mdijkstra_cache_hits);
     }
 }
 
@@ -78,5 +146,30 @@ mod tests {
     fn invocation_count() {
         let s = QueryStats { mdijkstra_runs: 5, cache_hits: 3, ..Default::default() };
         assert_eq!(s.mdijkstra_invocations(), 8);
+    }
+
+    #[test]
+    fn profile_projects_and_absorbs() {
+        let s = QueryStats {
+            mdijkstra_runs: 4,
+            cache_hits: 2,
+            search: SearchStats { settled: 10, relaxed: 20, pushed: 30, weight_sum: 1.0 },
+            warm_seed_routes: 3,
+            routes_enqueued: 7,
+            threshold_prunes: 5,
+            lower_bound_prunes: 6,
+            ..Default::default()
+        };
+        let p = s.profile();
+        assert_eq!(p.settled, 10);
+        assert_eq!(p.heap_pushes, 30);
+        assert_eq!(p.seeds_survived, 3);
+        assert_eq!(p.pruned_labels(), 11);
+        let mut total = EngineProfile::default();
+        total.absorb(&p);
+        total.absorb(&p);
+        assert_eq!(total.settled, 20);
+        assert_eq!(total.mdijkstra_runs, 8);
+        assert_eq!(total.mdijkstra_cache_hits, 4);
     }
 }

@@ -37,12 +37,34 @@
 //!   requests inside one epoch. The throughput ratio (`speedup_repair`)
 //!   is the CI-gated evidence that repair beats recompute under epoch
 //!   churn.
+//! * **telemetry** — the duplicate-burst stream with the full reuse layer
+//!   in both modes; only span retention is toggled (off vs. a retained
+//!   [`TraceSpan`](crate::telemetry::TraceSpan) for *every* request). The
+//!   best-of-five-trials throughput ratio (`telemetry_overhead_ratio`,
+//!   CI-gated via `--require-telemetry-ratio`) is the evidence that full
+//!   tracing costs at most a few percent.
 //!
 //! Reuse runs execute with `verify` enabled, so the artifact also
 //! certifies that every concurrent answer was score-equivalent to a
 //! sequential cold run *at its pinned weight epoch*. JSON is hand-rolled
 //! (the workspace builds offline, without serde); the format is flat and
 //! stable for CI trend tooling.
+//!
+//! # Served-outcome taxonomy
+//!
+//! Every completed request is answered by exactly one rung, so the
+//! per-run counters tile: `completed = executed + cache_hits +
+//! coalesced_hits`. `executed` counts requests that ran the engine (cold
+//! and warm-seeded searches plus repairs), `cache_hits` exact-match
+//! answers from the result cache at the pinned epoch, and
+//! `coalesced_hits` followers answered by joining another request's
+//! in-flight computation. A duplicate burst's followers probe the cache
+//! *before* the leader has filled it — each probe counts one cache
+//! *miss* — and then join the leader's flight, so a coalescing-heavy
+//! cell legitimately reports near-zero `cache_hits` alongside a large
+//! `coalesced_hits`: the reuse shows up in `coalesced_hits` (and in
+//! `reuse_rate`, which is `(cache_hits + coalesced_hits) / completed`),
+//! not in `cache_hit_rate`.
 
 use std::sync::Arc;
 
@@ -50,7 +72,9 @@ use skysr_core::bssr::BssrConfig;
 use skysr_data::dataset::Dataset;
 
 use crate::context::ServiceContext;
-use crate::replay::{build_pool, replay_on, ReplayReport, ReplaySpec, StreamPattern};
+use crate::replay::{
+    build_pool, replay_on, ReplayReport, ReplaySpec, StreamPattern, TelemetryMode,
+};
 
 /// Parameters of one bench-smoke run.
 #[derive(Clone, Debug)]
@@ -111,7 +135,7 @@ pub struct BenchRun {
 /// The full bench outcome.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
-    /// All ten runs.
+    /// All twelve runs.
     pub runs: Vec<BenchRun>,
     /// Reuse-over-baseline throughput ratio on the duplicate workload.
     pub speedup_duplicate: f64,
@@ -128,6 +152,10 @@ pub struct BenchReport {
     /// update-heavy duplicate workload (both modes run the full reuse
     /// layer; only incremental repair is toggled).
     pub speedup_repair: f64,
+    /// Traced-over-untraced throughput ratio on the telemetry workload
+    /// (full span retention vs. none; ≥ 0.95 means tracing costs at most
+    /// 5% of throughput).
+    pub telemetry_overhead_ratio: f64,
 }
 
 impl BenchReport {
@@ -154,23 +182,46 @@ impl BenchReport {
         self.runs.iter().map(|r| r.report.stale_served()).sum()
     }
 
-    /// Serializes the report as a flat JSON document.
+    /// Serializes the report as a flat JSON document (one nested `rungs`
+    /// object per run: count and p50/p99 for every rung that served).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"runs\": [\n");
         for (i, run) in self.runs.iter().enumerate() {
             let m = &run.report.metrics;
             let c = &m.cache;
+            let reuse_rate = if m.completed > 0 {
+                (c.hits + m.coalesced) as f64 / m.completed as f64
+            } else {
+                0.0
+            };
+            let rungs: Vec<String> = m
+                .rungs
+                .iter()
+                .filter(|rs| !rs.hist.is_empty())
+                .map(|rs| {
+                    format!(
+                        "\"{}\": {{\"count\": {}, \"p50_ms\": {:.6}, \"p99_ms\": {:.6}}}",
+                        rs.rung.label(),
+                        rs.hist.count(),
+                        rs.hist.quantile(0.50).as_secs_f64() * 1e3,
+                        rs.hist.quantile(0.99).as_secs_f64() * 1e3,
+                    )
+                })
+                .collect();
             out.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"requests\": {}, \
                  \"workers\": {}, \"wall_s\": {:.6}, \"throughput_qps\": {:.3}, \
                  \"latency_p50_ms\": {:.6}, \"latency_p99_ms\": {:.6}, \
-                 \"executed\": {}, \"coalesced\": {}, \"prefix_seeded\": {}, \
+                 \"queue_wait_p50_ms\": {:.6}, \"queue_wait_p99_ms\": {:.6}, \
+                 \"executed\": {}, \"coalesced_hits\": {}, \"prefix_seeded\": {}, \
                  \"seeded_ancestor\": {}, \"seeded_suffix\": {}, \
                  \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \
+                 \"reuse_rate\": {:.6}, \
                  \"cache_insertions\": {}, \"cache_evictions\": {}, \
                  \"cache_invalidations\": {}, \"epochs_published\": {}, \
                  \"repairs\": {}, \"repair_fallbacks\": {}, \"routes_rescored\": {}, \
-                 \"stale_served\": {}, \"verify_mismatches\": {}}}{}\n",
+                 \"stale_served\": {}, \"verify_mismatches\": {}, \
+                 \"rungs\": {{{}}}}}{}\n",
                 run.workload,
                 run.mode,
                 m.completed,
@@ -179,6 +230,8 @@ impl BenchReport {
                 m.throughput_qps,
                 m.latency_p50.as_secs_f64() * 1e3,
                 m.latency_p99.as_secs_f64() * 1e3,
+                m.queue_wait_hist.quantile(0.50).as_secs_f64() * 1e3,
+                m.queue_wait_hist.quantile(0.99).as_secs_f64() * 1e3,
                 m.executed,
                 m.coalesced,
                 m.seeded_prefix,
@@ -187,6 +240,7 @@ impl BenchReport {
                 c.hits,
                 c.misses,
                 c.hit_rate(),
+                reuse_rate,
                 c.insertions,
                 c.evictions,
                 c.invalidations,
@@ -199,13 +253,14 @@ impl BenchReport {
                     .verify_mismatches
                     .map(|v| v.to_string())
                     .unwrap_or_else(|| "null".to_owned()),
+                rungs.join(", "),
                 if i + 1 == self.runs.len() { "" } else { "," }
             ));
         }
         out.push_str(&format!(
             "  ],\n  \"speedup_duplicate\": {:.4},\n  \"speedup_prefix\": {:.4},\n  \
              \"speedup_dynamic\": {:.4},\n  \"speedup_hierarchy\": {:.4},\n  \
-             \"speedup_repair\": {:.4},\n  \
+             \"speedup_repair\": {:.4},\n  \"telemetry_overhead_ratio\": {:.4},\n  \
              \"min_speedup\": {:.4},\n  \"verify_mismatches\": {},\n  \
              \"stale_served\": {}\n}}\n",
             self.speedup_duplicate,
@@ -213,6 +268,7 @@ impl BenchReport {
             self.speedup_dynamic,
             self.speedup_hierarchy,
             self.speedup_repair,
+            self.telemetry_overhead_ratio,
             self.min_speedup(),
             self.verify_mismatches(),
             self.stale_served()
@@ -252,6 +308,11 @@ impl std::fmt::Display for BenchReport {
             self.speedup_hierarchy,
             self.speedup_repair,
             self.stale_served()
+        )?;
+        write!(
+            f,
+            "\ntelemetry   {:.3} traced-vs-off throughput ratio (a span retained per request)",
+            self.telemetry_overhead_ratio
         )
     }
 }
@@ -330,7 +391,7 @@ fn repair_cell_spec(bench: &BenchSpec, repair: bool) -> ReplaySpec {
     }
 }
 
-/// Runs the eight-cell bench over `dataset`.
+/// Runs the twelve-cell bench over `dataset`.
 ///
 /// Both modes of a workload replay the *identical* request stream over one
 /// shared context, so the throughput ratio isolates the reuse layer. (In
@@ -370,7 +431,7 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         replay_on(Arc::clone(&ctx), &dup_pool, &warm);
     }
 
-    let mut runs = Vec::with_capacity(10);
+    let mut runs = Vec::with_capacity(12);
     let mut speedups = Vec::with_capacity(3);
     for (workload, pattern, pool, update_rate) in [
         ("duplicate", StreamPattern::DuplicateBursts, &dup_pool, 0.0),
@@ -413,6 +474,42 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
     runs.push(BenchRun { workload: "repair", mode: "invalidate", report: base });
     runs.push(BenchRun { workload: "repair", mode: "repair", report: treat });
 
+    // Telemetry-overhead cell: the identical duplicate-burst stream with
+    // the full reuse layer in both modes; only span retention is toggled
+    // (off vs. a retained span per request). Eight times the burst-cell
+    // volume plus best-of-five interleaved trials per mode pull the
+    // ratio out of scheduling noise — each trial is milliseconds of wall
+    // clock and the OS can only ever steal time, so the fastest trial is
+    // the cleanest estimate of each mode's cost. Correctness is not
+    // re-verified here (the duplicate cell above already did), but full
+    // tracing's own completeness audit still runs in the traced mode.
+    let telemetry_cell = |telemetry| ReplaySpec {
+        total: spec.total * 8,
+        verify: false,
+        telemetry,
+        ..cell_spec(spec, StreamPattern::DuplicateBursts, true, 0.0)
+    };
+    let mut base: Option<ReplayReport> = None;
+    let mut treat: Option<ReplayReport> = None;
+    for _ in 0..5 {
+        let b = replay_on(Arc::clone(&ctx), &dup_pool, &telemetry_cell(TelemetryMode::Off));
+        if base.as_ref().is_none_or(|old| b.metrics.throughput_qps > old.metrics.throughput_qps) {
+            base = Some(b);
+        }
+        let t = replay_on(Arc::clone(&ctx), &dup_pool, &telemetry_cell(TelemetryMode::Full));
+        if treat.as_ref().is_none_or(|old| t.metrics.throughput_qps > old.metrics.throughput_qps) {
+            treat = Some(t);
+        }
+    }
+    let (base, treat) = (base.expect("five trials ran"), treat.expect("five trials ran"));
+    let telemetry_overhead_ratio = if base.metrics.throughput_qps > 0.0 {
+        treat.metrics.throughput_qps / base.metrics.throughput_qps
+    } else {
+        0.0
+    };
+    runs.push(BenchRun { workload: "telemetry", mode: "off", report: base });
+    runs.push(BenchRun { workload: "telemetry", mode: "traced", report: treat });
+
     BenchReport {
         runs,
         speedup_duplicate: speedups[0],
@@ -420,6 +517,7 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         speedup_dynamic: speedups[2],
         speedup_hierarchy,
         speedup_repair,
+        telemetry_overhead_ratio,
     }
 }
 
@@ -442,7 +540,7 @@ mod tests {
             ..BenchSpec::default()
         };
         let report = bench(dataset, &spec);
-        assert_eq!(report.runs.len(), 10);
+        assert_eq!(report.runs.len(), 12);
         // The correctness gate ran on the reuse runs and passed — including
         // the dynamic cell, whose oracle is epoch-aware.
         assert_eq!(report.verify_mismatches(), 0);
@@ -452,6 +550,7 @@ mod tests {
             let expect = match run.workload {
                 "repair" => 480,
                 "hierarchy" => 8 * 4 * 3, // distinct×4 chains, 3 entries each, one pass
+                "telemetry" => 1_280,     // 8x the burst-cell volume
                 _ => 160,
             };
             assert_eq!(run.report.metrics.completed, expect, "{}/{}", run.workload, run.mode);
@@ -484,7 +583,26 @@ mod tests {
                     "the hierarchy treatment must exercise both new seed sources: {m:?}"
                 );
             }
+            if run.workload == "telemetry" {
+                match run.mode {
+                    "off" => assert!(run.report.spans.is_empty(), "untraced mode kept spans"),
+                    "traced" => {
+                        assert_eq!(run.report.spans.len(), 1_280, "full tracing keeps every span");
+                        assert_eq!(
+                            run.report.trace_violations,
+                            Some(0),
+                            "the trace-completeness invariant must hold in the traced cell"
+                        );
+                    }
+                    other => panic!("unexpected telemetry mode {other}"),
+                }
+            }
         }
+        assert!(
+            report.telemetry_overhead_ratio > 0.0,
+            "the telemetry cell must measure a ratio: {}",
+            report.telemetry_overhead_ratio
+        );
         let json = report.to_json();
         // Well-formed enough for jq/python: balanced braces, the headline
         // keys present, no trailing comma before the array close.
@@ -502,11 +620,19 @@ mod tests {
         assert!(json.contains("\"workload\": \"prefix\""));
         assert!(json.contains("\"workload\": \"dynamic\""));
         assert!(json.contains("\"workload\": \"hierarchy\""));
+        assert!(json.contains("\"workload\": \"telemetry\""));
+        assert!(json.contains("\"telemetry_overhead_ratio\""));
+        assert!(json.contains("\"coalesced_hits\""));
+        assert!(json.contains("\"reuse_rate\""));
+        assert!(json.contains("\"queue_wait_p50_ms\""));
+        assert!(json.contains("\"rungs\": {"));
+        assert!(json.contains("\"p99_ms\""));
         assert!(!json.contains(",\n  ]"));
         let text = report.to_string();
         assert!(text.contains("speedup"), "{text}");
         assert!(text.contains("dynamic"), "{text}");
         assert!(text.contains("hierarchy"), "{text}");
         assert!(text.contains("repair"), "{text}");
+        assert!(text.contains("telemetry"), "{text}");
     }
 }

@@ -38,9 +38,17 @@
 //!   [`replay::ReplayReport`]. The CLI's `replay` subcommand is a thin
 //!   wrapper around it;
 //! * [`mod@bench`] — the bench-smoke harness comparing the reuse layer to
-//!   the exact-match baseline (including a dynamic, update-heavy cell and
-//!   a repair-vs-invalidate cell) and serializing the `BENCH_pr.json` CI
-//!   artifact.
+//!   the exact-match baseline (including a dynamic, update-heavy cell, a
+//!   repair-vs-invalidate cell and a tracing-overhead cell) and
+//!   serializing the `BENCH_pr.json` CI artifact;
+//! * [`telemetry`] — per-request [`TraceSpan`]s (queue → plan → engine
+//!   stage timings, rung-ladder probe trail, engine-work profile) retained
+//!   in a sampled bounded [`TraceBuffer`], log-linear mergeable latency
+//!   [`Histogram`]s recorded per rung and for the queue-wait/engine split,
+//!   and the `--trace-out` (JSON lines) / `--metrics-out` (Prometheus
+//!   text) exporters ([`telemetry::export`]). Full tracing enforces the
+//!   trace-completeness invariant: exactly one span per response, with
+//!   `span.rung` matching the response's `Served` classification.
 //!
 //! Between a request and a BSSR search sits the **reuse planner**
 //! ([`plan`]): for each dequeued job it probes the cache once through the
@@ -98,11 +106,15 @@ pub mod plan;
 pub mod pool;
 pub mod replay;
 mod service;
+pub mod telemetry;
 
 pub use bench::{BenchReport, BenchSpec};
 pub use cache::{CacheCounters, QueryKey, ResultCache};
 pub use context::ServiceContext;
-pub use metrics::{MetricsSnapshot, Served};
+pub use metrics::{LatencyBreakdown, MetricsSnapshot, Served};
 pub use plan::{PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource};
 pub use replay::{ReplayReport, ReplaySpec, StreamPattern};
 pub use service::{QueryResponse, QueryService, ServiceConfig, Ticket};
+pub use telemetry::{
+    Histogram, HistogramSnapshot, Rung, RungSummary, TelemetryConfig, TraceBuffer, TraceSpan,
+};

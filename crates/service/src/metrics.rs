@@ -1,4 +1,4 @@
-//! Aggregate service metrics: counters, recorded latencies, snapshots.
+//! Aggregate service metrics: counters, latency histograms, snapshots.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -8,17 +8,19 @@ use skysr_graph::EpochGcStats;
 
 use crate::cache::CacheCounters;
 use crate::plan::SeedSource;
+use crate::telemetry::{Histogram, HistogramSnapshot, Rung, RungSummary};
 
-/// At most this many (latency, skyline-size) samples are retained;
-/// beyond it, reservoir sampling keeps a uniform subset so percentiles
-/// stay statistically faithful while memory stays bounded on long-lived
-/// services.
+/// At most this many skyline-size samples are retained; beyond it,
+/// reservoir sampling keeps a uniform subset so the size summary stays
+/// statistically faithful while memory stays bounded on long-lived
+/// services. (Latency needs no reservoir — the log-bucketed
+/// [`Histogram`]s summarise every observation exactly.)
 const SAMPLE_CAP: usize = 65_536;
 
 #[derive(Debug, Default)]
 struct SampleSet {
-    /// (latency in nanoseconds, skyline size) per sampled query.
-    samples: Vec<(u64, u32)>,
+    /// Skyline size per sampled query.
+    samples: Vec<u32>,
     /// Total samples offered (≥ `samples.len()`).
     seen: u64,
     /// SplitMix64 state for reservoir replacement choices.
@@ -27,7 +29,7 @@ struct SampleSet {
 
 impl SampleSet {
     /// Algorithm R: uniform reservoir over everything offered so far.
-    fn offer(&mut self, sample: (u64, u32)) {
+    fn offer(&mut self, sample: u32) {
         self.seen += 1;
         if self.samples.len() < SAMPLE_CAP {
             self.samples.push(sample);
@@ -41,6 +43,34 @@ impl SampleSet {
         if let Some(slot) = self.samples.get_mut(j as usize) {
             *slot = sample;
         }
+    }
+}
+
+/// Where one response's time went — recorded split so saturation (queue
+/// wait under open-loop overload) never masquerades as service time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyBreakdown {
+    /// Submission → dequeue: time spent waiting in the bounded queue.
+    pub queue_wait: Duration,
+    /// Dequeue → completion: planning, coalesced parking, engine work,
+    /// cache fill.
+    pub service: Duration,
+    /// The engine-execution portion of `service` (search or repair);
+    /// `None` when no engine ran for this response (cache hits, coalesced
+    /// followers).
+    pub engine: Option<Duration>,
+}
+
+impl LatencyBreakdown {
+    /// End-to-end latency (what callers experience).
+    pub fn total(&self) -> Duration {
+        self.queue_wait + self.service
+    }
+
+    /// A breakdown with everything attributed to service time — for tests
+    /// and callers that never queued.
+    pub fn service_only(service: Duration) -> LatencyBreakdown {
+        LatencyBreakdown { queue_wait: Duration::ZERO, service, engine: None }
     }
 }
 
@@ -76,10 +106,12 @@ pub enum Served {
 
 /// Shared recorder the workers write into.
 ///
-/// Counters are atomics; per-query latencies and skyline sizes go into a
-/// mutex-guarded, size-capped reservoir (one push per query — negligible
-/// next to a BSSR search) so snapshots can compute percentiles without
-/// unbounded growth.
+/// Counters and latency histograms are atomics (lock-free, contention-
+/// free recording); skyline sizes go into a mutex-guarded, size-capped
+/// reservoir (one push per query — negligible next to a BSSR search).
+/// Latency is recorded as a [`LatencyBreakdown`]: end-to-end, queue-wait
+/// and engine-time each get their own histogram, and end-to-end is
+/// additionally keyed by serving [`Rung`] so per-rung tails are visible.
 #[derive(Debug, Default)]
 pub struct MetricsRecorder {
     completed: AtomicU64,
@@ -94,14 +126,18 @@ pub struct MetricsRecorder {
     repair_fallbacks: AtomicU64,
     routes_untouched: AtomicU64,
     routes_rescored: AtomicU64,
+    latency: Histogram,
+    queue_wait: Histogram,
+    engine: Histogram,
+    rungs: [Histogram; 7],
     samples: Mutex<SampleSet>,
 }
 
 impl MetricsRecorder {
-    /// Records one successfully answered query. `latency` is
-    /// submission-to-completion (queueing included); `served` tells
-    /// whether a search actually ran and how the answer was shared.
-    pub fn record(&self, latency: Duration, skyline_size: usize, served: Served) {
+    /// Records one successfully answered query. `latency` carries the
+    /// queue-wait / service / engine split; `served` tells whether a
+    /// search actually ran and how the answer was shared.
+    pub fn record(&self, latency: LatencyBreakdown, skyline_size: usize, served: Served) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         match served {
             Served::Search { seeded } => {
@@ -133,11 +169,17 @@ impl MetricsRecorder {
                 self.routes_rescored.fetch_add(routes_rescored as u64, Ordering::Relaxed);
             }
         }
-        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let total = latency.total();
+        self.latency.record(total);
+        self.queue_wait.record(latency.queue_wait);
+        if let Some(engine) = latency.engine {
+            self.engine.record(engine);
+        }
+        self.rungs[Rung::of(served).index()].record(total);
         self.samples
             .lock()
             .expect("metrics poisoned")
-            .offer((ns, skyline_size.min(u32::MAX as usize) as u32));
+            .offer(skyline_size.min(u32::MAX as usize) as u32);
     }
 
     /// Records a query rejected by validation.
@@ -166,17 +208,10 @@ impl MetricsRecorder {
         cache: CacheCounters,
         epochs: EpochGcStats,
     ) -> MetricsSnapshot {
-        let mut samples = self.samples.lock().expect("metrics poisoned").samples.clone();
-        samples.sort_unstable_by_key(|&(ns, _)| ns);
+        let sizes = self.samples.lock().expect("metrics poisoned").samples.clone();
         let completed = self.completed.load(Ordering::Relaxed);
         let executed = self.executed.load(Ordering::Relaxed);
-        let latencies: Vec<u64> = samples.iter().map(|&(ns, _)| ns).collect();
-        let sizes: Vec<u32> = samples.iter().map(|&(_, s)| s).collect();
-        let mean_ns = if latencies.is_empty() {
-            0
-        } else {
-            latencies.iter().sum::<u64>() / latencies.len() as u64
-        };
+        let latency_hist = self.latency.snapshot();
         MetricsSnapshot {
             completed,
             failed: self.failed.load(Ordering::Relaxed),
@@ -196,11 +231,18 @@ impl MetricsRecorder {
             } else {
                 0.0
             },
-            latency_mean: Duration::from_nanos(mean_ns),
-            latency_p50: percentile(&latencies, 50.0),
-            latency_p90: percentile(&latencies, 90.0),
-            latency_p99: percentile(&latencies, 99.0),
-            latency_max: Duration::from_nanos(latencies.last().copied().unwrap_or(0)),
+            latency_mean: latency_hist.mean(),
+            latency_p50: latency_hist.quantile(0.50),
+            latency_p90: latency_hist.quantile(0.90),
+            latency_p99: latency_hist.quantile(0.99),
+            latency_max: latency_hist.max(),
+            latency_hist,
+            queue_wait_hist: self.queue_wait.snapshot(),
+            engine_hist: self.engine.snapshot(),
+            rungs: Rung::ALL
+                .iter()
+                .map(|&rung| RungSummary { rung, hist: self.rungs[rung.index()].snapshot() })
+                .collect(),
             mean_skyline_size: if sizes.is_empty() {
                 0.0
             } else {
@@ -211,15 +253,6 @@ impl MetricsRecorder {
             epochs,
         }
     }
-}
-
-/// Nearest-rank percentile over latencies already sorted ascending.
-fn percentile(sorted_ns: &[u64], p: f64) -> Duration {
-    if sorted_ns.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((p / 100.0 * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
-    Duration::from_nanos(sorted_ns[rank - 1])
 }
 
 /// Aggregate view of a service's activity over an observation window.
@@ -268,16 +301,29 @@ pub struct MetricsSnapshot {
     pub wall: Duration,
     /// Completed queries per second of the window.
     pub throughput_qps: f64,
-    /// Mean submission-to-completion latency.
+    /// Mean submission-to-completion latency (exact, over every response).
     pub latency_mean: Duration,
-    /// Median latency.
+    /// Median latency (log-bucketed: within 1/32 above the true value).
     pub latency_p50: Duration,
     /// 90th-percentile latency.
     pub latency_p90: Duration,
     /// 99th-percentile latency.
     pub latency_p99: Duration,
-    /// Worst observed latency.
+    /// Worst observed latency (exact).
     pub latency_max: Duration,
+    /// Full end-to-end latency histogram (every response; queueing
+    /// included), mergeable across snapshots.
+    pub latency_hist: HistogramSnapshot,
+    /// Submission-to-dequeue wait histogram — the queueing share of
+    /// `latency_hist`, split out so open-loop saturation shows honest
+    /// service time.
+    pub queue_wait_hist: HistogramSnapshot,
+    /// Engine-execution histogram (search / repair time only; one sample
+    /// per response that actually ran an engine).
+    pub engine_hist: HistogramSnapshot,
+    /// Per-rung end-to-end latency histograms, ladder order (one entry
+    /// per [`Rung`], empty histograms included).
+    pub rungs: Vec<RungSummary>,
     /// Mean number of skyline routes per answer.
     pub mean_skyline_size: f64,
     /// Largest skyline returned.
@@ -326,6 +372,37 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
+            "split       queue-wait p50 {:.3} ms  p99 {:.3} ms · engine p50 {:.3} ms  p99 {:.3} \
+             ms ({} engine runs)",
+            ms(self.queue_wait_hist.quantile(0.50)),
+            ms(self.queue_wait_hist.quantile(0.99)),
+            ms(self.engine_hist.quantile(0.50)),
+            ms(self.engine_hist.quantile(0.99)),
+            self.engine_hist.count()
+        )?;
+        writeln!(
+            f,
+            "rungs       {:<13} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "rung", "count", "p50 ms", "p90 ms", "p99 ms", "p99.9 ms", "max ms"
+        )?;
+        for r in &self.rungs {
+            if r.hist.is_empty() {
+                continue;
+            }
+            writeln!(
+                f,
+                "            {:<13} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                r.rung.label(),
+                r.hist.count(),
+                ms(r.hist.quantile(0.50)),
+                ms(r.hist.quantile(0.90)),
+                ms(r.hist.quantile(0.99)),
+                ms(r.hist.quantile(0.999)),
+                ms(r.hist.max())
+            )?;
+        }
+        writeln!(
+            f,
             "cache       {:.1}% hit rate ({} hits / {} misses, {} evictions, {} resident)",
             self.cache.hit_rate() * 100.0,
             self.cache.hits,
@@ -367,14 +444,16 @@ impl std::fmt::Display for MetricsSnapshot {
 mod tests {
     use super::*;
 
-    #[test]
-    fn percentiles_use_nearest_rank() {
-        let ns: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&ns, 50.0), Duration::from_nanos(50));
-        assert_eq!(percentile(&ns, 99.0), Duration::from_nanos(99));
-        assert_eq!(percentile(&ns, 100.0), Duration::from_nanos(100));
-        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
-        assert_eq!(percentile(&[7], 1.0), Duration::from_nanos(7));
+    /// Asserts a bucketed duration is within the histogram's 1/32 bound
+    /// above the exact value.
+    fn assert_bucketed(got: Duration, exact: Duration) {
+        assert!(got >= exact, "bucketed {got:?} below exact {exact:?}");
+        let slack = Duration::from_nanos((exact.as_nanos() as u64 / 32).max(1));
+        assert!(got <= exact + slack, "bucketed {got:?} beyond {exact:?} + 1/32");
+    }
+
+    fn lat(us: u64) -> LatencyBreakdown {
+        LatencyBreakdown::service_only(Duration::from_micros(us))
     }
 
     #[test]
@@ -383,40 +462,30 @@ mod tests {
         // Far beyond the cap, all with the same latency: the reservoir must
         // stay capped and every retained sample must be a real observation.
         for _ in 0..(SAMPLE_CAP as u64 + 10_000) {
-            rec.record(Duration::from_micros(5), 1, Served::Search { seeded: None });
+            rec.record(lat(5), 1, Served::Search { seeded: None });
         }
         let inner = rec.samples.lock().unwrap();
         assert_eq!(inner.samples.len(), SAMPLE_CAP);
         assert_eq!(inner.seen, SAMPLE_CAP as u64 + 10_000);
-        assert!(inner.samples.iter().all(|&(ns, s)| ns == 5_000 && s == 1));
+        assert!(inner.samples.iter().all(|&s| s == 1));
         drop(inner);
         let snap =
             rec.snapshot(Duration::from_secs(1), CacheCounters::default(), EpochGcStats::default());
         assert_eq!(snap.completed, SAMPLE_CAP as u64 + 10_000);
-        assert_eq!(snap.latency_p50, Duration::from_micros(5));
+        // Histograms summarise *every* sample, not a reservoir subset.
+        assert_eq!(snap.latency_hist.count(), SAMPLE_CAP as u64 + 10_000);
+        assert_bucketed(snap.latency_p50, Duration::from_micros(5));
     }
 
     #[test]
     fn snapshot_aggregates_counters_and_sizes() {
         let rec = MetricsRecorder::default();
-        rec.record(Duration::from_micros(100), 2, Served::Search { seeded: None });
-        rec.record(Duration::from_micros(300), 4, Served::CacheHit);
-        rec.record(
-            Duration::from_micros(200),
-            3,
-            Served::Search { seeded: Some(SeedSource::Prefix) },
-        );
-        rec.record(Duration::from_micros(150), 2, Served::Coalesced);
-        rec.record(
-            Duration::from_micros(120),
-            2,
-            Served::Search { seeded: Some(SeedSource::Ancestor) },
-        );
-        rec.record(
-            Duration::from_micros(130),
-            2,
-            Served::Search { seeded: Some(SeedSource::Suffix) },
-        );
+        rec.record(lat(100), 2, Served::Search { seeded: None });
+        rec.record(lat(300), 4, Served::CacheHit);
+        rec.record(lat(200), 3, Served::Search { seeded: Some(SeedSource::Prefix) });
+        rec.record(lat(150), 2, Served::Coalesced);
+        rec.record(lat(120), 2, Served::Search { seeded: Some(SeedSource::Ancestor) });
+        rec.record(lat(130), 2, Served::Search { seeded: Some(SeedSource::Suffix) });
         rec.record_failure();
         let snap =
             rec.snapshot(Duration::from_secs(2), CacheCounters::default(), EpochGcStats::default());
@@ -428,10 +497,22 @@ mod tests {
         assert_eq!(snap.seeded_suffix, 1);
         assert_eq!(snap.failed, 1);
         assert!((snap.throughput_qps - 3.0).abs() < 1e-12);
-        assert_eq!(snap.latency_p50, Duration::from_micros(130));
-        assert_eq!(snap.latency_max, Duration::from_micros(300));
+        assert_bucketed(snap.latency_p50, Duration::from_micros(130));
+        assert_eq!(snap.latency_max, Duration::from_micros(300), "max is tracked exactly");
         assert!((snap.mean_skyline_size - 2.5).abs() < 1e-12);
         assert_eq!(snap.max_skyline_size, 4);
+        // Per-rung histograms partition the responses.
+        let count_of = |r: Rung| {
+            snap.rungs.iter().find(|s| s.rung == r).expect("all rungs present").hist.count()
+        };
+        assert_eq!(count_of(Rung::Cold), 1);
+        assert_eq!(count_of(Rung::ExactHit), 1);
+        assert_eq!(count_of(Rung::Coalesced), 1);
+        assert_eq!(count_of(Rung::WarmPrefix), 1);
+        assert_eq!(count_of(Rung::WarmAncestor), 1);
+        assert_eq!(count_of(Rung::WarmSuffix), 1);
+        assert_eq!(count_of(Rung::Repaired), 0);
+        assert_eq!(snap.rungs.iter().map(|s| s.hist.count()).sum::<u64>(), snap.completed);
         // The report renders without panicking and mentions the headline
         // numbers.
         let text = snap.to_string();
@@ -440,6 +521,39 @@ mod tests {
         assert!(text.contains("1 prefix-, 1 ancestor-, 1 suffix-seeded"), "{text}");
         assert!(text.contains("queries/s"), "{text}");
         assert!(text.contains("0 stale serves"), "{text}");
+        assert!(text.contains("split       queue-wait"), "{text}");
+        assert!(text.contains("warm_prefix"), "{text}");
+        assert!(!text.contains("repaired  "), "empty rungs are omitted: {text}");
+    }
+
+    #[test]
+    fn latency_breakdown_splits_queue_wait_from_service_time() {
+        let rec = MetricsRecorder::default();
+        // 1 ms of queueing around 10 µs of work: end-to-end is dominated
+        // by the queue, and the split must expose that honestly.
+        for _ in 0..100 {
+            rec.record(
+                LatencyBreakdown {
+                    queue_wait: Duration::from_millis(1),
+                    service: Duration::from_micros(10),
+                    engine: Some(Duration::from_micros(8)),
+                },
+                1,
+                Served::Search { seeded: None },
+            );
+        }
+        let snap =
+            rec.snapshot(Duration::from_secs(1), CacheCounters::default(), EpochGcStats::default());
+        assert_bucketed(snap.latency_p50, Duration::from_micros(1_010));
+        assert_bucketed(snap.queue_wait_hist.quantile(0.5), Duration::from_millis(1));
+        assert_bucketed(snap.engine_hist.quantile(0.5), Duration::from_micros(8));
+        assert_eq!(snap.engine_hist.count(), 100);
+        // A cache hit records no engine sample.
+        rec.record(lat(5), 1, Served::CacheHit);
+        let snap =
+            rec.snapshot(Duration::from_secs(1), CacheCounters::default(), EpochGcStats::default());
+        assert_eq!(snap.engine_hist.count(), 100);
+        assert_eq!(snap.latency_hist.count(), 101);
     }
 
     #[test]

@@ -72,6 +72,25 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Like [`BoundedQueue::pop`], but also reports how many items remain
+    /// queued *behind* the dequeued one, read under the same lock — the
+    /// queue-depth figure a trace span records without a second lock
+    /// round-trip.
+    pub fn pop_with_depth(&self) -> Option<(T, usize)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.buf.pop_front() {
+                let depth = inner.buf.len();
+                self.not_full.notify_one();
+                return Some((item, depth));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
     /// Closes the queue: pending items still drain, new pushes fail, and
     /// blocked consumers wake up.
     pub fn close(&self) {

@@ -77,6 +77,20 @@ use skysr_graph::{EpochGcStats, EpochId, RoadNetwork, WeightDelta};
 use crate::context::ServiceContext;
 use crate::metrics::MetricsSnapshot;
 use crate::service::{QueryResponse, QueryService, ServiceConfig, Ticket};
+use crate::telemetry::{Rung, TelemetryConfig, TraceSpan};
+
+/// Span-retention policy of a replay run (histograms always record).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Default sampled tracing: every 64th span plus the slowest.
+    Sampled,
+    /// Retain a span for *every* request — the mode `--trace-out` uses,
+    /// and the only one under which the trace-completeness invariant is
+    /// audited ([`ReplayReport::trace_violations`]).
+    Full,
+    /// No span retention (the overhead-gate baseline).
+    Off,
+}
 
 /// Shape of the replayed request stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -178,6 +192,9 @@ pub struct ReplaySpec {
     /// Also re-answer every request sequentially at its pinned epoch and
     /// compare skylines (score-equivalent multisets).
     pub verify: bool,
+    /// Span retention: sampled (default), full (audits the one-span-per-
+    /// response invariant), or off.
+    pub telemetry: TelemetryMode,
 }
 
 impl Default for ReplaySpec {
@@ -206,6 +223,7 @@ impl Default for ReplaySpec {
             repair: false,
             retention: 0,
             verify: false,
+            telemetry: TelemetryMode::Sampled,
         }
     }
 }
@@ -242,6 +260,16 @@ pub struct ReplayReport {
     /// of a bounded retention ring. Always `Some(0)` with unlimited
     /// retention.
     pub verify_skipped: Option<usize>,
+    /// Trace spans drained from the service after the stream completed
+    /// (retention governed by [`ReplaySpec::telemetry`]), sorted by
+    /// request id.
+    pub spans: Vec<TraceSpan>,
+    /// `Some(violations)` when full tracing ran: breaks of the trace-
+    /// completeness invariant (every successful response has exactly one
+    /// span, the span's rung and epoch match the response, no span is
+    /// orphaned, and per-rung span counts agree with the metrics
+    /// counters and per-rung histograms). Must be zero.
+    pub trace_violations: Option<usize>,
 }
 
 impl ReplayReport {
@@ -284,6 +312,16 @@ impl std::fmt::Display for ReplayReport {
             )?;
         }
         write!(f, "{}", self.metrics)?;
+        if !self.spans.is_empty() || self.trace_violations.is_some() {
+            write!(f, "\ntrace       {} spans retained", self.spans.len())?;
+            match self.trace_violations {
+                Some(0) => {
+                    write!(f, " — completeness OK (one span per response, rungs match)")?;
+                }
+                Some(v) => write!(f, " — {v} completeness violation(s)")?,
+                None => write!(f, " (sampled)")?,
+            }
+        }
         if let Some(m) = self.verify_mismatches {
             write!(f, "\nverify      ")?;
             if m == 0 {
@@ -483,6 +521,11 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
             suffix_reuse: spec.suffix_reuse,
             repair: spec.repair,
             engine: spec.engine,
+            telemetry: match spec.telemetry {
+                TelemetryMode::Sampled => TelemetryConfig::default(),
+                TelemetryMode::Full => TelemetryConfig::trace_all(stream.len()),
+                TelemetryMode::Off => TelemetryConfig::disabled(),
+            },
         },
     );
     let workers = service.config().workers;
@@ -544,6 +587,7 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         h.join().expect("updater thread panicked");
     }
     let metrics = service.metrics();
+    let spans = service.traces().drain();
     drop(service);
     // With a bounded ring, measure the history *after* every worker lease
     // is released and a final sweep ran: the soak gate asserts the drained
@@ -556,6 +600,8 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
 
     let audit =
         spec.verify.then(|| count_oracle_mismatches(&ctx, pool, spec.engine, &stream, &outcomes));
+    let trace_violations =
+        (spec.telemetry == TelemetryMode::Full).then(|| audit_spans(&spans, &outcomes, &metrics));
 
     ReplayReport {
         total: stream.len(),
@@ -569,7 +615,60 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         metrics,
         verify_mismatches: audit.map(|(mismatches, _)| mismatches),
         verify_skipped: audit.map(|(_, skipped)| skipped),
+        spans,
+        trace_violations,
     }
+}
+
+/// The trace-completeness audit (full tracing only). Counts violations of:
+/// exactly one span per successful response, span rung == the response's
+/// [`Served`](crate::metrics::Served) rung and span epoch == the pinned
+/// epoch, no orphaned spans, and per-rung span counts equal to both the
+/// per-rung histogram counts and the executed/coalesced counters.
+fn audit_spans(
+    spans: &[TraceSpan],
+    outcomes: &[Result<QueryResponse, QueryError>],
+    metrics: &MetricsSnapshot,
+) -> usize {
+    use std::collections::HashMap;
+    let mut violations = 0usize;
+    let mut by_id: HashMap<u64, &TraceSpan> = HashMap::with_capacity(spans.len());
+    for s in spans {
+        if by_id.insert(s.request_id, s).is_some() {
+            violations += 1; // two spans claim one request
+        }
+    }
+    let mut matched = 0usize;
+    for r in outcomes.iter().flat_map(|o| o.as_ref().ok()) {
+        match by_id.get(&r.request_id) {
+            Some(s) => {
+                matched += 1;
+                if s.rung != Rung::of(r.served) || s.epoch != r.epoch {
+                    violations += 1; // span disagrees with its response
+                }
+            }
+            None => violations += 1, // response without a span
+        }
+    }
+    violations += by_id.len().saturating_sub(matched); // orphaned spans
+    let rung_count = |r: Rung| spans.iter().filter(|s| s.rung == r).count() as u64;
+    for rs in &metrics.rungs {
+        if rung_count(rs.rung) != rs.hist.count() {
+            violations += 1;
+        }
+    }
+    let searched = rung_count(Rung::Repaired)
+        + rung_count(Rung::WarmPrefix)
+        + rung_count(Rung::WarmAncestor)
+        + rung_count(Rung::WarmSuffix)
+        + rung_count(Rung::Cold);
+    if searched != metrics.executed {
+        violations += 1;
+    }
+    if rung_count(Rung::Coalesced) != metrics.coalesced {
+        violations += 1;
+    }
+    violations
 }
 
 /// Submits the stream at exponentially distributed inter-arrival times

@@ -1,6 +1,7 @@
 //! The query service: shared context + worker pool + cache + in-flight
 //! coalescing + metrics, epoch-consistent under dynamic edge weights.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -10,13 +11,15 @@ use skysr_core::bssr::{Bssr, BssrConfig, BssrScratch};
 use skysr_core::error::QueryError;
 use skysr_core::query::SkySrQuery;
 use skysr_core::route::SkylineRoute;
+use skysr_core::stats::EngineProfile;
 use skysr_graph::EpochId;
 
 use crate::cache::{QueryKey, ResultCache};
 use crate::context::ServiceContext;
-use crate::metrics::{MetricsRecorder, MetricsSnapshot, Served};
+use crate::metrics::{LatencyBreakdown, MetricsRecorder, MetricsSnapshot, Served};
 use crate::plan::{PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource};
 use crate::pool::{Begin, BoundedQueue, InflightTable};
+use crate::telemetry::{Rung, TelemetryConfig, TraceBuffer, TraceSpan};
 
 /// Sizing and engine configuration of a [`QueryService`].
 #[derive(Clone, Debug)]
@@ -51,6 +54,9 @@ pub struct ServiceConfig {
     pub repair: bool,
     /// Engine configuration every worker runs with.
     pub engine: BssrConfig,
+    /// Trace-span retention policy (histograms are always on; see
+    /// [`crate::telemetry`]).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +71,7 @@ impl Default for ServiceConfig {
             suffix_reuse: true,
             repair: false,
             engine: BssrConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -83,6 +90,12 @@ pub struct QueryResponse {
     pub served: Served,
     /// Submission-to-completion latency (queueing included).
     pub latency: Duration,
+    /// Service-assigned request id — joins this response to its
+    /// [`TraceSpan`] (the trace-completeness invariant matches on it).
+    pub request_id: u64,
+    /// The queueing share of `latency` (submission → dequeue), split out
+    /// so saturation is visible per response, not just in aggregate.
+    pub queue_wait: Duration,
 }
 
 impl QueryResponse {
@@ -117,17 +130,43 @@ impl Ticket {
 }
 
 struct Job {
+    id: u64,
     query: SkySrQuery,
     submitted: Instant,
     reply: mpsc::Sender<Result<QueryResponse, QueryError>>,
 }
 
+/// The trace-span material known *before* a request is answered: identity,
+/// timing marks, plan duration and the rung probes so far. Completed into
+/// a [`TraceSpan`] by [`respond`].
+struct PendingSpan {
+    id: u64,
+    submitted: Instant,
+    dequeued: Instant,
+    queue_depth: usize,
+    plan: Duration,
+    attempts: Vec<&'static str>,
+}
+
 /// What an in-flight leader owes a parked duplicate request: its reply
-/// channel and its own submission instant (so coalesced answers report
-/// their true latency).
+/// channel and its pending span (which carries the follower's own
+/// submission instant, so coalesced answers report their true latency and
+/// their own trace story).
 struct Waiter {
     reply: mpsc::Sender<Result<QueryResponse, QueryError>>,
-    submitted: Instant,
+    pending: PendingSpan,
+}
+
+/// What the executed terminal rung contributes to a span: engine time,
+/// the engine-work profile, and — for repairs — the tier reached plus the
+/// delta-index epoch pair. Followers and cache hits use the default
+/// (no engine ran).
+#[derive(Clone, Copy, Debug, Default)]
+struct ExecTrace {
+    engine: Option<Duration>,
+    profile: EngineProfile,
+    repair_tier: Option<&'static str>,
+    delta_index: Option<(EpochId, EpochId)>,
 }
 
 /// Coalescing key: one flight per canonical query *per weight epoch*. A
@@ -150,6 +189,8 @@ pub struct QueryService {
     queue: Arc<BoundedQueue<Job>>,
     cache: Arc<ResultCache>,
     metrics: Arc<MetricsRecorder>,
+    traces: Arc<TraceBuffer>,
+    next_id: AtomicU64,
     workers: Vec<JoinHandle<()>>,
     started: Instant,
     config: ServiceConfig,
@@ -172,6 +213,7 @@ impl QueryService {
         let cache = Arc::new(ResultCache::new(config.cache_capacity.max(1)));
         let inflight: Arc<InflightTable<FlightKey, Waiter>> = Arc::new(InflightTable::new());
         let metrics = Arc::new(MetricsRecorder::default());
+        let traces = Arc::new(TraceBuffer::new(&config.telemetry, workers));
 
         let handles = (0..workers)
             .map(|i| {
@@ -180,10 +222,13 @@ impl QueryService {
                 let cache = Arc::clone(&cache);
                 let inflight = Arc::clone(&inflight);
                 let metrics = Arc::clone(&metrics);
+                let traces = Arc::clone(&traces);
                 let planner = planner.clone();
                 std::thread::Builder::new()
                     .name(format!("skysr-worker-{i}"))
-                    .spawn(move || worker_loop(&ctx, &queue, &cache, &inflight, &metrics, &planner))
+                    .spawn(move || {
+                        worker_loop(&ctx, &queue, &cache, &inflight, &metrics, &traces, &planner)
+                    })
                     .expect("spawning a worker thread")
             })
             .collect();
@@ -193,6 +238,8 @@ impl QueryService {
             queue,
             cache,
             metrics,
+            traces,
+            next_id: AtomicU64::new(1),
             workers: handles,
             started: Instant::now(),
             config,
@@ -212,7 +259,8 @@ impl QueryService {
     /// through the public API, which consumes the service on shutdown).
     pub fn submit(&self, query: SkySrQuery) -> Ticket {
         let (tx, rx) = mpsc::channel();
-        let job = Job { query, submitted: Instant::now(), reply: tx };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Job { id, query, submitted: Instant::now(), reply: tx };
         if self.queue.push(job).is_err() {
             unreachable!("submission queue closed while the service was alive");
         }
@@ -242,6 +290,13 @@ impl QueryService {
     /// resolved to the actual pool size).
     pub fn config(&self) -> ServiceConfig {
         ServiceConfig { workers: self.workers.len(), ..self.config.clone() }
+    }
+
+    /// The sampled trace-span buffer. Clone the `Arc` before shutdown to
+    /// drain spans after every worker has responded (how `replay
+    /// --trace-out` collects a complete set).
+    pub fn traces(&self) -> &Arc<TraceBuffer> {
+        &self.traces
     }
 
     /// Metrics snapshot over the service's lifetime so far.
@@ -278,18 +333,55 @@ impl Drop for QueryService {
     }
 }
 
-/// Answers one waiter with the shared routes, recording its metrics.
+/// Answers one waiter with the shared routes, recording its metrics and
+/// completing its trace span. The one choke point every successful
+/// response passes through — which is what makes the trace-completeness
+/// invariant (exactly one span per response, rung = `Served`) structural
+/// rather than aspirational.
+#[allow(clippy::too_many_arguments)]
 fn respond(
     metrics: &MetricsRecorder,
+    traces: &TraceBuffer,
     reply: &mpsc::Sender<Result<QueryResponse, QueryError>>,
-    submitted: Instant,
+    pending: PendingSpan,
+    exec: ExecTrace,
     routes: Arc<[SkylineRoute]>,
     epoch: EpochId,
     served: Served,
 ) {
-    let latency = submitted.elapsed();
-    metrics.record(latency, routes.len(), served);
-    let _ = reply.send(Ok(QueryResponse { routes, epoch, served, latency }));
+    let latency = pending.submitted.elapsed();
+    let queue_wait = pending.dequeued.saturating_duration_since(pending.submitted);
+    let service = latency.saturating_sub(queue_wait);
+    metrics.record(
+        LatencyBreakdown { queue_wait, service, engine: exec.engine },
+        routes.len(),
+        served,
+    );
+    if traces.enabled() {
+        traces.offer(TraceSpan {
+            request_id: pending.id,
+            epoch,
+            rung: Rung::of(served),
+            attempts: pending.attempts,
+            queue_wait,
+            plan: pending.plan,
+            engine: exec.engine.unwrap_or(Duration::ZERO),
+            total: latency,
+            queue_depth: pending.queue_depth,
+            delta_index: exec.delta_index,
+            repair_tier: exec.repair_tier,
+            profile: exec.profile,
+            skyline: routes.len(),
+        });
+    }
+    let _ = reply.send(Ok(QueryResponse {
+        routes,
+        epoch,
+        served,
+        latency,
+        request_id: pending.id,
+        queue_wait,
+    }));
 }
 
 /// The per-worker serving loop: **plan, then execute** — all reuse
@@ -343,6 +435,7 @@ fn worker_loop(
     cache: &ResultCache,
     inflight: &InflightTable<FlightKey, Waiter>,
     metrics: &MetricsRecorder,
+    traces: &TraceBuffer,
     planner: &ReusePlanner,
 ) {
     let mut pinned = ctx.pin();
@@ -350,15 +443,25 @@ fn worker_loop(
     // epoch rebuilds the engine view but recycles the (large, already
     // paged-in) workspaces.
     let mut scratch = Some(BssrScratch::new(pinned.graph().num_vertices()));
-    while let Some(job) = queue.pop() {
+    while let Some((job, queue_depth)) = queue.pop_with_depth() {
+        let dequeued = Instant::now();
         if pinned.epoch() != ctx.current_epoch() {
             pinned = ctx.pin();
         }
         let epoch = pinned.epoch();
-        let Job { query, submitted, reply } = job;
+        let Job { id, query, submitted, reply } = job;
 
         let key = planner.key_of(&query);
+        let plan_t0 = Instant::now();
         let ReusePlan { steps } = planner.plan(&query, key.as_ref(), epoch, cache, ctx);
+        let mut pending = PendingSpan {
+            id,
+            submitted,
+            dequeued,
+            queue_depth,
+            plan: plan_t0.elapsed(),
+            attempts: Vec::with_capacity(4),
+        };
         let mut steps = steps.into_iter();
         let mut step = steps.next().expect("plans are never empty");
 
@@ -370,22 +473,39 @@ fn worker_loop(
         // search at the pinned epoch.
         if let PlanStep::ExactHit(stamp, routes) = step {
             if stamp == epoch {
-                respond(metrics, &reply, submitted, routes, epoch, Served::CacheHit);
+                pending.attempts.push("exact:hit");
+                respond(
+                    metrics,
+                    traces,
+                    &reply.clone(),
+                    pending,
+                    ExecTrace::default(),
+                    routes,
+                    epoch,
+                    Served::CacheHit,
+                );
                 continue;
             }
             metrics.record_stale_serve();
+            pending.attempts.push("exact:stale-refused");
             step = PlanStep::ColdSearch;
+        } else if planner.strategies().caching {
+            pending.attempts.push("exact:miss");
         }
 
         // Rung: coalescing.
-        let mut leader = Waiter { reply, submitted };
+        let mut leader = Waiter { reply, pending };
         let mut fkey: Option<FlightKey> = None;
         if matches!(step, PlanStep::Coalesce) {
             let fk = (key.clone().expect("coalescing implies a key"), epoch);
+            leader.pending.attempts.push("coalesce:join");
             match inflight.begin(fk.clone(), leader) {
                 Begin::Joined => continue,
                 Begin::Leader(w) => leader = w,
             }
+            let probes = &mut leader.pending.attempts;
+            probes.pop();
+            probes.push("coalesce:lead");
             // Close the miss-then-begin window: between this request's
             // planning probe and winning the flight, a previous leader for
             // the same (key, epoch) may have filled the cache and
@@ -398,10 +518,13 @@ fn worker_loop(
                     if e == epoch {
                         cache.reclassify_miss_as_hit();
                         let waiters = inflight.complete(&fk);
+                        leader.pending.attempts.push("exact:hit-after-flight");
                         respond(
                             metrics,
+                            traces,
                             &leader.reply,
-                            leader.submitted,
+                            leader.pending,
+                            ExecTrace::default(),
                             Arc::clone(&routes),
                             epoch,
                             Served::CacheHit,
@@ -409,8 +532,10 @@ fn worker_loop(
                         for w in waiters {
                             respond(
                                 metrics,
+                                traces,
                                 &w.reply,
-                                w.submitted,
+                                w.pending,
+                                ExecTrace::default(),
                                 Arc::clone(&routes),
                                 epoch,
                                 Served::Coalesced,
@@ -425,10 +550,23 @@ fn worker_loop(
         }
         // A deferred seed rung is resolved only now — by the flight
         // leader (or an uncoalesced worker) — so parked followers never
-        // paid its cache probes.
+        // paid its cache probes. Probe time is plan construction, not
+        // engine time.
         if matches!(step, PlanStep::ProbeSeeds) {
+            let probe_t0 = Instant::now();
             step = planner.seed_step(&query, key.as_ref(), epoch, cache, ctx);
+            leader.pending.plan += probe_t0.elapsed();
         }
+        leader.pending.attempts.push(match &step {
+            PlanStep::Repair { .. } => "repair:attempt",
+            PlanStep::WarmSeed { source: SeedSource::Prefix, .. } => "seed:prefix",
+            PlanStep::WarmSeed { source: SeedSource::Ancestor, .. } => "seed:ancestor",
+            PlanStep::WarmSeed { source: SeedSource::Suffix, .. } => "seed:suffix",
+            PlanStep::ColdSearch => "cold",
+            PlanStep::ExactHit(..) | PlanStep::Coalesce | PlanStep::ProbeSeeds => {
+                unreachable!("ExactHit/Coalesce/ProbeSeeds resolve before the terminal runs")
+            }
+        });
 
         // Rung: the planned terminal.
         let qctx = pinned.query_context();
@@ -437,14 +575,19 @@ fn worker_loop(
             planner.engine(),
             scratch.take().expect("scratch is recycled"),
         );
+        let engine_t0 = Instant::now();
+        let mut exec = ExecTrace::default();
         let outcome = match step {
             PlanStep::Repair { cached, index } => {
+                exec.delta_index = Some((index.delta().from_epoch(), index.delta().to_epoch()));
                 engine.repair(&query, &cached, &index, ctx.landmarks()).map(|r| {
                     let served = Served::Repaired {
                         fallback: !r.repair.repaired_in_place(),
                         routes_untouched: r.repair.routes_untouched,
                         routes_rescored: r.repair.routes_rescored,
                     };
+                    exec.repair_tier = Some(r.repair.outcome.label());
+                    exec.profile = r.stats.profile();
                     (r.routes, served)
                 })
             }
@@ -459,16 +602,19 @@ fn worker_loop(
                     // A seed probe only helps when it actually seeded
                     // routes (an unreachable position can leave it dry).
                     let seeded = (result.stats.warm_seed_routes > 0).then_some(source);
+                    exec.profile = result.stats.profile();
                     (result.routes, Served::Search { seeded })
                 })
             }
-            PlanStep::ColdSearch => {
-                engine.run(&query).map(|r| (r.routes, Served::Search { seeded: None }))
-            }
+            PlanStep::ColdSearch => engine.run(&query).map(|r| {
+                exec.profile = r.stats.profile();
+                (r.routes, Served::Search { seeded: None })
+            }),
             PlanStep::ExactHit(..) | PlanStep::Coalesce | PlanStep::ProbeSeeds => {
                 unreachable!("ExactHit/Coalesce/ProbeSeeds resolve before the terminal runs")
             }
         };
+        exec.engine = Some(engine_t0.elapsed());
         scratch = Some(engine.into_scratch());
         match outcome {
             Ok((routes, served)) => {
@@ -482,8 +628,10 @@ fn worker_loop(
                 };
                 respond(
                     metrics,
+                    traces,
                     &leader.reply,
-                    leader.submitted,
+                    leader.pending,
+                    exec,
                     Arc::clone(&routes),
                     epoch,
                     served,
@@ -491,8 +639,10 @@ fn worker_loop(
                 for w in waiters {
                     respond(
                         metrics,
+                        traces,
                         &w.reply,
-                        w.submitted,
+                        w.pending,
+                        ExecTrace::default(),
                         Arc::clone(&routes),
                         epoch,
                         Served::Coalesced,
