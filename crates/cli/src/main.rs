@@ -74,7 +74,14 @@
 //! across all cells, each labelled by workload and mode).
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
+use skysr_cli::args::Args;
+use skysr_cli::city::{
+    check_seq_len, dataset_args, load, load_or_generate, parse_flag, parse_preset,
+};
+use skysr_cli::serve;
 use skysr_core::bssr::{Bssr, BssrConfig};
 use skysr_core::variants::destination::DestinationQuery;
 use skysr_core::variants::rated::RatedQuery;
@@ -84,21 +91,15 @@ use skysr_data::codec;
 use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 use skysr_graph::VertexId;
 use skysr_service::bench::{bench, BenchSpec};
-use skysr_service::replay::{replay, ReplaySpec, StreamPattern, TelemetryMode};
+use skysr_service::replay::{
+    build_pool, replay, replay_remote, ReplaySpec, StreamPattern, TelemetryMode,
+};
 use skysr_service::telemetry::export::{prometheus, spans_to_json_lines};
-use skysr_service::MetricsSnapshot;
+use skysr_service::{MetricsSnapshot, QueryService, RemoteService, ServiceContext};
 
-mod args;
-
-use args::Args;
-
-/// Parses an optional typed flag with a default.
-fn parse_flag<T: std::str::FromStr>(args: &mut Args, name: &str, default: T) -> Result<T, String> {
-    match args.optional(name) {
-        None => Ok(default),
-        Some(s) => s.parse().map_err(|_| format!("bad --{name}")),
-    }
-}
+/// How long `--connect` commands wait for a daemon still binding its
+/// socket (CI starts the daemon in the background and races it).
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -129,12 +130,19 @@ fn usage() -> &'static str {
      \t[--verify true|false] [--repair true|false] [--retention K] [--qps F]\n  \
      \t[--update-rate F] [--update-burst N] [--update-magnitude F]\n  \
      \t[--update-every N] [--trace-out FILE.jsonl] [--metrics-out FILE.prom]\n  \
+     \t[--connect HOST:PORT]\n  \
      skysr-cli bench [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
      \t[--distinct N] [--workers N] [--seq-len K] [--burst N] [--out FILE.json]\n  \
      \t[--update-rate F] [--update-burst N] [--require-speedup X]\n  \
      \t[--require-hierarchy-speedup X] [--require-repair-speedup X]\n  \
-     \t[--require-telemetry-ratio X] [--trace-out FILE.jsonl]\n  \
-     \t[--metrics-out FILE.prom]\n  \
+     \t[--require-telemetry-ratio X] [--require-net-ratio X]\n  \
+     \t[--trace-out FILE.jsonl] [--metrics-out FILE.prom]\n  \
+     skysr-cli serve [FILE] [--preset P] [--scale F] [--seed N]\n  \
+     \t[--addr HOST:PORT] [--workers N] [--cache N] [--queue N]\n  \
+     \t[--coalesce true|false] [--prefix-reuse true|false]\n  \
+     \t[--ancestor-reuse true|false] [--suffix-reuse true|false]\n  \
+     \t[--repair true|false]\n  \
+     skysr-cli shutdown --connect HOST:PORT\n  \
      skysr-cli demo"
 }
 
@@ -291,6 +299,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 Some(other) => return Err(format!("unknown --pattern {other:?}")),
             };
             spec.verify = parse_flag(&mut args, "verify", false)?;
+            let connect = args.optional("connect");
             let trace_out = args.optional("trace-out");
             let metrics_out = args.optional("metrics-out");
             // Dumping spans only makes sense over a complete record:
@@ -298,6 +307,20 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             // which also arms the trace-completeness audit.
             if trace_out.is_some() {
                 spec.telemetry = TelemetryMode::Full;
+            }
+            if connect.is_some() {
+                if trace_out.is_some() {
+                    return Err("--trace-out is unsupported with --connect (trace spans are not \
+                         exported over the wire)"
+                        .into());
+                }
+                if spec.retention > 0 {
+                    return Err(
+                        "--retention is unsupported with --connect (the local shadow cannot \
+                         mirror server-side epoch compaction)"
+                            .into(),
+                    );
+                }
             }
             args.finish()?;
             // Reject what the replay driver would otherwise panic on,
@@ -336,11 +359,29 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             }
             let dataset = load_or_generate(&city)?;
             check_seq_len(&dataset, spec.seq_len)?;
-            eprintln!(
-                "replaying {} requests ({} distinct, {} stream) on {} workers ...",
-                spec.total, spec.distinct, spec.pattern, spec.workers
-            );
-            let report = replay(dataset, &spec);
+            let report = match &connect {
+                Some(addr) => {
+                    // The dataset recipe builds the *shadow*: the daemon
+                    // must serve the same dataset (checked against its
+                    // handshake fingerprint inside replay_remote).
+                    let pool = build_pool(&dataset, &spec);
+                    let shadow = Arc::new(ServiceContext::from_dataset(dataset));
+                    let remote = RemoteService::connect_retry(addr.as_str(), CONNECT_TIMEOUT)
+                        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                    eprintln!(
+                        "replaying {} requests ({} distinct, {} stream) over {addr} ...",
+                        spec.total, spec.distinct, spec.pattern
+                    );
+                    replay_remote(&remote, shadow, &pool, &spec).map_err(|e| e.to_string())?
+                }
+                None => {
+                    eprintln!(
+                        "replaying {} requests ({} distinct, {} stream) on {} workers ...",
+                        spec.total, spec.distinct, spec.pattern, spec.workers
+                    );
+                    replay(dataset, &spec)
+                }
+            };
             println!("{report}");
             if let Some(path) = &trace_out {
                 std::fs::write(path, spans_to_json_lines(&report.spans))
@@ -407,6 +448,10 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             let require_telemetry_ratio: Option<f64> = args
                 .optional("require-telemetry-ratio")
                 .map(|s| s.parse().map_err(|_| "bad --require-telemetry-ratio".to_string()))
+                .transpose()?;
+            let require_net_ratio: Option<f64> = args
+                .optional("require-net-ratio")
+                .map(|s| s.parse().map_err(|_| "bad --require-net-ratio".to_string()))
                 .transpose()?;
             let trace_out = args.optional("trace-out");
             let metrics_out = args.optional("metrics-out");
@@ -519,6 +564,31 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                     ));
                 }
             }
+            if let Some(min) = require_net_ratio {
+                if report.net_ratio < min {
+                    return Err(format!(
+                        "net overhead ratio {:.3} is below the required {min:.3} \
+                         (the loopback socket transport costs more throughput than allowed)",
+                        report.net_ratio
+                    ));
+                }
+            }
+            Ok(())
+        }
+        "serve" => serve::run_serve(&mut args),
+        "shutdown" => {
+            let addr = args.require("connect")?;
+            args.finish()?;
+            let remote = RemoteService::connect_retry(addr.as_str(), CONNECT_TIMEOUT)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            // The daemon stops accepting, drains every in-flight query and
+            // answers with its lifetime metrics before closing.
+            let metrics = remote.shutdown();
+            println!(
+                "skysr-d at {addr} drained and stopped: {} completed, {} executed, \
+                 {} cache hits, {} coalesced",
+                metrics.completed, metrics.executed, metrics.cache.hits, metrics.coalesced
+            );
             Ok(())
         }
         "demo" => {
@@ -541,74 +611,6 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         }
         other => Err(format!("unknown command {other:?}")),
     }
-}
-
-fn load(path: &str) -> Result<Dataset, String> {
-    codec::load_dataset(path).map_err(|e| format!("cannot load {path}: {e}"))
-}
-
-/// Shared dataset selection of the workload commands (`replay`, `bench`):
-/// either an explicit FILE, or a generation recipe.
-struct CityArgs {
-    file: Option<String>,
-    preset: Preset,
-    scale: Option<f64>,
-    seed: u64,
-}
-
-fn dataset_args(args: &mut Args) -> Result<CityArgs, String> {
-    let file = args.positional_opt();
-    let preset_arg = args.optional("preset");
-    let scale_arg = args.optional("scale");
-    if file.is_some() && (preset_arg.is_some() || scale_arg.is_some()) {
-        return Err(
-            "--preset/--scale describe the generated city and conflict with a dataset FILE \
-             argument"
-                .into(),
-        );
-    }
-    let preset = parse_preset(preset_arg.as_deref().unwrap_or("cal-small"))?;
-    let scale: Option<f64> =
-        scale_arg.map(|s| s.parse().map_err(|_| "bad --scale".to_string())).transpose()?;
-    let seed: u64 = parse_flag(args, "seed", 7)?;
-    Ok(CityArgs { file, preset, scale, seed })
-}
-
-fn load_or_generate(city: &CityArgs) -> Result<Dataset, String> {
-    match &city.file {
-        Some(f) => load(f),
-        None => {
-            let mut dspec = DatasetSpec::preset(city.preset).seed(city.seed);
-            if let Some(s) = city.scale {
-                dspec = dspec.scale(s);
-            }
-            eprintln!("generating {} ...", dspec.name);
-            Ok(dspec.generate())
-        }
-    }
-}
-
-fn check_seq_len(dataset: &Dataset, seq_len: usize) -> Result<(), String> {
-    let populated = dataset.populated_trees();
-    if seq_len > populated {
-        return Err(format!(
-            "--seq-len {seq_len} exceeds the dataset's {populated} populated category trees \
-             (workload positions must come from distinct trees)"
-        ));
-    }
-    Ok(())
-}
-
-fn parse_preset(s: &str) -> Result<Preset, String> {
-    Ok(match s {
-        "tokyo" => Preset::Tokyo,
-        "nyc" => Preset::Nyc,
-        "cal" => Preset::Cal,
-        "tokyo-small" => Preset::TokyoSmall,
-        "nyc-small" => Preset::NycSmall,
-        "cal-small" => Preset::CalSmall,
-        _ => return Err(format!("unknown preset {s:?}")),
-    })
 }
 
 fn print_routes(dataset: &Dataset, routes: &[SkylineRoute]) {

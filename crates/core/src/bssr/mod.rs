@@ -105,6 +105,36 @@ pub enum WarmSeeds<'a> {
     Suffix(&'a [SkylineRoute]),
 }
 
+/// Receiver for provisional Pareto points during an observed run (anytime
+/// streaming). Called once per distinct route, in the order the search
+/// proves them; the route is a skyline member at call time, so it is
+/// dominated-or-equal by the final exact skyline.
+pub type ProgressSink<'s> = &'s mut dyn FnMut(&SkylineRoute);
+
+/// Tracks which skyline members an observed run has already reported, so
+/// each provisional point reaches the sink exactly once even though the
+/// skyline is re-diffed after every step.
+#[derive(Default)]
+struct Emitter {
+    seen_version: u64,
+    emitted: Vec<SkylineRoute>,
+}
+
+impl Emitter {
+    fn flush(&mut self, skyline: &SkylineSet, sink: &mut dyn FnMut(&SkylineRoute)) {
+        if skyline.version() == self.seen_version {
+            return;
+        }
+        self.seen_version = skyline.version();
+        for route in skyline.routes() {
+            if !self.emitted.iter().any(|e| e == route) {
+                sink(route);
+                self.emitted.push(route.clone());
+            }
+        }
+    }
+}
+
 /// Result of one BSSR run.
 #[derive(Clone, Debug)]
 pub struct BssrResult {
@@ -212,6 +242,47 @@ impl<'g> Bssr<'g> {
         Ok(self.run_prepared(&pq))
     }
 
+    /// [`Bssr::run`] reporting each provisional Pareto point to `sink` the
+    /// moment the search proves it (anytime streaming). Every emitted
+    /// route is a genuine valid sequenced route that was a skyline member
+    /// when emitted, so it is dominated-or-equal by some member of the
+    /// final exact skyline; each distinct route is emitted at most once.
+    pub fn run_observed(
+        &mut self,
+        query: &SkySrQuery,
+        sink: ProgressSink<'_>,
+    ) -> Result<BssrResult, QueryError> {
+        let pq = PreparedQuery::prepare(&self.ctx, query)?;
+        Ok(self.run_prepared_observed(&pq, WarmSeeds::None, Some(sink)))
+    }
+
+    /// [`Bssr::run_with_seeds`] with a provisional-point sink (see
+    /// [`Bssr::run_observed`]). Warm seeds that survive domination are
+    /// emitted too — they are valid routes like any other member.
+    pub fn run_with_seeds_observed(
+        &mut self,
+        query: &SkySrQuery,
+        prefix: &[SkylineRoute],
+        sink: ProgressSink<'_>,
+    ) -> Result<BssrResult, QueryError> {
+        let pq = PreparedQuery::prepare(&self.ctx, query)?;
+        let seeds =
+            if prefix.is_empty() { WarmSeeds::None } else { WarmSeeds::PrefixOrFull(prefix) };
+        Ok(self.run_prepared_observed(&pq, seeds, Some(sink)))
+    }
+
+    /// [`Bssr::run_with_suffix_seeds`] with a provisional-point sink (see
+    /// [`Bssr::run_observed`]).
+    pub fn run_with_suffix_seeds_observed(
+        &mut self,
+        query: &SkySrQuery,
+        suffix: &[SkylineRoute],
+        sink: ProgressSink<'_>,
+    ) -> Result<BssrResult, QueryError> {
+        let pq = PreparedQuery::prepare(&self.ctx, query)?;
+        Ok(self.run_prepared_observed(&pq, WarmSeeds::Suffix(suffix), Some(sink)))
+    }
+
     /// Validates and runs `query` warm-started from a cached skyline of its
     /// (k−1)-position prefix — or any same-start full-length skyline, e.g.
     /// an ancestor-category variant's (semantic cache reuse; see [`warm`]).
@@ -260,6 +331,21 @@ impl<'g> Bssr<'g> {
 
     /// [`Bssr::run_prepared`] with explicit warm-seed material.
     pub fn run_prepared_seeded(&mut self, pq: &PreparedQuery, seeds: WarmSeeds<'_>) -> BssrResult {
+        self.run_prepared_observed(pq, seeds, None)
+    }
+
+    /// The full engine: [`Bssr::run_prepared_seeded`] with an optional
+    /// provisional-point sink. The sink is flushed at every point the
+    /// skyline can grow — after NNinit, after warm seeding, and after
+    /// every multi-criteria Dijkstra step — by diffing the skyline
+    /// against the routes already emitted (cheap: skylines are small and
+    /// [`SkylineSet::version`] gates the diff to actual insertions).
+    pub fn run_prepared_observed(
+        &mut self,
+        pq: &PreparedQuery,
+        seeds: WarmSeeds<'_>,
+        mut sink: Option<ProgressSink<'_>>,
+    ) -> BssrResult {
         let t0 = Instant::now();
         let mut stats = QueryStats::default();
         let k = pq.len();
@@ -272,9 +358,13 @@ impl<'g> Bssr<'g> {
 
         let ctx = self.ctx;
         let mut skyline = SkylineSet::new();
+        let mut emitter = Emitter::default();
 
         if self.cfg.use_init_search {
             nninit::nninit(&ctx, pq, &mut self.ws, &mut skyline, &mut stats);
+        }
+        if let Some(sink) = sink.as_deref_mut() {
+            emitter.flush(&skyline, sink);
         }
 
         // Warm start: seed completions of a cached skyline *before* the
@@ -288,6 +378,9 @@ impl<'g> Bssr<'g> {
             WarmSeeds::Suffix(routes) => {
                 warm::seed_suffix_routes(&ctx, pq, routes, &mut self.ws, &mut skyline, &mut stats);
             }
+        }
+        if let Some(sink) = sink.as_deref_mut() {
+            emitter.flush(&skyline, sink);
         }
 
         let bounds = if self.cfg.lower_bound == LowerBoundMode::Off {
@@ -350,6 +443,9 @@ impl<'g> Bssr<'g> {
             &mut stats,
             true,
         );
+        if let Some(sink) = sink.as_deref_mut() {
+            emitter.flush(&skyline, sink);
+        }
 
         // Algorithm 1, lines 5–9.
         while let Some(rd) = queue.pop() {
@@ -371,6 +467,9 @@ impl<'g> Bssr<'g> {
                 &mut stats,
                 false,
             );
+            if let Some(sink) = sink.as_deref_mut() {
+                emitter.flush(&skyline, sink);
+            }
         }
 
         stats.total_time = t0.elapsed();
@@ -423,6 +522,34 @@ mod tests {
             let result = bssr.run(&ex.query()).unwrap();
             expect_paper_skyline(&result.routes);
         }
+    }
+
+    #[test]
+    fn observed_run_streams_each_provisional_point_once_dominated_by_final() {
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        let mut bssr = Bssr::new(&ctx);
+        let mut provisional: Vec<SkylineRoute> = Vec::new();
+        let result = bssr.run_observed(&ex.query(), &mut |r| provisional.push(r.clone())).unwrap();
+        expect_paper_skyline(&result.routes);
+        assert!(!provisional.is_empty(), "the search proves points before completion");
+        for (i, p) in provisional.iter().enumerate() {
+            assert!(!provisional[..i].contains(p), "route streamed twice: {p:?}");
+            assert!(
+                result
+                    .routes
+                    .iter()
+                    .any(|f| f.length.get() <= p.length.get() && f.semantic <= p.semantic),
+                "provisional point not dominated-or-equal by the final skyline: {p:?}"
+            );
+        }
+        // The final members themselves were all streamed on the way.
+        for f in &result.routes {
+            assert!(provisional.contains(f), "final member never streamed: {f:?}");
+        }
+        // Observing changes nothing about the answer.
+        let unobserved = bssr.run(&ex.query()).unwrap();
+        assert_eq!(unobserved.routes, result.routes);
     }
 
     #[test]

@@ -43,6 +43,14 @@
 //!   best-of-five-trials throughput ratio (`telemetry_overhead_ratio`,
 //!   CI-gated via `--require-telemetry-ratio`) is the evidence that full
 //!   tracing costs at most a few percent.
+//! * **net** — the duplicate-burst stream again, full reuse layer in both
+//!   modes; only the *transport* is toggled: in-process submission vs. a
+//!   loopback `skysr-d` socket (frame encode/decode, TCP, the client
+//!   demux). Both modes' throughput is measured client-side as
+//!   requests/wall over the replay window (the daemon serves all socket
+//!   trials, so its own lifetime snapshot would understate per-run
+//!   throughput). The best-of-three ratio (`net_ratio`, CI-gated via
+//!   `--require-net-ratio`) bounds the transport tax.
 //!
 //! Reuse runs execute with `verify` enabled, so the artifact also
 //! certifies that every concurrent answer was score-equivalent to a
@@ -72,9 +80,12 @@ use skysr_core::bssr::BssrConfig;
 use skysr_data::dataset::Dataset;
 
 use crate::context::ServiceContext;
+use crate::net::{RemoteService, Server, ServerConfig};
 use crate::replay::{
-    build_pool, replay_on, ReplayReport, ReplaySpec, StreamPattern, TelemetryMode,
+    build_pool, replay_on, replay_remote, ReplayReport, ReplaySpec, StreamPattern, TelemetryMode,
 };
+use crate::service::{QueryService, Service, ServiceConfig};
+use crate::telemetry::TelemetryConfig;
 
 /// Parameters of one bench-smoke run.
 #[derive(Clone, Debug)]
@@ -135,7 +146,7 @@ pub struct BenchRun {
 /// The full bench outcome.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
-    /// All twelve runs.
+    /// All fourteen runs.
     pub runs: Vec<BenchRun>,
     /// Reuse-over-baseline throughput ratio on the duplicate workload.
     pub speedup_duplicate: f64,
@@ -156,6 +167,10 @@ pub struct BenchReport {
     /// (full span retention vs. none; ≥ 0.95 means tracing costs at most
     /// 5% of throughput).
     pub telemetry_overhead_ratio: f64,
+    /// Socket-over-in-process throughput ratio on the net workload (the
+    /// loopback `skysr-d` transport tax; measured client-side as
+    /// requests/wall in both modes).
+    pub net_ratio: f64,
 }
 
 impl BenchReport {
@@ -261,6 +276,7 @@ impl BenchReport {
             "  ],\n  \"speedup_duplicate\": {:.4},\n  \"speedup_prefix\": {:.4},\n  \
              \"speedup_dynamic\": {:.4},\n  \"speedup_hierarchy\": {:.4},\n  \
              \"speedup_repair\": {:.4},\n  \"telemetry_overhead_ratio\": {:.4},\n  \
+             \"net_ratio\": {:.4},\n  \
              \"min_speedup\": {:.4},\n  \"verify_mismatches\": {},\n  \
              \"stale_served\": {}\n}}\n",
             self.speedup_duplicate,
@@ -269,6 +285,7 @@ impl BenchReport {
             self.speedup_hierarchy,
             self.speedup_repair,
             self.telemetry_overhead_ratio,
+            self.net_ratio,
             self.min_speedup(),
             self.verify_mismatches(),
             self.stale_served()
@@ -313,6 +330,11 @@ impl std::fmt::Display for BenchReport {
             f,
             "\ntelemetry   {:.3} traced-vs-off throughput ratio (a span retained per request)",
             self.telemetry_overhead_ratio
+        )?;
+        write!(
+            f,
+            "\nnet         {:.3} socket-vs-in-process throughput ratio (loopback skysr-d)",
+            self.net_ratio
         )
     }
 }
@@ -391,7 +413,7 @@ fn repair_cell_spec(bench: &BenchSpec, repair: bool) -> ReplaySpec {
     }
 }
 
-/// Runs the twelve-cell bench over `dataset`.
+/// Runs the fourteen-cell bench over `dataset`.
 ///
 /// Both modes of a workload replay the *identical* request stream over one
 /// shared context, so the throughput ratio isolates the reuse layer. (In
@@ -431,7 +453,7 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         replay_on(Arc::clone(&ctx), &dup_pool, &warm);
     }
 
-    let mut runs = Vec::with_capacity(12);
+    let mut runs = Vec::with_capacity(14);
     let mut speedups = Vec::with_capacity(3);
     for (workload, pattern, pool, update_rate) in [
         ("duplicate", StreamPattern::DuplicateBursts, &dup_pool, 0.0),
@@ -510,6 +532,59 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
     runs.push(BenchRun { workload: "telemetry", mode: "off", report: base });
     runs.push(BenchRun { workload: "telemetry", mode: "traced", report: treat });
 
+    // Transport-overhead cell: the identical duplicate-burst stream with
+    // the full reuse layer in both modes; only the transport is toggled.
+    // Each socket trial spawns a fresh loopback daemon over the *same*
+    // shared context the in-process trials use (so cache state stays
+    // comparable and the per-trial metrics snapshot covers exactly one
+    // replay), drives it through `RemoteService`, and shuts it down. The
+    // context doubles as the remote replay's shadow: this cell publishes
+    // no weight updates, so fingerprints match by construction. Ratios
+    // use driver-side requests/wall — see the module docs.
+    let net_spec = ReplaySpec {
+        total: spec.total * 4,
+        verify: false,
+        telemetry: TelemetryMode::Off,
+        ..cell_spec(spec, StreamPattern::DuplicateBursts, true, 0.0)
+    };
+    let daemon_config = ServiceConfig {
+        workers: net_spec.workers,
+        queue_capacity: net_spec.queue_capacity,
+        cache_capacity: net_spec.cache_capacity,
+        coalesce: net_spec.coalesce,
+        prefix_reuse: net_spec.prefix_reuse,
+        ancestor_reuse: net_spec.ancestor_reuse,
+        suffix_reuse: net_spec.suffix_reuse,
+        repair: net_spec.repair,
+        engine: net_spec.engine,
+        telemetry: TelemetryConfig::disabled(),
+    };
+    let wall_qps = |r: &ReplayReport| r.total as f64 / r.wall.as_secs_f64().max(1e-9);
+    let mut base: Option<ReplayReport> = None;
+    let mut treat: Option<ReplayReport> = None;
+    for _ in 0..3 {
+        let b = replay_on(Arc::clone(&ctx), &dup_pool, &net_spec);
+        if base.as_ref().is_none_or(|old| wall_qps(&b) > wall_qps(old)) {
+            base = Some(b);
+        }
+        let daemon = Arc::new(Service::new(Arc::clone(&ctx), daemon_config.clone()));
+        let mut server = Server::spawn("127.0.0.1:0", daemon, ServerConfig::default())
+            .expect("bind a loopback listener");
+        let remote =
+            RemoteService::connect(server.local_addr()).expect("connect to the loopback daemon");
+        let t = replay_remote(&remote, Arc::clone(&ctx), &dup_pool, &net_spec)
+            .expect("the loopback daemon serves the same dataset by construction");
+        let _ = remote.shutdown();
+        server.join();
+        if treat.as_ref().is_none_or(|old| wall_qps(&t) > wall_qps(old)) {
+            treat = Some(t);
+        }
+    }
+    let (base, treat) = (base.expect("three trials ran"), treat.expect("three trials ran"));
+    let net_ratio = if wall_qps(&base) > 0.0 { wall_qps(&treat) / wall_qps(&base) } else { 0.0 };
+    runs.push(BenchRun { workload: "net", mode: "in-process", report: base });
+    runs.push(BenchRun { workload: "net", mode: "socket", report: treat });
+
     BenchReport {
         runs,
         speedup_duplicate: speedups[0],
@@ -518,6 +593,7 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         speedup_hierarchy,
         speedup_repair,
         telemetry_overhead_ratio,
+        net_ratio,
     }
 }
 
@@ -540,7 +616,7 @@ mod tests {
             ..BenchSpec::default()
         };
         let report = bench(dataset, &spec);
-        assert_eq!(report.runs.len(), 12);
+        assert_eq!(report.runs.len(), 14);
         // The correctness gate ran on the reuse runs and passed — including
         // the dynamic cell, whose oracle is epoch-aware.
         assert_eq!(report.verify_mismatches(), 0);
@@ -551,6 +627,7 @@ mod tests {
                 "repair" => 480,
                 "hierarchy" => 8 * 4 * 3, // distinct×4 chains, 3 entries each, one pass
                 "telemetry" => 1_280,     // 8x the burst-cell volume
+                "net" => 640,             // 4x the burst-cell volume
                 _ => 160,
             };
             assert_eq!(run.report.metrics.completed, expect, "{}/{}", run.workload, run.mode);
@@ -603,6 +680,7 @@ mod tests {
             "the telemetry cell must measure a ratio: {}",
             report.telemetry_overhead_ratio
         );
+        assert!(report.net_ratio > 0.0, "the net cell must measure a ratio: {}", report.net_ratio);
         let json = report.to_json();
         // Well-formed enough for jq/python: balanced braces, the headline
         // keys present, no trailing comma before the array close.
@@ -622,6 +700,9 @@ mod tests {
         assert!(json.contains("\"workload\": \"hierarchy\""));
         assert!(json.contains("\"workload\": \"telemetry\""));
         assert!(json.contains("\"telemetry_overhead_ratio\""));
+        assert!(json.contains("\"workload\": \"net\""));
+        assert!(json.contains("\"mode\": \"socket\""));
+        assert!(json.contains("\"net_ratio\""));
         assert!(json.contains("\"coalesced_hits\""));
         assert!(json.contains("\"reuse_rate\""));
         assert!(json.contains("\"queue_wait_p50_ms\""));
@@ -634,5 +715,6 @@ mod tests {
         assert!(text.contains("hierarchy"), "{text}");
         assert!(text.contains("repair"), "{text}");
         assert!(text.contains("telemetry"), "{text}");
+        assert!(text.contains("socket-vs-in-process"), "{text}");
     }
 }

@@ -81,14 +81,14 @@
 //! ```
 //! use skysr_data::dataset::{DatasetSpec, Preset};
 //! use skysr_data::workload::WorkloadSpec;
-//! use skysr_service::{QueryService, ServiceConfig, ServiceContext};
+//! use skysr_service::{QueryService, Service, ServiceConfig, ServiceContext};
 //! use std::sync::Arc;
 //!
 //! let dataset = DatasetSpec::preset(Preset::CalSmall).scale(0.05).seed(7).generate();
 //! let workload = WorkloadSpec::new(2).queries(8).seed(11).generate(&dataset);
 //!
 //! let ctx = Arc::new(ServiceContext::from_dataset(dataset));
-//! let service = QueryService::new(ctx, ServiceConfig { workers: 4, ..Default::default() });
+//! let service = Service::new(ctx, ServiceConfig { workers: 4, ..Default::default() });
 //!
 //! for outcome in service.run_batch(workload.queries.iter().cloned()) {
 //!     let response = outcome.expect("generated queries are valid");
@@ -97,11 +97,18 @@
 //! let m = service.metrics();
 //! assert_eq!(m.completed, 8);
 //! ```
+//!
+//! The same engine serves over the network: [`net`] adds the `skysr-d`
+//! daemon's event loop ([`net::Server`]), the length-prefixed wire
+//! protocol ([`net::wire`]) and the [`RemoteService`] client — which
+//! implements the same [`QueryService`] trait as [`Service`], so every
+//! driver in this crate runs against either transport.
 
 pub mod bench;
 pub mod cache;
 pub mod context;
 pub mod metrics;
+pub mod net;
 pub mod plan;
 pub mod pool;
 pub mod replay;
@@ -112,9 +119,13 @@ pub use bench::{BenchReport, BenchSpec};
 pub use cache::{CacheCounters, QueryKey, ResultCache};
 pub use context::ServiceContext;
 pub use metrics::{LatencyBreakdown, MetricsSnapshot, Served};
+pub use net::{ProtocolError, RemoteService, Server, ServerConfig};
 pub use plan::{PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource};
 pub use replay::{ReplayReport, ReplaySpec, StreamPattern};
-pub use service::{QueryResponse, QueryService, ServiceConfig, Ticket};
+pub use service::{
+    AnytimeResponse, QueryRequest, QueryResponse, QueryService, RequestOptions, Service,
+    ServiceConfig, StreamTicket, Ticket,
+};
 pub use telemetry::{
     Histogram, HistogramSnapshot, Rung, RungSummary, TelemetryConfig, TraceBuffer, TraceSpan,
 };

@@ -111,6 +111,23 @@ impl ReuseStrategies {
             repair: false,
         }
     }
+
+    /// The switch-wise AND of two strategy sets — how a per-request
+    /// override mask ([`crate::RequestOptions::reuse`]) *restricts* the
+    /// service-level strategies: a request can turn rungs off but never
+    /// widen beyond what the service resolved. ANDing preserves the
+    /// resolve-time implications (anything cache-reading stays off when
+    /// caching is off) because AND can only clear switches.
+    pub fn intersect(self, mask: ReuseStrategies) -> ReuseStrategies {
+        ReuseStrategies {
+            caching: self.caching && mask.caching,
+            coalesce: self.coalesce && mask.coalesce,
+            prefix: self.prefix && mask.prefix,
+            ancestor: self.ancestor && mask.ancestor,
+            suffix: self.suffix && mask.suffix,
+            repair: self.repair && mask.repair,
+        }
+    }
 }
 
 /// One rung of a [`ReusePlan`], carrying its resolved raw material.
@@ -199,6 +216,13 @@ impl ReusePlanner {
     /// the single source of truth the worker's engines must share.
     pub fn engine(&self) -> BssrConfig {
         self.engine
+    }
+
+    /// This planner with its strategies restricted by a per-request mask
+    /// (see [`ReuseStrategies::intersect`]); the engine configuration —
+    /// and with it the cache-key space — is unchanged.
+    pub fn masked(&self, mask: ReuseStrategies) -> ReusePlanner {
+        ReusePlanner::new(self.strategies.intersect(mask), self.engine)
     }
 
     /// The canonical cache key for `query`, when any keyed machinery

@@ -56,6 +56,21 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Non-blocking [`BoundedQueue::push`]: enqueues `item` if there is
+    /// room right now, otherwise hands it straight back. `Err(item)` means
+    /// "full or closed" — the caller decides whether to retry later (the
+    /// network server parks the request and keeps its event loop turning
+    /// instead of stalling every connection behind one slow producer).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed || inner.buf.len() >= inner.capacity {
+            return Err(item);
+        }
+        inner.buf.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Dequeues the oldest item, blocking while the queue is empty.
     /// Returns `None` once the queue is closed and fully drained.
     pub fn pop(&self) -> Option<T> {
@@ -187,6 +202,22 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use std::time::Duration;
+
+    #[test]
+    fn try_push_rejects_when_full_or_closed_without_blocking() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(3), "full queue hands the item back");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()), "room reopened after a pop");
+        q.close();
+        assert_eq!(q.try_push(4), Err(4), "closed queue rejects");
+        // Pending items still drain after close.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
 
     #[test]
     fn singleflight_one_leader_many_followers() {

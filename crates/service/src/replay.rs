@@ -76,7 +76,8 @@ use skysr_graph::{EpochGcStats, EpochId, RoadNetwork, WeightDelta};
 
 use crate::context::ServiceContext;
 use crate::metrics::MetricsSnapshot;
-use crate::service::{QueryResponse, QueryService, ServiceConfig, Ticket};
+use crate::net::{DatasetFingerprint, ProtocolError, RemoteService};
+use crate::service::{QueryResponse, QueryService, Service, ServiceConfig, Ticket};
 use crate::telemetry::{Rung, TelemetryConfig, TraceSpan};
 
 /// Span-retention policy of a replay run (histograms always record).
@@ -509,7 +510,7 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         // cheap tiers consult it on the very first repaired request.
         let _ = ctx.landmarks();
     }
-    let service = QueryService::new(
+    let service = Service::new(
         Arc::clone(&ctx),
         ServiceConfig {
             workers: spec.workers,
@@ -531,61 +532,9 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
     let workers = service.config().workers;
     let epoch_before = ctx.current_epoch();
 
-    // The updater publishes weight-delta bursts at exponential instants
-    // until the stream drains.
-    let stop = Arc::new(AtomicBool::new(false));
-    let updater = (spec.update_rate > 0.0).then(|| {
-        let ctx = Arc::clone(&ctx);
-        let stop = Arc::clone(&stop);
-        let rate = spec.update_rate;
-        let burst = spec.update_burst.max(1);
-        let magnitude = spec.update_magnitude.max(1.0);
-        let seed = spec.seed ^ 0x7570_6474; // "updt"
-        std::thread::Builder::new()
-            .name("skysr-updater".into())
-            .spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed);
-                while !stop.load(Ordering::Relaxed) {
-                    // Sleep in small slices so a drained stream stops the
-                    // updater promptly.
-                    let deadline =
-                        Instant::now() + Duration::from_secs_f64(exp_sample(&mut rng) / rate);
-                    while let Some(left) = deadline.checked_duration_since(Instant::now()) {
-                        if stop.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        std::thread::sleep(left.min(Duration::from_millis(2)));
-                    }
-                    let deltas = random_traffic_deltas(ctx.graph(), burst, magnitude, &mut rng);
-                    ctx.publish_weights(&deltas);
-                }
-            })
-            .expect("spawning the updater thread")
-    });
-
-    let t0 = Instant::now();
-    let outcomes = if spec.qps > 0.0 {
-        open_loop_batch(&service, pool, &stream, spec.qps, spec.seed)
-    } else if spec.update_every > 0 {
-        // Closed-loop epoch waves: drain a chunk, publish a burst, repeat.
-        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7761_7665); // "wave"
-        let burst = spec.update_burst.max(1);
-        let magnitude = spec.update_magnitude.max(1.0);
-        let mut outcomes = Vec::with_capacity(stream.len());
-        for chunk in stream.chunks(spec.update_every) {
-            outcomes.extend(service.run_batch(chunk.iter().map(|&i| pool[i].clone())));
-            let deltas = random_traffic_deltas(ctx.graph(), burst, magnitude, &mut rng);
-            ctx.publish_weights(&deltas);
-        }
-        outcomes
-    } else {
-        service.run_batch(stream.iter().map(|&i| pool[i].clone()))
-    };
-    let wall = t0.elapsed();
-    stop.store(true, Ordering::Relaxed);
-    if let Some(h) = updater {
-        h.join().expect("updater thread panicked");
-    }
+    let publish_ctx = Arc::clone(&ctx);
+    let publish = move |deltas: &[WeightDelta]| publish_ctx.publish_weights(deltas);
+    let (outcomes, wall) = drive(&service, pool, &stream, spec, ctx.graph(), &publish);
     let metrics = service.metrics();
     let spans = service.traces().drain();
     drop(service);
@@ -671,10 +620,170 @@ fn audit_spans(
     violations
 }
 
+/// The transport-agnostic stream driver shared by [`replay_on`] and
+/// [`replay_remote`]: runs `spec`'s arrival process (closed-loop batch,
+/// synchronous update waves, or open-loop Poisson arrivals) against any
+/// [`QueryService`], with the optional wall-clock updater publishing
+/// weight bursts through `publish` from a scoped thread until the stream
+/// drains. `graph` is only used to *generate* deltas (base weights, which
+/// never change) — publication itself goes through `publish`, so a remote
+/// driver can route it over the wire and mirror it locally.
+fn drive(
+    service: &dyn QueryService,
+    pool: &[SkySrQuery],
+    stream: &[usize],
+    spec: &ReplaySpec,
+    graph: &RoadNetwork,
+    publish: &(dyn Fn(&[WeightDelta]) -> EpochId + Sync),
+) -> (Vec<Result<QueryResponse, QueryError>>, Duration) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // The updater publishes weight-delta bursts at exponential
+        // instants until the stream drains.
+        let updater = (spec.update_rate > 0.0).then(|| {
+            let stop = &stop;
+            let rate = spec.update_rate;
+            let burst = spec.update_burst.max(1);
+            let magnitude = spec.update_magnitude.max(1.0);
+            let seed = spec.seed ^ 0x7570_6474; // "updt"
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                while !stop.load(Ordering::Relaxed) {
+                    // Sleep in small slices so a drained stream stops the
+                    // updater promptly.
+                    let deadline =
+                        Instant::now() + Duration::from_secs_f64(exp_sample(&mut rng) / rate);
+                    while let Some(left) = deadline.checked_duration_since(Instant::now()) {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(left.min(Duration::from_millis(2)));
+                    }
+                    let deltas = random_traffic_deltas(graph, burst, magnitude, &mut rng);
+                    publish(&deltas);
+                }
+            })
+        });
+
+        let t0 = Instant::now();
+        let outcomes = if spec.qps > 0.0 {
+            open_loop_batch(service, pool, stream, spec.qps, spec.seed)
+        } else if spec.update_every > 0 {
+            // Closed-loop epoch waves: drain a chunk, publish a burst,
+            // repeat.
+            let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7761_7665); // "wave"
+            let burst = spec.update_burst.max(1);
+            let magnitude = spec.update_magnitude.max(1.0);
+            let mut outcomes = Vec::with_capacity(stream.len());
+            for chunk in stream.chunks(spec.update_every) {
+                let queries: Vec<SkySrQuery> = chunk.iter().map(|&i| pool[i].clone()).collect();
+                outcomes.extend(service.run_queries(&queries));
+                let deltas = random_traffic_deltas(graph, burst, magnitude, &mut rng);
+                publish(&deltas);
+            }
+            outcomes
+        } else {
+            let queries: Vec<SkySrQuery> = stream.iter().map(|&i| pool[i].clone()).collect();
+            service.run_queries(&queries)
+        };
+        let wall = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = updater {
+            handle.join().expect("updater thread panicked");
+        }
+        (outcomes, wall)
+    })
+}
+
+/// Replays `spec`'s stream through a live `skysr-d` daemon, auditing the
+/// answers against a local *shadow* dataset.
+///
+/// `shadow` must be built from the same dataset spec (and start at the
+/// same weight epoch) as the daemon's context — checked up front via the
+/// handshake's [`DatasetFingerprint`]. Weight updates are published
+/// *through the wire* and mirrored into the shadow in lockstep; the
+/// returned epoch must match the shadow's on every burst, so the oracle
+/// ([`ReplaySpec::verify`]) re-answers each response at its pinned epoch
+/// from an epoch history provably identical to the daemon's.
+///
+/// Unsupported over the wire (asserted): bounded retention (the shadow
+/// cannot mirror server-side compaction) and full trace retention (spans
+/// are not exported per-request).
+///
+/// # Panics
+/// On spec combinations the wire cannot support (see above), and on a
+/// mid-run epoch divergence between daemon and shadow.
+pub fn replay_remote(
+    remote: &RemoteService,
+    shadow: Arc<ServiceContext>,
+    pool: &[SkySrQuery],
+    spec: &ReplaySpec,
+) -> Result<ReplayReport, ProtocolError> {
+    assert!(!pool.is_empty(), "replay needs a non-empty pool");
+    assert!(
+        spec.retention == 0,
+        "remote replay audits against an unbounded shadow history (retention must be 0)"
+    );
+    assert!(
+        spec.telemetry != TelemetryMode::Full,
+        "trace spans are not exported over the wire; use sampled or off telemetry"
+    );
+    assert!(
+        !(spec.update_every > 0 && (spec.qps > 0.0 || spec.update_rate > 0.0)),
+        "synchronous update waves (update_every) are closed-loop and exclusive with the \
+         open-loop qps/update_rate knobs"
+    );
+    let ours = DatasetFingerprint::of(&shadow);
+    let theirs = remote.fingerprint();
+    if ours != theirs {
+        return Err(ProtocolError::DatasetMismatch(format!(
+            "daemon serves {theirs:?}, the local shadow is {ours:?} — rebuild the shadow from \
+             the daemon's dataset spec (and epoch)"
+        )));
+    }
+    let stream = request_stream(spec, pool.len());
+    let epoch_before = shadow.current_epoch();
+
+    let publish = |deltas: &[WeightDelta]| {
+        let published = remote.publish_weights(deltas);
+        let mirrored = shadow.publish_weights(deltas);
+        assert_eq!(
+            published, mirrored,
+            "shadow context diverged from the daemon's epoch sequence — is something else \
+             publishing weights to this daemon?"
+        );
+        published
+    };
+    let (outcomes, wall) = drive(remote, pool, &stream, spec, shadow.graph(), &publish);
+    let metrics = remote.metrics();
+    let epochs_published = shadow.current_epoch().get() - epoch_before.get();
+
+    let audit = spec
+        .verify
+        .then(|| count_oracle_mismatches(&shadow, pool, spec.engine, &stream, &outcomes));
+
+    Ok(ReplayReport {
+        total: stream.len(),
+        distinct: pool.len(),
+        pattern: spec.pattern,
+        workers: spec.workers,
+        qps: spec.qps,
+        wall,
+        epochs_published,
+        // Server-side accounting, as carried in the metrics snapshot.
+        epoch_gc: metrics.epochs,
+        metrics,
+        verify_mismatches: audit.map(|(mismatches, _)| mismatches),
+        verify_skipped: audit.map(|(_, skipped)| skipped),
+        spans: Vec::new(),
+        trace_violations: None,
+    })
+}
+
 /// Submits the stream at exponentially distributed inter-arrival times
 /// targeting `qps`, then waits for every answer (order preserved).
 fn open_loop_batch(
-    service: &QueryService,
+    service: &dyn QueryService,
     pool: &[SkySrQuery],
     stream: &[usize],
     qps: f64,
@@ -692,7 +801,7 @@ fn open_loop_batch(
         }
         // Submission may block on a full queue: open-loop overload turns
         // into measured backpressure, not an unbounded client-side buffer.
-        tickets.push(service.submit(pool[i].clone()));
+        tickets.push(service.submit_query(pool[i].clone()));
     }
     tickets.into_iter().map(Ticket::wait).collect()
 }

@@ -1,18 +1,32 @@
 //! The query service: shared context + worker pool + cache + in-flight
 //! coalescing + metrics, epoch-consistent under dynamic edge weights.
+//!
+//! Two layers live here:
+//!
+//! * [`Service`] — the concrete in-process engine (worker pool over a
+//!   shared [`ServiceContext`]);
+//! * [`QueryService`] — the transport-agnostic trait [`Service`] and the
+//!   network client ([`crate::net::RemoteService`]) both implement, so
+//!   replay/bench/verify drive either through `&dyn QueryService`.
+//!
+//! Requests travel as a [`QueryRequest`] envelope (query + per-request
+//! options); answers come back through a [`Ticket`], or a
+//! [`StreamTicket`] for *anytime* responses that surface provisional
+//! Pareto points while the search runs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use skysr_core::bssr::{Bssr, BssrConfig, BssrScratch};
+use skysr_core::dominance::SkylineSet;
 use skysr_core::error::QueryError;
 use skysr_core::query::SkySrQuery;
 use skysr_core::route::SkylineRoute;
 use skysr_core::stats::EngineProfile;
-use skysr_graph::EpochId;
+use skysr_graph::{EpochId, WeightDelta};
 
 use crate::cache::{QueryKey, ResultCache};
 use crate::context::ServiceContext;
@@ -21,7 +35,7 @@ use crate::plan::{PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource
 use crate::pool::{Begin, BoundedQueue, InflightTable};
 use crate::telemetry::{Rung, TelemetryConfig, TraceBuffer, TraceSpan};
 
-/// Sizing and engine configuration of a [`QueryService`].
+/// Sizing and engine configuration of a [`Service`].
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Worker threads. `0` means "one per available CPU".
@@ -117,23 +131,251 @@ impl QueryResponse {
     }
 }
 
+/// Per-request serving options, carried in the [`QueryRequest`] envelope.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Deadline *hint*: how long the client intends to wait before cutting
+    /// off (see [`StreamTicket::wait_deadline`]). Advisory — the cutoff is
+    /// enforced client-side, the server always finishes the exact answer —
+    /// but carried end-to-end so a server could use it for scheduling.
+    pub deadline: Option<Duration>,
+    /// Force this request's [`TraceSpan`] to be retained, bypassing both
+    /// the tracing enable flag and sampling (debugging one request in a
+    /// sampled production service).
+    pub trace: bool,
+    /// Reuse-strategy override *mask*: ANDed with the service-level
+    /// strategies, so a request can opt out of rungs (e.g. force a cold
+    /// search with [`ReuseStrategies::none`]) but never widen beyond what
+    /// the service allows.
+    pub reuse: Option<ReuseStrategies>,
+}
+
+/// One query plus its per-request options — the envelope every
+/// [`QueryService::submit`] takes. [`From<SkySrQuery>`] gives the
+/// all-defaults envelope, and [`QueryService::submit_query`] is the
+/// bare-query convenience wrapper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// The sequenced-route query itself.
+    pub query: SkySrQuery,
+    /// Serving options (default: no deadline, sampled tracing, full reuse).
+    pub options: RequestOptions,
+}
+
+impl QueryRequest {
+    /// Envelope with default options.
+    pub fn new(query: SkySrQuery) -> QueryRequest {
+        QueryRequest { query, options: RequestOptions::default() }
+    }
+
+    /// Sets the deadline hint.
+    pub fn deadline(mut self, deadline: Duration) -> QueryRequest {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Opts this request into forced trace retention.
+    pub fn traced(mut self) -> QueryRequest {
+        self.options.trace = true;
+        self
+    }
+
+    /// Restricts the reuse rungs available to this request.
+    pub fn restrict(mut self, mask: ReuseStrategies) -> QueryRequest {
+        self.options.reuse = Some(mask);
+        self
+    }
+}
+
+impl From<SkySrQuery> for QueryRequest {
+    fn from(query: SkySrQuery) -> QueryRequest {
+        QueryRequest::new(query)
+    }
+}
+
 /// Waitable handle for one submitted query.
 pub struct Ticket {
     rx: mpsc::Receiver<Result<QueryResponse, QueryError>>,
 }
 
 impl Ticket {
+    /// Pairs a ticket with the sending half of its answer channel — how
+    /// transports other than the in-process pool (the network client)
+    /// mint tickets for their own demultiplexers.
+    pub(crate) fn channel() -> (mpsc::Sender<Result<QueryResponse, QueryError>>, Ticket) {
+        let (tx, rx) = mpsc::channel();
+        (tx, Ticket { rx })
+    }
+
     /// Blocks until the worker finishes this query.
     pub fn wait(self) -> Result<QueryResponse, QueryError> {
         self.rx.recv().expect("worker dropped a job without responding")
+    }
+
+    /// Non-blocking poll: `Some` once the answer is in. The network
+    /// server pumps tickets this way so one slow query never stalls its
+    /// event loop.
+    pub fn try_wait(&self) -> Option<Result<QueryResponse, QueryError>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                panic!("worker dropped a job without responding")
+            }
+        }
+    }
+}
+
+/// Handle for a streaming (anytime) submission: provisional Pareto points
+/// arrive on the progress channel as the search proves them, and the
+/// final exact answer arrives like any [`Ticket`]'s.
+pub struct StreamTicket {
+    progress: mpsc::Receiver<SkylineRoute>,
+    ticket: Ticket,
+}
+
+/// What [`StreamTicket::wait_deadline`] returns: either the exact answer
+/// or the provisional skyline accumulated by the deadline, flagged
+/// [`approximate`](AnytimeResponse::approximate).
+#[derive(Clone, Debug)]
+pub struct AnytimeResponse {
+    /// The routes — exact when `approximate` is false; otherwise the
+    /// mutually non-dominated provisional points received so far, each a
+    /// genuine valid route dominated-or-equal by the final exact skyline.
+    pub routes: Vec<SkylineRoute>,
+    /// True iff the deadline cut the stream off before the final frame.
+    pub approximate: bool,
+    /// The full response (`Served` classification, epoch, latency) when
+    /// the exact answer arrived in time.
+    pub response: Option<QueryResponse>,
+}
+
+impl StreamTicket {
+    pub(crate) fn new(progress: mpsc::Receiver<SkylineRoute>, ticket: Ticket) -> StreamTicket {
+        StreamTicket { progress, ticket }
+    }
+
+    /// Next provisional point, if one is ready (non-blocking). `None`
+    /// means "none right now" — the stream ends when the final answer
+    /// arrives, not when this returns `None`.
+    pub fn try_progress(&self) -> Option<SkylineRoute> {
+        self.progress.try_recv().ok()
+    }
+
+    /// Ignores the stream and blocks for the exact answer.
+    pub fn wait(self) -> Result<QueryResponse, QueryError> {
+        self.ticket.wait()
+    }
+
+    /// Blocks for the exact answer and returns it together with every
+    /// provisional point streamed on the way. Nothing is lost: both the
+    /// in-process worker and the daemon deliver all progress before the
+    /// final answer, so the channel is fully drainable afterwards.
+    pub fn wait_with_progress(self) -> Result<(QueryResponse, Vec<SkylineRoute>), QueryError> {
+        let response = self.ticket.wait()?;
+        let mut provisional = Vec::new();
+        while let Ok(route) = self.progress.try_recv() {
+            provisional.push(route);
+        }
+        Ok((response, provisional))
+    }
+
+    /// Blocks until the exact answer or `deadline`, whichever first. On
+    /// cutoff the provisional points received so far are folded into a
+    /// valid partial skyline and returned with `approximate = true`.
+    pub fn wait_deadline(self, deadline: Duration) -> Result<AnytimeResponse, QueryError> {
+        match self.ticket.rx.recv_timeout(deadline) {
+            Ok(Ok(response)) => Ok(AnytimeResponse {
+                routes: response.routes.to_vec(),
+                approximate: false,
+                response: Some(response),
+            }),
+            Ok(Err(e)) => Err(e),
+            Err(RecvTimeoutError::Timeout) => {
+                // Later provisional points can dominate earlier ones, so
+                // fold the stream through a SkylineSet to hand back a
+                // minimal, mutually non-dominated partial answer.
+                let mut partial = SkylineSet::new();
+                while let Ok(route) = self.progress.try_recv() {
+                    partial.update(route);
+                }
+                Ok(AnytimeResponse {
+                    routes: partial.into_routes(),
+                    approximate: true,
+                    response: None,
+                })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("worker dropped a job without responding")
+            }
+        }
+    }
+}
+
+/// The transport-agnostic query-service interface.
+///
+/// Implemented by the in-process [`Service`] and by the network client
+/// [`crate::net::RemoteService`]; the replay/bench/verify drivers take
+/// `&dyn QueryService`, so the same workload runs in-process or across a
+/// socket without changing a line. The contract every implementation
+/// upholds:
+///
+/// * `submit` returns immediately with a [`Ticket`] (it may block briefly
+///   for backpressure, never for the answer);
+/// * answers are **oracle-exact at their pinned epoch** — `response.epoch`
+///   names the weight epoch the routes are exact for;
+/// * `submit_streaming` additionally surfaces provisional Pareto points,
+///   each dominated-or-equal by the final exact skyline;
+/// * `publish_weights` applies a delta batch atomically and returns the
+///   new epoch; subsequently dequeued requests pin it;
+/// * `shutdown` is idempotent and drains in-flight work before returning
+///   final metrics.
+pub trait QueryService: Send + Sync {
+    /// Enqueues one request (backpressure may block briefly).
+    fn submit(&self, request: QueryRequest) -> Ticket;
+
+    /// Enqueues one request with anytime streaming: provisional Pareto
+    /// points flow on the [`StreamTicket`]'s progress channel while the
+    /// search runs. Requests answered without a search (cache hits,
+    /// coalesced followers, repairs) stream nothing — the final frame is
+    /// the whole story.
+    fn submit_streaming(&self, request: QueryRequest) -> StreamTicket;
+
+    /// Metrics snapshot over the service's lifetime so far.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Publishes a weight-update batch as one new epoch.
+    fn publish_weights(&self, deltas: &[WeightDelta]) -> EpochId;
+
+    /// Drains in-flight work, stops serving and returns final metrics.
+    /// Idempotent; submissions after shutdown panic.
+    fn shutdown(&self) -> MetricsSnapshot;
+
+    /// [`QueryService::submit`] with default options — the bare-query
+    /// convenience wrapper.
+    fn submit_query(&self, query: SkySrQuery) -> Ticket {
+        self.submit(QueryRequest::new(query))
+    }
+
+    /// Submits every query and waits for all answers, preserving order.
+    ///
+    /// A batch larger than the queue capacity cannot deadlock the caller:
+    /// the bounded queue holds only unstarted work and each ticket buffers
+    /// its answer, so an oversized batch merely throttles submission to
+    /// the workers' pace.
+    fn run_queries(&self, queries: &[SkySrQuery]) -> Vec<Result<QueryResponse, QueryError>> {
+        let tickets: Vec<Ticket> = queries.iter().map(|q| self.submit_query(q.clone())).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
     }
 }
 
 struct Job {
     id: u64,
     query: SkySrQuery,
+    options: RequestOptions,
     submitted: Instant,
     reply: mpsc::Sender<Result<QueryResponse, QueryError>>,
+    progress: Option<mpsc::Sender<SkylineRoute>>,
 }
 
 /// The trace-span material known *before* a request is answered: identity,
@@ -146,6 +388,9 @@ struct PendingSpan {
     queue_depth: usize,
     plan: Duration,
     attempts: Vec<&'static str>,
+    /// Per-request trace opt-in ([`RequestOptions::trace`]): retain the
+    /// span even when tracing is disabled or sampling would drop it.
+    trace: bool,
 }
 
 /// What an in-flight leader owes a parked duplicate request: its reply
@@ -184,21 +429,24 @@ type FlightKey = (QueryKey, EpochId);
 /// on the next dequeued query while in-progress searches finish on their
 /// own consistent snapshot. Dropping the service closes the submission
 /// queue, drains in-flight work and joins every worker.
-pub struct QueryService {
+pub struct Service {
     ctx: Arc<ServiceContext>,
     queue: Arc<BoundedQueue<Job>>,
     cache: Arc<ResultCache>,
     metrics: Arc<MetricsRecorder>,
     traces: Arc<TraceBuffer>,
     next_id: AtomicU64,
-    workers: Vec<JoinHandle<()>>,
+    // Drained by the (idempotent, `&self`) shutdown path; `worker_count`
+    // remembers the resolved pool size afterwards.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
     started: Instant,
     config: ServiceConfig,
 }
 
-impl QueryService {
+impl Service {
     /// Spawns a service over `ctx` with `config`.
-    pub fn new(ctx: Arc<ServiceContext>, config: ServiceConfig) -> QueryService {
+    pub fn new(ctx: Arc<ServiceContext>, config: ServiceConfig) -> Service {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
         } else {
@@ -233,51 +481,73 @@ impl QueryService {
             })
             .collect();
 
-        QueryService {
+        Service {
             ctx,
             queue,
             cache,
             metrics,
             traces,
             next_id: AtomicU64::new(1),
-            workers: handles,
+            workers: Mutex::new(handles),
+            worker_count: workers,
             started: Instant::now(),
             config,
         }
     }
 
     /// Service with the default configuration.
-    pub fn with_defaults(ctx: Arc<ServiceContext>) -> QueryService {
-        QueryService::new(ctx, ServiceConfig::default())
+    pub fn with_defaults(ctx: Arc<ServiceContext>) -> Service {
+        Service::new(ctx, ServiceConfig::default())
     }
 
-    /// Enqueues one query. Blocks while the submission queue is full
+    /// Enqueues one request, optionally with a progress channel for
+    /// anytime streaming. Blocks while the submission queue is full
     /// (backpressure).
     ///
     /// # Panics
-    /// If called after the service started shutting down (impossible
-    /// through the public API, which consumes the service on shutdown).
-    pub fn submit(&self, query: SkySrQuery) -> Ticket {
-        let (tx, rx) = mpsc::channel();
+    /// If called after [`Service::shutdown`] closed the queue.
+    fn enqueue(
+        &self,
+        request: QueryRequest,
+        progress: Option<mpsc::Sender<SkylineRoute>>,
+    ) -> Ticket {
+        let (tx, ticket) = Ticket::channel();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = Job { id, query, submitted: Instant::now(), reply: tx };
+        let QueryRequest { query, options } = request;
+        let job = Job { id, query, options, submitted: Instant::now(), reply: tx, progress };
         if self.queue.push(job).is_err() {
-            unreachable!("submission queue closed while the service was alive");
+            panic!("submit after shutdown: the submission queue is closed");
         }
-        Ticket { rx }
+        ticket
+    }
+
+    /// Non-blocking submit for event-loop callers (the network server):
+    /// `Err` hands the request back when the queue is full right now, so
+    /// the caller can park it and keep its loop turning.
+    pub(crate) fn try_submit(
+        &self,
+        request: QueryRequest,
+        progress: Option<mpsc::Sender<SkylineRoute>>,
+    ) -> Result<Ticket, QueryRequest> {
+        let (tx, ticket) = Ticket::channel();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let QueryRequest { query, options } = request;
+        let job = Job { id, query, options, submitted: Instant::now(), reply: tx, progress };
+        match self.queue.try_push(job) {
+            Ok(()) => Ok(ticket),
+            Err(job) => Err(QueryRequest { query: job.query, options: job.options }),
+        }
     }
 
     /// Submits every query and waits for all answers, preserving order.
-    ///
-    /// A batch larger than the queue capacity cannot deadlock the caller:
-    /// the bounded queue holds only unstarted work and each ticket buffers
-    /// its answer, so an oversized batch merely throttles submission to
-    /// the workers' pace.
+    /// (The borrowing twin of [`QueryService::run_queries`], kept generic
+    /// over any query iterator.)
     pub fn run_batch(
         &self,
         queries: impl IntoIterator<Item = SkySrQuery>,
     ) -> Vec<Result<QueryResponse, QueryError>> {
-        let tickets: Vec<Ticket> = queries.into_iter().map(|q| self.submit(q)).collect();
+        let tickets: Vec<Ticket> =
+            queries.into_iter().map(|q| self.enqueue(QueryRequest::new(q), None)).collect();
         tickets.into_iter().map(Ticket::wait).collect()
     }
 
@@ -289,7 +559,7 @@ impl QueryService {
     /// The configuration the service was built with (with `workers`
     /// resolved to the actual pool size).
     pub fn config(&self) -> ServiceConfig {
-        ServiceConfig { workers: self.workers.len(), ..self.config.clone() }
+        ServiceConfig { workers: self.worker_count, ..self.config.clone() }
     }
 
     /// The sampled trace-span buffer. Clone the `Arc` before shutdown to
@@ -299,24 +569,11 @@ impl QueryService {
         &self.traces
     }
 
-    /// Metrics snapshot over the service's lifetime so far.
-    pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(
-            self.started.elapsed(),
-            self.cache.counters(),
-            self.ctx.epoch_gc_stats(),
-        )
-    }
-
-    /// Closes the queue, drains in-flight work and joins the workers.
-    pub fn shutdown(mut self) -> MetricsSnapshot {
-        self.shutdown_in_place();
-        self.metrics()
-    }
-
-    fn shutdown_in_place(&mut self) {
+    fn shutdown_in_place(&self) {
         self.queue.close();
-        for handle in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> =
+            self.workers.lock().expect("worker registry poisoned").drain(..).collect();
+        for handle in handles {
             // Propagate worker panics loudly — except while already
             // unwinding, where a second panic would abort the process and
             // destroy the original diagnostic.
@@ -327,7 +584,38 @@ impl QueryService {
     }
 }
 
-impl Drop for QueryService {
+impl QueryService for Service {
+    fn submit(&self, request: QueryRequest) -> Ticket {
+        self.enqueue(request, None)
+    }
+
+    fn submit_streaming(&self, request: QueryRequest) -> StreamTicket {
+        let (tx, rx) = mpsc::channel();
+        let ticket = self.enqueue(request, Some(tx));
+        StreamTicket::new(rx, ticket)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(
+            self.started.elapsed(),
+            self.cache.counters(),
+            self.ctx.epoch_gc_stats(),
+        )
+    }
+
+    fn publish_weights(&self, deltas: &[WeightDelta]) -> EpochId {
+        self.ctx.publish_weights(deltas)
+    }
+
+    /// Closes the queue, drains in-flight work and joins the workers.
+    /// Idempotent — later calls (and the eventual drop) are no-ops.
+    fn shutdown(&self) -> MetricsSnapshot {
+        self.shutdown_in_place();
+        self.metrics()
+    }
+}
+
+impl Drop for Service {
     fn drop(&mut self) {
         self.shutdown_in_place();
     }
@@ -357,8 +645,8 @@ fn respond(
         routes.len(),
         served,
     );
-    if traces.enabled() {
-        traces.offer(TraceSpan {
+    if traces.enabled() || pending.trace {
+        let span = TraceSpan {
             request_id: pending.id,
             epoch,
             rung: Rung::of(served),
@@ -372,7 +660,12 @@ fn respond(
             repair_tier: exec.repair_tier,
             profile: exec.profile,
             skyline: routes.len(),
-        });
+        };
+        if pending.trace {
+            traces.force(span);
+        } else {
+            traces.offer(span);
+        }
     }
     let _ = reply.send(Ok(QueryResponse {
         routes,
@@ -436,7 +729,7 @@ fn worker_loop(
     inflight: &InflightTable<FlightKey, Waiter>,
     metrics: &MetricsRecorder,
     traces: &TraceBuffer,
-    planner: &ReusePlanner,
+    base_planner: &ReusePlanner,
 ) {
     let mut pinned = ctx.pin();
     // One engine scratch per worker for its whole lifetime: re-pinning an
@@ -449,7 +742,19 @@ fn worker_loop(
             pinned = ctx.pin();
         }
         let epoch = pinned.epoch();
-        let Job { id, query, submitted, reply } = job;
+        let Job { id, query, options, submitted, reply, progress } = job;
+
+        // A per-request reuse mask restricts (never widens) the service
+        // strategies; planners are two Copy structs, so the rebuild is
+        // free compared to a search.
+        let masked;
+        let planner = match options.reuse {
+            Some(mask) => {
+                masked = base_planner.masked(mask);
+                &masked
+            }
+            None => base_planner,
+        };
 
         let key = planner.key_of(&query);
         let plan_t0 = Instant::now();
@@ -461,6 +766,7 @@ fn worker_loop(
             queue_depth,
             plan: plan_t0.elapsed(),
             attempts: Vec::with_capacity(4),
+            trace: options.trace,
         };
         let mut steps = steps.into_iter();
         let mut step = steps.next().expect("plans are never empty");
@@ -592,9 +898,26 @@ fn worker_loop(
                 })
             }
             PlanStep::WarmSeed { source, seeds } => {
-                let run = match source {
-                    SeedSource::Suffix => engine.run_with_suffix_seeds(&query, &seeds),
-                    SeedSource::Prefix | SeedSource::Ancestor => {
+                // Anytime streaming: with a progress channel attached, run
+                // the observed engine variant, which reports each
+                // provisional Pareto point as the search proves it. A
+                // receiver that hung up (deadline cutoff) just makes the
+                // sends no-ops.
+                let run = match (&progress, source) {
+                    (Some(tx), SeedSource::Suffix) => {
+                        let mut sink = |r: &SkylineRoute| {
+                            let _ = tx.send(r.clone());
+                        };
+                        engine.run_with_suffix_seeds_observed(&query, &seeds, &mut sink)
+                    }
+                    (Some(tx), SeedSource::Prefix | SeedSource::Ancestor) => {
+                        let mut sink = |r: &SkylineRoute| {
+                            let _ = tx.send(r.clone());
+                        };
+                        engine.run_with_seeds_observed(&query, &seeds, &mut sink)
+                    }
+                    (None, SeedSource::Suffix) => engine.run_with_suffix_seeds(&query, &seeds),
+                    (None, SeedSource::Prefix | SeedSource::Ancestor) => {
                         engine.run_with_seeds(&query, &seeds)
                     }
                 };
@@ -606,10 +929,21 @@ fn worker_loop(
                     (result.routes, Served::Search { seeded })
                 })
             }
-            PlanStep::ColdSearch => engine.run(&query).map(|r| {
-                exec.profile = r.stats.profile();
-                (r.routes, Served::Search { seeded: None })
-            }),
+            PlanStep::ColdSearch => {
+                let run = match &progress {
+                    Some(tx) => {
+                        let mut sink = |r: &SkylineRoute| {
+                            let _ = tx.send(r.clone());
+                        };
+                        engine.run_observed(&query, &mut sink)
+                    }
+                    None => engine.run(&query),
+                };
+                run.map(|r| {
+                    exec.profile = r.stats.profile();
+                    (r.routes, Served::Search { seeded: None })
+                })
+            }
             PlanStep::ExactHit(..) | PlanStep::Coalesce | PlanStep::ProbeSeeds => {
                 unreachable!("ExactHit/Coalesce/ProbeSeeds resolve before the terminal runs")
             }
@@ -671,18 +1005,18 @@ mod tests {
     use skysr_core::paper_example::PaperExample;
     use skysr_graph::{VertexId, WeightDelta};
 
-    fn service(workers: usize, cache: usize) -> (PaperExample, QueryService) {
+    fn service(workers: usize, cache: usize) -> (PaperExample, Service) {
         let ex = PaperExample::new();
         let ctx =
             Arc::new(ServiceContext::new(ex.graph.clone(), ex.forest.clone(), ex.pois.clone()));
         let cfg = ServiceConfig { workers, cache_capacity: cache, ..ServiceConfig::default() };
-        (ex, QueryService::new(ctx, cfg))
+        (ex, Service::new(ctx, cfg))
     }
 
     #[test]
     fn answers_match_the_paper_example() {
         let (ex, service) = service(2, 16);
-        let response = service.submit(ex.query()).wait().unwrap();
+        let response = service.submit_query(ex.query()).wait().unwrap();
         assert_eq!(response.routes.len(), 2);
         assert!(!response.cache_hit());
         assert_eq!(response.epoch, EpochId::BASE);
@@ -692,8 +1026,8 @@ mod tests {
     #[test]
     fn repeat_queries_hit_the_cache_with_identical_results() {
         let (ex, service) = service(1, 16);
-        let cold = service.submit(ex.query()).wait().unwrap();
-        let warm = service.submit(ex.query()).wait().unwrap();
+        let cold = service.submit_query(ex.query()).wait().unwrap();
+        let warm = service.submit_query(ex.query()).wait().unwrap();
         assert!(!cold.cache_hit());
         assert!(warm.cache_hit());
         assert_eq!(cold.routes, warm.routes);
@@ -707,8 +1041,8 @@ mod tests {
     #[test]
     fn cache_capacity_zero_disables_caching() {
         let (ex, service) = service(1, 0);
-        service.submit(ex.query()).wait().unwrap();
-        let again = service.submit(ex.query()).wait().unwrap();
+        service.submit_query(ex.query()).wait().unwrap();
+        let again = service.submit_query(ex.query()).wait().unwrap();
         assert!(!again.cache_hit());
         assert_eq!(service.metrics().executed, 2);
     }
@@ -717,7 +1051,7 @@ mod tests {
     fn invalid_queries_report_errors_not_hangs() {
         let (_ex, service) = service(2, 16);
         let bad = SkySrQuery::new(VertexId(9_999), [skysr_category::CategoryId(0)]);
-        let err = service.submit(bad).wait().unwrap_err();
+        let err = service.submit_query(bad).wait().unwrap_err();
         assert_eq!(err, QueryError::UnknownStart(VertexId(9_999)));
         assert_eq!(service.metrics().failed, 1);
     }
@@ -727,7 +1061,7 @@ mod tests {
         let (ex, _) = service(1, 0);
         let ctx =
             Arc::new(ServiceContext::new(ex.graph.clone(), ex.forest.clone(), ex.pois.clone()));
-        let svc = QueryService::new(
+        let svc = Service::new(
             ctx,
             ServiceConfig { workers: 2, queue_capacity: 2, ..ServiceConfig::default() },
         );
@@ -746,11 +1080,11 @@ mod tests {
         // epoch (the old entry is lazily invalidated, never served) and the
         // two answers must carry their own epochs.
         let (ex, service) = service(1, 16);
-        let before = service.submit(ex.query()).wait().unwrap();
+        let before = service.submit_query(ex.query()).wait().unwrap();
         assert_eq!(before.epoch, EpochId::BASE);
         let (from, to, w) = service.context().graph().arc(0);
         let e1 = service.context().publish_weights(&[WeightDelta::new(from, to, w.get() * 3.0)]);
-        let after = service.submit(ex.query()).wait().unwrap();
+        let after = service.submit_query(ex.query()).wait().unwrap();
         assert_eq!(after.epoch, e1);
         assert!(!after.cache_hit(), "the pre-update entry must not answer");
         let m = service.metrics();
@@ -758,7 +1092,7 @@ mod tests {
         assert_eq!(m.cache.invalidations, 1, "the stale entry was dropped on lookup");
         assert_eq!(m.stale_served, 0);
         // The post-update entry serves post-update traffic.
-        let again = service.submit(ex.query()).wait().unwrap();
+        let again = service.submit_query(ex.query()).wait().unwrap();
         assert!(again.cache_hit());
         assert_eq!(again.epoch, e1);
         assert_eq!(again.routes, after.routes);
@@ -773,17 +1107,17 @@ mod tests {
         let ex = PaperExample::new();
         let ctx =
             Arc::new(ServiceContext::new(ex.graph.clone(), ex.forest.clone(), ex.pois.clone()));
-        let service = QueryService::new(
+        let service = Service::new(
             Arc::clone(&ctx),
             ServiceConfig { workers: 1, repair: true, ..ServiceConfig::default() },
         );
-        let before = service.submit(ex.query()).wait().unwrap();
+        let before = service.submit_query(ex.query()).wait().unwrap();
         assert!(!before.repaired());
         // Touch an edge *on* the paper skyline's first route: repair must
         // detect the change and re-derive an exact answer.
         let (from, to, w) = ctx.graph().arc(0);
         let e1 = ctx.publish_weights(&[WeightDelta::new(from, to, w.get() * 3.0)]);
-        let after = service.submit(ex.query()).wait().unwrap();
+        let after = service.submit_query(ex.query()).wait().unwrap();
         assert_eq!(after.epoch, e1);
         assert!(after.repaired(), "the stale entry was repaired, not recomputed blindly");
         assert!(!after.cache_hit());
@@ -795,7 +1129,7 @@ mod tests {
             assert!(equivalent_skylines(&after.routes, &oracle), "repair is oracle-exact");
         }
         // The promoted entry now serves the new epoch from cache.
-        let again = service.submit(ex.query()).wait().unwrap();
+        let again = service.submit_query(ex.query()).wait().unwrap();
         assert!(again.cache_hit());
         assert_eq!(again.epoch, e1);
         let m = service.metrics();
@@ -812,11 +1146,11 @@ mod tests {
         let ex = PaperExample::new();
         let ctx =
             Arc::new(ServiceContext::new(ex.graph.clone(), ex.forest.clone(), ex.pois.clone()));
-        let service = QueryService::new(
+        let service = Service::new(
             Arc::clone(&ctx),
             ServiceConfig { workers: 1, repair: true, ..ServiceConfig::default() },
         );
-        let before = service.submit(ex.query()).wait().unwrap();
+        let before = service.submit_query(ex.query()).wait().unwrap();
         // Find an edge whose endpoints are farther from the start than the
         // longest skyline route could ever reach, by inflating weights of
         // an edge incident to no skyline route and far from vq... the
@@ -825,7 +1159,7 @@ mod tests {
         // the attempt must count.
         let (from, to, w) = ctx.graph().arc(ctx.graph().num_arcs() - 1);
         let e1 = ctx.publish_weights(&[WeightDelta::new(from, to, w.get() * 1.01)]);
-        let after = service.submit(ex.query()).wait().unwrap();
+        let after = service.submit_query(ex.query()).wait().unwrap();
         assert_eq!(after.epoch, e1);
         assert!(after.repaired());
         let pinned = ctx.pin_at(e1).unwrap();

@@ -136,6 +136,21 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// The raw parts `(buckets, count, sum_ns, max_ns)` — what a wire
+    /// codec serializes. `buckets` is `(bucket index, count)` per
+    /// non-empty bucket, ascending.
+    pub fn parts(&self) -> (&[(u32, u64)], u64, u64, u64) {
+        (&self.buckets, self.count, self.sum_ns, self.max_ns)
+    }
+
+    /// Rebuilds a snapshot from [`HistogramSnapshot::parts`] (the wire
+    /// codec's decode half). Callers are trusted to pass parts that came
+    /// from a real snapshot; quantile math on fabricated parts is merely
+    /// nonsense, never unsafe.
+    pub fn from_parts(buckets: Vec<(u32, u64)>, count: u64, sum_ns: u64, max_ns: u64) -> Self {
+        HistogramSnapshot { buckets, count, sum_ns, max_ns }
+    }
+
     /// Total samples.
     pub fn count(&self) -> u64 {
         self.count

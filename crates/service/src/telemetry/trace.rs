@@ -213,6 +213,24 @@ impl TraceBuffer {
         }
     }
 
+    /// Unconditionally retains `span` — the per-request trace opt-in
+    /// ([`crate::RequestOptions::trace`]). Bypasses both the enable flag
+    /// and sampling; the ring still bounds memory, so a flood of forced
+    /// spans overwrites the oldest rather than growing.
+    pub fn force(&self, span: TraceSpan) {
+        let shard_idx = (span.request_id % self.shards.len() as u64) as usize;
+        let mut shard = self.shards[shard_idx].lock().expect("trace shard poisoned");
+        shard.offered += 1;
+        if shard.ring.len() < self.ring_per_shard {
+            shard.ring.push(span);
+        } else {
+            let head = shard.head;
+            shard.ring[head] = span;
+            shard.head = (head + 1) % self.ring_per_shard;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Takes every retained span (ring ∪ slowest, de-duplicated by request
     /// id), sorted by request id. The buffer is left empty but keeps
     /// counting offers for sampling continuity.

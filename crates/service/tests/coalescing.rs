@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use skysr_category::{CategoryForest, CategoryId, Similarity, WuPalmer};
 use skysr_core::paper_example::PaperExample;
-use skysr_service::{QueryService, ServiceConfig, ServiceContext};
+use skysr_service::{QueryService, Service, ServiceConfig, ServiceContext};
 
 /// Wu–Palmer with a per-call delay and an invocation counter: makes every
 /// query preparation slow (it happens inside the engine run, i.e. inside
@@ -41,10 +41,7 @@ impl Similarity for ThrottledSim {
     }
 }
 
-fn slow_service(
-    workers: usize,
-    delay: Duration,
-) -> (PaperExample, Arc<ThrottledSim>, QueryService) {
+fn slow_service(workers: usize, delay: Duration) -> (PaperExample, Arc<ThrottledSim>, Service) {
     let ex = PaperExample::new();
     let sim = Arc::new(ThrottledSim { delay, calls: AtomicU64::new(0) });
     let ctx = Arc::new(ServiceContext::with_similarity(
@@ -53,7 +50,7 @@ fn slow_service(
         ex.pois.clone(),
         Arc::clone(&sim) as Arc<dyn Similarity>,
     ));
-    let service = QueryService::new(ctx, ServiceConfig { workers, ..ServiceConfig::default() });
+    let service = Service::new(ctx, ServiceConfig { workers, ..ServiceConfig::default() });
     (ex, sim, service)
 }
 
@@ -124,7 +121,7 @@ fn coalescing_disabled_searches_duplicates_redundantly() {
         ex.pois.clone(),
         Arc::clone(&sim) as Arc<dyn Similarity>,
     ));
-    let service = QueryService::new(
+    let service = Service::new(
         ctx,
         ServiceConfig { workers: 8, coalesce: false, ..ServiceConfig::default() },
     );

@@ -7,7 +7,7 @@ use skysr_core::bssr::{Bssr, BssrConfig};
 use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 use skysr_data::workload::WorkloadSpec;
 use skysr_service::replay::{replay, ReplaySpec, StreamPattern};
-use skysr_service::{QueryService, ServiceConfig, ServiceContext};
+use skysr_service::{QueryService, Service, ServiceConfig, ServiceContext};
 
 fn city() -> Dataset {
     DatasetSpec::preset(Preset::CalSmall).scale(0.08).seed(21).generate()
@@ -166,10 +166,8 @@ fn cache_hits_equal_cold_runs_on_generated_queries() {
     let reference: Vec<_> =
         workload.queries.iter().map(|q| engine.run(q).unwrap().routes).collect();
 
-    let service = QueryService::new(
-        Arc::clone(&ctx),
-        ServiceConfig { workers: 4, ..ServiceConfig::default() },
-    );
+    let service =
+        Service::new(Arc::clone(&ctx), ServiceConfig { workers: 4, ..ServiceConfig::default() });
     let cold = service.run_batch(workload.queries.iter().cloned());
     let warm = service.run_batch(workload.queries.iter().cloned());
     for ((cold, warm), want) in cold.iter().zip(&warm).zip(&reference) {
@@ -190,7 +188,7 @@ fn eviction_pressure_keeps_answers_correct() {
     let workload = WorkloadSpec::new(2).queries(20).seed(5).generate(&dataset);
     let ctx = Arc::new(ServiceContext::from_dataset(dataset));
     // A 4-entry cache under 20 distinct queries, twice: heavy eviction.
-    let service = QueryService::new(
+    let service = Service::new(
         Arc::clone(&ctx),
         ServiceConfig { workers: 4, cache_capacity: 4, ..ServiceConfig::default() },
     );

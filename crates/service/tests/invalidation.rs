@@ -27,7 +27,7 @@ use skysr_core::route::equivalent_skylines;
 use skysr_data::dataset::{DatasetSpec, Preset};
 use skysr_graph::EpochId;
 use skysr_service::replay::{build_pool, random_traffic_deltas, replay_on, ReplaySpec};
-use skysr_service::{QueryService, ServiceConfig, ServiceContext};
+use skysr_service::{QueryService, Service, ServiceConfig, ServiceContext};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,10 +46,8 @@ fn answers_track_the_fresh_oracle_across_updates() {
         let dataset = DatasetSpec::preset(Preset::CalSmall).scale(0.08).seed(33).generate();
         build_pool(&dataset, &spec)
     };
-    let service = QueryService::new(
-        Arc::clone(&ctx),
-        ServiceConfig { workers: 4, ..ServiceConfig::default() },
-    );
+    let service =
+        Service::new(Arc::clone(&ctx), ServiceConfig { workers: 4, ..ServiceConfig::default() });
 
     let mut rng = StdRng::seed_from_u64(99);
     let mut epochs_seen = Vec::new();
@@ -121,15 +119,13 @@ fn leader_started_on_epoch_n_cannot_serve_or_poison_epoch_n_plus_1() {
         ex.pois.clone(),
         Arc::clone(&sim) as Arc<dyn Similarity>,
     ));
-    let service = QueryService::new(
-        Arc::clone(&ctx),
-        ServiceConfig { workers: 2, ..ServiceConfig::default() },
-    );
+    let service =
+        Service::new(Arc::clone(&ctx), ServiceConfig { workers: 2, ..ServiceConfig::default() });
 
     // Leader takes the query at epoch 0 and is guaranteed to still be
     // searching (every similarity call sleeps 1 ms) when the update
     // publishes.
-    let slow = service.submit(ex.query());
+    let slow = service.submit_query(ex.query());
     std::thread::sleep(Duration::from_millis(10));
     let (from, to, w) = ctx.graph().arc(0);
     let e1 = ctx.publish_weights(&[skysr_graph::WeightDelta::new(from, to, w.get() * 4.0)]);
@@ -137,7 +133,7 @@ fn leader_started_on_epoch_n_cannot_serve_or_poison_epoch_n_plus_1() {
 
     // A duplicate submitted after the publish pins epoch 1: it must not
     // join the epoch-0 flight, and must run its own search.
-    let fresh = service.submit(ex.query());
+    let fresh = service.submit_query(ex.query());
 
     let slow = slow.wait().unwrap();
     let fresh = fresh.wait().unwrap();
@@ -148,7 +144,7 @@ fn leader_started_on_epoch_n_cannot_serve_or_poison_epoch_n_plus_1() {
 
     // Whatever order the two inserts landed in, the cache now serves
     // epoch-1 traffic the epoch-1 answer.
-    let again = service.submit(ex.query()).wait().unwrap();
+    let again = service.submit_query(ex.query()).wait().unwrap();
     assert_eq!(again.epoch, EpochId(1));
     assert!(again.cache_hit(), "epoch-1 entry must be resident");
     assert_eq!(again.routes, fresh.routes);
@@ -180,14 +176,12 @@ fn epoch_crossing_duplicate_storm_stays_exact() {
         ex.pois.clone(),
         Arc::clone(&sim) as Arc<dyn Similarity>,
     ));
-    let service = QueryService::new(
-        Arc::clone(&ctx),
-        ServiceConfig { workers: 8, ..ServiceConfig::default() },
-    );
+    let service =
+        Service::new(Arc::clone(&ctx), ServiceConfig { workers: 8, ..ServiceConfig::default() });
     let mut rng = StdRng::seed_from_u64(4242);
     let mut responses = Vec::new();
     for _wave in 0..6 {
-        let tickets: Vec<_> = (0..24).map(|_| service.submit(ex.query())).collect();
+        let tickets: Vec<_> = (0..24).map(|_| service.submit_query(ex.query())).collect();
         // Publish while the wave is in flight.
         let deltas = random_traffic_deltas(ctx.graph(), 8, 2.0, &mut rng);
         ctx.publish_weights(&deltas);
@@ -221,14 +215,14 @@ fn epoch_crossing_duplicate_storm_stays_exact() {
 fn disabled_cache_sees_no_lookups_even_under_updates() {
     let ex = PaperExample::new();
     let ctx = Arc::new(ServiceContext::new(ex.graph.clone(), ex.forest.clone(), ex.pois.clone()));
-    let service = QueryService::new(
+    let service = Service::new(
         Arc::clone(&ctx),
         ServiceConfig { workers: 2, cache_capacity: 0, ..ServiceConfig::default() },
     );
-    let a = service.submit(ex.query()).wait().unwrap();
+    let a = service.submit_query(ex.query()).wait().unwrap();
     let (from, to, w) = ctx.graph().arc(0);
     ctx.publish_weights(&[skysr_graph::WeightDelta::new(from, to, w.get() * 2.0)]);
-    let b = service.submit(ex.query()).wait().unwrap();
+    let b = service.submit_query(ex.query()).wait().unwrap();
     assert_eq!((a.epoch, b.epoch), (EpochId(0), EpochId(1)));
     let m = service.shutdown();
     assert_eq!(m.executed, 2);

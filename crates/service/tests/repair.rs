@@ -21,7 +21,7 @@ use skysr_core::{PoiTable, SkySrQuery};
 use skysr_data::dataset::{DatasetSpec, Preset};
 use skysr_graph::{GraphBuilder, RoadNetwork, VertexId, WeightDelta};
 use skysr_service::replay::{build_pool, replay_on, ReplaySpec};
-use skysr_service::{QueryService, ServiceConfig, ServiceContext};
+use skysr_service::{QueryService, Service, ServiceConfig, ServiceContext};
 
 #[test]
 fn update_heavy_repair_replay_verifies_and_repairs_in_place() {
@@ -135,7 +135,7 @@ fn untouched_prefix_entries_seed_warm_starts_across_epochs() {
     // mask the seed (only seeds that *survive* into the skyline count),
     // so run the ablated engine: exactness is independent of NNinit.
     let engine = BssrConfig { use_init_search: false, ..BssrConfig::default() };
-    let service = QueryService::new(
+    let service = Service::new(
         Arc::clone(&ctx),
         ServiceConfig { workers: 1, repair: true, engine, ..ServiceConfig::default() },
     );
@@ -143,12 +143,12 @@ fn untouched_prefix_entries_seed_warm_starts_across_epochs() {
     let full_q = SkySrQuery::new(VertexId(0), [city.asian, city.gift]);
 
     // Cache the prefix skyline at epoch 0 (length 1, nowhere near v38).
-    service.submit(prefix_q.clone()).wait().unwrap();
+    service.submit_query(prefix_q.clone()).wait().unwrap();
     // Reweight the far end of the line: provably untouchable by any route
     // of the prefix skyline's radius.
     ctx.publish_weights(&[WeightDelta::new(VertexId(38), VertexId(39), 5.0)]);
 
-    let full = service.submit(full_q.clone()).wait().unwrap();
+    let full = service.submit_query(full_q.clone()).wait().unwrap();
     assert!(equivalent_skylines(&full.routes, &exact(&ctx, &full_q)), "rescued seed stays exact");
     let m = service.metrics();
     assert_eq!(
@@ -169,18 +169,18 @@ fn touched_prefix_entries_are_not_rescued() {
     // mask the seed (only seeds that *survive* into the skyline count),
     // so run the ablated engine: exactness is independent of NNinit.
     let engine = BssrConfig { use_init_search: false, ..BssrConfig::default() };
-    let service = QueryService::new(
+    let service = Service::new(
         Arc::clone(&ctx),
         ServiceConfig { workers: 1, repair: true, engine, ..ServiceConfig::default() },
     );
     let prefix_q = SkySrQuery::new(VertexId(0), [city.asian]);
     let full_q = SkySrQuery::new(VertexId(0), [city.asian, city.gift]);
 
-    service.submit(prefix_q.clone()).wait().unwrap();
+    service.submit_query(prefix_q.clone()).wait().unwrap();
     // Reweight the very first edge: the prefix route runs over it.
     ctx.publish_weights(&[WeightDelta::new(VertexId(0), VertexId(1), 3.0)]);
 
-    let full = service.submit(full_q.clone()).wait().unwrap();
+    let full = service.submit_query(full_q.clone()).wait().unwrap();
     assert!(equivalent_skylines(&full.routes, &exact(&ctx, &full_q)));
     let m = service.metrics();
     assert_eq!(m.seeded_prefix, 0, "a possibly-touched prefix must not seed: {m:?}");

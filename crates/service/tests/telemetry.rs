@@ -10,7 +10,7 @@ use std::time::Duration;
 use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 use skysr_data::workload::WorkloadSpec;
 use skysr_service::replay::{build_pool, replay_on, ReplaySpec, StreamPattern, TelemetryMode};
-use skysr_service::{QueryService, Rung, ServiceConfig, ServiceContext, TelemetryConfig};
+use skysr_service::{QueryService, Rung, Service, ServiceConfig, ServiceContext, TelemetryConfig};
 
 fn dataset(seed: u64) -> Dataset {
     DatasetSpec::preset(Preset::CalSmall).scale(0.08).seed(seed).generate()
@@ -100,7 +100,7 @@ fn service_responses_and_drained_spans_agree() {
     let d = dataset(5);
     let queries = WorkloadSpec::new(2).queries(12).seed(3).generate(&d).queries;
     let ctx = Arc::new(ServiceContext::from_dataset(d));
-    let service = QueryService::new(
+    let service = Service::new(
         Arc::clone(&ctx),
         ServiceConfig {
             workers: 3,

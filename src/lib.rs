@@ -67,6 +67,7 @@ pub mod prelude {
     };
     pub use skysr_service::{
         replay::{replay, ReplayReport, ReplaySpec},
-        MetricsSnapshot, QueryResponse, QueryService, ServiceConfig, ServiceContext,
+        MetricsSnapshot, QueryRequest, QueryResponse, QueryService, RemoteService, Server,
+        ServerConfig, Service, ServiceConfig, ServiceContext,
     };
 }
