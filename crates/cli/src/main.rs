@@ -31,6 +31,16 @@
 //! edge-weight changes per second as new weight epochs while the stream is
 //! in flight; `--update-every N` instead publishes one burst after every
 //! N completed requests (synchronous closed-loop update waves).
+//! `--deadline-ms F` attaches a per-request deadline: requests whose
+//! deadline expires while still queued are shed un-executed, and a search
+//! truncated mid-engine returns a valid *approximate* partial skyline
+//! (never cached, audited by `--verify` as consistent with the exact
+//! answer). `--admission true` turns on the admission gate, which sheds
+//! provably-unmeetable deadlines at submit time, and `--overload X`
+//! measures the service's capacity with a short calibration pass and then
+//! drives an open-loop stream at `X` times it (exclusive with `--qps` and
+//! `--update-every`); the report adds shed/approximate/met-deadline
+//! accounting.
 //! `--verify true` re-answers every request sequentially *at
 //! the epoch it was served under* and fails unless the concurrent skylines
 //! are score-equivalent; the run also fails if any answer was served from
@@ -63,15 +73,22 @@
 //! hit/coalesce/warm-start/repair rates, epochs published, invalidations,
 //! verified correctness, speedups). A sixth *telemetry* cell replays the
 //! duplicate stream with span retention off vs. a span per request and
-//! reports the throughput ratio. `--require-speedup X`
+//! reports the throughput ratio; a seventh *net* cell toggles the
+//! transport (in-process vs. loopback `skysr-d`); an eighth *overload*
+//! cell drives a low-reuse stream at half vs. twice measured capacity
+//! with a deadline and admission control, reporting the hit-rung p99
+//! ratio and shed/approximate counts. `--require-speedup X`
 //! fails the run unless the duplicate-workload speedup reaches `X`;
 //! `--require-hierarchy-speedup X` and `--require-repair-speedup X` do
 //! the same for the hierarchy and repair cells;
 //! `--require-telemetry-ratio X` fails unless full tracing retains at
 //! least fraction `X` of untraced throughput (0.95 = at most 5%
-//! overhead); any stale serve fails either unconditionally. Bench also
-//! accepts `--trace-out`/`--metrics-out` (spans and Prometheus text
-//! across all cells, each labelled by workload and mode).
+//! overhead); `--require-overload-ratio X` fails unless the overloaded
+//! cell actually shed load *and* kept its hit-rung p99 within `X` times
+//! its uncontended value floored at the deadline budget; any stale
+//! serve fails either unconditionally.
+//! Bench also accepts `--trace-out`/`--metrics-out` (spans and Prometheus
+//! text across all cells, each labelled by workload and mode).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -129,19 +146,21 @@ fn usage() -> &'static str {
      \t[--ancestor-reuse true|false] [--suffix-reuse true|false]\n  \
      \t[--verify true|false] [--repair true|false] [--retention K] [--qps F]\n  \
      \t[--update-rate F] [--update-burst N] [--update-magnitude F]\n  \
-     \t[--update-every N] [--trace-out FILE.jsonl] [--metrics-out FILE.prom]\n  \
-     \t[--connect HOST:PORT]\n  \
+     \t[--update-every N] [--deadline-ms F] [--overload X]\n  \
+     \t[--admission true|false] [--trace-out FILE.jsonl]\n  \
+     \t[--metrics-out FILE.prom] [--connect HOST:PORT]\n  \
      skysr-cli bench [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
      \t[--distinct N] [--workers N] [--seq-len K] [--burst N] [--out FILE.json]\n  \
      \t[--update-rate F] [--update-burst N] [--require-speedup X]\n  \
      \t[--require-hierarchy-speedup X] [--require-repair-speedup X]\n  \
      \t[--require-telemetry-ratio X] [--require-net-ratio X]\n  \
-     \t[--trace-out FILE.jsonl] [--metrics-out FILE.prom]\n  \
+     \t[--require-overload-ratio X] [--trace-out FILE.jsonl]\n  \
+     \t[--metrics-out FILE.prom]\n  \
      skysr-cli serve [FILE] [--preset P] [--scale F] [--seed N]\n  \
      \t[--addr HOST:PORT] [--workers N] [--cache N] [--queue N]\n  \
      \t[--coalesce true|false] [--prefix-reuse true|false]\n  \
      \t[--ancestor-reuse true|false] [--suffix-reuse true|false]\n  \
-     \t[--repair true|false]\n  \
+     \t[--repair true|false] [--admission true|false]\n  \
      skysr-cli shutdown --connect HOST:PORT\n  \
      skysr-cli demo"
 }
@@ -288,9 +307,18 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 update_every: parse_flag(&mut args, "update-every", 0)?,
                 repair: parse_flag(&mut args, "repair", false)?,
                 retention: parse_flag(&mut args, "retention", 0)?,
+                overload: parse_flag(&mut args, "overload", 0.0)?,
+                admission: parse_flag(&mut args, "admission", false)?,
                 seed: city.seed,
                 ..ReplaySpec::default()
             };
+            if let Some(ms) = args.optional("deadline-ms") {
+                let ms: f64 = ms.parse().map_err(|_| "bad --deadline-ms".to_string())?;
+                if !ms.is_finite() || ms <= 0.0 {
+                    return Err("--deadline-ms must be a positive finite number".into());
+                }
+                spec.deadline = Some(Duration::from_secs_f64(ms / 1000.0));
+            }
             spec.pattern = match args.optional("pattern").as_deref() {
                 None | Some("zipf") => StreamPattern::Zipf,
                 Some("duplicate") => StreamPattern::DuplicateBursts,
@@ -347,6 +375,23 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 return Err(
                     "--update-every replays synchronous closed-loop update waves and conflicts \
                      with the open-loop --qps/--update-rate knobs"
+                        .into(),
+                );
+            }
+            if !spec.overload.is_finite() || spec.overload < 0.0 {
+                return Err("--overload must be a non-negative finite number".into());
+            }
+            if spec.overload > 0.0 && (spec.qps > 0.0 || spec.update_every > 0) {
+                return Err(
+                    "--overload resolves its own open-loop rate from measured capacity and \
+                     conflicts with an explicit --qps and with --update-every"
+                        .into(),
+                );
+            }
+            if spec.overload > 0.0 && connect.is_some() {
+                return Err(
+                    "--overload is unsupported with --connect (capacity calibration runs on a \
+                     local scratch service); drive the daemon with an explicit --qps instead"
                         .into(),
                 );
             }
@@ -452,6 +497,10 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             let require_net_ratio: Option<f64> = args
                 .optional("require-net-ratio")
                 .map(|s| s.parse().map_err(|_| "bad --require-net-ratio".to_string()))
+                .transpose()?;
+            let require_overload_ratio: Option<f64> = args
+                .optional("require-overload-ratio")
+                .map(|s| s.parse().map_err(|_| "bad --require-overload-ratio".to_string()))
                 .transpose()?;
             let trace_out = args.optional("trace-out");
             let metrics_out = args.optional("metrics-out");
@@ -570,6 +619,23 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                         "net overhead ratio {:.3} is below the required {min:.3} \
                          (the loopback socket transport costs more throughput than allowed)",
                         report.net_ratio
+                    ));
+                }
+            }
+            if let Some(max) = require_overload_ratio {
+                // An overloaded service must both degrade (shed something —
+                // otherwise the cell never actually overloaded and the
+                // ratio is vacuous) and keep the cheap rung responsive.
+                if report.overload_shed == 0 {
+                    return Err("overload gate failed: the 2x-capacity cell shed nothing, so the \
+                         hit-rung latency bound was never tested under real overload"
+                        .into());
+                }
+                if !(report.overload_hit_p99_ratio > 0.0 && report.overload_hit_p99_ratio <= max) {
+                    return Err(format!(
+                        "overload gate failed: hit-rung p99 under 2x load is {:.2}x the \
+                         uncontended value (floored at the deadline budget; limit {max:.2}x)",
+                        report.overload_hit_p99_ratio
                     ));
                 }
             }

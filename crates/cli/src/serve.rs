@@ -24,7 +24,7 @@ pub fn usage() -> &'static str {
      \t[--scale F] [--seed N] [--addr HOST:PORT] [--workers N] [--cache N]\n  \
      \t[--queue N] [--coalesce true|false] [--prefix-reuse true|false]\n  \
      \t[--ancestor-reuse true|false] [--suffix-reuse true|false]\n  \
-     \t[--repair true|false]\n\n\
+     \t[--repair true|false] [--admission true|false]\n\n\
      Serves SkySR queries over the skysr-d wire protocol until a client\n\
      sends Shutdown (e.g. `skysr-cli shutdown --connect HOST:PORT`).\n\
      `skysr-cli serve` accepts the same flags."
@@ -43,8 +43,10 @@ pub fn run_serve(args: &mut Args) -> Result<(), String> {
         ancestor_reuse: parse_flag(args, "ancestor-reuse", true)?,
         suffix_reuse: parse_flag(args, "suffix-reuse", true)?,
         repair: parse_flag(args, "repair", false)?,
+        admission: parse_flag(args, "admission", false)?,
         engine: BssrConfig::default(),
         telemetry: TelemetryConfig::default(),
+        ..ServiceConfig::default()
     };
     args.finish()?;
     let dataset = load_or_generate(&city)?;

@@ -111,6 +111,11 @@ pub enum WarmSeeds<'a> {
 /// dominated-or-equal by the final exact skyline.
 pub type ProgressSink<'s> = &'s mut dyn FnMut(&SkylineRoute);
 
+/// How many queue pops pass between deadline polls during a run with
+/// [`Bssr::set_deadline`] armed. See the poll site in
+/// [`Bssr::run_prepared_observed`] for the rationale.
+pub const DEADLINE_CHECK_EVERY: u32 = 16;
+
 /// Tracks which skyline members an observed run has already reported, so
 /// each provisional point reaches the sink exactly once even though the
 /// skyline is re-diffed after every step.
@@ -142,6 +147,12 @@ pub struct BssrResult {
     pub routes: Vec<SkylineRoute>,
     /// Instrumentation for the ablation experiments.
     pub stats: QueryStats,
+    /// The run's deadline (see [`Bssr::set_deadline`]) expired before the
+    /// search drained its queue: `routes` is the mutually non-dominated
+    /// partial skyline proven so far — every member a genuine valid route
+    /// dominated-or-equal by the exact skyline — but the set may be
+    /// incomplete. Always `false` for runs without a deadline.
+    pub truncated: bool,
 }
 
 /// Reusable engine state (Dijkstra workspace + modified-Dijkstra buffers)
@@ -192,6 +203,7 @@ pub struct Bssr<'g> {
     ws: DijkstraWorkspace,
     scratch: Scratch,
     profile: EngineProfile,
+    deadline: Option<Instant>,
 }
 
 impl<'g> Bssr<'g> {
@@ -212,7 +224,7 @@ impl<'g> Bssr<'g> {
         let BssrScratch { mut ws, scratch: mut sc, profile } = scratch;
         ws.ensure(n);
         sc.ensure(n);
-        Bssr { ctx: *ctx, cfg, ws, scratch: sc, profile }
+        Bssr { ctx: *ctx, cfg, ws, scratch: sc, profile, deadline: None }
     }
 
     /// Releases the engine's scratch for reuse by a successor engine.
@@ -223,6 +235,19 @@ impl<'g> Bssr<'g> {
     /// Active configuration.
     pub fn config(&self) -> &BssrConfig {
         &self.cfg
+    }
+
+    /// Sets (or clears) the anytime cutoff for subsequent runs.
+    ///
+    /// With a deadline armed, a run that reaches it mid-search stops
+    /// expanding, returns the partial skyline proven so far, and marks the
+    /// result [`BssrResult::truncated`] — degraded mode instead of a
+    /// timeout. Exactness is unaffected when the search finishes first;
+    /// the deadline is re-checked every [`DEADLINE_CHECK_EVERY`] queue
+    /// pops, so the overshoot is a bounded handful of expansions. The
+    /// setting persists across runs until changed.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
     }
 
     /// Cumulative engine-work profile (carried through the recycled
@@ -353,7 +378,7 @@ impl<'g> Bssr<'g> {
         // A position nothing can match ⇒ no sequenced route exists.
         if pq.unmatchable_position().is_some() {
             stats.total_time = t0.elapsed();
-            return BssrResult { routes: Vec::new(), stats };
+            return BssrResult { routes: Vec::new(), stats, truncated: false };
         }
 
         let ctx = self.ctx;
@@ -447,8 +472,26 @@ impl<'g> Bssr<'g> {
             emitter.flush(&skyline, sink);
         }
 
-        // Algorithm 1, lines 5–9.
+        // Algorithm 1, lines 5–9. The deadline is polled every
+        // `DEADLINE_CHECK_EVERY` pops: `Instant::now` per iteration would
+        // be measurable on hit-dominated workloads, and a handful of
+        // overshot expansions cannot hurt correctness — the skyline only
+        // tightens.
+        let mut truncated = false;
+        // Start one shy of the period so the very first pop polls: an
+        // already-expired deadline must truncate before any expansion.
+        let mut pops_since_check = DEADLINE_CHECK_EVERY - 1;
         while let Some(rd) = queue.pop() {
+            if let Some(deadline) = self.deadline {
+                pops_since_check += 1;
+                if pops_since_check >= DEADLINE_CHECK_EVERY {
+                    pops_since_check = 0;
+                    if Instant::now() >= deadline {
+                        truncated = true;
+                        break;
+                    }
+                }
+            }
             // Re-check against the (possibly improved) threshold before
             // spending a search on a stale route.
             if rd.length() >= skyline.threshold(env.min_semantic(&rd)) {
@@ -474,7 +517,7 @@ impl<'g> Bssr<'g> {
 
         stats.total_time = t0.elapsed();
         self.profile.absorb(&stats.profile());
-        BssrResult { routes: skyline.into_routes(), stats }
+        BssrResult { routes: skyline.into_routes(), stats, truncated }
     }
 }
 
@@ -550,6 +593,50 @@ mod tests {
         // Observing changes nothing about the answer.
         let unobserved = bssr.run(&ex.query()).unwrap();
         assert_eq!(unobserved.routes, result.routes);
+    }
+
+    #[test]
+    fn expired_deadline_truncates_to_a_valid_partial_skyline() {
+        use std::time::Duration;
+        let ex = PaperExample::new();
+        let ctx = ex.context();
+        // Unoptimized config: no NNinit and no pruning bounds, so the queue
+        // is guaranteed non-empty when the deadline is polled.
+        let mut bssr = Bssr::with_config(&ctx, BssrConfig::unoptimized());
+        let exact = bssr.run(&ex.query()).unwrap();
+        assert!(!exact.truncated);
+
+        bssr.set_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let partial = bssr.run(&ex.query()).unwrap();
+        assert!(partial.truncated, "expired deadline must truncate the run");
+        // Every partial member is a genuine route dominated-or-equal by the
+        // exact skyline, and the partial is itself mutually non-dominated.
+        for p in &partial.routes {
+            assert!(
+                exact
+                    .routes
+                    .iter()
+                    .any(|f| f.length.get() <= p.length.get() && f.semantic <= p.semantic),
+                "partial route not dominated-or-equal by exact skyline: {p:?}"
+            );
+            assert!(
+                !partial.routes.iter().any(|q| q != p
+                    && q.length.get() <= p.length.get()
+                    && q.semantic <= p.semantic
+                    && (q.length.get() < p.length.get() || q.semantic < p.semantic)),
+                "partial skyline contains a dominated member: {p:?}"
+            );
+        }
+
+        // A generous deadline changes nothing, and clearing it disarms.
+        bssr.set_deadline(Some(Instant::now() + Duration::from_secs(60)));
+        let relaxed = bssr.run(&ex.query()).unwrap();
+        assert!(!relaxed.truncated);
+        assert_eq!(relaxed.routes, exact.routes);
+        bssr.set_deadline(None);
+        let cleared = bssr.run(&ex.query()).unwrap();
+        assert!(!cleared.truncated);
+        assert_eq!(cleared.routes, exact.routes);
     }
 
     #[test]

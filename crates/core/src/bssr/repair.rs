@@ -474,7 +474,13 @@ impl<'g> Bssr<'g> {
         stats: QueryStats,
         t0: Instant,
     ) -> RepairResult {
+        // Repairs promise score-equivalence to a cold run, so an armed
+        // anytime deadline (see `Bssr::set_deadline`) must not truncate
+        // the re-search — a partial labelled "repaired" would launder the
+        // approximate flag away. Disarm for the duration.
+        let deadline = self.deadline.take();
         let mut result = self.run_prepared_warm(pq, &survivors);
+        self.deadline = deadline;
         // The warm search absorbed its own work into the scratch profile;
         // the in-place tiers' (rescoring legs, relevance ball) is only in
         // `stats`, so count it here — each unit of work exactly once.

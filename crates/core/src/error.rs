@@ -17,6 +17,12 @@ pub enum QueryError {
     UnmatchablePosition(usize),
     /// The destination vertex (destination variant) is not in the graph.
     UnknownDestination(VertexId),
+    /// The service shed the request under overload: either the admission
+    /// gate judged its deadline unmeetable, or the deadline expired while
+    /// the request sat in the queue. The query itself may be perfectly
+    /// valid — retry with a longer deadline or against a less loaded
+    /// service.
+    Overloaded,
 }
 
 impl std::fmt::Display for QueryError {
@@ -30,6 +36,9 @@ impl std::fmt::Display for QueryError {
             }
             QueryError::UnknownDestination(v) => {
                 write!(f, "destination vertex {v:?} is not in the graph")
+            }
+            QueryError::Overloaded => {
+                write!(f, "service overloaded: request shed before its deadline could be met")
             }
         }
     }

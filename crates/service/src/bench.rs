@@ -51,6 +51,19 @@
 //!   trials, so its own lifetime snapshot would understate per-run
 //!   throughput). The best-of-three ratio (`net_ratio`, CI-gated via
 //!   `--require-net-ratio`) bounds the transport tax.
+//! * **overload** — the update-churned Zipf stream, full reuse + repair in
+//!   both modes; only the *load* is toggled: an uncontended open loop at
+//!   half measured capacity vs. an open loop at **2× measured capacity**
+//!   with a per-request deadline (the uncontended run's p99 latency)
+//!   and admission control. The deadline-aware scheduler must keep cheap
+//!   rungs fast while the expensive ones shed or degrade: the cell
+//!   reports the hit-rung p99 ratio (overloaded over uncontended,
+//!   floored at the deadline budget; CI-gated via
+//!   `--require-overload-ratio`), the shed count (must be nonzero — at
+//!   2× capacity the backlog wait grows past any fixed budget) and the
+//!   approximate-served count. The overloaded run keeps `verify`
+//!   on, which also proves every degraded answer is a *valid* partial
+//!   (mutually non-dominated, never better than the exact skyline).
 //!
 //! Reuse runs execute with `verify` enabled, so the artifact also
 //! certifies that every concurrent answer was score-equivalent to a
@@ -75,6 +88,7 @@
 //! not in `cache_hit_rate`.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use skysr_core::bssr::BssrConfig;
 use skysr_data::dataset::Dataset;
@@ -85,7 +99,7 @@ use crate::replay::{
     build_pool, replay_on, replay_remote, ReplayReport, ReplaySpec, StreamPattern, TelemetryMode,
 };
 use crate::service::{QueryService, Service, ServiceConfig};
-use crate::telemetry::TelemetryConfig;
+use crate::telemetry::{Rung, TelemetryConfig};
 
 /// Parameters of one bench-smoke run.
 #[derive(Clone, Debug)]
@@ -171,6 +185,22 @@ pub struct BenchReport {
     /// loopback `skysr-d` transport tax; measured client-side as
     /// requests/wall in both modes).
     pub net_ratio: f64,
+    /// Hit-rung p99 latency on the 2×-capacity overload run over its
+    /// uncontended value *floored at the request deadline* (the latency
+    /// budget — an idle service answers hits in microseconds, so the raw
+    /// quotient would measure the idle floor, not the scheduler). The
+    /// deadline-aware scheduler's headline number: surviving hits must
+    /// stay within a small multiple of the budget while the service
+    /// sheds and degrades around them (CI-gated via
+    /// `--require-overload-ratio`).
+    pub overload_hit_p99_ratio: f64,
+    /// Requests shed in the overloaded run (admission rejections plus
+    /// deadlines expired in queue). Zero means the cell failed to
+    /// overload the service.
+    pub overload_shed: u64,
+    /// Responses served as valid approximate partials in the overloaded
+    /// run (deadline expired mid-engine).
+    pub overload_approximate: u64,
 }
 
 impl BenchReport {
@@ -236,6 +266,7 @@ impl BenchReport {
                  \"cache_invalidations\": {}, \"epochs_published\": {}, \
                  \"repairs\": {}, \"repair_fallbacks\": {}, \"routes_rescored\": {}, \
                  \"stale_served\": {}, \"verify_mismatches\": {}, \
+                 \"rejected\": {}, \"shed_deadline\": {}, \"approximate_served\": {}, \
                  \"rungs\": {{{}}}}}{}\n",
                 run.workload,
                 run.mode,
@@ -268,6 +299,9 @@ impl BenchReport {
                     .verify_mismatches
                     .map(|v| v.to_string())
                     .unwrap_or_else(|| "null".to_owned()),
+                m.rejected,
+                m.shed_deadline,
+                m.approximate_served,
                 rungs.join(", "),
                 if i + 1 == self.runs.len() { "" } else { "," }
             ));
@@ -277,6 +311,8 @@ impl BenchReport {
              \"speedup_dynamic\": {:.4},\n  \"speedup_hierarchy\": {:.4},\n  \
              \"speedup_repair\": {:.4},\n  \"telemetry_overhead_ratio\": {:.4},\n  \
              \"net_ratio\": {:.4},\n  \
+             \"overload_hit_p99_ratio\": {:.4},\n  \"overload_shed\": {},\n  \
+             \"overload_approximate\": {},\n  \
              \"min_speedup\": {:.4},\n  \"verify_mismatches\": {},\n  \
              \"stale_served\": {}\n}}\n",
             self.speedup_duplicate,
@@ -286,6 +322,9 @@ impl BenchReport {
             self.speedup_repair,
             self.telemetry_overhead_ratio,
             self.net_ratio,
+            self.overload_hit_p99_ratio,
+            self.overload_shed,
+            self.overload_approximate,
             self.min_speedup(),
             self.verify_mismatches(),
             self.stale_served()
@@ -335,6 +374,11 @@ impl std::fmt::Display for BenchReport {
             f,
             "\nnet         {:.3} socket-vs-in-process throughput ratio (loopback skysr-d)",
             self.net_ratio
+        )?;
+        write!(
+            f,
+            "\noverload    {:.2}x hit-rung p99 at 2x capacity ({} shed, {} approximate)",
+            self.overload_hit_p99_ratio, self.overload_shed, self.overload_approximate
         )
     }
 }
@@ -413,7 +457,35 @@ fn repair_cell_spec(bench: &BenchSpec, repair: bool) -> ReplaySpec {
     }
 }
 
-/// Runs the fourteen-cell bench over `dataset`.
+/// The overload cell: the full reuse + repair stack over a churned Zipf
+/// stream with a *wide* pool, so the bulk of the load lands on the search
+/// rungs instead of the cache (a hit-saturated stream warms past its
+/// cold-calibrated capacity and 2× of that never actually overloads the
+/// service), while the Zipf head still repeats often enough that the
+/// hit rung has samples under overload — the ratio needs both sides.
+/// Only the load is toggled: `overload: 0.5` paces an open loop at half
+/// measured capacity (uncontended — latencies are genuine service times,
+/// not flood-queue waits), `overload: 2.0` paces at twice capacity with
+/// a deadline and admission control.
+fn overload_cell_spec(bench: &BenchSpec, overload: f64, deadline: Option<Duration>) -> ReplaySpec {
+    let distinct = bench.distinct * 16;
+    ReplaySpec {
+        distinct,
+        total: distinct * 2,
+        zipf_exponent: 1.0,
+        repair: true,
+        deadline,
+        overload,
+        admission: deadline.is_some(),
+        // Both modes carry the correctness gate; in the overloaded mode it
+        // additionally proves every degraded partial is consistent with
+        // the exact skyline.
+        verify: true,
+        ..cell_spec(bench, StreamPattern::Zipf, true, bench.update_rate / 4.0)
+    }
+}
+
+/// Runs the sixteen-cell bench over `dataset`.
 ///
 /// Both modes of a workload replay the *identical* request stream over one
 /// shared context, so the throughput ratio isolates the reuse layer. (In
@@ -435,12 +507,13 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         build_pool(&dataset, &cell_spec(spec, StreamPattern::DuplicateBursts, false, 0.0));
     let pre_pool = build_pool(&dataset, &cell_spec(spec, StreamPattern::PrefixChains, false, 0.0));
     let hier_pool = build_pool(&dataset, &hierarchy_cell_spec(spec, false));
+    let over_pool = build_pool(&dataset, &overload_cell_spec(spec, 0.0, None));
     let ctx = Arc::new(ServiceContext::from_dataset(dataset));
 
     {
         let qctx = ctx.query_context();
         let mut engine = skysr_core::bssr::Bssr::with_config(&qctx, spec.engine);
-        for q in dup_pool.iter().chain(&pre_pool).chain(&hier_pool) {
+        for q in dup_pool.iter().chain(&pre_pool).chain(&hier_pool).chain(&over_pool) {
             let _ = engine.run(q);
         }
     }
@@ -453,7 +526,7 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         replay_on(Arc::clone(&ctx), &dup_pool, &warm);
     }
 
-    let mut runs = Vec::with_capacity(14);
+    let mut runs = Vec::with_capacity(16);
     let mut speedups = Vec::with_capacity(3);
     for (workload, pattern, pool, update_rate) in [
         ("duplicate", StreamPattern::DuplicateBursts, &dup_pool, 0.0),
@@ -558,6 +631,7 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         repair: net_spec.repair,
         engine: net_spec.engine,
         telemetry: TelemetryConfig::disabled(),
+        ..ServiceConfig::default()
     };
     let wall_qps = |r: &ReplayReport| r.total as f64 / r.wall.as_secs_f64().max(1e-9);
     let mut base: Option<ReplayReport> = None;
@@ -585,6 +659,44 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
     runs.push(BenchRun { workload: "net", mode: "in-process", report: base });
     runs.push(BenchRun { workload: "net", mode: "socket", report: treat });
 
+    // Overload cell: the identical churned stream, only the load toggled
+    // (see `overload_cell_spec`). The overloaded mode's deadline is the
+    // uncontended run's *p99* latency: comfortably above the engine's
+    // work granularity (a deadline below one indivisible engine step
+    // would truncate every search at its first check and starve the hit
+    // rung of the samples the ratio needs), yet fixed — at 2× capacity
+    // the backlog wait grows linearly past any fixed budget, so the
+    // arrivals after the first deadline's worth of stream provably shed.
+    // The scheduler must shed or degrade that tail while hits overtake
+    // it — the hit-rung p99 ratio is the headline number.
+    let base = replay_on(Arc::clone(&ctx), &over_pool, &overload_cell_spec(spec, 0.5, None));
+    let deadline = base.metrics.latency_p99.max(Duration::from_millis(1));
+    let treat =
+        replay_on(Arc::clone(&ctx), &over_pool, &overload_cell_spec(spec, 2.0, Some(deadline)));
+    let hit_p99 = |r: &ReplayReport| {
+        r.metrics
+            .rungs
+            .iter()
+            .find(|rs| rs.rung == Rung::ExactHit)
+            .map_or(Duration::ZERO, |rs| rs.hist.quantile(0.99))
+    };
+    // The denominator is the uncontended hit p99 floored at the deadline:
+    // an idle 0.5× run answers hits in tens of microseconds, so dividing
+    // by it raw would measure the idle floor, not the scheduler. Surviving
+    // hits under overload are budget-bounded by construction (expired ones
+    // shed at dequeue), so a working scheduler scores ~1× here and one
+    // that lets hits queue behind the backlog blows through the gate.
+    let (hit_base, hit_treat) = (hit_p99(&base).max(deadline), hit_p99(&treat));
+    let overload_hit_p99_ratio = if hit_treat > Duration::ZERO {
+        hit_treat.as_secs_f64() / hit_base.as_secs_f64()
+    } else {
+        0.0
+    };
+    let overload_shed = treat.shed();
+    let overload_approximate = treat.approximate_served();
+    runs.push(BenchRun { workload: "overload", mode: "uncontended", report: base });
+    runs.push(BenchRun { workload: "overload", mode: "2x-overload", report: treat });
+
     BenchReport {
         runs,
         speedup_duplicate: speedups[0],
@@ -594,6 +706,9 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         speedup_repair,
         telemetry_overhead_ratio,
         net_ratio,
+        overload_hit_p99_ratio,
+        overload_shed,
+        overload_approximate,
     }
 }
 
@@ -616,26 +731,48 @@ mod tests {
             ..BenchSpec::default()
         };
         let report = bench(dataset, &spec);
-        assert_eq!(report.runs.len(), 14);
+        assert_eq!(report.runs.len(), 16);
         // The correctness gate ran on the reuse runs and passed — including
         // the dynamic cell, whose oracle is epoch-aware.
         assert_eq!(report.verify_mismatches(), 0);
         // The staleness gate: nothing was ever served cross-epoch.
         assert_eq!(report.stale_served(), 0);
         for run in &report.runs {
-            let expect = match run.workload {
+            let expect: u64 = match run.workload {
                 "repair" => 480,
                 "hierarchy" => 8 * 4 * 3, // distinct×4 chains, 3 entries each, one pass
                 "telemetry" => 1_280,     // 8x the burst-cell volume
                 "net" => 640,             // 4x the burst-cell volume
+                "overload" => 8 * 16 * 2, // distinct×16 pool, two draws per entry
                 _ => 160,
             };
-            assert_eq!(run.report.metrics.completed, expect, "{}/{}", run.workload, run.mode);
+            let m = &run.report.metrics;
+            if run.workload == "overload" {
+                // The overloaded mode sheds instead of completing part of
+                // the stream; the accounting must still tile exactly.
+                assert_eq!(
+                    m.completed + m.rejected + m.shed_deadline,
+                    expect,
+                    "{}/{}: every request completes or sheds",
+                    run.workload,
+                    run.mode
+                );
+                if run.mode == "uncontended" {
+                    assert_eq!(m.completed, expect, "no deadline, nothing to shed");
+                    assert_eq!(m.rejected + m.shed_deadline + m.approximate_served, 0);
+                } else {
+                    assert!(
+                        run.report.met_deadline.is_some(),
+                        "the overloaded mode reports its met-deadline split"
+                    );
+                }
+            } else {
+                assert_eq!(m.completed, expect, "{}/{}", run.workload, run.mode);
+            }
             // Coalesced / warm-start *counts* in reuse mode are
             // scheduling-dependent on a fast fixture; the deterministic
             // guarantees live in tests/coalescing.rs. Here only the mode
             // wiring and the correctness gate are asserted.
-            let m = &run.report.metrics;
             if run.mode == "exact-match" {
                 assert_eq!(m.coalesced, 0);
                 assert_eq!(m.seeded_prefix + m.seeded_ancestor + m.seeded_suffix, 0);
@@ -647,7 +784,7 @@ mod tests {
                     "the hierarchy baseline runs without the new seed sources"
                 );
             }
-            if run.workload != "dynamic" && run.workload != "repair" {
+            if !matches!(run.workload, "dynamic" | "repair" | "overload") {
                 assert_eq!(run.report.epochs_published, 0, "static cells stay static");
             }
             if run.mode == "invalidate" {
@@ -681,6 +818,11 @@ mod tests {
             report.telemetry_overhead_ratio
         );
         assert!(report.net_ratio > 0.0, "the net cell must measure a ratio: {}", report.net_ratio);
+        assert!(
+            report.overload_hit_p99_ratio > 0.0,
+            "the overload cell must measure a hit-rung ratio: {}",
+            report.overload_hit_p99_ratio
+        );
         let json = report.to_json();
         // Well-formed enough for jq/python: balanced braces, the headline
         // keys present, no trailing comma before the array close.
@@ -703,6 +845,14 @@ mod tests {
         assert!(json.contains("\"workload\": \"net\""));
         assert!(json.contains("\"mode\": \"socket\""));
         assert!(json.contains("\"net_ratio\""));
+        assert!(json.contains("\"workload\": \"overload\""));
+        assert!(json.contains("\"mode\": \"2x-overload\""));
+        assert!(json.contains("\"overload_hit_p99_ratio\""));
+        assert!(json.contains("\"overload_shed\""));
+        assert!(json.contains("\"overload_approximate\""));
+        assert!(json.contains("\"rejected\""));
+        assert!(json.contains("\"shed_deadline\""));
+        assert!(json.contains("\"approximate_served\""));
         assert!(json.contains("\"coalesced_hits\""));
         assert!(json.contains("\"reuse_rate\""));
         assert!(json.contains("\"queue_wait_p50_ms\""));
@@ -716,5 +866,6 @@ mod tests {
         assert!(text.contains("repair"), "{text}");
         assert!(text.contains("telemetry"), "{text}");
         assert!(text.contains("socket-vs-in-process"), "{text}");
+        assert!(text.contains("hit-rung p99 at 2x capacity"), "{text}");
     }
 }

@@ -39,7 +39,8 @@
 //!   wrapper around it;
 //! * [`mod@bench`] — the bench-smoke harness comparing the reuse layer to
 //!   the exact-match baseline (including a dynamic, update-heavy cell, a
-//!   repair-vs-invalidate cell and a tracing-overhead cell) and
+//!   repair-vs-invalidate cell, a tracing-overhead cell and a
+//!   2×-capacity overload cell) and
 //!   serializing the `BENCH_pr.json` CI artifact;
 //! * [`telemetry`] — per-request [`TraceSpan`]s (queue → plan → engine
 //!   stage timings, rung-ladder probe trail, engine-work profile) retained
@@ -103,6 +104,22 @@
 //! protocol ([`net::wire`]) and the [`RemoteService`] client — which
 //! implements the same [`QueryService`] trait as [`Service`], so every
 //! driver in this crate runs against either transport.
+//!
+//! Under overload the service degrades deliberately instead of
+//! collapsing: requests may carry deadlines
+//! ([`QueryRequest::deadline`]), the submission queue schedules by
+//! planner cost band and deadline with an anti-starvation aging bound
+//! ([`pool::ScheduledQueue`]), an admission gate
+//! ([`ServiceConfig::admission`]) refuses provably-unmeetable deadlines
+//! up front, expired-in-queue work is shed un-executed, and a search
+//! that outlives its deadline serves a *valid* partial skyline flagged
+//! approximate — never cached, never wrong.
+//!
+//! The prose companions to this API documentation live at the
+//! repository root: `docs/ARCHITECTURE.md` (crate map, rung ladder,
+//! scheduling, epoch lifecycle, wire protocol) and `docs/OPERATIONS.md`
+//! (running `skysr-d`, tuning knobs, counter taxonomy, capacity
+//! planning).
 
 pub mod bench;
 pub mod cache;

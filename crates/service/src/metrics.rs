@@ -102,6 +102,14 @@ pub enum Served {
         /// Cached routes whose legs were re-run at the new epoch.
         routes_rescored: usize,
     },
+    /// Degraded mode: the request's deadline expired mid-engine, so the
+    /// search stopped and returned the mutually non-dominated partial
+    /// skyline proven so far. Every returned route is a genuine valid
+    /// sequenced route dominated-or-equal by the exact skyline, but the
+    /// set may be incomplete. Requests coalesced onto a truncated flight
+    /// are also served `Approximate` — the flag must never be laundered
+    /// away through sharing.
+    Approximate,
 }
 
 /// Shared recorder the workers write into.
@@ -126,10 +134,13 @@ pub struct MetricsRecorder {
     repair_fallbacks: AtomicU64,
     routes_untouched: AtomicU64,
     routes_rescored: AtomicU64,
+    approximate_served: AtomicU64,
+    rejected: AtomicU64,
+    shed_deadline: AtomicU64,
     latency: Histogram,
     queue_wait: Histogram,
     engine: Histogram,
-    rungs: [Histogram; 7],
+    rungs: [Histogram; 8],
     samples: Mutex<SampleSet>,
 }
 
@@ -168,6 +179,14 @@ impl MetricsRecorder {
                 self.routes_untouched.fetch_add(routes_untouched as u64, Ordering::Relaxed);
                 self.routes_rescored.fetch_add(routes_rescored as u64, Ordering::Relaxed);
             }
+            Served::Approximate => {
+                // Not `executed`: that counter means "an engine run produced
+                // an exact answer" (the invariant the span audit checks).
+                // Approximate responses get their own term, so `completed ==
+                // executed + hits + coalesced + approximate_served` stays
+                // exact.
+                self.approximate_served.fetch_add(1, Ordering::Relaxed);
+            }
         }
         let total = latency.total();
         self.latency.record(total);
@@ -198,6 +217,22 @@ impl MetricsRecorder {
         self.stale_served.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request the admission gate refused outright: its deadline
+    /// was judged unmeetable given the current backlog and cost model, so
+    /// no work was queued. The request was answered
+    /// [`QueryError::Overloaded`](skysr_core::error::QueryError) — neither
+    /// `completed` nor `failed` (it was not invalid, just shed).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request whose deadline expired while it sat in the queue:
+    /// it was dropped at dequeue without executing and answered
+    /// [`QueryError::Overloaded`](skysr_core::error::QueryError).
+    pub fn record_shed_deadline(&self) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot over everything recorded so far. `wall` is the wall-clock
     /// window the caller observed (used for throughput); `cache` the
     /// cache's counters and `epochs` the weight-epoch history accounting
@@ -225,6 +260,9 @@ impl MetricsRecorder {
             repair_fallbacks: self.repair_fallbacks.load(Ordering::Relaxed),
             routes_untouched: self.routes_untouched.load(Ordering::Relaxed),
             routes_rescored: self.routes_rescored.load(Ordering::Relaxed),
+            approximate_served: self.approximate_served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
             wall,
             throughput_qps: if wall.as_secs_f64() > 0.0 {
                 completed as f64 / wall.as_secs_f64()
@@ -297,6 +335,21 @@ pub struct MetricsSnapshot {
     /// Cached routes whose shortest-path legs were re-run at the new
     /// epoch, summed over all repair attempts.
     pub routes_rescored: u64,
+    /// Responses served in degraded mode: the deadline expired mid-engine
+    /// and the partial skyline proven so far was returned flagged
+    /// approximate (leaders of truncated flights plus any requests
+    /// coalesced onto them). Counted in `completed` — the caller got a
+    /// valid (if incomplete) answer. `completed == executed + cache hits +
+    /// coalesced + approximate_served`.
+    pub approximate_served: u64,
+    /// Requests the admission gate refused before queueing: deadline
+    /// judged unmeetable under the current backlog. Answered
+    /// `Overloaded`; counted in neither `completed` nor `failed`.
+    pub rejected: u64,
+    /// Requests whose deadline expired while queued: dropped at dequeue,
+    /// never executed, answered `Overloaded`. Counted in neither
+    /// `completed` nor `failed`.
+    pub shed_deadline: u64,
     /// Observation window.
     pub wall: Duration,
     /// Completed queries per second of the window.
@@ -420,6 +473,12 @@ impl std::fmt::Display for MetricsSnapshot {
             "repair      {} skylines repaired in place, {} fell back to re-search ({} routes \
              untouched, {} rescored)",
             self.repairs, self.repair_fallbacks, self.routes_untouched, self.routes_rescored
+        )?;
+        writeln!(
+            f,
+            "overload    {} rejected at admission, {} shed expired in queue, {} served \
+             approximate",
+            self.rejected, self.shed_deadline, self.approximate_served
         )?;
         {
             let e = &self.epochs;
@@ -554,6 +613,39 @@ mod tests {
             rec.snapshot(Duration::from_secs(1), CacheCounters::default(), EpochGcStats::default());
         assert_eq!(snap.engine_hist.count(), 100);
         assert_eq!(snap.latency_hist.count(), 101);
+    }
+
+    #[test]
+    fn overload_counters_keep_the_completed_partition_exact() {
+        let rec = MetricsRecorder::default();
+        rec.record(lat(40), 1, Served::Search { seeded: None });
+        rec.record(lat(5), 1, Served::CacheHit);
+        rec.record(lat(8), 1, Served::Coalesced);
+        rec.record(lat(30), 1, Served::Approximate);
+        rec.record(lat(25), 2, Served::Approximate);
+        rec.record_rejected();
+        rec.record_shed_deadline();
+        rec.record_shed_deadline();
+        let snap =
+            rec.snapshot(Duration::from_secs(1), CacheCounters::default(), EpochGcStats::default());
+        // Shed requests never reach `completed` or `failed`; approximate
+        // responses complete without counting as exact executions.
+        assert_eq!(snap.completed, 5);
+        assert_eq!(snap.failed, 0);
+        assert_eq!(snap.executed, 1);
+        assert_eq!(snap.approximate_served, 2);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.shed_deadline, 2);
+        let hits = snap.rungs.iter().find(|s| s.rung == Rung::ExactHit).unwrap().hist.count();
+        assert_eq!(snap.completed, snap.executed + hits + snap.coalesced + snap.approximate_served);
+        let approx = snap.rungs.iter().find(|s| s.rung == Rung::Approximate).unwrap();
+        assert_eq!(approx.hist.count(), 2);
+        assert_eq!(snap.rungs.iter().map(|s| s.hist.count()).sum::<u64>(), snap.completed);
+        let text = snap.to_string();
+        assert!(text.contains("1 rejected at admission"), "{text}");
+        assert!(text.contains("2 shed expired in queue"), "{text}");
+        assert!(text.contains("2 served approximate"), "{text}");
+        assert!(text.contains("approximate"), "{text}");
     }
 
     #[test]

@@ -18,8 +18,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use skysr_core::error::QueryError;
 use skysr_core::route::SkylineRoute;
 
 use super::wire::{
@@ -140,7 +141,11 @@ struct Conn {
     inflight: Vec<Inflight>,
     /// A submission the bounded queue rejected, retried every round
     /// (while parked, no further frames are read from this connection).
-    parked: Option<(u64, bool, crate::service::QueryRequest)>,
+    /// Carries the instant the submission *first* arrived, so a parked
+    /// request's deadline clock keeps running — the per-connection
+    /// overload gate sheds it with a typed [`Frame::QueryFailed`] once
+    /// the deadline lapses instead of retrying forever.
+    parked: Option<(u64, bool, Instant, crate::service::QueryRequest)>,
     /// Close once the write buffer drains (set after a `Fault`).
     close_after_flush: bool,
     dead: bool,
@@ -241,10 +246,19 @@ impl EventLoop {
                 }
             }
 
-            // Retry parked submissions (queue may have drained).
+            // Retry parked submissions (queue may have drained). A parked
+            // request whose deadline lapsed while the queue stayed full is
+            // shed right here with the typed overload failure — honest
+            // per-connection admission, not an unbounded retry.
             for conn in &mut self.conns {
-                if let Some((id, streaming, request)) = conn.parked.take() {
-                    match try_submit(&self.service, id, streaming, request) {
+                if let Some((id, streaming, submitted, request)) = conn.parked.take() {
+                    if request.options.deadline.is_some_and(|d| submitted.elapsed() >= d) {
+                        self.service.note_shed_parked();
+                        conn.queue_frame(&Frame::QueryFailed { id, error: QueryError::Overloaded });
+                        busy = true;
+                        continue;
+                    }
+                    match try_submit(&self.service, id, streaming, submitted, request) {
                         Ok(inflight) => {
                             conn.inflight.push(inflight);
                             busy = true;
@@ -388,7 +402,7 @@ fn dispatch(
                     conn.fault("server is shutting down".to_string());
                     return true;
                 }
-                match try_submit(service, id, streaming, request) {
+                match try_submit(service, id, streaming, Instant::now(), request) {
                     Ok(inflight) => conn.inflight.push(inflight),
                     Err(parked) => conn.parked = Some(parked),
                 }
@@ -433,17 +447,18 @@ fn try_submit(
     service: &Arc<Service>,
     id: u64,
     streaming: bool,
+    submitted: Instant,
     request: crate::service::QueryRequest,
-) -> Result<Inflight, (u64, bool, crate::service::QueryRequest)> {
+) -> Result<Inflight, (u64, bool, Instant, crate::service::QueryRequest)> {
     let (progress_tx, progress_rx) = if streaming {
         let (tx, rx) = std::sync::mpsc::channel();
         (Some(tx), Some(rx))
     } else {
         (None, None)
     };
-    match service.try_submit(request, progress_tx) {
+    match service.try_submit(request, progress_tx, submitted) {
         Ok(ticket) => Ok(Inflight { id, ticket, progress: progress_rx }),
-        Err(request) => Err((id, streaming, request)),
+        Err(request) => Err((id, streaming, submitted, request)),
     }
 }
 

@@ -481,6 +481,7 @@ fn put_served(out: &mut Vec<u8>, served: Served) {
             put_u64(out, routes_untouched as u64);
             put_u64(out, routes_rescored as u64);
         }
+        Served::Approximate => put_u8(out, 4),
     }
 }
 
@@ -502,6 +503,7 @@ fn take_served(r: &mut Reader<'_>) -> Result<Served, ProtocolError> {
             routes_untouched: r.u64()? as usize,
             routes_rescored: r.u64()? as usize,
         }),
+        4 => Ok(Served::Approximate),
         _ => Err(ProtocolError::Malformed("unknown served tag")),
     }
 }
@@ -525,6 +527,7 @@ fn put_query_error(out: &mut Vec<u8>, e: &QueryError) {
             put_u8(out, 4);
             put_u32(out, v.0);
         }
+        QueryError::Overloaded => put_u8(out, 5),
     }
 }
 
@@ -535,6 +538,7 @@ fn take_query_error(r: &mut Reader<'_>) -> Result<QueryError, ProtocolError> {
         2 => Ok(QueryError::UnknownCategory(CategoryId(r.u32()?))),
         3 => Ok(QueryError::UnmatchablePosition(r.u64()? as usize)),
         4 => Ok(QueryError::UnknownDestination(VertexId(r.u32()?))),
+        5 => Ok(QueryError::Overloaded),
         _ => Err(ProtocolError::Malformed("unknown error tag")),
     }
 }
@@ -582,6 +586,9 @@ fn put_metrics(out: &mut Vec<u8>, m: &MetricsSnapshot) {
         m.repair_fallbacks,
         m.routes_untouched,
         m.routes_rescored,
+        m.approximate_served,
+        m.rejected,
+        m.shed_deadline,
     ] {
         put_u64(out, v);
     }
@@ -632,6 +639,9 @@ fn take_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, ProtocolError> {
     let repair_fallbacks = r.u64()?;
     let routes_untouched = r.u64()?;
     let routes_rescored = r.u64()?;
+    let approximate_served = r.u64()?;
+    let rejected = r.u64()?;
+    let shed_deadline = r.u64()?;
     let wall = r.duration()?;
     let throughput_qps = r.f64()?;
     let latency_mean = r.duration()?;
@@ -683,6 +693,9 @@ fn take_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, ProtocolError> {
         repair_fallbacks,
         routes_untouched,
         routes_rescored,
+        approximate_served,
+        rejected,
+        shed_deadline,
         wall,
         throughput_qps,
         latency_mean,
@@ -1236,6 +1249,7 @@ mod tests {
             QueryError::UnknownCategory(CategoryId(7)),
             QueryError::UnmatchablePosition(2),
             QueryError::UnknownDestination(VertexId(11)),
+            QueryError::Overloaded,
         ] {
             let Frame::QueryFailed { id, error } =
                 roundtrip(&Frame::QueryFailed { id: 1, error: e.clone() })

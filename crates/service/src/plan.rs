@@ -55,6 +55,49 @@ use crate::cache::{QueryKey, ResultCache};
 use crate::context::ServiceContext;
 use crate::service::ServiceConfig;
 
+/// The admission-time cost estimate for a request: which band of the rung
+/// ladder its plan will land on, resolved *cheaply* (one non-counting
+/// cache probe, no seed probes) before the request is queued.
+///
+/// The scheduler ([`ScheduledQueue`](crate::pool::ScheduledQueue)) maps
+/// classes to bands so cheap rungs overtake expensive ones, and the
+/// admission gate uses the class to pick a per-class service-time estimate
+/// when deciding whether a deadline is still meetable. Classification is a
+/// *prediction* — the authoritative plan is re-resolved at dequeue, and a
+/// prediction gone stale (entry evicted, flight completed, epoch moved)
+/// costs only scheduling precision, never correctness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Expected to serve from cache or join an in-flight duplicate:
+    /// microseconds of work.
+    Hit,
+    /// Expected to repair a stale entry against the epoch delta: bounded,
+    /// far below a search.
+    Repair,
+    /// Expected to run the engine (warm-seeded or cold): the expensive
+    /// band.
+    Search,
+}
+
+impl CostClass {
+    /// The scheduling band this class maps to (0 = cheapest).
+    pub fn band(self) -> u8 {
+        match self {
+            CostClass::Hit => 0,
+            CostClass::Repair => 1,
+            CostClass::Search => 2,
+        }
+    }
+
+    /// Every class, in band order — for iterating cost-model slots.
+    pub const ALL: [CostClass; 3] = [CostClass::Hit, CostClass::Repair, CostClass::Search];
+
+    /// Slot index into per-class arrays (same order as [`ALL`](Self::ALL)).
+    pub fn index(self) -> usize {
+        self.band() as usize
+    }
+}
+
 /// Which cached skyline seeded a warm-started search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SeedSource {
@@ -309,6 +352,38 @@ impl ReusePlanner {
         // Rung 5: cold search.
         steps.push(PlanStep::ColdSearch);
         ReusePlan { steps }
+    }
+
+    /// Cheaply classifies `query`'s expected serving cost at admission
+    /// time — the scheduler's cost model.
+    ///
+    /// Unlike [`plan`](Self::plan) this does **no accounting** (no counted
+    /// lookup, no lazy invalidation) and **no seed probes**: it reads the
+    /// cache through the non-counting [`probe`](ResultCache::probe) once
+    /// and inspects the delta index. The later authoritative `plan` call
+    /// repeats the probe; the only side effect of probing twice is an
+    /// extra LRU recency promotion of the same entry, which is benign.
+    /// Warm-seeded and cold searches are deliberately one class — telling
+    /// them apart would cost the seed probes this path exists to avoid.
+    pub fn classify(
+        &self,
+        key: Option<&QueryKey>,
+        epoch: EpochId,
+        cache: &ResultCache,
+        ctx: &ServiceContext,
+    ) -> CostClass {
+        let st = &self.strategies;
+        if st.caching {
+            let key = key.expect("caching implies a key");
+            match cache.probe(key, epoch) {
+                Some((e, _)) if e == epoch => return CostClass::Hit,
+                Some((e, _)) if st.repair && ctx.delta_index(e, epoch).is_some() => {
+                    return CostClass::Repair;
+                }
+                _ => {}
+            }
+        }
+        CostClass::Search
     }
 
     /// Resolves a deferred [`PlanStep::ProbeSeeds`] rung into its actual
@@ -600,6 +675,43 @@ mod tests {
         assert!(matches!(plan.terminal(), PlanStep::ProbeSeeds), "{plan:?}");
         assert_eq!(cache.counters().invalidations, 1);
         assert_eq!(cache.counters().len, 0);
+    }
+
+    #[test]
+    fn classification_tracks_the_rung_ladder_without_accounting() {
+        let (ex, ctx, cache) = harness();
+        let engine = BssrConfig::default();
+        let planner = ReusePlanner::new(ReuseStrategies { repair: true, ..all_on() }, engine);
+        let q = ex.query();
+        let key = planner.key_of(&q);
+
+        // Empty cache → Search; classification counts no lookup.
+        assert_eq!(planner.classify(key.as_ref(), EpochId::BASE, &cache, &ctx), CostClass::Search);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (0, 0), "classification is non-counting");
+
+        // Resident fresh entry → Hit.
+        fill(&ctx, &cache, &planner, &q, EpochId::BASE);
+        assert_eq!(planner.classify(key.as_ref(), EpochId::BASE, &cache, &ctx), CostClass::Hit);
+
+        // Stale entry with a derivable delta → Repair (with repair on),
+        // Search otherwise — and the stale entry is left untouched either
+        // way: invalidation is plan()'s job, not classification's.
+        let (from, to, w) = ctx.graph().arc(0);
+        let e1 = ctx.publish_weights(&[WeightDelta::new(from, to, w.get() * 2.0)]);
+        assert_eq!(planner.classify(key.as_ref(), e1, &cache, &ctx), CostClass::Repair);
+        let no_repair = ReusePlanner::new(all_on(), engine);
+        assert_eq!(no_repair.classify(key.as_ref(), e1, &cache, &ctx), CostClass::Search);
+        assert_eq!(cache.counters().invalidations, 0);
+        assert_eq!(cache.counters().len, 1);
+
+        // Caching off → always Search, no key needed.
+        let off = ReusePlanner::new(ReuseStrategies::none(), engine);
+        assert_eq!(off.classify(None, EpochId::BASE, &cache, &ctx), CostClass::Search);
+
+        // Band order is the scheduling contract.
+        assert!(CostClass::Hit.band() < CostClass::Repair.band());
+        assert!(CostClass::Repair.band() < CostClass::Search.band());
     }
 
     #[test]

@@ -1,54 +1,177 @@
-//! Std-only worker-pool plumbing: a bounded MPMC queue with blocking
-//! producers (backpressure) and a singleflight in-flight table for
-//! request coalescing.
+//! Std-only worker-pool plumbing: a bounded, deadline/cost-ordered MPMC
+//! scheduling queue with blocking producers (backpressure) and a
+//! singleflight in-flight table for request coalescing.
+//!
+//! The queue replaced a plain FIFO when overload handling landed: under
+//! open-loop saturation a FIFO lets one cold search starve a burst of
+//! cache hits queued behind it, collapsing the cheap rungs' tail latency
+//! for no reason. [`ScheduledQueue`] instead dequeues by *cost band*
+//! first (the admission-time plan rung — see
+//! [`CostClass`](crate::plan::CostClass)) and by *effective deadline*
+//! within a band, with an aging bound so expensive work can never be
+//! starved forever by a stream of cheap work.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// A bounded multi-producer multi-consumer queue.
+/// Number of scheduling bands (cost classes) a [`ScheduledQueue`] keeps.
+/// Classes beyond the last band are clamped into it.
+pub const SCHED_BANDS: usize = 4;
+
+/// Deadline-less entries order by submission time this far in the future —
+/// behind every entry with a real deadline, FIFO among themselves.
+const FAR: Duration = Duration::from_secs(365 * 24 * 3600);
+
+/// Scheduling metadata for one queued item.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedKey {
+    /// Cost band, 0 = cheapest (served first). Clamped to
+    /// [`SCHED_BANDS`]` - 1`.
+    pub class: u8,
+    /// Absolute deadline, if the request carries one. Within a band,
+    /// earlier deadlines pop first; entries without one pop FIFO after
+    /// every deadline-carrying entry.
+    pub deadline: Option<Instant>,
+    /// When the item was submitted — the aging clock.
+    pub submitted: Instant,
+}
+
+impl SchedKey {
+    /// A key that reproduces plain FIFO behaviour (band 0, no deadline):
+    /// what callers without a cost model use.
+    pub fn fifo(submitted: Instant) -> SchedKey {
+        SchedKey { class: 0, deadline: None, submitted }
+    }
+
+    fn effective(&self) -> Instant {
+        self.deadline.unwrap_or(self.submitted + FAR)
+    }
+}
+
+struct Entry<T> {
+    effective: Instant,
+    submitted: Instant,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Entry<T>) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Entry<T>) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    /// Reversed on (effective deadline, seq) so [`BinaryHeap`]'s max-heap
+    /// pops the earliest deadline, FIFO within ties.
+    fn cmp(&self, other: &Entry<T>) -> std::cmp::Ordering {
+        other.effective.cmp(&self.effective).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct SchedInner<T> {
+    bands: Vec<BinaryHeap<Entry<T>>>,
+    len: usize,
+    capacity: usize,
+    closed: bool,
+    seq: u64,
+    age_limit: Duration,
+}
+
+impl<T> SchedInner<T> {
+    /// The band the next pop should serve: any band whose head has aged
+    /// past the limit (oldest such head first — the anti-starvation
+    /// escape hatch), otherwise the cheapest non-empty band.
+    fn select_band(&self) -> Option<usize> {
+        let now = Instant::now();
+        let mut aged: Option<(Instant, usize)> = None;
+        for (b, heap) in self.bands.iter().enumerate() {
+            if let Some(head) = heap.peek() {
+                if now.duration_since(head.submitted) >= self.age_limit
+                    && aged.is_none_or(|(oldest, _)| head.submitted < oldest)
+                {
+                    aged = Some((head.submitted, b));
+                }
+            }
+        }
+        aged.map(|(_, b)| b).or_else(|| self.bands.iter().position(|h| !h.is_empty()))
+    }
+
+    fn insert(&mut self, item: T, key: SchedKey) {
+        let band = (key.class as usize).min(SCHED_BANDS - 1);
+        self.seq += 1;
+        self.bands[band].push(Entry {
+            effective: key.effective(),
+            submitted: key.submitted,
+            seq: self.seq,
+            item,
+        });
+        self.len += 1;
+    }
+
+    fn remove(&mut self) -> Option<T> {
+        let band = self.select_band()?;
+        let entry = self.bands[band].pop().expect("selected band is non-empty");
+        self.len -= 1;
+        Some(entry.item)
+    }
+}
+
+/// A bounded multi-producer multi-consumer scheduling queue.
 ///
 /// `push` blocks while the queue is full — submission pressure propagates
 /// back to callers instead of growing an unbounded backlog. `pop` blocks
 /// while the queue is empty and returns `None` once the queue is closed
 /// *and* drained, which is the workers' shutdown signal.
-pub struct BoundedQueue<T> {
-    inner: Mutex<Inner<T>>,
+///
+/// Ordering is *not* FIFO: items pop cheapest cost band first, earliest
+/// effective deadline within a band, except that a band whose head has
+/// waited at least the queue's age limit is served unconditionally —
+/// cheap rungs overtake cold searches, but cold searches cannot starve.
+/// Expiry is the consumer's job: the queue never drops items, so the
+/// dequeuer can account honestly for a deadline that lapsed in queue.
+pub struct ScheduledQueue<T> {
+    inner: Mutex<SchedInner<T>>,
     not_full: Condvar,
     not_empty: Condvar,
 }
 
-struct Inner<T> {
-    buf: VecDeque<T>,
-    capacity: usize,
-    closed: bool,
-}
-
-impl<T> BoundedQueue<T> {
-    /// Queue admitting at most `capacity` pending items.
-    pub fn new(capacity: usize) -> BoundedQueue<T> {
+impl<T> ScheduledQueue<T> {
+    /// Queue admitting at most `capacity` pending items; a band head older
+    /// than `age_limit` preempts cheaper bands (see type docs).
+    pub fn new(capacity: usize, age_limit: Duration) -> ScheduledQueue<T> {
         assert!(capacity > 0, "queue capacity must be positive");
-        BoundedQueue {
-            inner: Mutex::new(Inner {
-                buf: VecDeque::with_capacity(capacity),
+        ScheduledQueue {
+            inner: Mutex::new(SchedInner {
+                bands: (0..SCHED_BANDS).map(|_| BinaryHeap::new()).collect(),
+                len: 0,
                 capacity,
                 closed: false,
+                seq: 0,
+                age_limit,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
         }
     }
 
-    /// Enqueues `item`, blocking while the queue is full. Returns the item
-    /// back as `Err` if the queue was closed.
-    pub fn push(&self, item: T) -> Result<(), T> {
+    /// Enqueues `item` under `key`, blocking while the queue is full.
+    /// Returns the item back as `Err` if the queue was closed.
+    pub fn push(&self, item: T, key: SchedKey) -> Result<(), T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
             if inner.closed {
                 return Err(item);
             }
-            if inner.buf.len() < inner.capacity {
-                inner.buf.push_back(item);
+            if inner.len < inner.capacity {
+                inner.insert(item, key);
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -56,46 +179,36 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Non-blocking [`BoundedQueue::push`]: enqueues `item` if there is
+    /// Non-blocking [`ScheduledQueue::push`]: enqueues `item` if there is
     /// room right now, otherwise hands it straight back. `Err(item)` means
     /// "full or closed" — the caller decides whether to retry later (the
     /// network server parks the request and keeps its event loop turning
     /// instead of stalling every connection behind one slow producer).
-    pub fn try_push(&self, item: T) -> Result<(), T> {
+    pub fn try_push(&self, item: T, key: SchedKey) -> Result<(), T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
-        if inner.closed || inner.buf.len() >= inner.capacity {
+        if inner.closed || inner.len >= inner.capacity {
             return Err(item);
         }
-        inner.buf.push_back(item);
+        inner.insert(item, key);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Dequeues the oldest item, blocking while the queue is empty.
-    /// Returns `None` once the queue is closed and fully drained.
+    /// Dequeues the highest-priority item, blocking while the queue is
+    /// empty. Returns `None` once the queue is closed and fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
-        loop {
-            if let Some(item) = inner.buf.pop_front() {
-                self.not_full.notify_one();
-                return Some(item);
-            }
-            if inner.closed {
-                return None;
-            }
-            inner = self.not_empty.wait(inner).expect("queue poisoned");
-        }
+        self.pop_with_depth().map(|(item, _)| item)
     }
 
-    /// Like [`BoundedQueue::pop`], but also reports how many items remain
-    /// queued *behind* the dequeued one, read under the same lock — the
-    /// queue-depth figure a trace span records without a second lock
+    /// Like [`ScheduledQueue::pop`], but also reports how many items
+    /// remain queued *behind* the dequeued one, read under the same lock —
+    /// the queue-depth figure a trace span records without a second lock
     /// round-trip.
     pub fn pop_with_depth(&self) -> Option<(T, usize)> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = inner.buf.pop_front() {
-                let depth = inner.buf.len();
+            if let Some(item) = inner.remove() {
+                let depth = inner.len;
                 self.not_full.notify_one();
                 return Some((item, depth));
             }
@@ -116,7 +229,18 @@ impl<T> BoundedQueue<T> {
 
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").buf.len()
+        self.inner.lock().expect("queue poisoned").len
+    }
+
+    /// Queued items per band — the backlog composition the admission
+    /// gate's wait estimate is computed from.
+    pub fn band_lens(&self) -> [usize; SCHED_BANDS] {
+        let inner = self.inner.lock().expect("queue poisoned");
+        let mut lens = [0; SCHED_BANDS];
+        for (slot, heap) in lens.iter_mut().zip(&inner.bands) {
+            *slot = heap.len();
+        }
+        lens
     }
 
     /// Whether no items are queued.
@@ -173,6 +297,12 @@ impl<K: Eq + Hash, W> InflightTable<K, W> {
         }
     }
 
+    /// Whether `key` currently has a flight in progress — the cheap probe
+    /// admission-time classification uses to predict a coalesced join.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.lock().expect("inflight table poisoned").contains_key(key)
+    }
+
     /// Ends the flight for `key`, returning every parked waiter (empty if
     /// none joined). The leader must call this exactly once, even on
     /// failure — parked waiters would otherwise never be answered.
@@ -201,18 +331,29 @@ impl<K: Eq + Hash, W> Default for InflightTable<K, W> {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::time::Duration;
+
+    /// An age limit no test waits out: scheduling order is purely
+    /// band/deadline-driven.
+    const NO_AGING: Duration = Duration::from_secs(3600);
+
+    fn fifo_now() -> SchedKey {
+        SchedKey::fifo(Instant::now())
+    }
+
+    fn classed(class: u8) -> SchedKey {
+        SchedKey { class, deadline: None, submitted: Instant::now() }
+    }
 
     #[test]
     fn try_push_rejects_when_full_or_closed_without_blocking() {
-        let q: BoundedQueue<u32> = BoundedQueue::new(2);
-        assert_eq!(q.try_push(1), Ok(()));
-        assert_eq!(q.try_push(2), Ok(()));
-        assert_eq!(q.try_push(3), Err(3), "full queue hands the item back");
+        let q: ScheduledQueue<u32> = ScheduledQueue::new(2, NO_AGING);
+        assert_eq!(q.try_push(1, fifo_now()), Ok(()));
+        assert_eq!(q.try_push(2, fifo_now()), Ok(()));
+        assert_eq!(q.try_push(3, fifo_now()), Err(3), "full queue hands the item back");
         assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.try_push(3), Ok(()), "room reopened after a pop");
+        assert_eq!(q.try_push(3, fifo_now()), Ok(()), "room reopened after a pop");
         q.close();
-        assert_eq!(q.try_push(4), Err(4), "closed queue rejects");
+        assert_eq!(q.try_push(4, fifo_now()), Err(4), "closed queue rejects");
         // Pending items still drain after close.
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
@@ -226,6 +367,8 @@ mod tests {
             panic!("first begin must lead");
         };
         assert_eq!(w, "leader");
+        assert!(t.contains(&7));
+        assert!(!t.contains(&8));
         assert!(matches!(t.begin(7, "f1"), Begin::Joined));
         assert!(matches!(t.begin(7, "f2"), Begin::Joined));
         // A different key gets its own leader.
@@ -233,6 +376,7 @@ mod tests {
         assert_eq!(t.len(), 2);
         let waiters = t.complete(&7);
         assert_eq!(waiters, vec!["f1", "f2"]);
+        assert!(!t.contains(&7));
         // The key is free again: the next begin leads.
         assert!(matches!(t.begin(7, "again"), Begin::Leader("again")));
         assert_eq!(t.complete(&7), Vec::<&str>::new());
@@ -255,10 +399,10 @@ mod tests {
     }
 
     #[test]
-    fn fifo_within_capacity() {
-        let q = BoundedQueue::new(4);
+    fn fifo_within_a_band_without_deadlines() {
+        let q = ScheduledQueue::new(4, NO_AGING);
         for i in 0..4 {
-            q.push(i).unwrap();
+            q.push(i, fifo_now()).unwrap();
         }
         assert_eq!(q.len(), 4);
         for i in 0..4 {
@@ -267,22 +411,69 @@ mod tests {
     }
 
     #[test]
+    fn cheap_bands_overtake_expensive_ones() {
+        let q = ScheduledQueue::new(8, NO_AGING);
+        q.push("cold-1", classed(3)).unwrap();
+        q.push("repair", classed(1)).unwrap();
+        q.push("cold-2", classed(3)).unwrap();
+        q.push("hit", classed(0)).unwrap();
+        assert_eq!(q.pop(), Some("hit"), "cheapest band first");
+        assert_eq!(q.pop(), Some("repair"));
+        assert_eq!(q.pop(), Some("cold-1"), "FIFO within the cold band");
+        assert_eq!(q.pop(), Some("cold-2"));
+    }
+
+    #[test]
+    fn earlier_deadline_pops_first_within_a_band() {
+        let now = Instant::now();
+        let at = |ms: u64| SchedKey {
+            class: 2,
+            deadline: Some(now + Duration::from_millis(ms)),
+            submitted: now,
+        };
+        let q = ScheduledQueue::new(8, NO_AGING);
+        q.push("lenient", at(500)).unwrap();
+        q.push("urgent", at(10)).unwrap();
+        q.push("none", SchedKey { class: 2, deadline: None, submitted: now }).unwrap();
+        q.push("middling", at(100)).unwrap();
+        assert_eq!(q.pop(), Some("urgent"));
+        assert_eq!(q.pop(), Some("middling"));
+        assert_eq!(q.pop(), Some("lenient"));
+        assert_eq!(q.pop(), Some("none"), "deadline-less entries go last");
+    }
+
+    #[test]
+    fn aging_band_head_preempts_cheaper_bands() {
+        let age_limit = Duration::from_millis(20);
+        let q = ScheduledQueue::new(16, age_limit);
+        q.push("cold", classed(3)).unwrap();
+        std::thread::sleep(age_limit + Duration::from_millis(5));
+        // A stream of cheap work arrives after the cold entry aged out:
+        // the cold entry must still be served next, not starved.
+        for _ in 0..4 {
+            q.push("hit", classed(0)).unwrap();
+        }
+        assert_eq!(q.pop(), Some("cold"), "aged head preempts cheaper bands");
+        assert_eq!(q.pop(), Some("hit"));
+    }
+
+    #[test]
     fn close_drains_then_ends() {
-        let q = BoundedQueue::new(4);
-        q.push(1).unwrap();
+        let q = ScheduledQueue::new(4, NO_AGING);
+        q.push(1, fifo_now()).unwrap();
         q.close();
-        assert_eq!(q.push(2), Err(2));
+        assert_eq!(q.push(2, fifo_now()), Err(2));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
     }
 
     #[test]
     fn full_queue_blocks_until_a_consumer_drains() {
-        let q = Arc::new(BoundedQueue::new(1));
-        q.push(0u32).unwrap();
+        let q = Arc::new(ScheduledQueue::new(1, NO_AGING));
+        q.push(0u32, fifo_now()).unwrap();
         let producer = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || q.push(1).is_ok())
+            std::thread::spawn(move || q.push(1, fifo_now()).is_ok())
         };
         // Give the producer time to hit the full queue.
         std::thread::sleep(Duration::from_millis(30));
@@ -294,13 +485,13 @@ mod tests {
 
     #[test]
     fn many_producers_many_consumers_deliver_everything() {
-        let q = Arc::new(BoundedQueue::new(8));
+        let q = Arc::new(ScheduledQueue::new(8, NO_AGING));
         let producers: Vec<_> = (0..4u64)
             .map(|p| {
                 let q = Arc::clone(&q);
                 std::thread::spawn(move || {
                     for i in 0..250u64 {
-                        q.push(p * 1_000 + i).unwrap();
+                        q.push(p * 1_000 + i, classed((i % SCHED_BANDS as u64) as u8)).unwrap();
                     }
                 })
             })

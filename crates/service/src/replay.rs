@@ -66,6 +66,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 use skysr_core::bssr::{Bssr, BssrConfig, BssrScratch};
+use skysr_core::dominance::{skyline_of, SkylineSet};
 use skysr_core::error::QueryError;
 use skysr_core::query::SkySrQuery;
 use skysr_core::route::{equivalent_skylines, SkylineRoute};
@@ -75,9 +76,9 @@ use skysr_data::zipf::Zipf;
 use skysr_graph::{EpochGcStats, EpochId, RoadNetwork, WeightDelta};
 
 use crate::context::ServiceContext;
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{MetricsSnapshot, Served};
 use crate::net::{DatasetFingerprint, ProtocolError, RemoteService};
-use crate::service::{QueryResponse, QueryService, Service, ServiceConfig, Ticket};
+use crate::service::{QueryRequest, QueryResponse, QueryService, Service, ServiceConfig, Ticket};
 use crate::telemetry::{Rung, TelemetryConfig, TraceSpan};
 
 /// Span-retention policy of a replay run (histograms always record).
@@ -196,6 +197,25 @@ pub struct ReplaySpec {
     /// Span retention: sampled (default), full (audits the one-span-per-
     /// response invariant), or off.
     pub telemetry: TelemetryMode,
+    /// Serving deadline attached to every submitted request (`None` = no
+    /// deadline). With one, the service schedules deadline-aware, sheds
+    /// requests whose deadline lapsed in queue
+    /// ([`QueryError::Overloaded`]), and serves mid-engine expiries as
+    /// valid approximate partials; the report carries the shed /
+    /// approximate / met-deadline split.
+    pub deadline: Option<Duration>,
+    /// Overload factor: `> 0` replays open-loop at this multiple of the
+    /// service's *measured* capacity — a short closed-loop calibration
+    /// pass on an identically configured scratch service (own cache, same
+    /// shared context) measures sustainable throughput first, then the
+    /// real run arrives at `overload ×` that rate. `2.0` is the canonical
+    /// "2× capacity" overload cell. Mutually exclusive with an explicit
+    /// [`qps`](ReplaySpec::qps) and with closed-loop update waves.
+    pub overload: f64,
+    /// Admission control (see [`ServiceConfig::admission`]): shed
+    /// provably-unmeetable deadlines at submission instead of queueing
+    /// them to fail.
+    pub admission: bool,
 }
 
 impl Default for ReplaySpec {
@@ -225,6 +245,9 @@ impl Default for ReplaySpec {
             retention: 0,
             verify: false,
             telemetry: TelemetryMode::Sampled,
+            deadline: None,
+            overload: 0.0,
+            admission: false,
         }
     }
 }
@@ -271,6 +294,14 @@ pub struct ReplayReport {
     /// orphaned, and per-rung span counts agree with the metrics
     /// counters and per-rung histograms). Must be zero.
     pub trace_violations: Option<usize>,
+    /// Overload factor driven (0 = none). When set, [`qps`](Self::qps) is
+    /// the *resolved* open-loop rate: factor × measured capacity.
+    pub overload: f64,
+    /// `Some((met, finished))` when a per-request deadline was set:
+    /// `finished` counts requests that produced a response (shed requests
+    /// excluded — they produced none), `met` those answered within the
+    /// deadline.
+    pub met_deadline: Option<(usize, usize)>,
 }
 
 impl ReplayReport {
@@ -278,6 +309,19 @@ impl ReplayReport {
     /// The staleness gate: must be zero.
     pub fn stale_served(&self) -> u64 {
         self.metrics.stale_served
+    }
+
+    /// Requests shed under overload: admission rejections plus deadlines
+    /// expired in queue (or parked at the daemon). In neither `completed`
+    /// nor `failed`.
+    pub fn shed(&self) -> u64 {
+        self.metrics.rejected + self.metrics.shed_deadline
+    }
+
+    /// Responses served in degraded mode (deadline expired mid-engine;
+    /// valid partial skyline, never cached).
+    pub fn approximate_served(&self) -> u64 {
+        self.metrics.approximate_served
     }
 }
 
@@ -293,9 +337,24 @@ impl std::fmt::Display for ReplayReport {
             self.wall.as_secs_f64()
         )?;
         if self.qps > 0.0 {
-            write!(f, " (open loop @ {:.0} q/s target)", self.qps)?;
+            write!(f, " (open loop @ {:.0} q/s target", self.qps)?;
+            if self.overload > 0.0 {
+                write!(f, " = {:.1}x measured capacity", self.overload)?;
+            }
+            write!(f, ")")?;
         }
         writeln!(f)?;
+        if let Some((met, finished)) = self.met_deadline {
+            writeln!(
+                f,
+                "deadline    {met}/{finished} responses within deadline; {} shed ({} at \
+                 admission, {} expired in queue), {} served approximate",
+                self.shed(),
+                self.metrics.rejected,
+                self.metrics.shed_deadline,
+                self.approximate_served(),
+            )?;
+        }
         if self.epochs_published > 0 {
             writeln!(
                 f,
@@ -501,6 +560,11 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         "synchronous update waves (update_every) are closed-loop and exclusive with the \
          open-loop qps/update_rate knobs"
     );
+    assert!(
+        spec.overload == 0.0 || (spec.qps == 0.0 && spec.update_every == 0),
+        "overload resolves its own open-loop rate: exclusive with an explicit qps and with \
+         closed-loop update waves"
+    );
     let stream = request_stream(spec, pool.len());
     if spec.retention > 0 {
         ctx.set_epoch_retention(spec.retention);
@@ -510,25 +574,18 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         // cheap tiers consult it on the very first repaired request.
         let _ = ctx.landmarks();
     }
-    let service = Service::new(
-        Arc::clone(&ctx),
-        ServiceConfig {
-            workers: spec.workers,
-            queue_capacity: spec.queue_capacity,
-            cache_capacity: spec.cache_capacity,
-            coalesce: spec.coalesce,
-            prefix_reuse: spec.prefix_reuse,
-            ancestor_reuse: spec.ancestor_reuse,
-            suffix_reuse: spec.suffix_reuse,
-            repair: spec.repair,
-            engine: spec.engine,
-            telemetry: match spec.telemetry {
-                TelemetryMode::Sampled => TelemetryConfig::default(),
-                TelemetryMode::Full => TelemetryConfig::trace_all(stream.len()),
-                TelemetryMode::Off => TelemetryConfig::disabled(),
-            },
+    // Overload mode resolves its open-loop rate from *measured* capacity
+    // before the real service exists, so the calibration pass cannot warm
+    // the cache the measured run will use.
+    let spec = &ReplaySpec {
+        qps: if spec.overload > 0.0 {
+            measure_capacity(&ctx, pool, &stream, spec) * spec.overload
+        } else {
+            spec.qps
         },
-    );
+        ..spec.clone()
+    };
+    let service = Service::new(Arc::clone(&ctx), service_config(spec, stream.len()));
     let workers = service.config().workers;
     let epoch_before = ctx.current_epoch();
 
@@ -566,7 +623,77 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         verify_skipped: audit.map(|(_, skipped)| skipped),
         spans,
         trace_violations,
+        overload: spec.overload,
+        met_deadline: met_deadline(spec, &outcomes),
     }
+}
+
+/// The [`ServiceConfig`] a replay spec resolves to.
+fn service_config(spec: &ReplaySpec, stream_len: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers: spec.workers,
+        queue_capacity: spec.queue_capacity,
+        cache_capacity: spec.cache_capacity,
+        coalesce: spec.coalesce,
+        prefix_reuse: spec.prefix_reuse,
+        ancestor_reuse: spec.ancestor_reuse,
+        suffix_reuse: spec.suffix_reuse,
+        repair: spec.repair,
+        admission: spec.admission,
+        engine: spec.engine,
+        telemetry: match spec.telemetry {
+            TelemetryMode::Sampled => TelemetryConfig::default(),
+            TelemetryMode::Full => TelemetryConfig::trace_all(stream_len),
+            TelemetryMode::Off => TelemetryConfig::disabled(),
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+/// Measures the service's sustainable throughput (completed requests per
+/// second) with a short closed-loop pass over a prefix of the stream, on a
+/// scratch service configured like the real one — its own cache, no
+/// deadlines, no admission — so calibration neither warms nor sheds
+/// anything the measured run will see. The closed loop self-throttles to
+/// the pool's pace, which *is* capacity.
+fn measure_capacity(
+    ctx: &Arc<ServiceContext>,
+    pool: &[SkySrQuery],
+    stream: &[usize],
+    spec: &ReplaySpec,
+) -> f64 {
+    let n = stream.len().min(256);
+    let calibration =
+        ReplaySpec { deadline: None, admission: false, overload: 0.0, ..spec.clone() };
+    let service = Service::new(
+        Arc::clone(ctx),
+        ServiceConfig { telemetry: TelemetryConfig::disabled(), ..service_config(&calibration, n) },
+    );
+    let t0 = Instant::now();
+    let outcomes = service.run_batch(stream[..n].iter().map(|&i| pool[i].clone()));
+    let wall = t0.elapsed().max(Duration::from_micros(1));
+    drop(service);
+    let completed = outcomes.iter().filter(|o| o.is_ok()).count().max(1);
+    completed as f64 / wall.as_secs_f64()
+}
+
+/// The met-deadline split, when the spec set one: of the requests that
+/// produced a response at all (shed ones did not), how many were answered
+/// within the deadline.
+fn met_deadline(
+    spec: &ReplaySpec,
+    outcomes: &[Result<QueryResponse, QueryError>],
+) -> Option<(usize, usize)> {
+    let deadline = spec.deadline?;
+    let mut met = 0usize;
+    let mut finished = 0usize;
+    for r in outcomes.iter().flat_map(|o| o.as_ref().ok()) {
+        finished += 1;
+        if r.latency <= deadline {
+            met += 1;
+        }
+    }
+    Some((met, finished))
 }
 
 /// The trace-completeness audit (full tracing only). Counts violations of:
@@ -615,6 +742,9 @@ fn audit_spans(
         violations += 1;
     }
     if rung_count(Rung::Coalesced) != metrics.coalesced {
+        violations += 1;
+    }
+    if rung_count(Rung::Approximate) != metrics.approximate_served {
         violations += 1;
     }
     violations
@@ -667,7 +797,7 @@ fn drive(
 
         let t0 = Instant::now();
         let outcomes = if spec.qps > 0.0 {
-            open_loop_batch(service, pool, stream, spec.qps, spec.seed)
+            open_loop_batch(service, pool, stream, spec.qps, spec.seed, spec.deadline)
         } else if spec.update_every > 0 {
             // Closed-loop epoch waves: drain a chunk, publish a burst,
             // repeat.
@@ -676,15 +806,13 @@ fn drive(
             let magnitude = spec.update_magnitude.max(1.0);
             let mut outcomes = Vec::with_capacity(stream.len());
             for chunk in stream.chunks(spec.update_every) {
-                let queries: Vec<SkySrQuery> = chunk.iter().map(|&i| pool[i].clone()).collect();
-                outcomes.extend(service.run_queries(&queries));
+                outcomes.extend(run_requests(service, pool, chunk, spec.deadline));
                 let deltas = random_traffic_deltas(graph, burst, magnitude, &mut rng);
                 publish(&deltas);
             }
             outcomes
         } else {
-            let queries: Vec<SkySrQuery> = stream.iter().map(|&i| pool[i].clone()).collect();
-            service.run_queries(&queries)
+            run_requests(service, pool, stream, spec.deadline)
         };
         let wall = t0.elapsed();
         stop.store(true, Ordering::Relaxed);
@@ -733,6 +861,11 @@ pub fn replay_remote(
         "synchronous update waves (update_every) are closed-loop and exclusive with the \
          open-loop qps/update_rate knobs"
     );
+    assert!(
+        spec.overload == 0.0,
+        "overload capacity calibration runs on a local scratch service; drive a daemon with \
+         an explicit qps instead"
+    );
     let ours = DatasetFingerprint::of(&shadow);
     let theirs = remote.fingerprint();
     if ours != theirs {
@@ -777,7 +910,29 @@ pub fn replay_remote(
         verify_skipped: audit.map(|(_, skipped)| skipped),
         spans: Vec::new(),
         trace_violations: None,
+        overload: spec.overload,
+        met_deadline: met_deadline(spec, &outcomes),
     })
+}
+
+/// Builds the stream entry's request with the spec's deadline attached.
+fn request_for(pool: &[SkySrQuery], i: usize, deadline: Option<Duration>) -> QueryRequest {
+    let mut request = QueryRequest::new(pool[i].clone());
+    request.options.deadline = deadline;
+    request
+}
+
+/// Closed-loop batch: submits every stream entry (deadline attached, if
+/// any) and waits for all answers, preserving order.
+fn run_requests(
+    service: &dyn QueryService,
+    pool: &[SkySrQuery],
+    stream: &[usize],
+    deadline: Option<Duration>,
+) -> Vec<Result<QueryResponse, QueryError>> {
+    let tickets: Vec<Ticket> =
+        stream.iter().map(|&i| service.submit(request_for(pool, i, deadline))).collect();
+    tickets.into_iter().map(Ticket::wait).collect()
 }
 
 /// Submits the stream at exponentially distributed inter-arrival times
@@ -788,6 +943,7 @@ fn open_loop_batch(
     stream: &[usize],
     qps: f64,
     seed: u64,
+    deadline: Option<Duration>,
 ) -> Vec<Result<QueryResponse, QueryError>> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6f70_656e); // "open"
     let started = Instant::now();
@@ -801,7 +957,9 @@ fn open_loop_batch(
         }
         // Submission may block on a full queue: open-loop overload turns
         // into measured backpressure, not an unbounded client-side buffer.
-        tickets.push(service.submit_query(pool[i].clone()));
+        // (With admission on, unmeetable deadlines are shed right here
+        // instead — the ticket resolves to `Overloaded` immediately.)
+        tickets.push(service.submit(request_for(pool, i, deadline)));
     }
     tickets.into_iter().map(Ticket::wait).collect()
 }
@@ -849,16 +1007,40 @@ fn count_oracle_mismatches(
         match outcome {
             Ok(r) => match reference.get(&(r.epoch, i)) {
                 Some(oracle) => {
-                    if !equivalent_skylines(&r.routes, oracle) {
+                    // A degraded-mode partial is not expected to *equal*
+                    // the exact skyline — it must be *consistent* with it.
+                    let ok = if r.served == Served::Approximate {
+                        valid_approximate(&r.routes, oracle)
+                    } else {
+                        equivalent_skylines(&r.routes, oracle)
+                    };
+                    if !ok {
                         mismatches += 1;
                     }
                 }
                 None => skipped += 1,
             },
+            // Shed under overload (admission or expired in queue): the
+            // request produced no skyline to audit, by design.
+            Err(QueryError::Overloaded) => {}
             Err(_) => mismatches += 1,
         }
     }
     (mismatches, skipped)
+}
+
+/// Whether a degraded-mode partial skyline is *valid*: mutually
+/// non-dominated (a minimal set — no member dominates another), and never
+/// better than the exact answer (every partial point is dominated by or
+/// ties a point of the exact skyline; a partial that beat the oracle would
+/// mean the "exact" rungs are not exact).
+fn valid_approximate(routes: &[SkylineRoute], oracle: &[SkylineRoute]) -> bool {
+    let mut exact = SkylineSet::new();
+    for r in oracle {
+        exact.update(r.clone());
+    }
+    routes.iter().all(|p| exact.dominated_or_equal(p.length, p.semantic))
+        && skyline_of(routes.iter().cloned()).len() == routes.len()
 }
 
 #[cfg(test)]

@@ -31,8 +31,8 @@ use skysr_graph::{EpochId, WeightDelta};
 use crate::cache::{QueryKey, ResultCache};
 use crate::context::ServiceContext;
 use crate::metrics::{LatencyBreakdown, MetricsRecorder, MetricsSnapshot, Served};
-use crate::plan::{PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource};
-use crate::pool::{Begin, BoundedQueue, InflightTable};
+use crate::plan::{CostClass, PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource};
+use crate::pool::{Begin, InflightTable, SchedKey, ScheduledQueue};
 use crate::telemetry::{Rung, TelemetryConfig, TraceBuffer, TraceSpan};
 
 /// Sizing and engine configuration of a [`Service`].
@@ -66,6 +66,18 @@ pub struct ServiceConfig {
     /// provably does not touch them. Requires caching; answers remain
     /// oracle-exact at the pinned epoch.
     pub repair: bool,
+    /// Admission control: when on, a request carrying a deadline that the
+    /// gate estimates cannot be met — queue wait plus its cost class's
+    /// observed service time already exceed the budget — is refused at
+    /// submission with [`QueryError::Overloaded`] instead of being queued
+    /// to fail. Estimates come from a per-class EWMA of observed service
+    /// times, so an untrained gate admits everything. Deadline-less
+    /// requests are always admitted.
+    pub admission: bool,
+    /// Anti-starvation bound for the deadline scheduler: a queued request
+    /// that has waited this long is served ahead of cheaper cost bands,
+    /// so a stream of cache hits can never starve a cold search forever.
+    pub age_limit: Duration,
     /// Engine configuration every worker runs with.
     pub engine: BssrConfig,
     /// Trace-span retention policy (histograms are always on; see
@@ -84,6 +96,8 @@ impl Default for ServiceConfig {
             ancestor_reuse: true,
             suffix_reuse: true,
             repair: false,
+            admission: false,
+            age_limit: Duration::from_millis(500),
             engine: BssrConfig::default(),
             telemetry: TelemetryConfig::default(),
         }
@@ -134,10 +148,24 @@ impl QueryResponse {
 /// Per-request serving options, carried in the [`QueryRequest`] envelope.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RequestOptions {
-    /// Deadline *hint*: how long the client intends to wait before cutting
-    /// off (see [`StreamTicket::wait_deadline`]). Advisory — the cutoff is
-    /// enforced client-side, the server always finishes the exact answer —
-    /// but carried end-to-end so a server could use it for scheduling.
+    /// Serving deadline, measured from submission and enforced
+    /// **server-side**:
+    ///
+    /// * the scheduler orders deadline-carrying requests ahead of
+    ///   deadline-less ones within a cost band, earliest first;
+    /// * a request whose deadline lapses while it waits in the queue is
+    ///   shed at dequeue ([`QueryError::Overloaded`]), never executed;
+    /// * a search (warm or cold) whose deadline expires mid-engine stops
+    ///   and returns the mutually non-dominated partial skyline found so
+    ///   far, served as [`Served::Approximate`] — degraded, never stale
+    ///   or bogus (every partial route is a genuine valid route,
+    ///   dominated-or-equal by the exact skyline);
+    /// * with [`ServiceConfig::admission`] on, a deadline the gate
+    ///   estimates as unmeetable is refused at submission.
+    ///
+    /// Clients can still cut off earlier on their side (see
+    /// [`StreamTicket::wait_deadline`]); `None` means "take as long as it
+    /// takes".
     pub deadline: Option<Duration>,
     /// Force this request's [`TraceSpan`] to be retained, bypassing both
     /// the tracing enable flag and sampling (debugging one request in a
@@ -420,6 +448,52 @@ struct ExecTrace {
 /// flight identity.
 type FlightKey = (QueryKey, EpochId);
 
+/// Per-[`CostClass`] EWMA of observed dequeue-to-response times, in
+/// nanoseconds — the admission gate's service-time estimates. Workers feed
+/// it after every response; a slot that has never observed reads as zero,
+/// so an untrained gate estimates optimistically and admits (the gate must
+/// never shed before it has evidence). Updates are racy-by-design
+/// (load/store, no CAS loop): a lost sample moves an *estimate*, nothing
+/// more.
+pub(crate) struct CostModel {
+    nanos: [AtomicU64; 3],
+}
+
+/// EWMA weight denominator: each new sample contributes 1/8.
+const EWMA_WEIGHT: u64 = 8;
+
+impl CostModel {
+    fn new() -> CostModel {
+        CostModel { nanos: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)] }
+    }
+
+    fn observe(&self, class: CostClass, service: Duration) {
+        let sample = u64::try_from(service.as_nanos()).unwrap_or(u64::MAX);
+        let slot = &self.nanos[class.index()];
+        let prev = slot.load(Ordering::Relaxed);
+        let next =
+            if prev == 0 { sample } else { prev - prev / EWMA_WEIGHT + sample / EWMA_WEIGHT };
+        slot.store(next, Ordering::Relaxed);
+    }
+
+    fn estimate(&self, class: CostClass) -> Duration {
+        Duration::from_nanos(self.nanos[class.index()].load(Ordering::Relaxed))
+    }
+}
+
+/// The class a [`Served`] outcome retro-classifies as — which cost-model
+/// slot its observed service time trains. Mirrors the bands of
+/// [`CostClass::band`]: answered-from-memory outcomes train `Hit`,
+/// repairs train `Repair`, engine runs (exact or truncated) train
+/// `Search`.
+fn cost_class_of(served: Served) -> CostClass {
+    match served {
+        Served::CacheHit | Served::Coalesced => CostClass::Hit,
+        Served::Repaired { .. } => CostClass::Repair,
+        Served::Search { .. } | Served::Approximate => CostClass::Search,
+    }
+}
+
 /// A multi-threaded in-process SkySR query engine.
 ///
 /// Construction spawns the worker pool; each worker owns a [`Bssr`] engine
@@ -431,8 +505,14 @@ type FlightKey = (QueryKey, EpochId);
 /// queue, drains in-flight work and joins every worker.
 pub struct Service {
     ctx: Arc<ServiceContext>,
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<ScheduledQueue<Job>>,
     cache: Arc<ResultCache>,
+    // The submission path shares the workers' planner and in-flight table
+    // to classify each request's expected cost *before* queueing it: the
+    // plan rung is the scheduler's cost model (and the admission gate's).
+    planner: ReusePlanner,
+    inflight: Arc<InflightTable<FlightKey, Waiter>>,
+    cost: Arc<CostModel>,
     metrics: Arc<MetricsRecorder>,
     traces: Arc<TraceBuffer>,
     next_id: AtomicU64,
@@ -452,7 +532,7 @@ impl Service {
         } else {
             config.workers
         };
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+        let queue = Arc::new(ScheduledQueue::new(config.queue_capacity.max(1), config.age_limit));
         // Capacity 0 disables caching: keep a 1-entry cache object for
         // uniform counters but never consult it. Every cache-reading
         // strategy is implied off without one (see
@@ -462,6 +542,7 @@ impl Service {
         let inflight: Arc<InflightTable<FlightKey, Waiter>> = Arc::new(InflightTable::new());
         let metrics = Arc::new(MetricsRecorder::default());
         let traces = Arc::new(TraceBuffer::new(&config.telemetry, workers));
+        let cost = Arc::new(CostModel::new());
 
         let handles = (0..workers)
             .map(|i| {
@@ -471,11 +552,14 @@ impl Service {
                 let inflight = Arc::clone(&inflight);
                 let metrics = Arc::clone(&metrics);
                 let traces = Arc::clone(&traces);
+                let cost = Arc::clone(&cost);
                 let planner = planner.clone();
                 std::thread::Builder::new()
                     .name(format!("skysr-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&ctx, &queue, &cache, &inflight, &metrics, &traces, &planner)
+                        worker_loop(
+                            &ctx, &queue, &cache, &inflight, &metrics, &traces, &cost, &planner,
+                        )
                     })
                     .expect("spawning a worker thread")
             })
@@ -485,6 +569,9 @@ impl Service {
             ctx,
             queue,
             cache,
+            planner,
+            inflight,
+            cost,
             metrics,
             traces,
             next_id: AtomicU64::new(1),
@@ -500,9 +587,79 @@ impl Service {
         Service::new(ctx, ServiceConfig::default())
     }
 
+    /// Resolves a request's scheduling key at admission time: its cost
+    /// class (resolved cheaply from the planner's rung ladder — see
+    /// [`ReusePlanner::classify`] — or `Hit` when the request will join an
+    /// already-in-flight duplicate) plus its absolute deadline.
+    fn sched_key(&self, request: &QueryRequest, submitted: Instant) -> (SchedKey, CostClass) {
+        let masked;
+        let planner = match request.options.reuse {
+            Some(mask) => {
+                masked = self.planner.masked(mask);
+                &masked
+            }
+            None => &self.planner,
+        };
+        let epoch = self.ctx.current_epoch();
+        let key = planner.key_of(&request.query);
+        let class = match &key {
+            // A duplicate of an in-flight search parks instantly at
+            // dequeue: schedule it with the hits however expensive the
+            // search it joins is.
+            Some(k)
+                if planner.strategies().coalesce && self.inflight.contains(&(k.clone(), epoch)) =>
+            {
+                CostClass::Hit
+            }
+            _ => planner.classify(key.as_ref(), epoch, &self.cache, &self.ctx),
+        };
+        let deadline = request.options.deadline.map(|d| submitted + d);
+        (SchedKey { class: class.band(), deadline, submitted }, class)
+    }
+
+    /// The admission gate: `false` means the request's deadline provably
+    /// (up to the cost model's estimates) cannot be met, so queueing it
+    /// would only waste a worker on an answer nobody is waiting for.
+    ///
+    /// Estimate: the backlog in this request's band and every cheaper one
+    /// drains ahead of it at the pool's pace, then its own class's
+    /// service time must still fit. Conservatively ignores aged expensive
+    /// work jumping ahead; an untrained model estimates zero and admits.
+    fn admit(&self, key: &SchedKey, class: CostClass) -> bool {
+        if !self.config.admission {
+            return true;
+        }
+        let Some(deadline) = key.deadline else {
+            return true;
+        };
+        let budget = deadline.saturating_duration_since(Instant::now());
+        let lens = self.queue.band_lens();
+        let mut needed = self.cost.estimate(class);
+        let mut ahead = Duration::ZERO;
+        for (band, len) in lens.iter().enumerate().take(class.band() as usize + 1) {
+            let per_item = self.cost.estimate(CostClass::ALL[band.min(CostClass::ALL.len() - 1)]);
+            ahead =
+                ahead.saturating_add(per_item.checked_mul(*len as u32).unwrap_or(Duration::MAX));
+        }
+        needed = needed.saturating_add(ahead / self.worker_count.max(1) as u32);
+        needed <= budget
+    }
+
+    /// A ticket already resolved to [`QueryError::Overloaded`] — what a
+    /// shed submission hands back, so every caller (blocking submitter,
+    /// network event loop) observes shedding as a normal typed failure.
+    fn shed_ticket(&self) -> Ticket {
+        self.metrics.record_rejected();
+        let (tx, ticket) = Ticket::channel();
+        let _ = tx.send(Err(QueryError::Overloaded));
+        ticket
+    }
+
     /// Enqueues one request, optionally with a progress channel for
     /// anytime streaming. Blocks while the submission queue is full
-    /// (backpressure).
+    /// (backpressure). With admission control on, a request whose deadline
+    /// the gate judges unmeetable is not queued: its ticket resolves to
+    /// [`QueryError::Overloaded`] immediately.
     ///
     /// # Panics
     /// If called after [`Service::shutdown`] closed the queue.
@@ -511,11 +668,16 @@ impl Service {
         request: QueryRequest,
         progress: Option<mpsc::Sender<SkylineRoute>>,
     ) -> Ticket {
+        let submitted = Instant::now();
+        let (key, class) = self.sched_key(&request, submitted);
+        if !self.admit(&key, class) {
+            return self.shed_ticket();
+        }
         let (tx, ticket) = Ticket::channel();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let QueryRequest { query, options } = request;
-        let job = Job { id, query, options, submitted: Instant::now(), reply: tx, progress };
-        if self.queue.push(job).is_err() {
+        let job = Job { id, query, options, submitted, reply: tx, progress };
+        if self.queue.push(job, key).is_err() {
             panic!("submit after shutdown: the submission queue is closed");
         }
         ticket
@@ -523,17 +685,27 @@ impl Service {
 
     /// Non-blocking submit for event-loop callers (the network server):
     /// `Err` hands the request back when the queue is full right now, so
-    /// the caller can park it and keep its loop turning.
+    /// the caller can park it and keep its loop turning. `submitted` is
+    /// the instant the request *first* arrived — a parked-and-retried
+    /// request keeps its original deadline clock instead of resetting it.
+    /// An admission-gate shed is an `Ok` ticket already resolved to
+    /// [`QueryError::Overloaded`]: the caller's normal answer pump turns
+    /// it into the typed failure frame.
     pub(crate) fn try_submit(
         &self,
         request: QueryRequest,
         progress: Option<mpsc::Sender<SkylineRoute>>,
+        submitted: Instant,
     ) -> Result<Ticket, QueryRequest> {
+        let (key, class) = self.sched_key(&request, submitted);
+        if !self.admit(&key, class) {
+            return Ok(self.shed_ticket());
+        }
         let (tx, ticket) = Ticket::channel();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let QueryRequest { query, options } = request;
-        let job = Job { id, query, options, submitted: Instant::now(), reply: tx, progress };
-        match self.queue.try_push(job) {
+        let job = Job { id, query, options, submitted, reply: tx, progress };
+        match self.queue.try_push(job, key) {
             Ok(()) => Ok(ticket),
             Err(job) => Err(QueryRequest { query: job.query, options: job.options }),
         }
@@ -549,6 +721,14 @@ impl Service {
         let tickets: Vec<Ticket> =
             queries.into_iter().map(|q| self.enqueue(QueryRequest::new(q), None)).collect();
         tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Counts a request the network server shed while it sat *parked*
+    /// (queue full) past its deadline — the same "expired before
+    /// execution" bucket as a queue-expired shed, it just never made it
+    /// into the queue.
+    pub(crate) fn note_shed_parked(&self) {
+        self.metrics.record_shed_deadline();
     }
 
     /// The shared context.
@@ -681,6 +861,10 @@ fn respond(
 /// policy lives in [`ReusePlanner::plan`]; this loop only walks the
 /// resulting rungs. For every job, in order:
 ///
+/// 0. **Shed.** A request whose deadline lapsed in the queue is answered
+///    [`QueryError::Overloaded`] and dropped before any work runs
+///    (counted `shed_deadline`, no trace span — there is no response to
+///    describe).
 /// 1. **Pin.** The worker refreshes its [`PinnedContext`] snapshot if the
 ///    context's weight epoch advanced since the previous job. The whole
 ///    request — planning, coalescing, search, cache fill — runs against
@@ -709,7 +893,11 @@ fn respond(
 ///    against the shared epoch-pair index, a warm-seeded search from the
 ///    planned source, or a cold search — and the executed [`Served`]
 ///    outcome becomes the single source of truth for the response and the
-///    metrics.
+///    metrics. Search terminals run with the request's deadline armed as
+///    the engine's anytime cutoff: on expiry the partial skyline comes
+///    back `truncated` and is served [`Served::Approximate`] (degraded
+///    mode) — never cached, and shared with coalesced followers under the
+///    same Approximate label.
 /// 6. **Completion.** The leader inserts the epoch-stamped result into the
 ///    cache *before* ending the flight — any same-epoch duplicate arriving
 ///    in between hits the cache, so with caching enabled a (key, epoch) can
@@ -722,13 +910,15 @@ fn respond(
 ///    never cached.
 ///
 /// [`PinnedContext`]: crate::context::PinnedContext
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     ctx: &ServiceContext,
-    queue: &BoundedQueue<Job>,
+    queue: &ScheduledQueue<Job>,
     cache: &ResultCache,
     inflight: &InflightTable<FlightKey, Waiter>,
     metrics: &MetricsRecorder,
     traces: &TraceBuffer,
+    cost: &CostModel,
     base_planner: &ReusePlanner,
 ) {
     let mut pinned = ctx.pin();
@@ -743,6 +933,20 @@ fn worker_loop(
         }
         let epoch = pinned.epoch();
         let Job { id, query, options, submitted, reply, progress } = job;
+
+        // A deadline that lapsed while the request sat in the queue is
+        // shed here, *before* any work runs: executing it would burn a
+        // worker on an answer nobody is waiting for, starving requests
+        // that can still make theirs. Shed requests are answered with the
+        // typed overload error and counted in neither `completed` nor
+        // `failed` — and they get no trace span, because they produce no
+        // response for a span to describe.
+        let deadline_at = options.deadline.map(|d| submitted + d);
+        if deadline_at.is_some_and(|at| dequeued >= at) {
+            metrics.record_shed_deadline();
+            let _ = reply.send(Err(QueryError::Overloaded));
+            continue;
+        }
 
         // A per-request reuse mask restricts (never widens) the service
         // strategies; planners are two Copy structs, so the rebuild is
@@ -780,6 +984,7 @@ fn worker_loop(
         if let PlanStep::ExactHit(stamp, routes) = step {
             if stamp == epoch {
                 pending.attempts.push("exact:hit");
+                cost.observe(CostClass::Hit, dequeued.elapsed());
                 respond(
                     metrics,
                     traces,
@@ -825,6 +1030,7 @@ fn worker_loop(
                         cache.reclassify_miss_as_hit();
                         let waiters = inflight.complete(&fk);
                         leader.pending.attempts.push("exact:hit-after-flight");
+                        cost.observe(CostClass::Hit, dequeued.elapsed());
                         respond(
                             metrics,
                             traces,
@@ -881,6 +1087,15 @@ fn worker_loop(
             planner.engine(),
             scratch.take().expect("scratch is recycled"),
         );
+        // Degraded mode: arm the engine's anytime cutoff only for the
+        // search terminals. A search that runs out of deadline returns its
+        // partial skyline flagged `truncated` and is served Approximate —
+        // degraded but honest. Repairs stay unarmed: they promise exact
+        // score-equivalence, and their warm-re-search fallback disarms an
+        // inherited deadline itself (see `bssr::repair`).
+        if matches!(step, PlanStep::WarmSeed { .. } | PlanStep::ColdSearch) {
+            engine.set_deadline(deadline_at);
+        }
         let engine_t0 = Instant::now();
         let mut exec = ExecTrace::default();
         let outcome = match step {
@@ -926,7 +1141,12 @@ fn worker_loop(
                     // routes (an unreachable position can leave it dry).
                     let seeded = (result.stats.warm_seed_routes > 0).then_some(source);
                     exec.profile = result.stats.profile();
-                    (result.routes, Served::Search { seeded })
+                    let served = if result.truncated {
+                        Served::Approximate
+                    } else {
+                        Served::Search { seeded }
+                    };
+                    (result.routes, served)
                 })
             }
             PlanStep::ColdSearch => {
@@ -941,7 +1161,12 @@ fn worker_loop(
                 };
                 run.map(|r| {
                     exec.profile = r.stats.profile();
-                    (r.routes, Served::Search { seeded: None })
+                    let served = if r.truncated {
+                        Served::Approximate
+                    } else {
+                        Served::Search { seeded: None }
+                    };
+                    (r.routes, served)
                 })
             }
             PlanStep::ExactHit(..) | PlanStep::Coalesce | PlanStep::ProbeSeeds => {
@@ -953,13 +1178,19 @@ fn worker_loop(
         match outcome {
             Ok((routes, served)) => {
                 let routes: Arc<[SkylineRoute]> = routes.into();
-                if planner.strategies().caching {
+                let truncated = served == Served::Approximate;
+                // A truncated partial is NEVER cached: it is exact only
+                // in the weak dominated-or-equal sense, and a later
+                // deadline-less request must not inherit it as "the"
+                // answer.
+                if planner.strategies().caching && !truncated {
                     cache.insert(key.expect("caching implies a key"), epoch, Arc::clone(&routes));
                 }
                 let waiters = match &fkey {
                     Some(fk) => inflight.complete(fk),
                     None => Vec::new(),
                 };
+                cost.observe(cost_class_of(served), dequeued.elapsed());
                 respond(
                     metrics,
                     traces,
@@ -971,6 +1202,11 @@ fn worker_loop(
                     served,
                 );
                 for w in waiters {
+                    // Followers of a truncated flight share the partial
+                    // answer, so they share its Approximate label too —
+                    // coalescing must never launder the degraded flag
+                    // into an "exact" Coalesced response.
+                    let w_served = if truncated { Served::Approximate } else { Served::Coalesced };
                     respond(
                         metrics,
                         traces,
@@ -979,7 +1215,7 @@ fn worker_loop(
                         ExecTrace::default(),
                         Arc::clone(&routes),
                         epoch,
-                        Served::Coalesced,
+                        w_served,
                     );
                 }
             }

@@ -49,11 +49,16 @@ pub enum Rung {
     WarmSuffix,
     /// A cold search (including dry seed probes).
     Cold,
+    /// A search whose deadline expired mid-engine: the response is the
+    /// mutually non-dominated partial skyline proven so far, flagged
+    /// approximate (degraded mode), plus any requests coalesced onto that
+    /// truncated flight.
+    Approximate,
 }
 
 impl Rung {
     /// Every rung, ladder order.
-    pub const ALL: [Rung; 7] = [
+    pub const ALL: [Rung; 8] = [
         Rung::ExactHit,
         Rung::Coalesced,
         Rung::Repaired,
@@ -61,6 +66,7 @@ impl Rung {
         Rung::WarmAncestor,
         Rung::WarmSuffix,
         Rung::Cold,
+        Rung::Approximate,
     ];
 
     /// The rung that produced a [`Served`] outcome.
@@ -73,6 +79,7 @@ impl Rung {
             Served::Search { seeded: Some(SeedSource::Ancestor) } => Rung::WarmAncestor,
             Served::Search { seeded: Some(SeedSource::Suffix) } => Rung::WarmSuffix,
             Served::Search { seeded: None } => Rung::Cold,
+            Served::Approximate => Rung::Approximate,
         }
     }
 
@@ -87,6 +94,7 @@ impl Rung {
             Rung::WarmAncestor => "warm_ancestor",
             Rung::WarmSuffix => "warm_suffix",
             Rung::Cold => "cold",
+            Rung::Approximate => "approximate",
         }
     }
 
@@ -162,6 +170,7 @@ mod tests {
             Rung::WarmAncestor
         );
         assert_eq!(Rung::of(Served::Search { seeded: Some(SeedSource::Suffix) }), Rung::WarmSuffix);
+        assert_eq!(Rung::of(Served::Approximate), Rung::Approximate);
         // Labels are unique and the dense index matches ladder order.
         let labels: std::collections::BTreeSet<&str> =
             Rung::ALL.iter().map(|r| r.label()).collect();

@@ -77,11 +77,15 @@ fn spec_for(subset: Subset, pattern: StreamPattern, distinct: usize, seed: u64) 
 fn every_strategy_subset_is_oracle_exact_on_hierarchy_workloads() {
     for seed in [11u64, 29] {
         let d = dataset(seed);
-        let probe = spec_for(SUBSETS[0], StreamPattern::Hierarchy, 6, seed);
+        // 12 chains, waves of pool_len/2 = 18: the second wave's full
+        // queries trail their same-epoch ancestor variants by a whole
+        // worker round, so the ancestor rung fires with margin instead of
+        // hanging on one dequeue-vs-complete race.
+        let probe = spec_for(SUBSETS[0], StreamPattern::Hierarchy, 12, seed);
         let pool = build_pool(&d, &probe);
         let ctx = Arc::new(ServiceContext::from_dataset(d));
         for subset in SUBSETS {
-            let spec = spec_for(subset, StreamPattern::Hierarchy, 6, seed);
+            let spec = spec_for(subset, StreamPattern::Hierarchy, 12, seed);
             let report = replay_on(Arc::clone(&ctx), &pool, &spec);
             assert_eq!(
                 report.verify_mismatches,

@@ -14,6 +14,12 @@
 //! asked for an *Asian* restaurant — at a semantic cost the skyline makes
 //! explicit.
 //!
+//! Beyond this API reference, two prose documents at the repository root
+//! cover the system as a whole: `docs/ARCHITECTURE.md` (crate map, the
+//! serving rung ladder, deadline scheduling, the weight-epoch lifecycle,
+//! the `skysr-d` wire protocol) and `docs/OPERATIONS.md` (running the
+//! daemon, every tuning knob, the counter taxonomy, capacity planning).
+//!
 //! ## Quickstart
 //!
 //! ```
