@@ -61,7 +61,14 @@
 //! breaks (any response without exactly one span whose rung and epoch
 //! match); `--metrics-out FILE` writes the run's counters and latency
 //! histograms (end-to-end, queue-wait, engine, and per-rung) as
-//! Prometheus text exposition.
+//! Prometheus text exposition, every series carrying a `shard` label
+//! (`0` for a single-tenant run).
+//! `--shards N` replays multi-tenant: N regions (one generated dataset
+//! per shard, seeds `--seed`, `--seed`+1, …) behind one in-process
+//! router, each shard driving its own stream and update process through
+//! region-stamped requests; every gate (`--verify`, staleness, trace
+//! completeness) is enforced per shard and any misrouted request fails
+//! the run.
 //!
 //! `bench` replays duplicate-heavy, prefix-heavy, dynamic (weight
 //! updates racing the stream), hierarchy (ancestor+suffix seeding vs.
@@ -85,8 +92,11 @@
 //! least fraction `X` of untraced throughput (0.95 = at most 5%
 //! overhead); `--require-overload-ratio X` fails unless the overloaded
 //! cell actually shed load *and* kept its hit-rung p99 within `X` times
-//! its uncontended value floored at the deadline budget; any stale
-//! serve fails either unconditionally.
+//! its uncontended value floored at the deadline budget; a ninth
+//! *shards* cell serves four regions behind a router vs. a monolith on
+//! the union working set, gated by `--require-shard-speedup X` on the
+//! aggregate-throughput ratio; any stale serve fails either
+//! unconditionally.
 //! Bench also accepts `--trace-out`/`--metrics-out` (spans and Prometheus
 //! text across all cells, each labelled by workload and mode).
 
@@ -96,7 +106,7 @@ use std::time::Duration;
 
 use skysr_cli::args::Args;
 use skysr_cli::city::{
-    check_seq_len, dataset_args, load, load_or_generate, parse_flag, parse_preset,
+    check_seq_len, dataset_args, load, load_or_generate, parse_flag, parse_preset, CityArgs,
 };
 use skysr_cli::serve;
 use skysr_core::bssr::{Bssr, BssrConfig};
@@ -109,7 +119,7 @@ use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 use skysr_graph::VertexId;
 use skysr_service::bench::{bench, BenchSpec};
 use skysr_service::replay::{
-    build_pool, replay, replay_remote, ReplaySpec, StreamPattern, TelemetryMode,
+    build_pool, replay, replay_remote, replay_sharded, ReplaySpec, StreamPattern, TelemetryMode,
 };
 use skysr_service::telemetry::export::{prometheus, spans_to_json_lines};
 use skysr_service::{MetricsSnapshot, QueryService, RemoteService, ServiceContext};
@@ -147,20 +157,20 @@ fn usage() -> &'static str {
      \t[--verify true|false] [--repair true|false] [--retention K] [--qps F]\n  \
      \t[--update-rate F] [--update-burst N] [--update-magnitude F]\n  \
      \t[--update-every N] [--deadline-ms F] [--overload X]\n  \
-     \t[--admission true|false] [--trace-out FILE.jsonl]\n  \
+     \t[--admission true|false] [--shards N] [--trace-out FILE.jsonl]\n  \
      \t[--metrics-out FILE.prom] [--connect HOST:PORT]\n  \
      skysr-cli bench [FILE] [--preset P] [--scale F] [--seed N] [--queries N]\n  \
      \t[--distinct N] [--workers N] [--seq-len K] [--burst N] [--out FILE.json]\n  \
      \t[--update-rate F] [--update-burst N] [--require-speedup X]\n  \
      \t[--require-hierarchy-speedup X] [--require-repair-speedup X]\n  \
      \t[--require-telemetry-ratio X] [--require-net-ratio X]\n  \
-     \t[--require-overload-ratio X] [--trace-out FILE.jsonl]\n  \
-     \t[--metrics-out FILE.prom]\n  \
+     \t[--require-overload-ratio X] [--require-shard-speedup X]\n  \
+     \t[--trace-out FILE.jsonl] [--metrics-out FILE.prom]\n  \
      skysr-cli serve [FILE] [--preset P] [--scale F] [--seed N]\n  \
      \t[--addr HOST:PORT] [--workers N] [--cache N] [--queue N]\n  \
      \t[--coalesce true|false] [--prefix-reuse true|false]\n  \
      \t[--ancestor-reuse true|false] [--suffix-reuse true|false]\n  \
-     \t[--repair true|false] [--admission true|false]\n  \
+     \t[--repair true|false] [--admission true|false] [--shards N]\n  \
      skysr-cli shutdown --connect HOST:PORT\n  \
      skysr-cli demo"
 }
@@ -327,6 +337,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 Some(other) => return Err(format!("unknown --pattern {other:?}")),
             };
             spec.verify = parse_flag(&mut args, "verify", false)?;
+            let shards: usize = parse_flag(&mut args, "shards", 1)?;
             let connect = args.optional("connect");
             let trace_out = args.optional("trace-out");
             let metrics_out = args.optional("metrics-out");
@@ -402,6 +413,112 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                         .into(),
                 );
             }
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            if shards > 1 {
+                if connect.is_some() {
+                    return Err("--shards replays against an in-process multi-shard router; \
+                         a daemon's shard layout is fixed at startup (serve --shards)"
+                        .into());
+                }
+                if spec.overload > 0.0 {
+                    return Err(
+                        "--overload calibration is single-tenant; drive shards with an explicit \
+                         --qps instead"
+                            .into(),
+                    );
+                }
+                if city.file.is_some() {
+                    return Err("--shards generates one dataset per region and conflicts with a \
+                         dataset FILE argument"
+                        .into());
+                }
+                let mut regions: Vec<(String, Dataset)> = Vec::with_capacity(shards);
+                for i in 0..shards {
+                    let region = CityArgs {
+                        file: None,
+                        preset: city.preset,
+                        scale: city.scale,
+                        seed: city.seed + i as u64,
+                    };
+                    let dataset = load_or_generate(&region)?;
+                    check_seq_len(&dataset, spec.seq_len)?;
+                    regions.push((format!("region-{i}"), dataset));
+                }
+                eprintln!(
+                    "replaying {} requests per shard ({} distinct, {} stream) over {shards} \
+                     shards x {} workers ...",
+                    spec.total, spec.distinct, spec.pattern, spec.workers
+                );
+                let sharded = replay_sharded(regions, &spec);
+                println!("{sharded}");
+                if let Some(path) = &trace_out {
+                    let mut lines = String::new();
+                    for s in &sharded.shards {
+                        lines.push_str(&spans_to_json_lines(&s.report.spans));
+                    }
+                    std::fs::write(path, lines).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("wrote {path}");
+                }
+                if let Some(path) = &metrics_out {
+                    let pattern = spec.pattern.to_string();
+                    let ids: Vec<String> =
+                        sharded.shards.iter().map(|s| s.region.to_string()).collect();
+                    let labels: Vec<[(&str, &str); 2]> = ids
+                        .iter()
+                        .map(|id| [("pattern", pattern.as_str()), ("shard", id.as_str())])
+                        .collect();
+                    let entries: Vec<(&[(&str, &str)], &MetricsSnapshot)> = sharded
+                        .shards
+                        .iter()
+                        .zip(&labels)
+                        .map(|(s, l)| (l.as_slice(), &s.report.metrics))
+                        .collect();
+                    std::fs::write(path, prometheus(&entries))
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!("wrote {path}");
+                }
+                for s in &sharded.shards {
+                    if let Some(v) = s.report.trace_violations.filter(|&v| v > 0) {
+                        return Err(format!(
+                            "shard {} ({}): trace-completeness invariant violated: {v} \
+                             violation(s)",
+                            s.region, s.name
+                        ));
+                    }
+                    if s.report.verify_mismatches.is_some_and(|m| m > 0) {
+                        return Err(format!(
+                            "shard {} ({}): verification failed: concurrent and sequential \
+                             skylines differ",
+                            s.region, s.name
+                        ));
+                    }
+                    if let Some(skipped) = s.report.verify_skipped.filter(|&n| n > 0) {
+                        eprintln!(
+                            "note: shard {}: {skipped} response(s) were unverifiable (pinned \
+                             epochs beyond the --retention ring) and were skipped",
+                            s.region
+                        );
+                    }
+                    if s.report.stale_served() > 0 {
+                        return Err(format!(
+                            "shard {} ({}): staleness gate failed: {} answer(s) served from a \
+                             non-pinned-epoch cache entry",
+                            s.region,
+                            s.name,
+                            s.report.stale_served()
+                        ));
+                    }
+                }
+                if sharded.misrouted > 0 {
+                    return Err(format!(
+                        "routing gate failed: {} request(s) named a region no shard serves",
+                        sharded.misrouted
+                    ));
+                }
+                return Ok(());
+            }
             let dataset = load_or_generate(&city)?;
             check_seq_len(&dataset, spec.seq_len)?;
             let report = match &connect {
@@ -435,7 +552,9 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             }
             if let Some(path) = &metrics_out {
                 let pattern = spec.pattern.to_string();
-                let labels = [("pattern", pattern.as_str())];
+                // Single-tenant runs are shard 0 (the default shard), so
+                // the exporter's label schema is identical either way.
+                let labels = [("pattern", pattern.as_str()), ("shard", "0")];
                 std::fs::write(path, prometheus(&[(&labels, &report.metrics)]))
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 eprintln!("wrote {path}");
@@ -502,6 +621,10 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 .optional("require-overload-ratio")
                 .map(|s| s.parse().map_err(|_| "bad --require-overload-ratio".to_string()))
                 .transpose()?;
+            let require_shard_speedup: Option<f64> = args
+                .optional("require-shard-speedup")
+                .map(|s| s.parse().map_err(|_| "bad --require-shard-speedup".to_string()))
+                .transpose()?;
             let trace_out = args.optional("trace-out");
             let metrics_out = args.optional("metrics-out");
             args.finish()?;
@@ -545,10 +668,10 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                 eprintln!("wrote {path}");
             }
             if let Some(path) = &metrics_out {
-                let labels: Vec<[(&str, &str); 2]> = report
+                let labels: Vec<[(&str, &str); 3]> = report
                     .runs
                     .iter()
-                    .map(|r| [("workload", r.workload), ("mode", r.mode)])
+                    .map(|r| [("workload", r.workload), ("mode", r.mode), ("shard", "0")])
                     .collect();
                 let entries: Vec<(&[(&str, &str)], &MetricsSnapshot)> = report
                     .runs
@@ -636,6 +759,15 @@ fn run(argv: Vec<String>) -> Result<(), String> {
                         "overload gate failed: hit-rung p99 under 2x load is {:.2}x the \
                          uncontended value (floored at the deadline budget; limit {max:.2}x)",
                         report.overload_hit_p99_ratio
+                    ));
+                }
+            }
+            if let Some(min) = require_shard_speedup {
+                if report.speedup_shards < min {
+                    return Err(format!(
+                        "shard-scaling speedup {:.2}x is below the required {min:.2}x \
+                         ({} shards behind a router vs. one monolith)",
+                        report.speedup_shards, report.shard_count
                     ));
                 }
             }

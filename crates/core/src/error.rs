@@ -23,6 +23,11 @@ pub enum QueryError {
     /// valid — retry with a longer deadline or against a less loaded
     /// service.
     Overloaded,
+    /// The request addressed a region this endpoint does not serve. A
+    /// multi-tenant router answers it when the region id resolves to no
+    /// registered shard; a single-shard service answers it when asked for
+    /// any region other than its own. The payload is the raw region id.
+    UnknownRegion(u16),
 }
 
 impl std::fmt::Display for QueryError {
@@ -39,6 +44,9 @@ impl std::fmt::Display for QueryError {
             }
             QueryError::Overloaded => {
                 write!(f, "service overloaded: request shed before its deadline could be met")
+            }
+            QueryError::UnknownRegion(r) => {
+                write!(f, "region {r} is not served by this endpoint")
             }
         }
     }

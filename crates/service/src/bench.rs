@@ -64,6 +64,21 @@
 //!   approximate-served count. The overloaded run keeps `verify`
 //!   on, which also proves every degraded answer is a *valid* partial
 //!   (mutually non-dominated, never better than the exact skyline).
+//! * **shards** — the scale-out cell: [`BenchSpec::shards`] regions
+//!   served behind one [`Router`](crate::Router) (each shard its own
+//!   graph, worker pool and result cache) vs. a *monolith* serving the
+//!   union — one service on a `shards ×` larger graph whose working set
+//!   is the union of every region's, on the **same fixed per-process
+//!   budget** (identical cache capacity and total worker count). Both
+//!   sides replay the same total number of requests; uniform popularity
+//!   keeps the working set the whole pool, so each shard's region pool
+//!   *fits* its cache while the monolith's union pool thrashes its LRU —
+//!   and every monolith miss re-searches a `shards ×` larger graph. The
+//!   aggregate-throughput ratio (`speedup_shards`, CI-gated via
+//!   `--require-shard-speedup`) is the evidence that shard-per-region
+//!   placement beats scale-up under a fixed per-process budget. The
+//!   sharded side runs with `verify` on, per shard — the router path
+//!   must stay oracle-exact.
 //!
 //! Reuse runs execute with `verify` enabled, so the artifact also
 //! certifies that every concurrent answer was score-equivalent to a
@@ -91,12 +106,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use skysr_core::bssr::BssrConfig;
-use skysr_data::dataset::Dataset;
+use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 
 use crate::context::ServiceContext;
 use crate::net::{RemoteService, Server, ServerConfig};
 use crate::replay::{
-    build_pool, replay_on, replay_remote, ReplayReport, ReplaySpec, StreamPattern, TelemetryMode,
+    build_pool, replay, replay_on, replay_remote, replay_sharded, ReplayReport, ReplaySpec,
+    ShardedReplayReport, StreamPattern, TelemetryMode,
 };
 use crate::service::{QueryService, Service, ServiceConfig};
 use crate::telemetry::{Rung, TelemetryConfig};
@@ -127,6 +143,13 @@ pub struct BenchSpec {
     pub seed: u64,
     /// Engine configuration.
     pub engine: BssrConfig,
+    /// Regions in the shard-scaling cell (its monolith baseline serves a
+    /// graph scaled by this factor).
+    pub shards: usize,
+    /// Per-region dataset scale of the shard-scaling cell (the cell
+    /// generates its own datasets — `shards` small cities plus one
+    /// `shards ×` larger one — independent of the bench's main dataset).
+    pub shard_scale: f64,
 }
 
 impl Default for BenchSpec {
@@ -142,6 +165,8 @@ impl Default for BenchSpec {
             repair_update_every: 16,
             seed: 7,
             engine: BssrConfig::default(),
+            shards: 4,
+            shard_scale: 0.05,
         }
     }
 }
@@ -160,7 +185,7 @@ pub struct BenchRun {
 /// The full bench outcome.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
-    /// All fourteen runs.
+    /// All eighteen runs.
     pub runs: Vec<BenchRun>,
     /// Reuse-over-baseline throughput ratio on the duplicate workload.
     pub speedup_duplicate: f64,
@@ -201,14 +226,29 @@ pub struct BenchReport {
     /// Responses served as valid approximate partials in the overloaded
     /// run (deadline expired mid-engine).
     pub overload_approximate: u64,
+    /// Aggregate-throughput ratio of the shard-scaling cell:
+    /// [`BenchReport::shard_count`] shards behind one router, each with
+    /// its own context, worker pool and result cache, over a monolith
+    /// serving the union of the regions (a `shards ×` larger graph, the
+    /// union working set) on the *same* fixed per-process budget (same
+    /// cache capacity, same total worker count). Scale-out wins on both
+    /// axes the cell compounds: each shard searches a `shards ×` smaller
+    /// graph, and each shard's region working set *fits* its cache while
+    /// the monolith's union working set thrashes its LRU. CI-gated via
+    /// `--require-shard-speedup`.
+    pub speedup_shards: f64,
+    /// Regions driven in the shard-scaling cell.
+    pub shard_count: usize,
 }
 
 impl BenchReport {
-    /// The smallest of the four speedups. Informational: the hard CI
-    /// gates (`--require-speedup`, `--require-repair-speedup`) threshold
-    /// the duplicate and repair workloads; the dynamic cell's ratio
-    /// depends on how many epochs happened to publish inside the short
-    /// window.
+    /// The smallest of the reuse-layer speedups. Informational: the hard
+    /// CI gates (`--require-speedup`, `--require-repair-speedup`)
+    /// threshold the duplicate and repair workloads; the dynamic cell's
+    /// ratio depends on how many epochs happened to publish inside the
+    /// short window. The shard-scaling ratio is deliberately *not*
+    /// folded in — it measures data placement, not the reuse layer, and
+    /// has its own gate (`--require-shard-speedup`).
     pub fn min_speedup(&self) -> f64 {
         self.speedup_duplicate
             .min(self.speedup_prefix)
@@ -313,6 +353,7 @@ impl BenchReport {
              \"net_ratio\": {:.4},\n  \
              \"overload_hit_p99_ratio\": {:.4},\n  \"overload_shed\": {},\n  \
              \"overload_approximate\": {},\n  \
+             \"speedup_shards\": {:.4},\n  \"shard_count\": {},\n  \
              \"min_speedup\": {:.4},\n  \"verify_mismatches\": {},\n  \
              \"stale_served\": {}\n}}\n",
             self.speedup_duplicate,
@@ -325,6 +366,8 @@ impl BenchReport {
             self.overload_hit_p99_ratio,
             self.overload_shed,
             self.overload_approximate,
+            self.speedup_shards,
+            self.shard_count,
             self.min_speedup(),
             self.verify_mismatches(),
             self.stale_served()
@@ -379,6 +422,12 @@ impl std::fmt::Display for BenchReport {
             f,
             "\noverload    {:.2}x hit-rung p99 at 2x capacity ({} shed, {} approximate)",
             self.overload_hit_p99_ratio, self.overload_shed, self.overload_approximate
+        )?;
+        write!(
+            f,
+            "\nshards      {:.2}x aggregate throughput on {} shards vs. one monolith (same \
+             per-process cache budget and worker count)",
+            self.speedup_shards, self.shard_count
         )
     }
 }
@@ -485,7 +534,7 @@ fn overload_cell_spec(bench: &BenchSpec, overload: f64, deadline: Option<Duratio
     }
 }
 
-/// Runs the sixteen-cell bench over `dataset`.
+/// Runs the eighteen-cell bench over `dataset`.
 ///
 /// Both modes of a workload replay the *identical* request stream over one
 /// shared context, so the throughput ratio isolates the reuse layer. (In
@@ -526,7 +575,7 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         replay_on(Arc::clone(&ctx), &dup_pool, &warm);
     }
 
-    let mut runs = Vec::with_capacity(16);
+    let mut runs = Vec::with_capacity(18);
     let mut speedups = Vec::with_capacity(3);
     for (workload, pattern, pool, update_rate) in [
         ("duplicate", StreamPattern::DuplicateBursts, &dup_pool, 0.0),
@@ -697,6 +746,85 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
     runs.push(BenchRun { workload: "overload", mode: "uncontended", report: base });
     runs.push(BenchRun { workload: "overload", mode: "2x-overload", report: treat });
 
+    // Shard-scaling cell. Self-contained datasets (the main dataset was
+    // consumed above, and the comparison needs a graph family at two
+    // scales): `shards` small cities vs. one `shards ×` larger one, all
+    // deterministically seeded. Uniform popularity (zipf 0) makes the
+    // working set the whole pool; the cache capacity sits between one
+    // region's pool and the union pool, so shards fit and the monolith
+    // thrashes. Several passes let fitting caches actually pay off.
+    // Workers split evenly so both sides field the same total.
+    let shard_count = spec.shards.max(1);
+    let shard_distinct = spec.distinct * 4;
+    let shard_passes = 10;
+    let lane_spec = ReplaySpec {
+        total: shard_distinct * shard_passes,
+        distinct: shard_distinct,
+        zipf_exponent: 0.0,
+        cache_capacity: shard_distinct * 5 / 4,
+        workers: (spec.workers / shard_count).max(1),
+        verify: true,
+        ..cell_spec(spec, StreamPattern::Zipf, true, 0.0)
+    };
+    let mono_spec = ReplaySpec {
+        total: shard_count * shard_distinct * shard_passes,
+        distinct: shard_count * shard_distinct,
+        workers: (spec.workers / shard_count).max(1) * shard_count,
+        verify: false,
+        ..lane_spec.clone()
+    };
+    let city = |scale: f64, seed: u64| {
+        DatasetSpec::preset(Preset::CalSmall).scale(scale).seed(seed).generate()
+    };
+    let mut base: Option<ReplayReport> = None;
+    let mut treat: Option<ShardedReplayReport> = None;
+    for _ in 0..2 {
+        let b = replay(city(spec.shard_scale * shard_count as f64, spec.seed + 99), &mono_spec);
+        if base.as_ref().is_none_or(|old| b.metrics.throughput_qps > old.metrics.throughput_qps) {
+            base = Some(b);
+        }
+        let regions: Vec<(String, Dataset)> = (0..shard_count)
+            .map(|i| (format!("region-{i}"), city(spec.shard_scale, spec.seed + 100 + i as u64)))
+            .collect();
+        let t = replay_sharded(regions, &lane_spec);
+        assert_eq!(t.misrouted, 0, "a replay stamps every request with its own region");
+        if treat.as_ref().is_none_or(|old| {
+            t.merged_metrics().throughput_qps > old.merged_metrics().throughput_qps
+        }) {
+            treat = Some(t);
+        }
+    }
+    let (base, treat) = (base.expect("two trials ran"), treat.expect("two trials ran"));
+    let merged = treat.merged_metrics();
+    let speedup_shards = if base.metrics.throughput_qps > 0.0 {
+        merged.throughput_qps / base.metrics.throughput_qps
+    } else {
+        0.0
+    };
+    // Fold the fleet into one run row so the artifact's shared gates
+    // (verify_mismatches, stale_served) cover the sharded side too.
+    let sharded = ReplayReport {
+        total: treat.total(),
+        distinct: treat.shards.iter().map(|s| s.report.distinct).sum(),
+        pattern: StreamPattern::Zipf,
+        workers: treat.shards.iter().map(|s| s.report.workers).sum(),
+        qps: 0.0,
+        wall: treat.wall,
+        epochs_published: treat.shards.iter().map(|s| s.report.epochs_published).sum(),
+        epoch_gc: merged.epochs,
+        metrics: merged,
+        verify_mismatches: Some(
+            treat.shards.iter().filter_map(|s| s.report.verify_mismatches).sum(),
+        ),
+        verify_skipped: Some(treat.shards.iter().filter_map(|s| s.report.verify_skipped).sum()),
+        spans: Vec::new(),
+        trace_violations: None,
+        overload: 0.0,
+        met_deadline: None,
+    };
+    runs.push(BenchRun { workload: "shards", mode: "monolith", report: base });
+    runs.push(BenchRun { workload: "shards", mode: "sharded", report: sharded });
+
     BenchReport {
         runs,
         speedup_duplicate: speedups[0],
@@ -709,6 +837,8 @@ pub fn bench(dataset: Dataset, spec: &BenchSpec) -> BenchReport {
         overload_hit_p99_ratio,
         overload_shed,
         overload_approximate,
+        speedup_shards,
+        shard_count,
     }
 }
 
@@ -731,7 +861,7 @@ mod tests {
             ..BenchSpec::default()
         };
         let report = bench(dataset, &spec);
-        assert_eq!(report.runs.len(), 16);
+        assert_eq!(report.runs.len(), 18);
         // The correctness gate ran on the reuse runs and passed — including
         // the dynamic cell, whose oracle is epoch-aware.
         assert_eq!(report.verify_mismatches(), 0);
@@ -744,6 +874,7 @@ mod tests {
                 "telemetry" => 1_280,     // 8x the burst-cell volume
                 "net" => 640,             // 4x the burst-cell volume
                 "overload" => 8 * 16 * 2, // distinct×16 pool, two draws per entry
+                "shards" => 8 * 4 * 4 * 10, // shards × per-shard distinct × passes
                 _ => 160,
             };
             let m = &run.report.metrics;
@@ -823,6 +954,12 @@ mod tests {
             "the overload cell must measure a hit-rung ratio: {}",
             report.overload_hit_p99_ratio
         );
+        assert_eq!(report.shard_count, 4);
+        assert!(
+            report.speedup_shards > 0.0,
+            "the shard cell must measure a ratio: {}",
+            report.speedup_shards
+        );
         let json = report.to_json();
         // Well-formed enough for jq/python: balanced braces, the headline
         // keys present, no trailing comma before the array close.
@@ -850,6 +987,10 @@ mod tests {
         assert!(json.contains("\"overload_hit_p99_ratio\""));
         assert!(json.contains("\"overload_shed\""));
         assert!(json.contains("\"overload_approximate\""));
+        assert!(json.contains("\"workload\": \"shards\""));
+        assert!(json.contains("\"mode\": \"sharded\""));
+        assert!(json.contains("\"speedup_shards\""));
+        assert!(json.contains("\"shard_count\": 4"));
         assert!(json.contains("\"rejected\""));
         assert!(json.contains("\"shed_deadline\""));
         assert!(json.contains("\"approximate_served\""));
@@ -867,5 +1008,6 @@ mod tests {
         assert!(text.contains("telemetry"), "{text}");
         assert!(text.contains("socket-vs-in-process"), "{text}");
         assert!(text.contains("hit-rung p99 at 2x capacity"), "{text}");
+        assert!(text.contains("aggregate throughput on 4 shards"), "{text}");
     }
 }

@@ -42,6 +42,13 @@
 //!   repair-vs-invalidate cell, a tracing-overhead cell and a
 //!   2×-capacity overload cell) and
 //!   serializing the `BENCH_pr.json` CI artifact;
+//! * [`shard`] — multi-tenant scale-out: a [`ShardRegistry`] builds one
+//!   complete share-nothing serving stack per region and seals into a
+//!   [`Router`] implementing [`QueryService`] — explicit
+//!   [`QueryRequest::region`] addressing with deterministic start-vertex
+//!   fallback for legacy callers, per-shard metrics under the merged
+//!   aggregate, and shard-local weight updates/invalidation/overload by
+//!   construction;
 //! * [`telemetry`] — per-request [`TraceSpan`]s (queue → plan → engine
 //!   stage timings, rung-ladder probe trail, engine-work profile) retained
 //!   in a sampled bounded [`TraceBuffer`], log-linear mergeable latency
@@ -130,19 +137,21 @@ pub mod plan;
 pub mod pool;
 pub mod replay;
 mod service;
+pub mod shard;
 pub mod telemetry;
 
 pub use bench::{BenchReport, BenchSpec};
 pub use cache::{CacheCounters, QueryKey, ResultCache};
 pub use context::ServiceContext;
 pub use metrics::{LatencyBreakdown, MetricsSnapshot, Served};
-pub use net::{ProtocolError, RemoteService, Server, ServerConfig};
+pub use net::{ProtocolError, RemoteService, ServeBackend, Server, ServerConfig};
 pub use plan::{PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource};
-pub use replay::{ReplayReport, ReplaySpec, StreamPattern};
+pub use replay::{ReplayReport, ReplaySpec, ShardReplay, ShardedReplayReport, StreamPattern};
 pub use service::{
     AnytimeResponse, QueryRequest, QueryResponse, QueryService, RequestOptions, Service,
     ServiceConfig, StreamTicket, Ticket,
 };
+pub use shard::{RegionId, RegionInfo, RegionService, Router, ShardRegistry};
 pub use telemetry::{
     Histogram, HistogramSnapshot, Rung, RungSummary, TelemetryConfig, TraceBuffer, TraceSpan,
 };

@@ -388,6 +388,81 @@ pub struct MetricsSnapshot {
     pub epochs: EpochGcStats,
 }
 
+impl MetricsSnapshot {
+    /// Folds `other` into `self` — how a [`crate::shard::Router`] builds
+    /// the deployment-wide aggregate out of per-shard snapshots.
+    ///
+    /// Counters and histograms add exactly (bucket boundaries are fixed,
+    /// so histogram merging loses nothing); the latency summaries are
+    /// recomputed from the merged histogram. `wall` is the *longest* of
+    /// the two windows — shards serve concurrently, not back-to-back —
+    /// and `throughput_qps` is total completed over that window.
+    /// `mean_skyline_size` is the completed-weighted combination of two
+    /// sampled means. Cache counters sum; the epoch/GC gauges sum except
+    /// `retention`, reported as the largest configured ring (each shard
+    /// owns its own ring — there is no shared retention to report).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let self_weight = self.completed as f64;
+        let other_weight = other.completed as f64;
+        if self_weight + other_weight > 0.0 {
+            self.mean_skyline_size = (self.mean_skyline_size * self_weight
+                + other.mean_skyline_size * other_weight)
+                / (self_weight + other_weight);
+        }
+        self.max_skyline_size = self.max_skyline_size.max(other.max_skyline_size);
+
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.executed += other.executed;
+        self.coalesced += other.coalesced;
+        self.seeded_prefix += other.seeded_prefix;
+        self.seeded_ancestor += other.seeded_ancestor;
+        self.seeded_suffix += other.seeded_suffix;
+        self.stale_served += other.stale_served;
+        self.repairs += other.repairs;
+        self.repair_fallbacks += other.repair_fallbacks;
+        self.routes_untouched += other.routes_untouched;
+        self.routes_rescored += other.routes_rescored;
+        self.approximate_served += other.approximate_served;
+        self.rejected += other.rejected;
+        self.shed_deadline += other.shed_deadline;
+
+        self.wall = self.wall.max(other.wall);
+        self.throughput_qps = if self.wall.as_secs_f64() > 0.0 {
+            self.completed as f64 / self.wall.as_secs_f64()
+        } else {
+            0.0
+        };
+
+        self.latency_hist.merge(&other.latency_hist);
+        self.queue_wait_hist.merge(&other.queue_wait_hist);
+        self.engine_hist.merge(&other.engine_hist);
+        self.latency_mean = self.latency_hist.mean();
+        self.latency_p50 = self.latency_hist.quantile(0.50);
+        self.latency_p90 = self.latency_hist.quantile(0.90);
+        self.latency_p99 = self.latency_hist.quantile(0.99);
+        self.latency_max = self.latency_hist.max();
+        for (mine, theirs) in self.rungs.iter_mut().zip(&other.rungs) {
+            debug_assert_eq!(mine.rung, theirs.rung, "rung summaries are ladder-ordered");
+            mine.hist.merge(&theirs.hist);
+        }
+
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.insertions += other.cache.insertions;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.invalidations += other.cache.invalidations;
+        self.cache.len += other.cache.len;
+
+        self.epochs.retained += other.epochs.retained;
+        self.epochs.retained_max += other.epochs.retained_max;
+        self.epochs.retention = self.epochs.retention.max(other.epochs.retention);
+        self.epochs.compacted += other.epochs.compacted;
+        self.epochs.rebases += other.epochs.rebases;
+        self.epochs.overlay_len += other.epochs.overlay_len;
+    }
+}
+
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         fn ms(d: Duration) -> f64 {

@@ -27,11 +27,12 @@ use skysr_core::route::SkylineRoute;
 use skysr_graph::{EpochId, WeightDelta};
 
 use super::wire::{
-    read_frame, DatasetFingerprint, Frame, ProtocolError, FEATURE_STREAMING, MAX_FRAME,
-    PROTOCOL_VERSION,
+    read_frame, DatasetFingerprint, Frame, ProtocolError, FEATURE_MULTI_TENANT, FEATURE_STREAMING,
+    MAX_FRAME, PROTOCOL_VERSION,
 };
 use crate::metrics::MetricsSnapshot;
 use crate::service::{QueryRequest, QueryService, StreamTicket, Ticket};
+use crate::shard::RegionInfo;
 
 /// Answer routing for one submitted query.
 struct PendingQuery {
@@ -89,6 +90,7 @@ pub struct RemoteService {
     next_id: AtomicU64,
     fingerprint: DatasetFingerprint,
     features: u32,
+    registry: Vec<RegionInfo>,
     reader: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -100,14 +102,20 @@ impl RemoteService {
         let mut writer = stream;
         super::wire::write_frame(
             &mut writer,
-            &Frame::Hello { version: PROTOCOL_VERSION, features: FEATURE_STREAMING },
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                features: FEATURE_STREAMING | FEATURE_MULTI_TENANT,
+            },
         )?;
         let mut read_half = writer.try_clone().map_err(|e| ProtocolError::io("clone stream", e))?;
-        let (version, features, fingerprint) = match read_frame(&mut read_half, MAX_FRAME)? {
-            Frame::Welcome { version, features, fingerprint } => (version, features, fingerprint),
-            Frame::Fault { message } => return Err(ProtocolError::Disconnected(message)),
-            _ => return Err(ProtocolError::UnexpectedFrame("expected Welcome")),
-        };
+        let (version, features, fingerprint, registry) =
+            match read_frame(&mut read_half, MAX_FRAME)? {
+                Frame::Welcome { version, features, fingerprint, registry } => {
+                    (version, features, fingerprint, registry)
+                }
+                Frame::Fault { message } => return Err(ProtocolError::Disconnected(message)),
+                _ => return Err(ProtocolError::UnexpectedFrame("expected Welcome")),
+            };
         if version != PROTOCOL_VERSION {
             return Err(ProtocolError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: version });
         }
@@ -124,6 +132,7 @@ impl RemoteService {
             next_id: AtomicU64::new(1),
             fingerprint,
             features,
+            registry,
             reader: Mutex::new(Some(reader)),
         })
     }
@@ -157,6 +166,13 @@ impl RemoteService {
     /// The feature flags the daemon advertised.
     pub fn features(&self) -> u32 {
         self.features
+    }
+
+    /// The dataset registry the daemon's `Welcome` carried — one entry
+    /// per resident region. (Also available as
+    /// [`QueryService::regions`].)
+    pub fn registry(&self) -> &[RegionInfo] {
+        &self.registry
     }
 
     fn send(&self, frame: &Frame) {
@@ -241,6 +257,10 @@ impl QueryService for RemoteService {
             let _ = handle.join();
         }
         snapshot
+    }
+
+    fn regions(&self) -> Vec<RegionInfo> {
+        self.registry.clone()
     }
 }
 

@@ -29,8 +29,11 @@ pub mod server;
 pub mod wire;
 
 pub use client::RemoteService;
-pub use server::{Server, ServerConfig};
-pub use wire::{DatasetFingerprint, Frame, FrameReader, ProtocolError, PROTOCOL_VERSION};
+pub use server::{ServeBackend, Server, ServerConfig};
+pub use wire::{
+    DatasetFingerprint, Frame, FrameReader, ProtocolError, FEATURE_MULTI_TENANT, FEATURE_STREAMING,
+    PROTOCOL_V1, PROTOCOL_VERSION,
+};
 
 use crate::context::ServiceContext;
 

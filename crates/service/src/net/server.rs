@@ -15,7 +15,7 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::Receiver;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -24,10 +24,74 @@ use skysr_core::error::QueryError;
 use skysr_core::route::SkylineRoute;
 
 use super::wire::{
-    DatasetFingerprint, Frame, FrameReader, ProtocolError, FEATURE_STREAMING, MAX_FRAME,
-    PROTOCOL_VERSION,
+    DatasetFingerprint, Frame, FrameReader, ProtocolError, FEATURE_MULTI_TENANT, FEATURE_STREAMING,
+    MAX_FRAME, PROTOCOL_V1, PROTOCOL_VERSION,
 };
-use crate::service::{QueryService, Service, Ticket};
+use crate::service::{QueryRequest, QueryService, Service, Ticket};
+use crate::shard::{RegionInfo, Router};
+
+/// What the event loop needs from the engine behind it, beyond
+/// [`QueryService`]: the non-blocking submission path its readiness model
+/// depends on. Implemented by the single-shard [`Service`] and the
+/// multi-tenant [`Router`], so one daemon binary serves either.
+pub trait ServeBackend: QueryService + 'static {
+    /// Non-blocking submit: `Err` hands the request back when the
+    /// submission queue is full right now (the loop parks it and keeps
+    /// turning); an admission-gate shed or a mis-addressed region is an
+    /// `Ok` ticket already resolved to the typed failure. `submitted` is
+    /// the instant the request *first* arrived, so a parked-and-retried
+    /// request keeps its original deadline clock.
+    fn try_submit(
+        &self,
+        request: QueryRequest,
+        progress: Option<Sender<SkylineRoute>>,
+        submitted: Instant,
+    ) -> Result<Ticket, QueryRequest>;
+
+    /// Counts a request shed while parked (queue full past its deadline)
+    /// against the owning shard's metrics.
+    fn note_shed_parked(&self, request: &QueryRequest);
+}
+
+impl ServeBackend for Service {
+    fn try_submit(
+        &self,
+        request: QueryRequest,
+        progress: Option<Sender<SkylineRoute>>,
+        submitted: Instant,
+    ) -> Result<Ticket, QueryRequest> {
+        Service::try_submit(self, request, progress, submitted)
+    }
+
+    fn note_shed_parked(&self, _request: &QueryRequest) {
+        Service::note_shed_parked(self);
+    }
+}
+
+impl ServeBackend for Router {
+    fn try_submit(
+        &self,
+        request: QueryRequest,
+        progress: Option<Sender<SkylineRoute>>,
+        submitted: Instant,
+    ) -> Result<Ticket, QueryRequest> {
+        match self.dispatch_request(request) {
+            Ok((service, request)) => Service::try_submit(&service, request, progress, submitted),
+            Err(err) => Ok(self.resolved_error_ticket(err)),
+        }
+    }
+
+    fn note_shed_parked(&self, request: &QueryRequest) {
+        // The parked request was already routable (it parked on a shard's
+        // full queue), so resolve charges the owning shard; an unroutable
+        // one was never parked.
+        if let Ok(region) = self.resolve(request) {
+            if let Some(service) = self.shard(region) {
+                Service::note_shed_parked(service);
+            }
+        }
+    }
+}
 
 /// Tuning knobs for [`Server`].
 #[derive(Clone, Copy, Debug)]
@@ -48,11 +112,12 @@ impl Default for ServerConfig {
 
 /// A running daemon: the listener plus its poll thread.
 ///
-/// The server holds an `Arc<Service>` and answers any number of
-/// concurrent connections against it. It stops either cooperatively
-/// ([`Server::stop`], service left running) or protocol-driven (a client
+/// The server holds an `Arc` of its backend — the single-shard
+/// [`Service`] or the multi-tenant [`Router`] — and answers any number
+/// of concurrent connections against it. It stops either cooperatively
+/// ([`Server::stop`], backend left running) or protocol-driven (a client
 /// sends [`Frame::Shutdown`]: the loop drains every in-flight query,
-/// shuts the service down, answers with the final
+/// shuts the backend down, answers with the final
 /// [`Frame::MetricsRep`] and exits).
 pub struct Server {
     addr: SocketAddr,
@@ -62,20 +127,29 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// spawns the poll thread serving `service`.
-    pub fn spawn<A: ToSocketAddrs>(
+    /// spawns the poll thread serving `backend` — an `Arc<Service>`
+    /// (single shard) or `Arc<Router>` (multi-tenant).
+    pub fn spawn<A: ToSocketAddrs, B: ServeBackend>(
         addr: A,
-        service: Arc<Service>,
+        backend: Arc<B>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let fingerprint = DatasetFingerprint::of(service.context());
+        // The registry (and the default shard's fingerprint inside it) is
+        // captured once at spawn, like the v1 fingerprint was: the
+        // handshake advertises the epoch the daemon *started* serving.
+        let registry = backend.regions();
+        let fingerprint = registry
+            .first()
+            .map(|info| info.fingerprint)
+            .expect("a serve backend advertises at least one region");
         let mut loop_state = EventLoop {
             listener,
-            service,
+            service: backend as Arc<dyn ServeBackend>,
+            registry,
             fingerprint,
             config,
             conns: Vec::new(),
@@ -145,7 +219,7 @@ struct Conn {
     /// request's deadline clock keeps running — the per-connection
     /// overload gate sheds it with a typed [`Frame::QueryFailed`] once
     /// the deadline lapses instead of retrying forever.
-    parked: Option<(u64, bool, Instant, crate::service::QueryRequest)>,
+    parked: Option<(u64, bool, Instant, QueryRequest)>,
     /// Close once the write buffer drains (set after a `Fault`).
     close_after_flush: bool,
     dead: bool,
@@ -186,7 +260,11 @@ impl Conn {
 
 struct EventLoop {
     listener: TcpListener,
-    service: Arc<Service>,
+    service: Arc<dyn ServeBackend>,
+    /// The registry advertised to v2 clients, captured at spawn.
+    registry: Vec<RegionInfo>,
+    /// The default shard's fingerprint — the fixed `Welcome` field every
+    /// client (v1 or v2) decodes.
     fingerprint: DatasetFingerprint,
     config: ServerConfig,
     conns: Vec<Conn>,
@@ -234,6 +312,7 @@ impl EventLoop {
                         conn,
                         &self.service,
                         self.fingerprint,
+                        &self.registry,
                         draining,
                         &mut requested_drain,
                     );
@@ -253,7 +332,7 @@ impl EventLoop {
             for conn in &mut self.conns {
                 if let Some((id, streaming, submitted, request)) = conn.parked.take() {
                     if request.options.deadline.is_some_and(|d| submitted.elapsed() >= d) {
-                        self.service.note_shed_parked();
+                        self.service.note_shed_parked(&request);
                         conn.queue_frame(&Frame::QueryFailed { id, error: QueryError::Overloaded });
                         busy = true;
                         continue;
@@ -355,8 +434,9 @@ fn read_into(conn: &mut Conn, write_buf_cap: usize) -> bool {
 /// Decodes and handles every complete frame buffered on the connection.
 fn dispatch(
     conn: &mut Conn,
-    service: &Arc<Service>,
+    service: &Arc<dyn ServeBackend>,
     fingerprint: DatasetFingerprint,
+    registry: &[RegionInfo],
     draining: bool,
     requested_drain: &mut bool,
 ) -> bool {
@@ -379,18 +459,41 @@ fn dispatch(
         busy = true;
         match frame {
             Frame::Hello { version, features: _ } => {
-                // Answer with our identity either way — a mismatched
-                // client needs the Welcome to diagnose — then hang up on
-                // incompatible peers.
-                conn.queue_frame(&Frame::Welcome {
-                    version: PROTOCOL_VERSION,
-                    features: FEATURE_STREAMING,
-                    fingerprint,
-                });
-                if version != PROTOCOL_VERSION {
-                    conn.close_after_flush = true;
-                } else {
-                    conn.greeted = true;
+                match version {
+                    // A v1 client is served, not rejected: it gets the
+                    // exact v1 Welcome shape (no registry bytes — a v1
+                    // decoder treats trailing bytes as garbage) and its
+                    // region-less submissions route to the default shard.
+                    PROTOCOL_V1 => {
+                        conn.queue_frame(&Frame::Welcome {
+                            version: PROTOCOL_V1,
+                            features: FEATURE_STREAMING,
+                            fingerprint,
+                            registry: Vec::new(),
+                        });
+                        conn.greeted = true;
+                    }
+                    PROTOCOL_VERSION => {
+                        conn.queue_frame(&Frame::Welcome {
+                            version: PROTOCOL_VERSION,
+                            features: FEATURE_STREAMING | FEATURE_MULTI_TENANT,
+                            fingerprint,
+                            registry: registry.to_vec(),
+                        });
+                        conn.greeted = true;
+                    }
+                    // Anything else: answer with our identity either way
+                    // — a mismatched client needs the Welcome to diagnose
+                    // — then hang up.
+                    _ => {
+                        conn.queue_frame(&Frame::Welcome {
+                            version: PROTOCOL_VERSION,
+                            features: FEATURE_STREAMING | FEATURE_MULTI_TENANT,
+                            fingerprint,
+                            registry: registry.to_vec(),
+                        });
+                        conn.close_after_flush = true;
+                    }
                 }
             }
             Frame::Submit { id, streaming, request } => {
@@ -444,12 +547,12 @@ fn dispatch(
 }
 
 fn try_submit(
-    service: &Arc<Service>,
+    service: &Arc<dyn ServeBackend>,
     id: u64,
     streaming: bool,
     submitted: Instant,
-    request: crate::service::QueryRequest,
-) -> Result<Inflight, (u64, bool, Instant, crate::service::QueryRequest)> {
+    request: QueryRequest,
+) -> Result<Inflight, (u64, bool, Instant, QueryRequest)> {
     let (progress_tx, progress_rx) = if streaming {
         let (tx, rx) = std::sync::mpsc::channel();
         (Some(tx), Some(rx))

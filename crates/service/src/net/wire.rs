@@ -13,6 +13,18 @@
 //! are a typed [`ProtocolError::VersionMismatch`], never a garbled
 //! stream.
 //!
+//! **v2 (multi-tenant).** A v2 `Welcome` additionally carries the
+//! *dataset registry* — one `(region id, name, fingerprint)` entry per
+//! resident shard — and a v2 `Submit`'s options may address a region
+//! (option flag bit 3). Compatibility is one-directional by design: a
+//! v1 client greeting a v2 daemon is answered with a v1-*shaped*
+//! `Welcome` (version 1, no registry — the default shard's fingerprint
+//! only) and served single-shard, since a v1 `Submit` can never carry a
+//! region and region-less requests route to the default shard. The
+//! version field of the `Welcome` being decoded says whether registry
+//! bytes follow, so both shapes parse exactly (v1 payloads end after the
+//! fingerprint; trailing bytes stay an error).
+//!
 //! Decoding is defensive end to end: adversarial bytes produce
 //! [`ProtocolError`]s (`Oversized`, `Malformed`), never panics — every
 //! length is bounds-checked, every enum tag matched exhaustively, every
@@ -34,15 +46,28 @@ use crate::cache::CacheCounters;
 use crate::metrics::{MetricsSnapshot, Served};
 use crate::plan::{ReuseStrategies, SeedSource};
 use crate::service::{QueryRequest, QueryResponse, RequestOptions};
+use crate::shard::{RegionId, RegionInfo};
 use crate::telemetry::{HistogramSnapshot, Rung, RungSummary};
 use skysr_graph::EpochGcStats;
 
 /// Protocol version this build speaks. Bumped on any incompatible frame
-/// change; the handshake rejects mismatches outright.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// change; the handshake rejects mismatches outright — with one
+/// deliberate exception: a v2 *server* still serves a v1 client (see the
+/// module docs), so old deployments keep working against a multi-tenant
+/// daemon.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The protocol version before multi-tenancy: one dataset, no registry,
+/// no region addressing. What a v2 server speaks *down* to when greeted
+/// by a v1 client.
+pub const PROTOCOL_V1: u16 = 1;
 
 /// Feature flag: the peer understands [`Frame::Progress`] streaming.
 pub const FEATURE_STREAMING: u32 = 1;
+
+/// Feature flag (v2): the peer understands the multi-tenant extensions —
+/// the `Welcome` registry and region-addressed `Submit` options.
+pub const FEATURE_MULTI_TENANT: u32 = 2;
 
 /// Largest frame either side accepts (length prefix included), generous
 /// for city-scale metrics snapshots yet small enough that an adversarial
@@ -54,6 +79,8 @@ const MAX_POSITIONS: usize = 256;
 const MAX_REQ_DEPTH: usize = 16;
 const MAX_REQ_BRANCHES: usize = 256;
 const MAX_ROUTE_POIS: usize = 4096;
+const MAX_REGIONS: usize = 1024;
+const MAX_REGION_NAME: usize = 256;
 
 /// Everything that can go wrong on the wire — handshake mismatches,
 /// adversarial or truncated bytes, oversized frames, and transport
@@ -143,12 +170,22 @@ pub enum Frame {
     },
     /// S→C, the handshake answer.
     Welcome {
-        /// Server protocol version.
+        /// Server protocol version — the version *this connection* will
+        /// speak: a v2 daemon answers a v1 client with `version: 1` (and
+        /// an empty, un-encoded registry).
         version: u16,
         /// Server feature flags.
         features: u32,
-        /// What the daemon is serving.
+        /// What the daemon is serving: the default shard's fingerprint —
+        /// the whole story for a single-shard daemon or a v1 connection,
+        /// kept in the fixed part of the frame so v1 clients decode it
+        /// unchanged.
         fingerprint: DatasetFingerprint,
+        /// v2 only: the dataset registry, one entry per resident region
+        /// (registration order; entry 0 is the default shard, whose
+        /// fingerprint repeats `fingerprint`). Never encoded when
+        /// `version` is 1.
+        registry: Vec<RegionInfo>,
     },
     /// C→S: one query submission.
     Submit {
@@ -410,8 +447,10 @@ fn strategies_from_bits(bits: u8) -> ReuseStrategies {
 }
 
 fn put_options(out: &mut Vec<u8>, o: &RequestOptions) {
-    let flags =
-        (o.deadline.is_some() as u8) | (o.trace as u8) << 1 | (o.reuse.is_some() as u8) << 2;
+    let flags = (o.deadline.is_some() as u8)
+        | (o.trace as u8) << 1
+        | (o.reuse.is_some() as u8) << 2
+        | (o.region.is_some() as u8) << 3;
     put_u8(out, flags);
     if let Some(d) = o.deadline {
         put_duration(out, d);
@@ -419,16 +458,22 @@ fn put_options(out: &mut Vec<u8>, o: &RequestOptions) {
     if let Some(mask) = o.reuse {
         put_u8(out, strategy_bits(mask));
     }
+    if let Some(region) = o.region {
+        put_u16(out, region.0);
+    }
 }
 
 fn take_options(r: &mut Reader<'_>) -> Result<RequestOptions, ProtocolError> {
     let flags = r.u8()?;
-    if flags & !0b111 != 0 {
+    if flags & !0b1111 != 0 {
         return Err(ProtocolError::Malformed("unknown option flags"));
     }
     let deadline = if flags & 1 != 0 { Some(r.duration()?) } else { None };
     let reuse = if flags & 4 != 0 { Some(strategies_from_bits(r.u8()?)) } else { None };
-    Ok(RequestOptions { deadline, trace: flags & 2 != 0, reuse })
+    // v2 region addressing. A v1 peer never sets bit 3, so v1 payloads
+    // decode unchanged.
+    let region = if flags & 8 != 0 { Some(RegionId(r.u16()?)) } else { None };
+    Ok(RequestOptions { deadline, trace: flags & 2 != 0, reuse, region })
 }
 
 fn put_route(out: &mut Vec<u8>, route: &SkylineRoute) {
@@ -528,6 +573,10 @@ fn put_query_error(out: &mut Vec<u8>, e: &QueryError) {
             put_u32(out, v.0);
         }
         QueryError::Overloaded => put_u8(out, 5),
+        QueryError::UnknownRegion(region) => {
+            put_u8(out, 6);
+            put_u16(out, *region);
+        }
     }
 }
 
@@ -539,6 +588,7 @@ fn take_query_error(r: &mut Reader<'_>) -> Result<QueryError, ProtocolError> {
         3 => Ok(QueryError::UnmatchablePosition(r.u64()? as usize)),
         4 => Ok(QueryError::UnknownDestination(VertexId(r.u32()?))),
         5 => Ok(QueryError::Overloaded),
+        6 => Ok(QueryError::UnknownRegion(r.u16()?)),
         _ => Err(ProtocolError::Malformed("unknown error tag")),
     }
 }
@@ -727,7 +777,7 @@ impl Frame {
                 put_u16(&mut body, *version);
                 put_u32(&mut body, *features);
             }
-            Frame::Welcome { version, features, fingerprint } => {
+            Frame::Welcome { version, features, fingerprint, registry } => {
                 put_u8(&mut body, T_WELCOME);
                 put_u16(&mut body, *version);
                 put_u32(&mut body, *features);
@@ -735,6 +785,20 @@ impl Frame {
                 put_u64(&mut body, fingerprint.arcs);
                 put_u64(&mut body, fingerprint.pois);
                 put_u64(&mut body, fingerprint.epoch.get());
+                // The registry exists only on the wire of a v2
+                // connection: a v1 client rejects any trailing bytes, so
+                // a v1-shaped Welcome must end exactly here.
+                if *version >= 2 {
+                    put_u16(&mut body, registry.len() as u16);
+                    for info in registry {
+                        put_u16(&mut body, info.id.0);
+                        put_str(&mut body, &info.name);
+                        put_u64(&mut body, info.fingerprint.vertices);
+                        put_u64(&mut body, info.fingerprint.arcs);
+                        put_u64(&mut body, info.fingerprint.pois);
+                        put_u64(&mut body, info.fingerprint.epoch.get());
+                    }
+                }
             }
             Frame::Submit { id, streaming, request } => {
                 put_u8(&mut body, T_SUBMIT);
@@ -800,16 +864,43 @@ impl Frame {
         let mut r = Reader::new(body);
         let frame = match r.u8()? {
             T_HELLO => Frame::Hello { version: r.u16()?, features: r.u32()? },
-            T_WELCOME => Frame::Welcome {
-                version: r.u16()?,
-                features: r.u32()?,
-                fingerprint: DatasetFingerprint {
+            T_WELCOME => {
+                let version = r.u16()?;
+                let features = r.u32()?;
+                let fingerprint = DatasetFingerprint {
                     vertices: r.u64()?,
                     arcs: r.u64()?,
                     pois: r.u64()?,
                     epoch: EpochId(r.u64()?),
-                },
-            },
+                };
+                // The announced version tells us whether registry bytes
+                // follow: v1 payloads end right here.
+                let registry = if version >= 2 {
+                    let n = r.u16()? as usize;
+                    if n > MAX_REGIONS {
+                        return Err(ProtocolError::Malformed("too many registry entries"));
+                    }
+                    let mut registry = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let id = RegionId(r.u16()?);
+                        let name = r.str()?;
+                        if name.len() > MAX_REGION_NAME {
+                            return Err(ProtocolError::Malformed("region name too long"));
+                        }
+                        let fingerprint = DatasetFingerprint {
+                            vertices: r.u64()?,
+                            arcs: r.u64()?,
+                            pois: r.u64()?,
+                            epoch: EpochId(r.u64()?),
+                        };
+                        registry.push(RegionInfo { id, name, fingerprint });
+                    }
+                    registry
+                } else {
+                    Vec::new()
+                };
+                Frame::Welcome { version, features, fingerprint, registry }
+            }
             T_SUBMIT => {
                 let id = r.u64()?;
                 let streaming = r.u8()? != 0;
@@ -995,6 +1086,7 @@ mod tests {
                 deadline: Some(Duration::from_millis(5)),
                 trace: true,
                 reuse: Some(ReuseStrategies::none()),
+                region: Some(RegionId(3)),
             },
         };
         let Frame::Submit { id, streaming, request: back } =
@@ -1168,6 +1260,63 @@ mod tests {
                 put_u16(&mut b, 0xBEEF);
                 b
             },
+            // Submit with an undefined option flag (bit 4 — beyond the
+            // v2 region bit).
+            {
+                let mut body = vec![T_SUBMIT];
+                put_u64(&mut body, 1);
+                put_u8(&mut body, 0);
+                put_u32(&mut body, 0); // start
+                put_u16(&mut body, 0); // no positions
+                put_u8(&mut body, 0b1_0000); // unknown option flag
+                let mut b = Vec::new();
+                put_u32(&mut b, body.len() as u32);
+                b.extend(body);
+                b
+            },
+            // Submit announcing a region (flag bit 3) but truncated
+            // before the region id.
+            {
+                let mut body = vec![T_SUBMIT];
+                put_u64(&mut body, 1);
+                put_u8(&mut body, 0);
+                put_u32(&mut body, 0); // start
+                put_u16(&mut body, 0); // no positions
+                put_u8(&mut body, 0b1000); // region follows... except it doesn't
+                let mut b = Vec::new();
+                put_u32(&mut b, body.len() as u32);
+                b.extend(body);
+                b
+            },
+            // v2 Welcome announcing an absurd registry size.
+            {
+                let mut body = vec![T_WELCOME];
+                put_u16(&mut body, 2);
+                put_u32(&mut body, FEATURE_STREAMING | FEATURE_MULTI_TENANT);
+                for _ in 0..4 {
+                    put_u64(&mut body, 1); // fingerprint
+                }
+                put_u16(&mut body, u16::MAX); // registry entries
+                let mut b = Vec::new();
+                put_u32(&mut b, body.len() as u32);
+                b.extend(body);
+                b
+            },
+            // v1 Welcome with trailing registry bytes: a v1 payload ends
+            // at the fingerprint, whatever follows is garbage.
+            {
+                let mut body = vec![T_WELCOME];
+                put_u16(&mut body, 1);
+                put_u32(&mut body, FEATURE_STREAMING);
+                for _ in 0..4 {
+                    put_u64(&mut body, 1); // fingerprint
+                }
+                put_u16(&mut body, 0); // v2-style registry count on a v1 frame
+                let mut b = Vec::new();
+                put_u32(&mut b, body.len() as u32);
+                b.extend(body);
+                b
+            },
         ];
         for (i, bytes) in cases.iter().enumerate() {
             let mut fr = FrameReader::new(MAX_FRAME);
@@ -1242,6 +1391,68 @@ mod tests {
     }
 
     #[test]
+    fn v2_welcome_roundtrips_the_registry() {
+        let fp = |seed: u64| DatasetFingerprint {
+            vertices: 100 + seed,
+            arcs: 400 + seed,
+            pois: 20 + seed,
+            epoch: EpochId(seed),
+        };
+        let registry = vec![
+            RegionInfo { id: RegionId(0), name: "bay-area".into(), fingerprint: fp(0) },
+            RegionInfo { id: RegionId(1), name: "la-basin".into(), fingerprint: fp(1) },
+        ];
+        let Frame::Welcome { version, features, fingerprint, registry: back } =
+            roundtrip(&Frame::Welcome {
+                version: PROTOCOL_VERSION,
+                features: FEATURE_STREAMING | FEATURE_MULTI_TENANT,
+                fingerprint: fp(0),
+                registry: registry.clone(),
+            })
+        else {
+            panic!("wrong frame");
+        };
+        assert_eq!(version, PROTOCOL_VERSION);
+        assert_eq!(features, FEATURE_STREAMING | FEATURE_MULTI_TENANT);
+        assert_eq!(fingerprint, fp(0));
+        assert_eq!(back, registry);
+    }
+
+    #[test]
+    fn v1_welcome_has_no_registry_bytes() {
+        // A v1-shaped Welcome (what a v2 daemon sends a v1 client) must
+        // serialize to exactly the v1 layout: type + version + features +
+        // fingerprint, nothing after — a v1 peer rejects trailing bytes.
+        let frame = Frame::Welcome {
+            version: PROTOCOL_V1,
+            features: FEATURE_STREAMING,
+            fingerprint: DatasetFingerprint { vertices: 10, arcs: 40, pois: 5, epoch: EpochId(0) },
+            registry: Vec::new(),
+        };
+        let bytes = frame.to_bytes();
+        assert_eq!(bytes.len(), 4 + 1 + 2 + 4 + 32, "v1 Welcome layout drifted");
+        let Frame::Welcome { version, registry, .. } = roundtrip(&frame) else {
+            panic!("wrong frame");
+        };
+        assert_eq!(version, PROTOCOL_V1);
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn region_less_options_stay_v1_compatible() {
+        // A region-less Submit must not grow new bytes: its option flags
+        // stay within the v1 mask, so a v1 daemon decodes it unchanged.
+        let request = QueryRequest::new(sample_query());
+        let Frame::Submit { request: back, .. } =
+            roundtrip(&Frame::Submit { id: 8, streaming: false, request: request.clone() })
+        else {
+            panic!("wrong frame");
+        };
+        assert_eq!(back, request);
+        assert_eq!(back.options.region, None);
+    }
+
+    #[test]
     fn query_errors_roundtrip() {
         for e in [
             QueryError::UnknownStart(VertexId(3)),
@@ -1250,6 +1461,7 @@ mod tests {
             QueryError::UnmatchablePosition(2),
             QueryError::UnknownDestination(VertexId(11)),
             QueryError::Overloaded,
+            QueryError::UnknownRegion(7),
         ] {
             let Frame::QueryFailed { id, error } =
                 roundtrip(&Frame::QueryFailed { id: 1, error: e.clone() })

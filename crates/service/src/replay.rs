@@ -79,6 +79,7 @@ use crate::context::ServiceContext;
 use crate::metrics::{MetricsSnapshot, Served};
 use crate::net::{DatasetFingerprint, ProtocolError, RemoteService};
 use crate::service::{QueryRequest, QueryResponse, QueryService, Service, ServiceConfig, Ticket};
+use crate::shard::{RegionId, ShardRegistry};
 use crate::telemetry::{Rung, TelemetryConfig, TraceSpan};
 
 /// Span-retention policy of a replay run (histograms always record).
@@ -626,6 +627,242 @@ pub fn replay_on(ctx: Arc<ServiceContext>, pool: &[SkySrQuery], spec: &ReplaySpe
         overload: spec.overload,
         met_deadline: met_deadline(spec, &outcomes),
     }
+}
+
+/// One shard's slice of a [`replay_sharded`] run.
+#[derive(Clone, Debug)]
+pub struct ShardReplay {
+    /// The shard's region address.
+    pub region: RegionId,
+    /// The region's human-readable name.
+    pub name: String,
+    /// The shard's own full replay report. Metrics, epoch accounting,
+    /// oracle verification and the trace audit are all shard-local —
+    /// exactly the single-tenant [`replay_on`] report, computed against
+    /// this shard's private context.
+    pub report: ReplayReport,
+}
+
+/// Outcome of a multi-tenant replay: one [`ReplayReport`] per shard plus
+/// the router-level accounting no single shard can see.
+#[derive(Clone, Debug)]
+pub struct ShardedReplayReport {
+    /// Per-shard reports, registration-ordered (region 0 first).
+    pub shards: Vec<ShardReplay>,
+    /// Wall clock of the whole run (every shard driven concurrently).
+    pub wall: Duration,
+    /// Requests the router refused for naming a region no shard serves.
+    /// A replay stamps every request with its own lane's region, so this
+    /// must be zero.
+    pub misrouted: u64,
+}
+
+impl ShardedReplayReport {
+    /// Requests replayed across all shards.
+    pub fn total(&self) -> usize {
+        self.shards.iter().map(|s| s.report.total).sum()
+    }
+
+    /// The fleet-wide metrics view — what [`QueryService::metrics`] on the
+    /// router itself serves: every shard's snapshot folded through
+    /// [`MetricsSnapshot::merge`].
+    pub fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut shards = self.shards.iter();
+        let mut merged =
+            shards.next().expect("a router holds at least one shard").report.metrics.clone();
+        for s in shards {
+            merged.merge(&s.report.metrics);
+        }
+        merged
+    }
+
+    /// Whether every shard passed its gates: zero oracle mismatches (when
+    /// verification ran), zero stale serves, zero trace violations (when
+    /// full tracing ran) and nothing misrouted.
+    pub fn all_ok(&self) -> bool {
+        self.misrouted == 0
+            && self.shards.iter().all(|s| {
+                s.report.verify_mismatches.unwrap_or(0) == 0
+                    && s.report.stale_served() == 0
+                    && s.report.trace_violations.unwrap_or(0) == 0
+            })
+    }
+}
+
+impl std::fmt::Display for ShardedReplayReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.shards {
+            writeln!(f, "--- shard {} ({}) ---", s.region, s.name)?;
+            writeln!(f, "{}", s.report)?;
+        }
+        write!(
+            f,
+            "fleet       {} requests over {} shards in {:.2} s ({} misrouted)",
+            self.total(),
+            self.shards.len(),
+            self.wall.as_secs_f64(),
+            self.misrouted
+        )
+    }
+}
+
+/// A shard lane of [`replay_sharded`]: one region's dataset, pool, stream
+/// and salted spec, plus the epoch watermark its accounting starts from.
+struct ShardLane {
+    region: RegionId,
+    name: String,
+    ctx: Arc<ServiceContext>,
+    pool: Vec<SkySrQuery>,
+    stream: Vec<usize>,
+    spec: ReplaySpec,
+    epoch_before: EpochId,
+}
+
+/// Replays `spec` concurrently against several regions behind one
+/// [`Router`](crate::Router) — the multi-tenant twin of [`replay`].
+///
+/// Each `(name, dataset)` pair becomes one shard with its own
+/// [`ServiceContext`], worker pool, cache and telemetry, registered
+/// through a [`ShardRegistry`]. Every shard gets its own query pool,
+/// request stream and (if enabled) weight-update process, derived from
+/// `spec` with a shard-salted seed (shard 0 keeps the caller's seed, so a
+/// one-shard sharded replay is bit-identical to [`replay`]). Each lane
+/// drives its stream through
+/// [`Router::region_service`](crate::shard::Router::region_service) —
+/// requests are region-stamped and dispatched exactly like network
+/// traffic — while its updater publishes through
+/// [`Router::publish_weights_to`](crate::shard::Router::publish_weights_to),
+/// so weight
+/// churn stays shard-local by construction.
+///
+/// Verification, stale-serve and trace audits run *per shard* against that
+/// shard's private context: a mismatch on shard A cannot be masked by
+/// shard B, which is precisely the isolation proof the multi-tenant
+/// architecture claims.
+///
+/// # Panics
+/// If `datasets` is empty, the stream is empty, or `spec.overload` is set
+/// (capacity calibration is single-tenant — drive shards with an explicit
+/// [`qps`](ReplaySpec::qps) instead).
+pub fn replay_sharded(datasets: Vec<(String, Dataset)>, spec: &ReplaySpec) -> ShardedReplayReport {
+    assert!(!datasets.is_empty(), "a sharded replay needs at least one region");
+    assert!(spec.total > 0 && spec.distinct > 0, "replay needs a non-empty stream");
+    assert!(
+        spec.overload == 0.0,
+        "overload capacity calibration is single-tenant; drive shards with an explicit qps"
+    );
+
+    let mut registry = ShardRegistry::new();
+    let mut lanes = Vec::with_capacity(datasets.len());
+    for (i, (name, dataset)) in datasets.into_iter().enumerate() {
+        // Salt the seed per shard so pools, streams and updater bursts
+        // differ across regions; shard 0 keeps the caller's seed.
+        let spec = ReplaySpec {
+            seed: spec.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ..spec.clone()
+        };
+        let pool = build_pool(&dataset, &spec);
+        let stream = request_stream(&spec, pool.len());
+        let ctx = Arc::new(ServiceContext::from_dataset(dataset));
+        if spec.retention > 0 {
+            ctx.set_epoch_retention(spec.retention);
+        }
+        if spec.repair {
+            let _ = ctx.landmarks();
+        }
+        let epoch_before = ctx.current_epoch();
+        let region =
+            registry.add(name.clone(), Arc::clone(&ctx), service_config(&spec, stream.len()));
+        lanes.push(ShardLane { region, name, ctx, pool, stream, spec, epoch_before });
+    }
+    let router = registry.into_router();
+
+    // Drive every lane concurrently, each through its own region-scoped
+    // service view so the router's dispatch path is on the hot path.
+    let t0 = Instant::now();
+    let driven: Vec<(Vec<Result<QueryResponse, QueryError>>, Duration)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lanes
+                .iter()
+                .map(|lane| {
+                    let router = &router;
+                    scope.spawn(move || {
+                        let service =
+                            router.region_service(lane.region).expect("region was registered");
+                        let publish = move |deltas: &[WeightDelta]| {
+                            router
+                                .publish_weights_to(lane.region, deltas)
+                                .expect("region was registered")
+                        };
+                        drive(
+                            &service,
+                            &lane.pool,
+                            &lane.stream,
+                            &lane.spec,
+                            lane.ctx.graph(),
+                            &publish,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard driver panicked")).collect()
+        });
+    let wall = t0.elapsed();
+
+    // Capture per-shard metrics and spans while the services are still
+    // up, then shut the whole fleet down so every worker lease is
+    // released before the per-shard history is measured.
+    let observed: Vec<(MetricsSnapshot, Vec<TraceSpan>, usize)> = lanes
+        .iter()
+        .map(|lane| {
+            let service = router.shard(lane.region).expect("region was registered");
+            (service.metrics(), service.traces().drain(), service.config().workers)
+        })
+        .collect();
+    let misrouted = router.misrouted();
+    let _ = router.shutdown();
+
+    let shards = lanes
+        .into_iter()
+        .zip(driven)
+        .zip(observed)
+        .map(|((lane, (outcomes, _)), (metrics, spans, workers))| {
+            let ShardLane { region, name, ctx, pool, stream, spec, epoch_before } = lane;
+            if spec.retention > 0 {
+                ctx.compact_epochs();
+            }
+            let epoch_gc = ctx.epoch_gc_stats();
+            let epochs_published = ctx.current_epoch().get() - epoch_before.get();
+            let audit = spec
+                .verify
+                .then(|| count_oracle_mismatches(&ctx, &pool, spec.engine, &stream, &outcomes));
+            let trace_violations = (spec.telemetry == TelemetryMode::Full)
+                .then(|| audit_spans(&spans, &outcomes, &metrics));
+            ShardReplay {
+                region,
+                name,
+                report: ReplayReport {
+                    total: stream.len(),
+                    distinct: pool.len(),
+                    pattern: spec.pattern,
+                    workers,
+                    qps: spec.qps,
+                    wall,
+                    epochs_published,
+                    epoch_gc,
+                    metrics,
+                    verify_mismatches: audit.map(|(mismatches, _)| mismatches),
+                    verify_skipped: audit.map(|(_, skipped)| skipped),
+                    spans,
+                    trace_violations,
+                    overload: 0.0,
+                    met_deadline: met_deadline(&spec, &outcomes),
+                },
+            }
+        })
+        .collect();
+
+    ShardedReplayReport { shards, wall, misrouted }
 }
 
 /// The [`ServiceConfig`] a replay spec resolves to.

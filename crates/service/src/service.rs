@@ -31,8 +31,10 @@ use skysr_graph::{EpochId, WeightDelta};
 use crate::cache::{QueryKey, ResultCache};
 use crate::context::ServiceContext;
 use crate::metrics::{LatencyBreakdown, MetricsRecorder, MetricsSnapshot, Served};
+use crate::net::DatasetFingerprint;
 use crate::plan::{CostClass, PlanStep, ReusePlan, ReusePlanner, ReuseStrategies, SeedSource};
 use crate::pool::{Begin, InflightTable, SchedKey, ScheduledQueue};
+use crate::shard::{RegionId, RegionInfo};
 use crate::telemetry::{Rung, TelemetryConfig, TraceBuffer, TraceSpan};
 
 /// Sizing and engine configuration of a [`Service`].
@@ -83,6 +85,16 @@ pub struct ServiceConfig {
     /// Trace-span retention policy (histograms are always on; see
     /// [`crate::telemetry`]).
     pub telemetry: TelemetryConfig,
+    /// The region this service serves. A request carrying a different
+    /// explicit [`RequestOptions::region`] is answered with
+    /// [`QueryError::UnknownRegion`] at submission; region-less requests
+    /// are always accepted (the single-shard legacy path). A
+    /// [`crate::shard::ShardRegistry`] stamps this when it builds the
+    /// shard, so shard-local metrics and routing agree by construction.
+    pub region: RegionId,
+    /// Human-readable region/dataset name advertised by
+    /// [`QueryService::regions`] and the v2 handshake registry.
+    pub region_name: String,
 }
 
 impl Default for ServiceConfig {
@@ -100,6 +112,8 @@ impl Default for ServiceConfig {
             age_limit: Duration::from_millis(500),
             engine: BssrConfig::default(),
             telemetry: TelemetryConfig::default(),
+            region: RegionId::default(),
+            region_name: String::from("default"),
         }
     }
 }
@@ -176,6 +190,13 @@ pub struct RequestOptions {
     /// search with [`ReuseStrategies::none`]) but never widen beyond what
     /// the service allows.
     pub reuse: Option<ReuseStrategies>,
+    /// The region (dataset/shard) this request addresses. `None` keeps
+    /// the legacy single-shard path: a [`Service`] accepts it outright and
+    /// a [`crate::shard::Router`] maps the start vertex against each
+    /// shard's vertex-id space. `Some` pins the request: the owning shard
+    /// serves it, any other endpoint answers
+    /// [`QueryError::UnknownRegion`].
+    pub region: Option<RegionId>,
 }
 
 /// One query plus its per-request options — the envelope every
@@ -211,6 +232,12 @@ impl QueryRequest {
     /// Restricts the reuse rungs available to this request.
     pub fn restrict(mut self, mask: ReuseStrategies) -> QueryRequest {
         self.options.reuse = Some(mask);
+        self
+    }
+
+    /// Addresses this request to one region of a multi-tenant deployment.
+    pub fn region(mut self, region: RegionId) -> QueryRequest {
+        self.options.region = Some(region);
         self
     }
 }
@@ -378,6 +405,18 @@ pub trait QueryService: Send + Sync {
     /// Drains in-flight work, stops serving and returns final metrics.
     /// Idempotent; submissions after shutdown panic.
     fn shutdown(&self) -> MetricsSnapshot;
+
+    /// The regions this endpoint serves, one [`RegionInfo`] per resident
+    /// dataset. A single-shard [`Service`] advertises exactly its own
+    /// region; a [`crate::shard::Router`] advertises every registered
+    /// shard; [`crate::net::RemoteService`] relays the registry the
+    /// daemon's handshake carried. The default (an empty vector) means
+    /// "this endpoint predates multi-tenancy and does not advertise" —
+    /// callers must treat it as "address-less single shard", not as
+    /// "serves nothing".
+    fn regions(&self) -> Vec<RegionInfo> {
+        Vec::new()
+    }
 
     /// [`QueryService::submit`] with default options — the bare-query
     /// convenience wrapper.
@@ -655,6 +694,26 @@ impl Service {
         ticket
     }
 
+    /// `Some(region)` when the request explicitly addresses a region this
+    /// service does not serve. Region-less requests always pass — that is
+    /// the legacy single-shard path every pre-v2 caller takes.
+    fn region_mismatch(&self, request: &QueryRequest) -> Option<RegionId> {
+        match request.options.region {
+            Some(region) if region != self.config.region => Some(region),
+            _ => None,
+        }
+    }
+
+    /// A ticket already resolved to [`QueryError::UnknownRegion`] — the
+    /// typed failure a mis-addressed request gets at submission, counted
+    /// as a failed query (it was never queued, so it is not a shed).
+    fn unknown_region_ticket(&self, region: RegionId) -> Ticket {
+        self.metrics.record_failure();
+        let (tx, ticket) = Ticket::channel();
+        let _ = tx.send(Err(QueryError::UnknownRegion(region.0)));
+        ticket
+    }
+
     /// Enqueues one request, optionally with a progress channel for
     /// anytime streaming. Blocks while the submission queue is full
     /// (backpressure). With admission control on, a request whose deadline
@@ -668,6 +727,9 @@ impl Service {
         request: QueryRequest,
         progress: Option<mpsc::Sender<SkylineRoute>>,
     ) -> Ticket {
+        if let Some(region) = self.region_mismatch(&request) {
+            return self.unknown_region_ticket(region);
+        }
         let submitted = Instant::now();
         let (key, class) = self.sched_key(&request, submitted);
         if !self.admit(&key, class) {
@@ -697,6 +759,9 @@ impl Service {
         progress: Option<mpsc::Sender<SkylineRoute>>,
         submitted: Instant,
     ) -> Result<Ticket, QueryRequest> {
+        if let Some(region) = self.region_mismatch(&request) {
+            return Ok(self.unknown_region_ticket(region));
+        }
         let (key, class) = self.sched_key(&request, submitted);
         if !self.admit(&key, class) {
             return Ok(self.shed_ticket());
@@ -792,6 +857,14 @@ impl QueryService for Service {
     fn shutdown(&self) -> MetricsSnapshot {
         self.shutdown_in_place();
         self.metrics()
+    }
+
+    fn regions(&self) -> Vec<RegionInfo> {
+        vec![RegionInfo {
+            id: self.config.region,
+            name: self.config.region_name.clone(),
+            fingerprint: DatasetFingerprint::of(&self.ctx),
+        }]
     }
 }
 

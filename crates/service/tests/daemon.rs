@@ -9,11 +9,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
-use skysr_service::net::wire::{read_frame, Frame, MAX_FRAME};
+use skysr_service::net::wire::{read_frame, Frame, FEATURE_STREAMING, MAX_FRAME, PROTOCOL_V1};
 use skysr_service::replay::{build_pool, replay_remote, ReplaySpec};
 use skysr_service::{
-    QueryRequest, QueryService, RemoteService, Served, Server, ServerConfig, Service,
-    ServiceConfig, ServiceContext,
+    QueryRequest, QueryService, RegionId, RemoteService, Served, Server, ServerConfig, Service,
+    ServiceConfig, ServiceContext, ShardRegistry,
 };
 
 /// The deterministic city every fixture here is built from — daemon and
@@ -151,6 +151,95 @@ fn deadline_cutoff_yields_valid_approximate_partials() {
     assert!(cut > 0, "a 1ns deadline must cut at least one of {} streams", pool.len());
     let _ = remote.shutdown();
     server.join();
+}
+
+#[test]
+fn v1_client_is_served_unchanged_by_a_v2_multi_shard_daemon() {
+    // Backward compatibility across the protocol bump: a daemon serving
+    // two regions behind a router still answers a protocol-1 client
+    // exactly as the old single-shard daemon did — a version-1 Welcome
+    // with no registry bytes, region-less submits served by the default
+    // shard — while a v2 client on the same socket sees the full
+    // registry and can address either region.
+    let mut registry = ShardRegistry::new();
+    for (i, seed) in [21u64, 22].into_iter().enumerate() {
+        let d = DatasetSpec::preset(Preset::CalSmall).scale(0.08).seed(seed).generate();
+        let ctx = Arc::new(ServiceContext::from_dataset(d));
+        registry.add(
+            format!("region-{i}"),
+            ctx,
+            ServiceConfig { workers: 2, ..ServiceConfig::default() },
+        );
+    }
+    let router = Arc::new(registry.into_router());
+    let mut server = Server::spawn("127.0.0.1:0", Arc::clone(&router), ServerConfig::default())
+        .expect("bind a loopback listener");
+    let addr = server.local_addr();
+    let pool =
+        build_pool(&city(), &ReplaySpec { distinct: 6, seq_len: 2, ..ReplaySpec::default() });
+
+    // The v1 client, frame by frame. Region-less `RequestOptions` encode
+    // byte-identically to protocol 1, so these are the exact frames an
+    // old binary puts on the wire.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(30))).expect("set timeout");
+        s.write_all(&Frame::Hello { version: PROTOCOL_V1, features: FEATURE_STREAMING }.to_bytes())
+            .expect("write v1 hello");
+        let Frame::Welcome { version, registry, fingerprint, .. } =
+            read_frame(&mut s, MAX_FRAME).expect("read welcome")
+        else {
+            panic!("handshake must answer Welcome");
+        };
+        assert_eq!(version, PROTOCOL_V1, "the daemon downgrades the connection, not the client");
+        assert!(registry.is_empty(), "a v1 Welcome must not carry registry bytes");
+        assert_eq!(fingerprint.epoch.0, 0);
+        for (i, q) in pool.iter().enumerate() {
+            let submit = Frame::Submit {
+                id: i as u64,
+                streaming: false,
+                request: QueryRequest::new(q.clone()),
+            };
+            s.write_all(&submit.to_bytes()).expect("write v1 submit");
+            let Frame::Final { id, response } = read_frame(&mut s, MAX_FRAME).expect("read final")
+            else {
+                panic!("a valid v1 submit must be answered Final, never faulted");
+            };
+            assert_eq!(id, i as u64);
+            assert!(!response.routes.is_empty(), "the default shard serves v1 traffic");
+        }
+    }
+
+    // Every v1 submit was served, each by the shard vertex-space routing
+    // deterministically assigns its start — never misrouted, never
+    // faulted.
+    let expected_on = |region: RegionId| {
+        pool.iter().filter(|q| router.route_start(q.start) == region).count() as u64
+    };
+    assert_eq!(router.shard_metrics(RegionId(0)).unwrap().completed, expected_on(RegionId(0)));
+    let south_v1 = expected_on(RegionId(1));
+    assert_eq!(router.shard_metrics(RegionId(1)).unwrap().completed, south_v1);
+    assert_eq!(router.misrouted(), 0);
+
+    // A v2 client on the same daemon sees both regions and reaches the
+    // second one by address.
+    let remote = RemoteService::connect(addr).expect("v2 connect");
+    let regions = remote.regions();
+    assert_eq!(regions.len(), 2);
+    assert_eq!((regions[0].id, regions[1].id), (RegionId(0), RegionId(1)));
+    assert_eq!(regions[0].name, "region-0");
+    let pool_south = {
+        let d = DatasetSpec::preset(Preset::CalSmall).scale(0.08).seed(22).generate();
+        build_pool(&d, &ReplaySpec { distinct: 2, seq_len: 2, ..ReplaySpec::default() })
+    };
+    remote
+        .submit(QueryRequest::new(pool_south[0].clone()).region(RegionId(1)))
+        .wait()
+        .expect("addressed v2 submit is served");
+    assert_eq!(router.shard_metrics(RegionId(1)).unwrap().completed, south_v1 + 1);
+    let farewell = remote.shutdown();
+    server.join();
+    assert_eq!(farewell.completed, pool.len() as u64 + 1, "the farewell merges every shard");
 }
 
 #[test]

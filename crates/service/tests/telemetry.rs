@@ -9,7 +9,10 @@ use std::time::Duration;
 
 use skysr_data::dataset::{Dataset, DatasetSpec, Preset};
 use skysr_data::workload::WorkloadSpec;
-use skysr_service::replay::{build_pool, replay_on, ReplaySpec, StreamPattern, TelemetryMode};
+use skysr_service::replay::{
+    build_pool, replay_on, replay_sharded, ReplaySpec, StreamPattern, TelemetryMode,
+};
+use skysr_service::telemetry::export::prometheus;
 use skysr_service::{QueryService, Rung, Service, ServiceConfig, ServiceContext, TelemetryConfig};
 
 fn dataset(seed: u64) -> Dataset {
@@ -135,6 +138,77 @@ fn service_responses_and_drained_spans_agree() {
     assert!(service.traces().drain().is_empty());
     let m = service.metrics();
     assert_eq!(m.latency_hist.count(), m.completed);
+}
+
+/// The Prometheus exposition carries a consistent `shard` label, and the
+/// per-rung series it exports reconcile exactly with the span audit —
+/// the `--metrics-out` contract the CI telemetry-verify job greps.
+#[test]
+fn prometheus_shard_labels_reconcile_with_span_audits() {
+    let spec = ReplaySpec {
+        total: 200,
+        distinct: 8,
+        seq_len: 2,
+        pattern: StreamPattern::DuplicateBursts,
+        burst: 16,
+        workers: 2,
+        update_every: 50,
+        update_burst: 8,
+        verify: true,
+        telemetry: TelemetryMode::Full,
+        ..ReplaySpec::default()
+    };
+    let datasets = vec![("north".to_owned(), dataset(21)), ("south".to_owned(), dataset(22))];
+    let fleet = replay_sharded(datasets, &spec);
+    assert!(fleet.all_ok());
+
+    // Export exactly the way `replay --shards N --metrics-out` does: one
+    // labelled entry per shard, ids as the `shard` label values.
+    let ids: Vec<String> = fleet.shards.iter().map(|s| s.region.to_string()).collect();
+    let label_sets: Vec<[(&str, &str); 2]> =
+        ids.iter().map(|id| [("pattern", "duplicate"), ("shard", id.as_str())]).collect();
+    let entries: Vec<(&[(&str, &str)], _)> = label_sets
+        .iter()
+        .zip(&fleet.shards)
+        .map(|(labels, s)| (labels.as_slice(), &s.report.metrics))
+        .collect();
+    let page = prometheus(&entries);
+
+    for (shard, id) in fleet.shards.iter().zip(&ids) {
+        let m = &shard.report.metrics;
+        // Counters carry the shard label with label keys in sorted order
+        // (`pattern` < `shard`) — the exact shape CI greps for.
+        let completed = format!(
+            "skysr_completed_total{{pattern=\"duplicate\",shard=\"{id}\"}} {}",
+            m.completed
+        );
+        assert!(page.lines().any(|l| l == completed), "missing series: {completed}");
+        // Per-rung histogram counts reconcile with this shard's spans:
+        // the invariant audited span-side re-proven on the export side.
+        let count = |r: Rung| shard.report.spans.iter().filter(|s| s.rung == r).count() as u64;
+        for rs in &m.rungs {
+            if rs.hist.is_empty() {
+                continue;
+            }
+            let series = format!(
+                "skysr_rung_latency_seconds_count{{pattern=\"duplicate\",rung=\"{}\",shard=\"{id}\"}} {}",
+                rs.rung.label(),
+                rs.hist.count()
+            );
+            assert!(page.lines().any(|l| l == series), "missing series: {series}");
+            assert_eq!(
+                rs.hist.count(),
+                count(rs.rung),
+                "shard {id}: exported rung {:?} diverges from the span audit",
+                rs.rung
+            );
+        }
+        // The exported rung series tile the shard's completed counter.
+        let rung_total: u64 = m.rungs.iter().map(|rs| rs.hist.count()).sum();
+        assert_eq!(rung_total, m.completed);
+    }
+    // Distinct shards never collapse into one series.
+    assert!(page.contains("shard=\"0\"") && page.contains("shard=\"1\""));
 }
 
 /// Sampled mode keeps a bounded subset; disabled mode keeps nothing.
